@@ -1,0 +1,54 @@
+// Shared plumbing for the reproduction benches: corpus builders, trained
+// detectors, and run helpers. Every bench binary regenerates one table or
+// figure from the paper's evaluation section and prints the corresponding
+// rows/series; see EXPERIMENTS.md for paper-vs-measured.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/responses.hpp"
+#include "core/traces.hpp"
+#include "core/valkyrie.hpp"
+#include "ml/dataset.hpp"
+#include "ml/stat_detector.hpp"
+#include "sim/platform.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace valkyrie::bench {
+
+/// Workload factories over the benign benchmark suites.
+[[nodiscard]] std::vector<core::WorkloadFactory> benign_factories(
+    const std::vector<workloads::BenchmarkSpec>& specs);
+
+/// Trains the paper's "simple statistical detector" (§VI-A) on benign
+/// traces from a training slice of SPEC-2006 and calibrates its threshold
+/// to ~`target_fpr` false-positive epochs.
+[[nodiscard]] ml::StatisticalDetector trained_stat_detector(
+    double target_fpr = 0.03, const sim::PlatformProfile& platform = {},
+    std::uint64_t seed = 0xbe9c);
+
+/// The ransomware-vs-benign trace corpus of Fig. 1 / Fig. 6b: all 67
+/// ransomware samples plus SPEC-2006 benign programs, `epochs` samples each.
+[[nodiscard]] ml::TraceSet ransomware_corpus_traces(
+    std::size_t epochs, std::uint64_t seed = 0xf19);
+
+/// Runs one workload to completion (or max_epochs) without any response;
+/// returns epochs taken (0 if it never completed).
+struct BaselineRun {
+  std::uint64_t epochs_to_complete = 0;
+  double total_progress = 0.0;
+};
+[[nodiscard]] BaselineRun run_unthrottled(
+    std::unique_ptr<sim::Workload> workload, std::size_t max_epochs,
+    const sim::PlatformProfile& platform = {}, std::uint64_t seed = 1);
+
+/// Runs one workload under Valkyrie; returns the policy-run result.
+[[nodiscard]] core::PolicyRunResult run_under_valkyrie(
+    std::unique_ptr<sim::Workload> workload, const ml::Detector& detector,
+    const ml::Detector* terminal_detector, core::ValkyrieConfig config,
+    std::unique_ptr<core::Actuator> actuator, std::size_t max_epochs,
+    const sim::PlatformProfile& platform = {}, std::uint64_t seed = 1);
+
+}  // namespace valkyrie::bench

@@ -1,0 +1,138 @@
+// Fig. 4 (a-f): impact of Valkyrie on the six micro-architectural attack
+// case studies, each under the HPC statistical detector with the
+// OS-scheduler (Eq. 8) actuator and incremental penalty/compensation
+// (Table III row 1):
+//   a) L1-D Prime+Probe on AES      — guessing entropy (up is thwarted)
+//   b) L1-I attack on RSA           — exponent bit error rate (0.5 = random)
+//   c) TSA load-store covert channel— bit error rate (>0.5 under Valkyrie)
+//   d) CJAG covert channel          — bits transmitted vs. channel count
+//   e) LLC covert channel           — bits transmitted
+//   f) TLB covert channel           — bits transmitted
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "attacks/covert_channels.hpp"
+#include "attacks/l1i_rsa.hpp"
+#include "attacks/pp_aes.hpp"
+#include "attacks/tsa_covert.hpp"
+#include "bench_common.hpp"
+#include "core/valkyrie.hpp"
+#include "sim/system.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace valkyrie;
+
+constexpr std::size_t kEpochs = 50;
+constexpr std::size_t kNStar = 40;  // keep the attack suspicious throughout
+
+/// Runs `make()` twice — standalone and under Valkyrie — and reports
+/// `metric` every few epochs.
+void compare(const char* title, const char* metric_name,
+             const std::function<std::unique_ptr<sim::Workload>()>& make,
+             const std::function<double(const sim::Workload&)>& metric,
+             const ml::StatisticalDetector& detector) {
+  sim::SimSystem base_sys(sim::PlatformProfile{}, 0xf16a);
+  const sim::ProcessId base_pid = base_sys.spawn(make());
+
+  sim::SimSystem v_sys(sim::PlatformProfile{}, 0xf16a);
+  const sim::ProcessId v_pid = v_sys.spawn(make());
+  core::ValkyrieEngine engine(v_sys, detector);
+  core::ValkyrieConfig cfg;
+  cfg.required_measurements = kNStar;
+  engine.attach(v_pid, cfg, std::make_unique<core::SchedulerWeightActuator>());
+
+  util::TextTable table({"epoch", std::string(metric_name) + " (no Valkyrie)",
+                         std::string(metric_name) + " (Valkyrie)"});
+  for (std::size_t e = 1; e <= kEpochs; ++e) {
+    base_sys.run_epoch();
+    engine.step();
+    if (e % 5 == 0 || e == 1) {
+      table.add_row({std::to_string(e),
+                     util::fmt(metric(base_sys.workload(base_pid)), 3),
+                     util::fmt(metric(v_sys.workload(v_pid)), 3)});
+    }
+  }
+  std::printf("-- %s --\n%s\n", title, table.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Fig. 4: Valkyrie vs. micro-architectural attacks ==\n\n");
+  const ml::StatisticalDetector detector = bench::trained_stat_detector();
+
+  compare(
+      "Fig. 4a: L1-D Prime+Probe on AES", "guessing entropy",
+      [] { return std::make_unique<attacks::PrimeProbeAesAttack>(); },
+      [](const sim::Workload& w) {
+        return dynamic_cast<const attacks::PrimeProbeAesAttack&>(w)
+            .guessing_entropy();
+      },
+      detector);
+
+  compare(
+      "Fig. 4b: L1-I attack on RSA", "bit error rate",
+      [] { return std::make_unique<attacks::L1iRsaAttack>(); },
+      [](const sim::Workload& w) {
+        return dynamic_cast<const attacks::L1iRsaAttack&>(w).bit_error_rate();
+      },
+      detector);
+
+  compare(
+      "Fig. 4c: TSA load-store-buffer covert channel",
+      "recent bit error rate",
+      [] { return std::make_unique<attacks::TsaCovertChannel>(); },
+      [](const sim::Workload& w) {
+        return dynamic_cast<const attacks::TsaCovertChannel&>(w)
+            .recent_error_rate();
+      },
+      detector);
+
+  for (const int channels : {1, 2, 4, 8}) {
+    std::string title = "Fig. 4d: CJAG covert channel, " +
+                        std::to_string(channels) + " channel(s)";
+    compare(
+        title.c_str(), "bits received",
+        [channels] {
+          return std::make_unique<attacks::ContentionCovertChannel>(
+              attacks::cjag_config(channels));
+        },
+        [](const sim::Workload& w) {
+          return static_cast<double>(
+              dynamic_cast<const attacks::ContentionCovertChannel&>(w)
+                  .bits_received_correctly());
+        },
+        detector);
+  }
+
+  compare(
+      "Fig. 4e: LLC covert channel", "bits received",
+      [] {
+        return std::make_unique<attacks::ContentionCovertChannel>(
+            attacks::llc_covert_config());
+      },
+      [](const sim::Workload& w) {
+        return static_cast<double>(
+            dynamic_cast<const attacks::ContentionCovertChannel&>(w)
+                .bits_received_correctly());
+      },
+      detector);
+
+  compare(
+      "Fig. 4f: TLB covert channel", "bits received",
+      [] {
+        return std::make_unique<attacks::ContentionCovertChannel>(
+            attacks::tlb_covert_config());
+      },
+      [](const sim::Workload& w) {
+        return static_cast<double>(
+            dynamic_cast<const attacks::ContentionCovertChannel&>(w)
+                .bits_received_correctly());
+      },
+      detector);
+
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Fig. 5a: slowdowns incurred by benign benchmark programs under Valkyrie
+// when the statistical detector false-positives (~4% of epochs on average).
+// Covers all 77 single-threaded programs (SPEC-2006, SPEC-2017 rate+speed,
+// SPECViewperf-13, STREAM) and the 4-thread SPEC-2017 suite.
+//
+// Paper reference points: single-threaded geomean ~1%, arithmetic mean
+// ~2.8%, maximum 40.3%, 60/77 programs below 5%, 35/77 below 1%;
+// multi-threaded average ~6.7%; blender_r (worst FP source, ~30% of
+// epochs) finishes with a bounded slowdown instead of being terminated.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace valkyrie;
+
+struct ProgramResult {
+  std::string name;
+  std::string suite;
+  double slowdown_pct = 0.0;
+  bool terminated = false;
+};
+
+ProgramResult measure(const workloads::BenchmarkSpec& spec,
+                      const ml::StatisticalDetector& detector,
+                      const ml::StatisticalDetector& terminal) {
+  ProgramResult result;
+  result.name = spec.name;
+  result.suite = spec.suite;
+
+  const std::size_t max_epochs =
+      static_cast<std::size_t>(spec.epochs_of_work * 12);
+  const bench::BaselineRun base = bench::run_unthrottled(
+      std::make_unique<workloads::BenchmarkWorkload>(spec), max_epochs);
+
+  core::ValkyrieConfig cfg;
+  cfg.required_measurements = 15;
+  const core::PolicyRunResult run = bench::run_under_valkyrie(
+      std::make_unique<workloads::BenchmarkWorkload>(spec), detector,
+      &terminal, cfg, std::make_unique<core::CgroupCpuActuator>(), max_epochs);
+
+  result.terminated = run.terminated;
+  if (base.epochs_to_complete > 0 && run.epochs_to_complete > 0) {
+    result.slowdown_pct =
+        100.0 *
+        (static_cast<double>(run.epochs_to_complete) -
+         static_cast<double>(base.epochs_to_complete)) /
+        static_cast<double>(base.epochs_to_complete);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Fig. 5a: benign slowdowns under Valkyrie (FP cost) ==\n\n");
+  const ml::StatisticalDetector detector = bench::trained_stat_detector();
+  const ml::StatisticalDetector terminal = detector.accumulated_view();
+
+  std::vector<ProgramResult> st_results;
+  for (const workloads::BenchmarkSpec& spec :
+       workloads::all_single_threaded()) {
+    st_results.push_back(measure(spec, detector, terminal));
+  }
+  std::vector<ProgramResult> mt_results;
+  for (const workloads::BenchmarkSpec& spec :
+       workloads::spec2017_multithreaded()) {
+    mt_results.push_back(measure(spec, detector, terminal));
+  }
+
+  // Per-suite summary.
+  util::TextTable suites({"suite", "programs", "mean slowdown", "max"});
+  const auto summarize = [&suites](const char* suite,
+                                   const std::vector<ProgramResult>& rs) {
+    std::vector<double> xs;
+    for (const ProgramResult& r : rs) {
+      if (r.suite == suite) xs.push_back(r.slowdown_pct);
+    }
+    if (xs.empty()) return;
+    suites.add_row({suite, std::to_string(xs.size()),
+                    util::fmt(util::mean_of(xs), 2) + "%",
+                    util::fmt(*std::max_element(xs.begin(), xs.end()), 2) +
+                        "%"});
+  };
+  for (const char* s : {"SPEC-2006", "SPEC-2017", "SPEC-2017-speed",
+                        "SPECViewperf-13", "STREAM"}) {
+    summarize(s, st_results);
+  }
+  summarize("SPEC-2017-mt", mt_results);
+  std::printf("%s\n", suites.render().c_str());
+
+  // Headline aggregates (paper: geomean 1%, amean 2.8%, max 40.3%,
+  // 60/77 < 5%, 35/77 < 1%; multi-threaded ~6.7%).
+  std::vector<double> st;
+  int below1 = 0;
+  int below5 = 0;
+  int terminated = 0;
+  double max_slowdown = 0.0;
+  std::string max_name;
+  for (const ProgramResult& r : st_results) {
+    st.push_back(r.slowdown_pct);
+    if (r.slowdown_pct < 1.0) ++below1;
+    if (r.slowdown_pct < 5.0) ++below5;
+    if (r.terminated) ++terminated;
+    if (r.slowdown_pct > max_slowdown) {
+      max_slowdown = r.slowdown_pct;
+      max_name = r.name;
+    }
+  }
+  std::vector<double> mt;
+  for (const ProgramResult& r : mt_results) {
+    mt.push_back(r.slowdown_pct);
+    if (r.terminated) ++terminated;
+  }
+
+  util::TextTable headline({"metric", "measured", "paper"});
+  headline.add_row({"single-threaded geomean",
+                    util::fmt(util::geomean_of(st, 0.05), 2) + "%", "1%"});
+  headline.add_row({"single-threaded arithmetic mean",
+                    util::fmt(util::mean_of(st), 2) + "%", "2.8%"});
+  headline.add_row({"single-threaded max (" + max_name + ")",
+                    util::fmt(max_slowdown, 1) + "%", "40.3%"});
+  headline.add_row({"programs < 5% slowdown",
+                    std::to_string(below5) + "/77", "60/77"});
+  headline.add_row({"programs < 1% slowdown",
+                    std::to_string(below1) + "/77", "35/77"});
+  headline.add_row({"multi-threaded mean",
+                    util::fmt(util::mean_of(mt), 2) + "%", "6.7%"});
+  headline.add_row({"benign programs terminated",
+                    std::to_string(terminated), "0"});
+  std::printf("%s\n", headline.render().c_str());
+
+  // The chronic false-positive outlier. In the paper it is blender_r
+  // (~30% FP epochs, 25% slowdown, survives); under our signature-matching
+  // detector the same role falls to imagick_r, whose tight compute kernel
+  // resembles the miner/ransomware-encrypt signatures. The structural
+  // claim is identical: the worst benign FP source is throttled repeatedly
+  // yet finishes its work — under any terminating baseline it would have
+  // been killed within a few epochs.
+  for (const ProgramResult& r : st_results) {
+    if (r.slowdown_pct == max_slowdown) {
+      std::printf(
+          "worst FP outlier %s: slowdown %.1f%% (paper: blender_r at 25%%, "
+          "suite max 40.3%%), terminated: %s\n",
+          r.name.c_str(), r.slowdown_pct, r.terminated ? "YES (BUG)" : "no");
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Fig. 5b: slowdowns of falsely-classified benign programs under the three
+// reactive post-detection strategies — Valkyrie, CPU-core migration and
+// cross-system (VM) migration — with the same detector.
+//
+// Paper reference points: core migration ~1.5x Valkyrie's overhead,
+// system migration ~4x on average (and up to ~10x for blender_r).
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "sim/system.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace valkyrie;
+
+double slowdown_pct(const workloads::BenchmarkSpec& spec,
+                    const ml::StatisticalDetector& detector,
+                    const ml::StatisticalDetector* terminal,
+                    const std::function<std::unique_ptr<core::ResponsePolicy>()>&
+                        make_policy) {
+  const std::size_t max_epochs =
+      static_cast<std::size_t>(spec.epochs_of_work * 20);
+  const bench::BaselineRun base = bench::run_unthrottled(
+      std::make_unique<workloads::BenchmarkWorkload>(spec), max_epochs);
+
+  sim::SimSystem sys(sim::PlatformProfile{}, 1);
+  const sim::ProcessId pid =
+      sys.spawn(std::make_unique<workloads::BenchmarkWorkload>(spec));
+  const std::unique_ptr<core::ResponsePolicy> policy = make_policy();
+  const core::PolicyRunResult run =
+      core::run_with_policy(sys, pid, detector, *policy, max_epochs);
+  (void)terminal;
+  if (base.epochs_to_complete == 0 || run.epochs_to_complete == 0) {
+    return 0.0;
+  }
+  return 100.0 *
+         (static_cast<double>(run.epochs_to_complete) -
+          static_cast<double>(base.epochs_to_complete)) /
+         static_cast<double>(base.epochs_to_complete);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Fig. 5b: Valkyrie vs. migration responses (benign FP cost) ==\n\n");
+  const ml::StatisticalDetector detector = bench::trained_stat_detector();
+  const ml::StatisticalDetector terminal = detector.accumulated_view();
+
+  std::vector<double> valkyrie_s;
+  std::vector<double> core_s;
+  std::vector<double> system_s;
+
+  util::TextTable table(
+      {"program", "valkyrie", "core-migration", "system-migration"});
+  for (const workloads::BenchmarkSpec& spec : workloads::spec2017_rate()) {
+    const double v = slowdown_pct(spec, detector, &terminal, [&] {
+      core::ValkyrieConfig cfg;
+      cfg.required_measurements = 15;
+      return std::make_unique<core::ValkyrieResponse>(
+          cfg, std::make_unique<core::CgroupCpuActuator>(), &terminal);
+    });
+    const double c = slowdown_pct(spec, detector, &terminal, [] {
+      return core::MigrationResponse::core_migration();
+    });
+    const double s = slowdown_pct(spec, detector, &terminal, [] {
+      return core::MigrationResponse::system_migration();
+    });
+    valkyrie_s.push_back(v);
+    core_s.push_back(c);
+    system_s.push_back(s);
+    table.add_row({spec.name, util::fmt(v, 2) + "%", util::fmt(c, 2) + "%",
+                   util::fmt(s, 2) + "%"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const double v_mean = util::mean_of(valkyrie_s);
+  const double c_mean = util::mean_of(core_s);
+  const double s_mean = util::mean_of(system_s);
+  util::TextTable summary({"response", "mean slowdown", "x Valkyrie",
+                           "paper ratio"});
+  summary.add_row({"valkyrie", util::fmt(v_mean, 2) + "%", "1.0x", "1x"});
+  summary.add_row({"core-migration", util::fmt(c_mean, 2) + "%",
+                   util::fmt(c_mean / std::max(v_mean, 1e-9), 2) + "x",
+                   "~1.5x"});
+  summary.add_row({"system-migration", util::fmt(s_mean, 2) + "%",
+                   util::fmt(s_mean / std::max(v_mean, 1e-9), 2) + "x",
+                   "~4x"});
+  std::printf("%s\n", summary.render().c_str());
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Fig. 6b: average encryption rate of the ransomware corpus with and
+// without Valkyrie, under the LSTM detector (time-series HPC model with a
+// hidden layer of 8 nodes) and the two cgroup actuators of §VI-C.
+//
+// Paper reference points: 11.67 MB/s unthrottled; ~152 KB/s once the CPU
+// actuator bottoms out (after ~5 epochs); ~1.5 MB/s under the
+// file-access actuator (7 -> 1 files/epoch); and with N* = 20 epochs
+// (F1 >= 0.85) total damage before termination drops ~66x (paper: 3.5 MB
+// vs 233 MB over its measurement horizon).
+#include <cstdio>
+#include <memory>
+
+#include "attacks/ransomware.hpp"
+#include "bench_common.hpp"
+#include "core/efficacy.hpp"
+#include "core/valkyrie.hpp"
+#include "ml/lstm.hpp"
+#include "sim/system.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace valkyrie;
+
+/// Mean per-epoch encryption rate (MB/s) across the first `epochs` epochs
+/// for a sample of the corpus, under a given actuator (or none).
+struct RateSeries {
+  std::vector<double> mb_per_s;  // indexed by epoch
+  double total_mb = 0.0;
+};
+
+RateSeries run_corpus_sample(const ml::Detector* detector,
+                             std::unique_ptr<core::Actuator> (*make_actuator)(),
+                             int epochs, std::size_t n_star) {
+  const std::vector<attacks::RansomwareConfig> corpus =
+      attacks::ransomware_corpus();
+  RateSeries series;
+  series.mb_per_s.assign(static_cast<std::size_t>(epochs), 0.0);
+  constexpr int kSamples = 10;
+  for (int s = 0; s < kSamples; ++s) {
+    const attacks::RansomwareConfig cfg = corpus[static_cast<std::size_t>(
+        s * 6)];
+    sim::SimSystem sys(sim::PlatformProfile{}, 0x6b + static_cast<std::uint64_t>(s));
+    const sim::ProcessId pid =
+        sys.spawn(std::make_unique<attacks::RansomwareAttack>(cfg));
+    std::unique_ptr<core::ValkyrieMonitor> monitor;
+    if (detector != nullptr) {
+      core::ValkyrieConfig vcfg;
+      vcfg.required_measurements = n_star;
+      monitor = std::make_unique<core::ValkyrieMonitor>(vcfg, make_actuator());
+    }
+    for (int e = 0; e < epochs && sys.is_live(pid); ++e) {
+      sys.run_epoch();
+      series.mb_per_s[static_cast<std::size_t>(e)] +=
+          sys.last_progress(pid) / 0.1 / 1e6 / kSamples;
+      series.total_mb += sys.last_progress(pid) / 1e6 / kSamples;
+      if (monitor != nullptr && sys.is_live(pid)) {
+        const auto& window = sys.sample_history(pid);
+        monitor->on_epoch(sys, pid,
+                          detector->infer({window.data(), window.size()}));
+      }
+    }
+  }
+  return series;
+}
+
+std::unique_ptr<core::Actuator> cpu_actuator() {
+  return std::make_unique<core::CgroupCpuActuator>();
+}
+std::unique_ptr<core::Actuator> fs_actuator() {
+  return std::make_unique<core::CgroupFsActuator>();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Fig. 6b: ransomware encryption rate with/without Valkyrie ==\n\n");
+
+  // Train the paper's LSTM detector on the ransomware corpus.
+  std::printf("training LSTM detector (input %zu, hidden 8)...\n",
+              hpc::kFeatureDim);
+  const ml::TraceSet traces = bench::ransomware_corpus_traces(40);
+  util::Rng split_rng(0x6b);
+  const ml::TraceSplit split = ml::split_traces(traces, 0.6, split_rng);
+  ml::LstmTrainOptions train_opts;
+  train_opts.epochs = 10;
+  const ml::LstmDetector lstm =
+      ml::LstmDetector::make(split.train, 0x15b, train_opts);
+
+  // Offline phase: the paper's LSTM needs ~20 epochs for F1 >= 0.85; ours
+  // is stronger on this corpus, so the equivalent user specification that
+  // yields a comparable measurement budget is stricter. Print the curve
+  // and pick N* for the strict spec.
+  const core::EfficacyCurve curve =
+      core::compute_efficacy_curve(lstm, split.test, 40, 1);
+  std::printf("LSTM efficacy curve (measurements: F1 / FPR):");
+  for (const core::EfficacyPoint& p : curve.points()) {
+    if (p.measurements % 5 == 0 || p.measurements == 1) {
+      std::printf(" %zu: %.2f/%.2f", p.measurements, p.f1, p.fpr);
+    }
+  }
+  std::printf("\n");
+  core::EfficacySpec spec;
+  spec.min_f1 = 0.97;
+  spec.max_fpr = 0.02;
+  const std::size_t n_star = curve.required_measurements(spec).value_or(20);
+  std::printf(
+      "N* for the user spec (F1 >= 0.97, FPR <= 2%%): %zu epochs "
+      "(paper: 20 epochs for its F1 >= 0.85 spec)\n\n",
+      n_star);
+
+  constexpr int kEpochs = 30;
+  const RateSeries base = run_corpus_sample(nullptr, nullptr, kEpochs, 0);
+  const RateSeries cpu =
+      run_corpus_sample(&lstm, &cpu_actuator, kEpochs, 1000);
+  const RateSeries fs = run_corpus_sample(&lstm, &fs_actuator, kEpochs, 1000);
+
+  util::TextTable table({"epoch", "no Valkyrie (MB/s)", "CPU actuator (MB/s)",
+                         "fs actuator (MB/s)"});
+  for (int e = 0; e < kEpochs; e += 3) {
+    const auto i = static_cast<std::size_t>(e);
+    table.add_row({std::to_string(e + 1), util::fmt(base.mb_per_s[i], 3),
+                   util::fmt(cpu.mb_per_s[i], 3),
+                   util::fmt(fs.mb_per_s[i], 3)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf(
+      "steady-state rates: unthrottled %.2f MB/s (paper 11.67), CPU actuator "
+      "%.0f KB/s (paper ~152), fs actuator %.2f MB/s (paper ~1.5)\n\n",
+      base.mb_per_s[kEpochs - 1], cpu.mb_per_s[kEpochs - 1] * 1000.0,
+      fs.mb_per_s[kEpochs - 1]);
+
+  // Damage comparison over the paper's ~20 s observation window: with
+  // Valkyrie the attack is throttled from detection and terminated at N*,
+  // so its damage is fixed; without Valkyrie it encrypts at full rate for
+  // the whole window.
+  constexpr int kHorizonEpochs = 200;
+  const RateSeries base_h =
+      run_corpus_sample(nullptr, nullptr, kHorizonEpochs, 0);
+  const RateSeries v_h =
+      run_corpus_sample(&lstm, &cpu_actuator, kHorizonEpochs, n_star);
+  std::printf(
+      "damage over a %d-epoch window with termination at N*=%zu: %.2f MB "
+      "without Valkyrie vs %.3f MB with (%.0fx reduction; paper: 233 MB vs "
+      "3.5 MB, ~66x)\n",
+      kHorizonEpochs, n_star, base_h.total_mb, v_h.total_mb,
+      base_h.total_mb / std::max(v_h.total_mb, 1e-9));
+  return 0;
+}

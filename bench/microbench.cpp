@@ -1,0 +1,119 @@
+// Google-benchmark microbenchmarks for the library's hot primitives: the
+// substrate costs behind every reproduction experiment (cache accesses,
+// crypto, detector inference, threat-index updates, full engine epochs).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "attacks/pp_aes.hpp"
+#include "cache/cache.hpp"
+#include "core/threat.hpp"
+#include "core/valkyrie.hpp"
+#include "crypto/aes128.hpp"
+#include "crypto/sha256.hpp"
+#include "dram/dram.hpp"
+#include "hpc/hpc.hpp"
+#include "ml/gbt.hpp"
+#include "ml/stat_detector.hpp"
+#include "sim/system.hpp"
+#include "util/rng.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace {
+
+using namespace valkyrie;
+
+void BM_CacheAccess(benchmark::State& state) {
+  cache::Cache cache(cache::presets::l1d());
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(rng.below(1 << 20)));
+  }
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  std::vector<std::uint8_t> data(1024, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash({data.data(), data.size()}));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_AesEncryptBlock(benchmark::State& state) {
+  crypto::Aes128 aes(crypto::AesKey{1, 2, 3, 4, 5, 6, 7, 8});
+  crypto::AesBlock block{};
+  for (auto _ : state) {
+    block = aes.encrypt_block(block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_AesEncryptBlock);
+
+void BM_DramActivate(benchmark::State& state) {
+  dram::Dram dram(dram::DramConfig{});
+  std::uint32_t row = 4096;
+  for (auto _ : state) {
+    dram.activate(0, row);
+    row ^= 2;  // alternate aggressors
+  }
+}
+BENCHMARK(BM_DramActivate);
+
+void BM_ThreatIndexUpdate(benchmark::State& state) {
+  core::ThreatIndex threat;
+  util::Rng rng(2);
+  for (auto _ : state) {
+    const auto inf = rng.chance(0.3) ? ml::Inference::kMalicious
+                                     : ml::Inference::kBenign;
+    benchmark::DoNotOptimize(threat.on_inference(inf));
+  }
+}
+BENCHMARK(BM_ThreatIndexUpdate);
+
+void BM_StatDetectorInfer(benchmark::State& state) {
+  util::Rng rng(3);
+  hpc::HpcSignature sig;
+  for (double& m : sig.mean) m = 1e6;
+  std::vector<ml::Example> examples;
+  for (int i = 0; i < 200; ++i) {
+    examples.push_back({hpc::to_features(sig.sample(rng)), false});
+  }
+  ml::StatisticalDetector detector;
+  detector.fit(examples);
+  std::vector<hpc::HpcSample> window;
+  for (int i = 0; i < 32; ++i) window.push_back(sig.sample(rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        detector.infer({window.data(), window.size()}));
+  }
+}
+BENCHMARK(BM_StatDetectorInfer);
+
+void BM_SimEpochBenchmarkWorkload(benchmark::State& state) {
+  sim::SimSystem sys;
+  sys.spawn(std::make_unique<workloads::BenchmarkWorkload>(
+      workloads::spec2017_rate()[0]));
+  for (auto _ : state) {
+    sys.run_epoch();
+  }
+}
+BENCHMARK(BM_SimEpochBenchmarkWorkload);
+
+void BM_PrimeProbeMeasurementEpoch(benchmark::State& state) {
+  attacks::PrimeProbeAesAttack attack;
+  util::Rng rng(4);
+  sim::EpochContext ctx;
+  ctx.rng = &rng;
+  const sim::ResourceShares shares;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attack.run_epoch(shares, ctx));
+  }
+}
+BENCHMARK(BM_PrimeProbeMeasurementEpoch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Scenario: plugging YOUR detector into Valkyrie.
+//
+// The paper's central interface claim (§VII) is that Valkyrie augments any
+// runtime detector — it only consumes the per-epoch {benign, malicious}
+// inference. This example implements a deliberately naive custom detector
+// (an instructions-per-cycle band check) outside the library, wires it into
+// the engine unmodified, and pits it against a rowhammer attack with the
+// Eq. 8 scheduler actuator and an exponential penalty function.
+//
+//   ./build/examples/custom_detector
+#include <cstdio>
+#include <memory>
+
+#include "attacks/rowhammer.hpp"
+#include "core/assessment.hpp"
+#include "core/valkyrie.hpp"
+#include "ml/detector.hpp"
+#include "sim/system.hpp"
+#include "workloads/benchmarks.hpp"
+
+using namespace valkyrie;
+
+namespace {
+
+/// A 20-line homebrew detector: rowhammer's hammer loop retires almost no
+/// instructions per cycle while saturating LLC misses, so flag any epoch
+/// with IPC below a floor and LLC misses-per-kilocycle above a ceiling.
+class IpcBandDetector final : public ml::Detector {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "ipc-band"; }
+
+  [[nodiscard]] ml::Inference infer(
+      std::span<const hpc::HpcSample> window) const override {
+    if (window.empty()) return ml::Inference::kBenign;
+    const hpc::HpcSample& s = window.back();
+    const double cycles = std::max(s[hpc::Event::kCycles], 1.0);
+    const double ipc = s[hpc::Event::kInstructions] / cycles;
+    const double llc_pkc = s[hpc::Event::kLlcMisses] / cycles * 1e3;
+    return (ipc < 0.3 && llc_pkc > 50.0) ? ml::Inference::kMalicious
+                                         : ml::Inference::kBenign;
+  }
+};
+
+}  // namespace
+
+int main() {
+  const IpcBandDetector detector;
+
+  sim::SimSystem sys;
+  const sim::ProcessId hammer =
+      sys.spawn(std::make_unique<attacks::RowhammerAttack>());
+  const sim::ProcessId benign = sys.spawn(
+      std::make_unique<workloads::BenchmarkWorkload>(workloads::stream()[0]));
+
+  core::ValkyrieEngine engine(sys, detector);
+  core::ValkyrieConfig config;
+  config.required_measurements = 25;
+  // Escalate aggressively: rowhammer damage is irreversible, so double the
+  // penalty on every consecutive detection instead of incrementing it.
+  config.threat.penalty = core::exponential(2.0, 1.0);
+  engine.attach(hammer, config,
+                std::make_unique<core::SchedulerWeightActuator>());
+  engine.attach(benign, config,
+                std::make_unique<core::SchedulerWeightActuator>());
+
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    engine.step();
+    if (epoch % 5 == 4) {
+      const auto& attack =
+          dynamic_cast<const attacks::RowhammerAttack&>(sys.workload(hammer));
+      std::printf(
+          "epoch %2d | rowhammer: %-10s threat %5.1f flips %3llu | "
+          "stream-copy: %-10s progress %.1f\n",
+          epoch + 1,
+          std::string(to_string(engine.monitor(hammer).state())).c_str(),
+          engine.monitor(hammer).threat(),
+          static_cast<unsigned long long>(attack.dram().total_bit_flips()),
+          std::string(to_string(engine.monitor(benign).state())).c_str(),
+          sys.workload(benign).total_progress());
+    }
+  }
+
+  const auto& attack =
+      dynamic_cast<const attacks::RowhammerAttack&>(sys.workload(hammer));
+  std::printf(
+      "\nresult: rowhammer %s with %llu total bit flips; benign neighbour "
+      "%s (%.0f/%.0f work-epochs)\n",
+      sys.is_live(hammer) ? "STILL LIVE" : "terminated",
+      static_cast<unsigned long long>(attack.dram().total_bit_flips()),
+      sys.is_live(benign) ? "unharmed" : "finished",
+      sys.workload(benign).total_progress(),
+      dynamic_cast<const workloads::BenchmarkWorkload&>(sys.workload(benign))
+          .spec()
+          .epochs_of_work);
+  return 0;
+}

@@ -1,0 +1,146 @@
+#include "attacks/covert_channels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "attacks/signatures.hpp"
+#include "sim/resources.hpp"
+
+namespace valkyrie::attacks {
+namespace {
+
+// Sender and receiver own disjoint address ranges that collide in the
+// monitored sets.
+constexpr std::uint64_t kReceiverBase = 0x10000000;
+constexpr std::uint64_t kSenderBase = 0x30000000;
+constexpr std::uint64_t kNoiseBase = 0x50000000;
+
+}  // namespace
+
+ContentionChannelConfig cjag_config(int num_channels) {
+  ContentionChannelConfig c;
+  c.cache = cache::presets::llc();
+  c.num_channels = num_channels;
+  // CJAG's jamming agreement scans candidate sets pairwise; measured
+  // initialisation grows with the number of channels requested.
+  c.init_rounds_per_channel = 220;
+  c.symbols_per_epoch = 1200;
+  c.name = "cjag-" + std::to_string(num_channels) + "ch";
+  return c;
+}
+
+ContentionChannelConfig llc_covert_config() {
+  ContentionChannelConfig c;
+  c.cache = cache::presets::llc();
+  c.num_channels = 1;
+  c.init_rounds_per_channel = 40;  // simple eviction-set agreement
+  c.symbols_per_epoch = 900;
+  c.name = "llc-covert";
+  return c;
+}
+
+ContentionChannelConfig tlb_covert_config() {
+  ContentionChannelConfig c;
+  c.cache = cache::presets::dtlb();
+  c.num_channels = 1;
+  c.init_rounds_per_channel = 25;
+  c.symbols_per_epoch = 700;
+  c.background_noise = 0.06;  // the tiny TLB is easily polluted
+  c.name = "tlb-covert";
+  return c;
+}
+
+ContentionCovertChannel::ContentionCovertChannel(
+    ContentionChannelConfig config)
+    : config_(std::move(config)),
+      signature_(config_.cache.line_bytes >= 4096
+                     ? tlb_spy_signature()
+                     : microarch_spy_signature(false)),
+      cache_(config_.cache),
+      data_rng_(config_.data_seed) {}
+
+void ContentionCovertChannel::transmit_symbol(util::Rng& rng) {
+  const cache::CacheConfig& cfg = config_.cache;
+  const std::uint64_t stride =
+      static_cast<std::uint64_t>(cfg.num_sets) * cfg.line_bytes;
+  for (int ch = 0; ch < config_.num_channels; ++ch) {
+    // Channel ch signals on set (7 + 13*ch) mod num_sets.
+    const std::uint32_t set =
+        static_cast<std::uint32_t>((7 + 13 * ch) % cfg.num_sets);
+    const std::uint64_t set_offset =
+        static_cast<std::uint64_t>(set) * cfg.line_bytes;
+
+    // Receiver primes the set with its own lines.
+    for (std::uint32_t way = 0; way < cfg.ways; ++way) {
+      cache_.access(kReceiverBase + set_offset + way * stride);
+    }
+    // Sender encodes: for bit 1 it sweeps `ways` conflicting lines through
+    // the set, evicting the receiver; for bit 0 it stays quiet.
+    const bool bit = data_rng_.chance(0.5);
+    if (bit) {
+      for (std::uint32_t way = 0; way < cfg.ways; ++way) {
+        cache_.access(kSenderBase + set_offset + way * stride);
+      }
+    }
+    // Unrelated system activity occasionally pollutes the set.
+    if (rng.chance(config_.background_noise)) {
+      cache_.access(kNoiseBase + set_offset + rng.below(4) * stride);
+    }
+    // Receiver probes: enough misses = bit 1.
+    std::uint32_t misses = 0;
+    for (std::uint32_t way = 0; way < cfg.ways; ++way) {
+      const std::uint64_t addr = kReceiverBase + set_offset + way * stride;
+      if (!cache_.contains(addr)) ++misses;
+      cache_.access(addr);
+    }
+    const bool decoded = misses >= cfg.ways / 2;
+    ++bits_sent_;
+    if (decoded == bit) ++bits_ok_;
+  }
+}
+
+sim::StepResult ContentionCovertChannel::run_epoch(
+    const sim::ResourceShares& shares, sim::EpochContext& ctx) {
+  const double s = sim::cpu_progress_multiplier(shares.cpu) *
+                   sim::memory_progress_multiplier(shares.mem);
+  util::Rng& rng = *ctx.rng;
+  const double p_sync = s * s;  // both endpoints must be scheduled
+
+  const std::uint64_t ok_before = bits_ok_;
+
+  // Initialisation phase: handshake rounds succeed only in sync slots.
+  if (!initialized()) {
+    const int attempts =
+        static_cast<int>(std::round(config_.init_rounds_per_epoch * s));
+    for (int a = 0; a < attempts && !initialized(); ++a) {
+      if (rng.chance(p_sync)) ++init_rounds_done_;
+    }
+  }
+
+  // Transmission phase.
+  if (initialized()) {
+    const int slots =
+        static_cast<int>(std::round(config_.symbols_per_epoch * s));
+    for (int slot = 0; slot < slots; ++slot) {
+      if (rng.chance(p_sync)) {
+        transmit_symbol(rng);
+      } else {
+        // Slot lost to scheduling: sender's symbol never lands; receiver
+        // reads garbage it discards via CJAG's error-detection coding.
+        bits_sent_ += static_cast<std::uint64_t>(config_.num_channels);
+      }
+    }
+  }
+
+  sim::StepResult out;
+  out.progress = static_cast<double>(bits_ok_ - ok_before);
+  out.hpc = signature_.sample(rng, std::max(s, 0.0), ctx.hpc_noise);
+  return out;
+}
+
+double ContentionCovertChannel::bit_error_rate() const noexcept {
+  if (bits_sent_ == 0) return 0.5;
+  return 1.0 - static_cast<double>(bits_ok_) / static_cast<double>(bits_sent_);
+}
+
+}  // namespace valkyrie::attacks

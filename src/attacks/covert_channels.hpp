@@ -1,0 +1,94 @@
+// Cache-contention covert channels over the shared cache model:
+//
+//  * CJAG (Maurice et al., NDSS 2017) — Fig. 4d: the fastest LLC covert
+//    channel; sender and receiver first run a jamming-agreement protocol to
+//    agree on one or more LLC sets as channels (initialisation cost grows
+//    with the channel count), then transmit via Prime+Probe set eviction.
+//  * Plain LLC Prime+Probe channel (Mastik-style, Yarom 2016) — Fig. 4e.
+//  * TLB-contention channel (TLBleed-style, Gras et al. 2018) — Fig. 4f:
+//    identical signalling, but contention lives in a tiny 16-set/4-way TLB
+//    keyed by page addresses.
+//
+// Transmission per symbol slot is mechanistic: for bit 1 the sender
+// accesses enough lines (pages) in the agreed set to evict the receiver's
+// primed entries; the receiver probes and counts misses. Throttling
+// desynchronises slots (quadratic in the pair's CPU share) and — for CJAG —
+// freezes the initialisation handshake, so channels that are still
+// initialising when Valkyrie engages never transmit a bit (the paper's
+// observation that more channels means fewer total bits under Valkyrie).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cache/cache.hpp"
+#include "sim/workload.hpp"
+
+namespace valkyrie::attacks {
+
+struct ContentionChannelConfig {
+  /// Cache geometry the channel contends on.
+  cache::CacheConfig cache = cache::presets::llc();
+  /// Number of parallel set-channels (CJAG supports several).
+  int num_channels = 1;
+  /// Jamming-agreement rounds needed per channel before transmission.
+  int init_rounds_per_channel = 0;  // 0 = no initialisation phase
+  /// Handshake rounds attempted per epoch at full share.
+  int init_rounds_per_epoch = 150;
+  /// Symbol slots per epoch at full share (per channel group).
+  int symbols_per_epoch = 1200;
+  /// Probability an unrelated process pollutes a probed set per slot.
+  double background_noise = 0.03;
+  std::uint64_t data_seed = 0xc1a6;
+  std::string name = "llc-covert";
+};
+
+/// Convenience constructors matching the paper's three channel case studies.
+[[nodiscard]] ContentionChannelConfig cjag_config(int num_channels);
+[[nodiscard]] ContentionChannelConfig llc_covert_config();
+[[nodiscard]] ContentionChannelConfig tlb_covert_config();
+
+class ContentionCovertChannel final : public sim::Workload {
+ public:
+  explicit ContentionCovertChannel(ContentionChannelConfig config);
+
+  [[nodiscard]] std::string_view name() const override { return config_.name; }
+  [[nodiscard]] bool is_attack() const override { return true; }
+  [[nodiscard]] std::string_view progress_units() const override {
+    return "bits transmitted";
+  }
+  sim::StepResult run_epoch(const sim::ResourceShares& shares,
+                            sim::EpochContext& ctx) override;
+  [[nodiscard]] double total_progress() const override {
+    return static_cast<double>(bits_ok_);
+  }
+
+  [[nodiscard]] bool initialized() const noexcept {
+    return init_rounds_done_ >= total_init_rounds();
+  }
+  [[nodiscard]] std::uint64_t bits_transmitted() const noexcept {
+    return bits_sent_;
+  }
+  /// Bits that arrived intact (what Figs. 4d-f plot).
+  [[nodiscard]] std::uint64_t bits_received_correctly() const noexcept {
+    return bits_ok_;
+  }
+  [[nodiscard]] double bit_error_rate() const noexcept;
+
+ private:
+  [[nodiscard]] int total_init_rounds() const noexcept {
+    return config_.init_rounds_per_channel * config_.num_channels;
+  }
+  /// Transmits one symbol (one bit per channel) through the cache model.
+  void transmit_symbol(util::Rng& rng);
+
+  ContentionChannelConfig config_;
+  hpc::HpcSignature signature_;
+  cache::Cache cache_;
+  util::Rng data_rng_;
+  int init_rounds_done_ = 0;
+  std::uint64_t bits_sent_ = 0;
+  std::uint64_t bits_ok_ = 0;
+};
+
+}  // namespace valkyrie::attacks

@@ -1,0 +1,77 @@
+#include "attacks/cryptominer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "attacks/signatures.hpp"
+#include "sim/resources.hpp"
+#include "util/rng.hpp"
+
+namespace valkyrie::attacks {
+
+CryptominerAttack::CryptominerAttack(CryptominerConfig config)
+    : config_(std::move(config)),
+      signature_(cryptominer_signature(config_.family_jitter, config_.seed)) {}
+
+sim::StepResult CryptominerAttack::run_epoch(const sim::ResourceShares& shares,
+                                             sim::EpochContext& ctx) {
+  const double epoch_s = ctx.epoch_ms / 1000.0;
+  const double s = sim::cpu_progress_multiplier(shares.cpu) *
+                   sim::memory_progress_multiplier(shares.mem);
+  const double hashes = config_.hashes_per_second * epoch_s * s;
+
+  // Grind a real slice of the nonce space with double SHA-256; shares found
+  // in the slice are extrapolated by the accounted/real ratio.
+  const int real = std::min(
+      config_.real_hashes_per_epoch,
+      static_cast<int>(std::ceil(hashes)) );
+  std::uint64_t found_in_slice = 0;
+  std::uint8_t header[80] = {};
+  for (int i = 0; i < real; ++i) {
+    ++nonce_;
+    for (int b = 0; b < 8; ++b) {
+      header[72 + b] = static_cast<std::uint8_t>(nonce_ >> (8 * b));
+    }
+    const crypto::Sha256Digest digest = crypto::Sha256::hash2({header, 80});
+    if (crypto::leading_zero_bits(digest) >= config_.difficulty_bits) {
+      ++found_in_slice;
+    }
+  }
+  if (real > 0) {
+    shares_found_ += static_cast<std::uint64_t>(
+        std::round(static_cast<double>(found_in_slice) * hashes /
+                   static_cast<double>(real)));
+  }
+  hashes_ += hashes;
+
+  sim::StepResult out;
+  out.progress = hashes;
+  out.hpc = signature_.sample(*ctx.rng, std::max(s, 0.0), ctx.hpc_noise);
+  return out;
+}
+
+std::vector<CryptominerConfig> cryptominer_corpus(std::uint64_t seed) {
+  static constexpr const char* kVariants[] = {
+      "xmrig-profile", "cgminer-profile", "webminer-profile",
+      "coinhive-profile", "cpuminer-multi",
+  };
+  util::Rng rng(seed);
+  std::vector<CryptominerConfig> corpus;
+  int idx = 0;
+  for (const char* variant : kVariants) {
+    for (int i = 0; i < 4; ++i) {
+      CryptominerConfig c;
+      c.name = std::string(variant) + "-" + std::to_string(i);
+      c.hashes_per_second = 1.8e6 * std::exp(0.15 * rng.normal());
+      c.difficulty_bits = 16 + static_cast<int>(rng.below(6));
+      c.family_jitter = 0.08;
+      c.seed = rng();
+      corpus.push_back(std::move(c));
+      ++idx;
+    }
+  }
+  (void)idx;
+  return corpus;
+}
+
+}  // namespace valkyrie::attacks

@@ -1,0 +1,59 @@
+// Cryptominer workload — Fig. 6c. A double-SHA-256 proof-of-work search
+// (Bitcoin-style): per epoch it grinds nonces, counting hashes and any
+// nonce whose digest clears the difficulty target. Entirely CPU-bound, so
+// the CPU actuator alone throttles it (paper: 99.04% average slowdown in
+// the suspicious state).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+#include "sim/workload.hpp"
+
+namespace valkyrie::attacks {
+
+struct CryptominerConfig {
+  std::string name = "cryptominer";
+  /// Hash throughput at full CPU share (model hashes per second).
+  double hashes_per_second = 1.8e6;
+  /// Real double-SHA-256 invocations per epoch (the remainder of the
+  /// accounted hash count follows the same loop, just not all executed).
+  int real_hashes_per_epoch = 512;
+  /// Difficulty: leading zero bits for a share to count as found.
+  int difficulty_bits = 18;
+  double family_jitter = 0.0;
+  std::uint64_t seed = 0xc01;
+};
+
+class CryptominerAttack final : public sim::Workload {
+ public:
+  explicit CryptominerAttack(CryptominerConfig config = {});
+
+  [[nodiscard]] std::string_view name() const override { return config_.name; }
+  [[nodiscard]] bool is_attack() const override { return true; }
+  [[nodiscard]] std::string_view progress_units() const override {
+    return "hashes computed";
+  }
+  sim::StepResult run_epoch(const sim::ResourceShares& shares,
+                            sim::EpochContext& ctx) override;
+  [[nodiscard]] double total_progress() const override { return hashes_; }
+
+  [[nodiscard]] std::uint64_t shares_found() const noexcept {
+    return shares_found_;
+  }
+
+ private:
+  CryptominerConfig config_;
+  hpc::HpcSignature signature_;
+  double hashes_ = 0.0;
+  std::uint64_t shares_found_ = 0;
+  std::uint64_t nonce_ = 0;
+};
+
+/// A small corpus of miner variants (different pools/coins tune loop shape).
+[[nodiscard]] std::vector<CryptominerConfig> cryptominer_corpus(
+    std::uint64_t seed = 0x52);
+
+}  // namespace valkyrie::attacks

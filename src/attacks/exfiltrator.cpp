@@ -1,0 +1,60 @@
+#include "attacks/exfiltrator.hpp"
+
+#include <algorithm>
+
+#include "attacks/signatures.hpp"
+#include "sim/resources.hpp"
+
+namespace valkyrie::attacks {
+
+ExfiltratorAttack::ExfiltratorAttack(ExfiltratorConfig config)
+    : config_(config), signature_(exfiltrator_signature()) {}
+
+sim::StepResult ExfiltratorAttack::run_epoch(const sim::ResourceShares& shares,
+                                             sim::EpochContext& ctx) {
+  const double epoch_s = ctx.epoch_ms / 1000.0;
+
+  // Stage capacities this epoch (bytes). Progress is bounded by the
+  // narrowest pipeline stage; memory pressure thrashes every stage.
+  const double fs_bytes = config_.files_per_second * epoch_s *
+                          sim::fs_progress_multiplier(shares.fs) *
+                          config_.mean_file_bytes;
+  const double cpu_bytes = config_.cpu_hash_bytes_per_second * epoch_s *
+                           sim::cpu_progress_multiplier(shares.cpu);
+  const double net_bytes = config_.files_per_second * epoch_s *
+                           config_.mean_file_bytes *
+                           sim::network_progress_multiplier(shares.net);
+  const double mem_mult = sim::memory_progress_multiplier(shares.mem);
+  const double bytes =
+      std::min({fs_bytes, cpu_bytes, net_bytes}) * mem_mult;
+
+  // Hash a representative slice of the exfiltrated data for real (the
+  // workload genuinely computes SHA-256; the tail is accounted, not faked).
+  const auto real_bytes = static_cast<std::size_t>(std::min<double>(
+      bytes, static_cast<double>(config_.max_real_hash_bytes_per_epoch)));
+  std::vector<std::uint8_t> buffer(real_bytes);
+  for (std::uint8_t& b : buffer) {
+    b = static_cast<std::uint8_t>(ctx.rng->below(256));
+  }
+  if (!buffer.empty()) {
+    last_digest_ = crypto::Sha256::hash({buffer.data(), buffer.size()});
+  }
+
+  const double files =
+      config_.files_per_second * epoch_s * sim::fs_progress_multiplier(shares.fs);
+  files_processed_ += static_cast<std::uint64_t>(files);
+  hashes_computed_ += static_cast<std::uint64_t>(
+      bytes / std::max(1.0, config_.mean_file_bytes));
+  bytes_transmitted_ += bytes;
+
+  sim::StepResult out;
+  out.progress = bytes;
+  // The activity scale for HPC counters follows the binding constraint.
+  const double activity =
+      bytes / (config_.files_per_second * epoch_s * config_.mean_file_bytes);
+  out.hpc = signature_.sample(*ctx.rng, std::clamp(activity, 0.0, 1.0),
+                              ctx.hpc_noise);
+  return out;
+}
+
+}  // namespace valkyrie::attacks

@@ -1,0 +1,65 @@
+// The example time-progressive attack of paper §IV-B / Table II: a program
+// that recursively opens the victim's files, computes the SHA-256 hash of
+// each, and transmits hash + contents to a colluding server. Its progress
+// metric is bytes transmitted per second.
+//
+// The pipeline makes its resource dependence explicit:
+//   files/s  (fs share)  ->  hash throughput (cpu share, thrashing from mem
+//   share)  ->  network transmit (net share)
+// so each Table II row falls out of throttling a single knob.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+#include "sim/workload.hpp"
+
+namespace valkyrie::attacks {
+
+struct ExfiltratorConfig {
+  /// Files scanned per second at the default file-access rate.
+  double files_per_second = 100.0;
+  /// Average file size; 100 files/s * 2.31 kB ~ 225.7 kB/s, the paper's
+  /// default rate of progress.
+  double mean_file_bytes = 2310.0;
+  /// CPU hash throughput at full share (slightly above the fs-fed rate so
+  /// the filesystem is the default bottleneck, as in Table II).
+  double cpu_hash_bytes_per_second = 240.0e3;
+  /// Real SHA-256 is computed over this much of each epoch's data (the
+  /// rest is accounted arithmetically to keep simulations fast).
+  std::size_t max_real_hash_bytes_per_epoch = 1 << 16;
+};
+
+class ExfiltratorAttack final : public sim::Workload {
+ public:
+  explicit ExfiltratorAttack(ExfiltratorConfig config = {});
+
+  [[nodiscard]] std::string_view name() const override { return "exfiltrator"; }
+  [[nodiscard]] bool is_attack() const override { return true; }
+  [[nodiscard]] std::string_view progress_units() const override {
+    return "bytes transmitted";
+  }
+  sim::StepResult run_epoch(const sim::ResourceShares& shares,
+                            sim::EpochContext& ctx) override;
+  [[nodiscard]] double total_progress() const override {
+    return bytes_transmitted_;
+  }
+
+  [[nodiscard]] std::uint64_t files_processed() const noexcept {
+    return files_processed_;
+  }
+  [[nodiscard]] std::uint64_t hashes_computed() const noexcept {
+    return hashes_computed_;
+  }
+
+ private:
+  ExfiltratorConfig config_;
+  hpc::HpcSignature signature_;
+  double bytes_transmitted_ = 0.0;
+  std::uint64_t files_processed_ = 0;
+  std::uint64_t hashes_computed_ = 0;
+  crypto::Sha256Digest last_digest_{};
+};
+
+}  // namespace valkyrie::attacks

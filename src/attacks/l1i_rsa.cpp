@@ -1,0 +1,155 @@
+#include "attacks/l1i_rsa.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "attacks/signatures.hpp"
+#include "sim/resources.hpp"
+
+namespace valkyrie::attacks {
+namespace {
+
+using crypto::ModExpOp;
+
+// I-cache layout: the square routine's code occupies lines mapping to sets
+// 0..7, the multiply routine's to sets 32..39. The spy's probe code lives
+// at a disjoint tag over the same sets.
+constexpr std::uint64_t kSquareBase = 0x200000;
+constexpr std::uint64_t kMultBase = 0x200000 + 32 * 64;
+constexpr std::uint64_t kSpyBase = 0x900000;
+constexpr std::uint32_t kRoutineLines = 8;
+constexpr std::uint32_t kLineBytes = 64;
+
+}  // namespace
+
+L1iRsaAttack::L1iRsaAttack(L1iRsaConfig config)
+    : config_(config),
+      signature_(microarch_spy_signature(true)),
+      l1i_(cache::presets::l1i()) {
+  util::Rng rng(config_.exponent_seed);
+  exponent_.resize(static_cast<std::size_t>(config_.exponent_bits));
+  exponent_[0] = true;  // leading one
+  for (std::size_t i = 1; i < exponent_.size(); ++i) {
+    exponent_[i] = rng.chance(0.5);
+  }
+  // Run the real exponentiation once: the victim will loop over exactly
+  // this operation sequence.
+  (void)crypto::modexp_bits(0x10001, exponent_, 0xfffffffb, &op_stream_);
+  op_votes_.assign(op_stream_.size(), 0);
+}
+
+sim::StepResult L1iRsaAttack::run_epoch(const sim::ResourceShares& shares,
+                                        sim::EpochContext& ctx) {
+  const double s = sim::cpu_progress_multiplier(shares.cpu) *
+                   sim::memory_progress_multiplier(shares.mem);
+  util::Rng& rng = *ctx.rng;
+
+  // Victim operations that fall inside one spy probe window: 1 when the
+  // spy interleaves with every op, growing as the spy loses CPU share.
+  const int window =
+      std::max(1, static_cast<int>(std::round(1.0 / std::max(s, 0.005))));
+  const int windows = std::max(0, config_.victim_ops_per_epoch / window);
+
+  const auto prime_routine = [&](std::uint64_t set_offset) {
+    for (std::uint32_t line = 0; line < kRoutineLines; ++line) {
+      for (std::uint32_t way = 0; way < l1i_.config().ways; ++way) {
+        l1i_.access(kSpyBase + set_offset +
+                    static_cast<std::uint64_t>(way) * 64 * kLineBytes +
+                    static_cast<std::uint64_t>(line) * kLineBytes);
+      }
+    }
+  };
+  const auto probe_routine = [&](std::uint64_t set_offset) {
+    bool evicted = false;
+    for (std::uint32_t line = 0; line < kRoutineLines; ++line) {
+      for (std::uint32_t way = 0; way < l1i_.config().ways; ++way) {
+        const std::uint64_t addr =
+            kSpyBase + set_offset +
+            static_cast<std::uint64_t>(way) * 64 * kLineBytes +
+            static_cast<std::uint64_t>(line) * kLineBytes;
+        if (!l1i_.contains(addr)) evicted = true;
+        l1i_.access(addr);
+      }
+    }
+    if (rng.chance(config_.probe_flip_noise)) evicted = !evicted;
+    return evicted;
+  };
+
+  for (int wi = 0; wi < windows; ++wi) {
+    prime_routine(0);          // square-routine sets
+    prime_routine(32 * 64);    // multiply-routine sets
+    const std::size_t window_start = op_cursor_;
+
+    // Victim executes `window` ops through the shared I-cache.
+    for (int k = 0; k < window; ++k) {
+      const ModExpOp op = op_stream_[op_cursor_];
+      op_cursor_ = (op_cursor_ + 1) % op_stream_.size();
+      const std::uint64_t base =
+          op == ModExpOp::kSquare ? kSquareBase : kMultBase;
+      for (std::uint32_t line = 0; line < kRoutineLines; ++line) {
+        l1i_.access(base + static_cast<std::uint64_t>(line) * kLineBytes);
+      }
+    }
+    const bool saw_square = probe_routine(0);
+    const bool saw_mult = probe_routine(32 * 64);
+    ++windows_observed_;
+
+    // Vote on the ops this window must have contained. The spy knows the
+    // window's position in the stream from its probe clock. With window==1
+    // the guess is a pure substitution (voting converges); with larger
+    // windows the spy can neither count nor order ops, so it assumes the
+    // canonical "squares then one multiply" shape and its votes smear.
+    if (window == 1) {
+      int vote;
+      if (saw_mult && !saw_square) {
+        vote = +1;
+      } else if (saw_square && !saw_mult) {
+        vote = -1;
+      } else {
+        vote = rng.chance(0.5) ? +1 : -1;  // ambiguous probe: coin flip
+      }
+      op_votes_[window_start] += vote;
+    } else {
+      for (int k = 0; k < window; ++k) {
+        const std::size_t pos = (window_start + static_cast<std::size_t>(k)) %
+                                op_stream_.size();
+        int vote = -1;  // default assumption: square
+        if (saw_mult && k == window - 1) vote = +1;  // guessed tail multiply
+        if (saw_mult && !saw_square) vote = +1;
+        op_votes_[pos] += vote;
+      }
+    }
+  }
+
+  sim::StepResult out;
+  out.progress = static_cast<double>(windows);
+  out.hpc = signature_.sample(rng, std::max(s, 0.0), ctx.hpc_noise);
+  return out;
+}
+
+double L1iRsaAttack::bit_error_rate() const {
+  if (windows_observed_ == 0) return 0.5;
+  // Majority-voted operation stream -> bit segmentation.
+  std::vector<bool> recovered;
+  recovered.reserve(exponent_.size());
+  for (std::size_t i = 0; i < op_stream_.size() &&
+                          recovered.size() < exponent_.size();) {
+    const bool is_mult = op_votes_[i] > 0;
+    if (!is_mult) {
+      // A square: bit value determined by whether a multiply follows.
+      const bool next_mult =
+          i + 1 < op_stream_.size() && op_votes_[i + 1] > 0;
+      recovered.push_back(next_mult);
+      i += next_mult ? 2 : 1;
+    } else {
+      ++i;  // stray multiply (mis-voted): skip
+    }
+  }
+  std::size_t errors = exponent_.size() - recovered.size();  // missing = wrong
+  for (std::size_t b = 0; b < recovered.size(); ++b) {
+    if (recovered[b] != exponent_[b]) ++errors;
+  }
+  return static_cast<double>(errors) / static_cast<double>(exponent_.size());
+}
+
+}  // namespace valkyrie::attacks

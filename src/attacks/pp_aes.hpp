@@ -1,0 +1,78 @@
+// L1-D Prime+Probe attack on T-table AES (Osvik, Shamir & Tromer 2006) —
+// the paper's Fig. 4a case study. Fully mechanistic: a spy primes all 64
+// L1-D sets with its own lines, the victim encrypts one (or more) blocks
+// through the shared cache model, and the spy probes to see which sets the
+// victim's T-table lookups evicted. Candidate key bytes are scored against
+// the first-round access pattern (line of Te0 touched = (pt[0] ^ k[0]) >> 4)
+// and the attack's progress is the Guessing Entropy of the true key byte:
+// ~128 at the start (no information), dropping to ~8-10 as measurements
+// accumulate, because only the high nibble leaks at line granularity.
+//
+// Why throttling works (and what the model captures): when Valkyrie cuts
+// the spy's CPU share, (a) the spy completes proportionally fewer
+// prime-victim-probe rounds per epoch and (b) more victim encryptions land
+// between each prime and probe, so a probe observes the union of several
+// encryptions' accesses — near-every set evicted, and the round-1 signal
+// drowns. Both effects fall directly out of the cache simulation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "crypto/aes128.hpp"
+#include "sim/workload.hpp"
+
+namespace valkyrie::attacks {
+
+struct PrimeProbeAesConfig {
+  /// Prime-victim-probe rounds per epoch at full CPU share.
+  int measurements_per_epoch = 30;
+  /// The victim's secret key (byte 0 is the recovery target).
+  crypto::AesKey key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                        0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  /// Probability an unrelated process pollutes a probed set per round.
+  double background_noise = 0.02;
+  /// Probability the spy misreads one set's probe timing (hit taken for a
+  /// miss or vice versa): L1 probe latencies are only a few cycles apart,
+  /// so real measurements carry substantial classification noise. This is
+  /// what stretches key recovery over many epochs, as in Fig. 4a.
+  double probe_flip_noise = 0.22;
+};
+
+class PrimeProbeAesAttack final : public sim::Workload {
+ public:
+  explicit PrimeProbeAesAttack(PrimeProbeAesConfig config = {});
+
+  [[nodiscard]] std::string_view name() const override { return "pp-aes-l1d"; }
+  [[nodiscard]] bool is_attack() const override { return true; }
+  [[nodiscard]] std::string_view progress_units() const override {
+    return "measurements";
+  }
+  sim::StepResult run_epoch(const sim::ResourceShares& shares,
+                            sim::EpochContext& ctx) override;
+  [[nodiscard]] double total_progress() const override {
+    return static_cast<double>(measurements_);
+  }
+
+  /// Expected rank of the true key byte among all 256 candidates under the
+  /// current scores (ties averaged): 128 = no information, small = broken.
+  [[nodiscard]] double guessing_entropy() const;
+
+  [[nodiscard]] std::uint64_t measurements() const noexcept {
+    return measurements_;
+  }
+
+ private:
+  void run_one_measurement(util::Rng& rng, int victim_encryptions_per_probe);
+
+  PrimeProbeAesConfig config_;
+  hpc::HpcSignature signature_;
+  cache::Cache l1d_;
+  crypto::Aes128 victim_;
+  std::array<double, 256> score_{};
+  std::uint64_t measurements_ = 0;
+};
+
+}  // namespace valkyrie::attacks

@@ -1,0 +1,53 @@
+#include "attacks/rowhammer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "attacks/signatures.hpp"
+#include "sim/resources.hpp"
+
+namespace valkyrie::attacks {
+
+RowhammerAttack::RowhammerAttack(RowhammerConfig config)
+    : config_(config),
+      signature_(rowhammer_signature()),
+      dram_(config.dram, config.dram_seed) {}
+
+sim::StepResult RowhammerAttack::run_epoch(const sim::ResourceShares& shares,
+                                           sim::EpochContext& ctx) {
+  const double s = sim::cpu_progress_multiplier(shares.cpu) *
+                   sim::memory_progress_multiplier(shares.mem);
+  const std::uint64_t flips_before = dram_.total_bit_flips();
+
+  // Interleave active and idle time across the epoch in scheduler-slice
+  // units; within an active slice the hammer loop activates the two
+  // aggressor rows back to back at the row-cycle rate.
+  const int slices =
+      std::max(1, static_cast<int>(std::round(ctx.epoch_ms / config_.slice_ms)));
+  const double slice_ns = config_.slice_ms * 1e6;
+  const auto acts_per_active_slice = static_cast<std::uint64_t>(
+      slice_ns / config_.dram.t_rc_ns);
+
+  double run_credit = 0.0;
+  const std::uint32_t above = config_.victim_row - 1;
+  const std::uint32_t below = config_.victim_row + 1;
+  for (int slice = 0; slice < slices; ++slice) {
+    run_credit += s;
+    if (run_credit >= 1.0) {
+      run_credit -= 1.0;
+      for (std::uint64_t a = 0; a < acts_per_active_slice; ++a) {
+        dram_.activate(config_.bank, (a & 1) == 0 ? above : below);
+      }
+      iterations_ += acts_per_active_slice / 2;  // one iteration = one pair
+    } else {
+      dram_.idle_ns(slice_ns);
+    }
+  }
+
+  sim::StepResult out;
+  out.progress = static_cast<double>(dram_.total_bit_flips() - flips_before);
+  out.hpc = signature_.sample(*ctx.rng, std::max(s, 0.0), ctx.hpc_noise);
+  return out;
+}
+
+}  // namespace valkyrie::attacks

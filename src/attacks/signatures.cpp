@@ -1,0 +1,165 @@
+#include "attacks/signatures.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace valkyrie::attacks {
+namespace {
+
+using hpc::Event;
+
+constexpr double kCycles = 3.5e8;  // one 100 ms epoch on one ~3.5 GHz core
+
+void apply_jitter(hpc::HpcSignature& s, double jitter, std::uint64_t seed) {
+  if (jitter <= 0.0) return;
+  util::Rng rng(seed);
+  for (double& m : s.mean) m *= std::exp(jitter * rng.normal());
+}
+
+}  // namespace
+
+hpc::HpcSignature microarch_spy_signature(bool instruction_side) {
+  hpc::HpcSignature s;
+  s.at(Event::kCycles) = kCycles;
+  // Prime+Probe loops are memory-access bound: low IPC, enormous L1 miss
+  // counts from continually refilling monitored sets.
+  s.at(Event::kInstructions) = 0.55 * kCycles;
+  s.at(Event::kL1dMisses) = instruction_side ? 4e6 : 6e7;
+  s.at(Event::kL1iMisses) = instruction_side ? 5e7 : 3e5;
+  s.at(Event::kLlcMisses) = 1.5e6;
+  s.at(Event::kBranchMisses) = 9e5;
+  s.at(Event::kDtlbMisses) = 3e5;
+  s.at(Event::kMemBandwidth) = 2.5e8;
+  s.at(Event::kNetBytes) = 300;
+  s.at(Event::kPageFaults) = 10;
+  s.at(Event::kContextSwitches) = 80;
+  return s;
+}
+
+hpc::HpcSignature tlb_spy_signature() {
+  hpc::HpcSignature s = microarch_spy_signature(false);
+  s.at(Event::kL1dMisses) = 8e6;
+  s.at(Event::kDtlbMisses) = 4e7;  // page-granular probing
+  return s;
+}
+
+hpc::HpcSignature tsa_signature() {
+  hpc::HpcSignature s;
+  s.at(Event::kCycles) = kCycles;
+  // Store/load ping-pong: decent IPC, few cache misses (the buffer is
+  // on-core), conspicuous lack of normal-program structure.
+  s.at(Event::kInstructions) = 1.4 * kCycles;
+  s.at(Event::kL1dMisses) = 2.5e6;
+  s.at(Event::kL1iMisses) = 5e4;
+  s.at(Event::kLlcMisses) = 4e4;
+  s.at(Event::kBranchMisses) = 1.2e5;
+  s.at(Event::kDtlbMisses) = 3e4;
+  s.at(Event::kMemBandwidth) = 4e7;
+  s.at(Event::kPageFaults) = 5;
+  s.at(Event::kContextSwitches) = 60;
+  return s;
+}
+
+hpc::HpcSignature rowhammer_signature() {
+  hpc::HpcSignature s;
+  s.at(Event::kCycles) = kCycles;
+  // clflush + load loop: every access goes to DRAM, and the loop body is
+  // a handful of instructions — far tighter than any streaming kernel.
+  s.at(Event::kInstructions) = 0.12 * kCycles;
+  s.at(Event::kL1dMisses) = 5e7;
+  s.at(Event::kL1iMisses) = 1e4;
+  s.at(Event::kLlcMisses) = 5e7;
+  s.at(Event::kBranchMisses) = 3e4;
+  s.at(Event::kDtlbMisses) = 1.5e6;
+  s.at(Event::kMemBandwidth) = 3.2e9;
+  s.at(Event::kPageFaults) = 8;
+  s.at(Event::kContextSwitches) = 50;
+  return s;
+}
+
+hpc::HpcSignature ransomware_signature(double family_jitter,
+                                       std::uint64_t seed) {
+  hpc::HpcSignature s;
+  s.at(Event::kCycles) = kCycles;
+  // AES file encryption over big files: decent IPC, moderate VFS traffic
+  // (few large reads/writes), faults from mapping victim files. Lands
+  // *between* the benign population's compute epochs (~10^2 file ops) and
+  // its I/O-phase epochs (~6e3), so no single epoch is conclusive — the
+  // realistic regime in which Fig. 1's efficacy grows with measurements.
+  s.at(Event::kInstructions) = 1.7 * kCycles;
+  s.at(Event::kL1dMisses) = 8e6;
+  s.at(Event::kL1iMisses) = 3e5;
+  s.at(Event::kLlcMisses) = 1.5e6;
+  s.at(Event::kBranchMisses) = 2e6;
+  s.at(Event::kDtlbMisses) = 6e5;
+  s.at(Event::kMemBandwidth) = 4e8;
+  s.at(Event::kFileOps) = 1.5e3;
+  s.at(Event::kNetBytes) = 500;  // same background chatter as any process
+  s.at(Event::kPageFaults) = 150;
+  s.at(Event::kContextSwitches) = 100;
+  s.rel_stddev = 0.3;
+  apply_jitter(s, family_jitter, seed);
+  return s;
+}
+
+hpc::HpcSignature ransomware_scan_signature(double family_jitter,
+                                            std::uint64_t seed) {
+  hpc::HpcSignature s;
+  s.at(Event::kCycles) = kCycles;
+  // Directory walking: modest compute, heavy VFS and fault traffic — very
+  // close to a benign program's I/O phase by design.
+  s.at(Event::kInstructions) = 0.65 * kCycles;
+  s.at(Event::kL1dMisses) = 4e6;
+  s.at(Event::kL1iMisses) = 3e5;
+  s.at(Event::kLlcMisses) = 8e5;
+  s.at(Event::kBranchMisses) = 9e5;
+  s.at(Event::kDtlbMisses) = 4e5;
+  s.at(Event::kMemBandwidth) = 2.5e8;
+  s.at(Event::kFileOps) = 6.5e3;
+  s.at(Event::kNetBytes) = 500;
+  s.at(Event::kPageFaults) = 430;
+  s.at(Event::kContextSwitches) = 170;
+  s.rel_stddev = 0.35;
+  apply_jitter(s, family_jitter, seed ^ 0x5ca9);
+  return s;
+}
+
+hpc::HpcSignature cryptominer_signature(double family_jitter,
+                                        std::uint64_t seed) {
+  hpc::HpcSignature s;
+  s.at(Event::kCycles) = kCycles;
+  // SHA-256 inner loop: very high IPC, everything in registers/L1,
+  // essentially no system interaction.
+  s.at(Event::kInstructions) = 3.1 * kCycles;
+  s.at(Event::kL1dMisses) = 4e5;
+  s.at(Event::kL1iMisses) = 2e4;
+  s.at(Event::kLlcMisses) = 2e4;
+  s.at(Event::kBranchMisses) = 8e4;
+  s.at(Event::kDtlbMisses) = 1e4;
+  s.at(Event::kMemBandwidth) = 1e7;
+  s.at(Event::kNetBytes) = 800;  // pool share submissions
+  s.at(Event::kPageFaults) = 3;
+  s.at(Event::kContextSwitches) = 30;
+  apply_jitter(s, family_jitter, seed);
+  return s;
+}
+
+hpc::HpcSignature exfiltrator_signature() {
+  hpc::HpcSignature s;
+  s.at(Event::kCycles) = kCycles;
+  s.at(Event::kInstructions) = 1.3 * kCycles;
+  s.at(Event::kL1dMisses) = 5e6;
+  s.at(Event::kL1iMisses) = 1.5e5;
+  s.at(Event::kLlcMisses) = 9e5;
+  s.at(Event::kBranchMisses) = 5e5;
+  s.at(Event::kDtlbMisses) = 3e5;
+  s.at(Event::kMemBandwidth) = 3e8;
+  s.at(Event::kFileOps) = 8e3;
+  s.at(Event::kNetBytes) = 2.3e4;
+  s.at(Event::kPageFaults) = 300;
+  s.at(Event::kContextSwitches) = 120;
+  return s;
+}
+
+}  // namespace valkyrie::attacks

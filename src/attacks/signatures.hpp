@@ -1,0 +1,42 @@
+// HPC signatures of the attack families (what the detectors actually see).
+// Ratios follow the attacks' mechanics: Prime+Probe spies thrash the L1,
+// rowhammer saturates DRAM bandwidth with LLC misses (clflush + access
+// loops), ransomware mixes AES compute with file-system churn, cryptominers
+// are pure high-IPC compute.
+#pragma once
+
+#include "hpc/hpc.hpp"
+
+namespace valkyrie::attacks {
+
+/// Spy processes of cache-contention attacks (L1-D/L1-I/LLC Prime+Probe).
+[[nodiscard]] hpc::HpcSignature microarch_spy_signature(
+    bool instruction_side = false);
+
+/// TLB-contention spy (page-granular probing: DTLB misses dominate).
+[[nodiscard]] hpc::HpcSignature tlb_spy_signature();
+
+/// Store-buffer (TSA) covert-channel endpoints.
+[[nodiscard]] hpc::HpcSignature tsa_signature();
+
+/// Rowhammer hammering loop.
+[[nodiscard]] hpc::HpcSignature rowhammer_signature();
+
+/// Ransomware: encryption compute plus heavy file-system traffic.
+/// `family_jitter` perturbs the base signature per sample family.
+[[nodiscard]] hpc::HpcSignature ransomware_signature(double family_jitter = 0.0,
+                                                     std::uint64_t seed = 0);
+
+/// Ransomware directory-scan phase: VFS walking with little cipher
+/// compute — per-epoch it resembles benign indexing/backup I/O.
+[[nodiscard]] hpc::HpcSignature ransomware_scan_signature(
+    double family_jitter = 0.0, std::uint64_t seed = 0);
+
+/// Cryptominer hash loop.
+[[nodiscard]] hpc::HpcSignature cryptominer_signature(double family_jitter = 0.0,
+                                                      std::uint64_t seed = 0);
+
+/// The Table II example attack (hash files, exfiltrate over the network).
+[[nodiscard]] hpc::HpcSignature exfiltrator_signature();
+
+}  // namespace valkyrie::attacks

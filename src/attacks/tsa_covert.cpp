@@ -1,0 +1,91 @@
+#include "attacks/tsa_covert.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "attacks/signatures.hpp"
+#include "sim/resources.hpp"
+
+namespace valkyrie::attacks {
+namespace {
+
+// Receiver probe address and a sender address in a different page that
+// shares the low 12 bits (4K alias).
+constexpr std::uint64_t kReceiverLoad = 0x501234;
+constexpr std::uint64_t kSenderAlias = 0x701234;
+constexpr std::uint64_t kSenderNeutral = 0x702000;
+
+}  // namespace
+
+TsaCovertChannel::TsaCovertChannel(TsaCovertConfig config)
+    : config_(config),
+      signature_(tsa_signature()),
+      data_rng_(config.data_seed) {}
+
+sim::StepResult TsaCovertChannel::run_epoch(const sim::ResourceShares& shares,
+                                            sim::EpochContext& ctx) {
+  const double s = sim::cpu_progress_multiplier(shares.cpu) *
+                   sim::memory_progress_multiplier(shares.mem);
+  util::Rng& rng = *ctx.rng;
+
+  // Both endpoints are throttled together; a slot only works when both get
+  // scheduled inside it, hence the quadratic sync probability.
+  const double p_sync = s * s;
+  const int slots = static_cast<int>(
+      std::round(config_.symbols_per_epoch * std::max(s, 0.0)));
+
+  std::uint64_t epoch_bits = 0;
+  std::uint64_t epoch_errors = 0;
+  for (int slot = 0; slot < slots; ++slot) {
+    const bool bit = data_rng_.chance(0.5);
+    bool decoded;
+    if (rng.chance(p_sync)) {
+      // Synchronised slot: drive the real store-buffer model.
+      store_buffer_.store(bit ? kSenderAlias : kSenderNeutral);
+      const cache::LoadPath path = store_buffer_.load(kReceiverLoad);
+      const int latency = cache::StoreBuffer::latency_cycles(path);
+      decoded = latency > config_.latency_threshold_cycles;
+      if (rng.chance(config_.sync_noise)) decoded = !decoded;
+      store_buffer_.drain(1);
+    } else {
+      // Desynchronised: the receiver times a load against stale buffer
+      // contents; slightly anti-correlated with the transmitted bit.
+      decoded = rng.chance(config_.desync_error) ? !bit : bit;
+    }
+    ++epoch_bits;
+    ++bits_transmitted_;
+    recent_outcomes_.push(decoded == bit ? 1 : 0);
+    if (decoded != bit) {
+      ++epoch_errors;
+      ++bit_errors_;
+    }
+  }
+
+  last_epoch_error_rate_ =
+      epoch_bits == 0 ? 0.5
+                      : static_cast<double>(epoch_errors) /
+                            static_cast<double>(epoch_bits);
+
+  sim::StepResult out;
+  out.progress = static_cast<double>(epoch_bits);
+  out.hpc = signature_.sample(rng, std::max(s, 0.0), ctx.hpc_noise);
+  return out;
+}
+
+double TsaCovertChannel::bit_error_rate() const noexcept {
+  if (bits_transmitted_ == 0) return 0.5;
+  return static_cast<double>(bit_errors_) /
+         static_cast<double>(bits_transmitted_);
+}
+
+double TsaCovertChannel::recent_error_rate() const noexcept {
+  if (recent_outcomes_.empty()) return 0.5;
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < recent_outcomes_.size(); ++i) {
+    if (recent_outcomes_.at(i) == 0) ++errors;
+  }
+  return static_cast<double>(errors) /
+         static_cast<double>(recent_outcomes_.size());
+}
+
+}  // namespace valkyrie::attacks

@@ -1,0 +1,73 @@
+// Fill-and-Forward Timed Speculative Attack (TSA) covert channel over the
+// load-store buffer (Chakraborty et al., DAC 2022) — Fig. 4c.
+//
+// Sender and receiver run as a co-scheduled pair. Per symbol slot the
+// sender encodes bit 1 by issuing a store that 4K-aliases the receiver's
+// probe load (forcing a mis-speculated forward + replay, the slow path) and
+// bit 0 by staying silent; the receiver classifies its measured load
+// latency. The store buffer itself is simulated (cache::StoreBuffer).
+//
+// Progress metric: bit error rate. Throttling the pair desynchronises the
+// slots — the receiver times loads while the sender is descheduled — and
+// slot misalignment produces anti-correlated readings, pushing the error
+// rate past 50% as in Fig. 4c.
+#pragma once
+
+#include <cstdint>
+
+#include "cache/store_buffer.hpp"
+#include "sim/workload.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace valkyrie::attacks {
+
+struct TsaCovertConfig {
+  /// Symbol slots per epoch at full CPU share.
+  int symbols_per_epoch = 1500;
+  /// Latency threshold (cycles) separating bit 0 from bit 1 readings.
+  int latency_threshold_cycles = 55;
+  /// Error probability inside a correctly synchronised slot (residual
+  /// buffer-drain noise).
+  double sync_noise = 0.02;
+  /// Bit error probability in a desynchronised slot. Slightly above 0.5:
+  /// stale aliasing stores from earlier slots bias the receiver towards
+  /// reading 1 for transmitted 0s and vice versa.
+  double desync_error = 0.58;
+  std::uint64_t data_seed = 0x7ea;
+};
+
+class TsaCovertChannel final : public sim::Workload {
+ public:
+  explicit TsaCovertChannel(TsaCovertConfig config = {});
+
+  [[nodiscard]] std::string_view name() const override { return "tsa-covert"; }
+  [[nodiscard]] bool is_attack() const override { return true; }
+  [[nodiscard]] std::string_view progress_units() const override {
+    return "bits transmitted";
+  }
+  sim::StepResult run_epoch(const sim::ResourceShares& shares,
+                            sim::EpochContext& ctx) override;
+  [[nodiscard]] double total_progress() const override {
+    return static_cast<double>(bits_transmitted_);
+  }
+
+  [[nodiscard]] double bit_error_rate() const noexcept;
+  [[nodiscard]] double last_epoch_error_rate() const noexcept {
+    return last_epoch_error_rate_;
+  }
+  /// Error rate over the most recent bits (default window 256) — the
+  /// "instantaneous" channel quality Fig. 4c plots.
+  [[nodiscard]] double recent_error_rate() const noexcept;
+
+ private:
+  TsaCovertConfig config_;
+  hpc::HpcSignature signature_;
+  cache::StoreBuffer store_buffer_;
+  util::Rng data_rng_;
+  util::RingBuffer<std::uint8_t> recent_outcomes_{256};  // 1 = decoded correctly
+  std::uint64_t bits_transmitted_ = 0;
+  std::uint64_t bit_errors_ = 0;
+  double last_epoch_error_rate_ = 0.5;
+};
+
+}  // namespace valkyrie::attacks

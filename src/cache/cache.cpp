@@ -1,0 +1,97 @@
+#include "cache/cache.hpp"
+
+#include <cassert>
+
+namespace valkyrie::cache {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  assert(config.num_sets > 0 && config.ways > 0 && config.line_bytes > 0);
+  lines_.resize(static_cast<std::size_t>(config.num_sets) * config.ways);
+}
+
+std::uint32_t Cache::set_index_of(std::uint64_t address) const noexcept {
+  return static_cast<std::uint32_t>((address / config_.line_bytes) %
+                                    config_.num_sets);
+}
+
+std::uint64_t Cache::tag_of(std::uint64_t address) const noexcept {
+  return address / config_.line_bytes / config_.num_sets;
+}
+
+Cache::Line* Cache::find(std::uint32_t set, std::uint64_t tag) noexcept {
+  Line* base = lines_.data() + static_cast<std::size_t>(set) * config_.ways;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) return &base[w];
+  }
+  return nullptr;
+}
+
+void Cache::touch(std::uint32_t set, Line& line) noexcept {
+  Line* base = lines_.data() + static_cast<std::size_t>(set) * config_.ways;
+  const std::uint32_t old = line.lru;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].lru < old) ++base[w].lru;
+  }
+  line.lru = 0;
+}
+
+Access Cache::access(std::uint64_t address) noexcept {
+  const std::uint32_t set = set_index_of(address);
+  const std::uint64_t tag = tag_of(address);
+  if (Line* line = find(set, tag)) {
+    ++hits_;
+    touch(set, *line);
+    return Access::kHit;
+  }
+  ++misses_;
+  // Victim selection: an invalid way if any, else the LRU way.
+  Line* base = lines_.data() + static_cast<std::size_t>(set) * config_.ways;
+  Line* victim = nullptr;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (victim == nullptr || base[w].lru > victim->lru) victim = &base[w];
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = config_.ways;  // will be normalised to 0 by touch()
+  touch(set, *victim);
+  return Access::kMiss;
+}
+
+bool Cache::contains(std::uint64_t address) const noexcept {
+  const std::uint32_t set = set_index_of(address);
+  const std::uint64_t tag = tag_of(address);
+  const Line* base = lines_.data() + static_cast<std::size_t>(set) * config_.ways;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void Cache::flush_line(std::uint64_t address) noexcept {
+  const std::uint32_t set = set_index_of(address);
+  const std::uint64_t tag = tag_of(address);
+  if (Line* line = find(set, tag)) line->valid = false;
+}
+
+void Cache::flush_all() noexcept {
+  for (Line& line : lines_) line.valid = false;
+}
+
+namespace presets {
+
+CacheConfig l1d() noexcept { return {.num_sets = 64, .ways = 8, .line_bytes = 64}; }
+CacheConfig l1i() noexcept { return {.num_sets = 64, .ways = 8, .line_bytes = 64}; }
+CacheConfig llc() noexcept {
+  return {.num_sets = 2048, .ways = 16, .line_bytes = 64};
+}
+CacheConfig dtlb() noexcept {
+  return {.num_sets = 16, .ways = 4, .line_bytes = 4096};
+}
+
+}  // namespace presets
+
+}  // namespace valkyrie::cache

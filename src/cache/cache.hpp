@@ -1,0 +1,90 @@
+// Set-associative cache model with true-LRU replacement.
+//
+// This is the contention substrate for every micro-architectural case study:
+// Prime+Probe on L1-D (AES), the L1-I attack on RSA, the LLC and CJAG covert
+// channels, and (with page-sized lines) the TLB covert channel. It models
+// exactly what those attacks need — which lines are resident per set and in
+// what recency order — and nothing more (no MESI, no prefetchers; the paper's
+// attacks do not depend on either).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace valkyrie::cache {
+
+struct CacheConfig {
+  std::uint32_t num_sets = 64;
+  std::uint32_t ways = 8;
+  std::uint32_t line_bytes = 64;
+
+  [[nodiscard]] std::uint64_t capacity_bytes() const noexcept {
+    return static_cast<std::uint64_t>(num_sets) * ways * line_bytes;
+  }
+};
+
+enum class Access : std::uint8_t { kHit, kMiss };
+
+/// A single-level cache. Addresses are plain 64-bit byte addresses; the
+/// set index is derived from the line address modulo num_sets (physically
+/// indexed, as on the evaluation machines' L1/LLC for the attack's purposes).
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  /// Performs one access; fills the line on a miss. Returns hit or miss.
+  Access access(std::uint64_t address) noexcept;
+
+  /// True if the line containing `address` is currently resident.
+  [[nodiscard]] bool contains(std::uint64_t address) const noexcept;
+
+  /// Evicts the line containing `address` if resident (clflush).
+  void flush_line(std::uint64_t address) noexcept;
+
+  /// Empties the entire cache.
+  void flush_all() noexcept;
+
+  [[nodiscard]] std::uint32_t set_index_of(std::uint64_t address) const noexcept;
+  [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  void reset_stats() noexcept {
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    std::uint32_t lru = 0;  // 0 = most recently used
+  };
+
+  [[nodiscard]] std::uint64_t tag_of(std::uint64_t address) const noexcept;
+  Line* find(std::uint32_t set, std::uint64_t tag) noexcept;
+  void touch(std::uint32_t set, Line& line) noexcept;
+
+  CacheConfig config_;
+  std::vector<Line> lines_;  // num_sets * ways, set-major
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Cache geometries matching the paper's evaluation processors closely
+/// enough for the attacks (Skylake/Ivy Bridge class).
+namespace presets {
+
+/// 32 KiB, 8-way, 64 B lines -> 64 sets.
+[[nodiscard]] CacheConfig l1d() noexcept;
+/// 32 KiB, 8-way, 64 B lines -> 64 sets.
+[[nodiscard]] CacheConfig l1i() noexcept;
+/// A 2 MiB 16-way LLC slice (scaled down from 8-16 MiB for simulation speed;
+/// the covert channels only use a handful of sets).
+[[nodiscard]] CacheConfig llc() noexcept;
+/// 64-entry, 4-way data TLB over 4 KiB pages.
+[[nodiscard]] CacheConfig dtlb() noexcept;
+
+}  // namespace presets
+
+}  // namespace valkyrie::cache

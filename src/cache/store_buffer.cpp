@@ -1,0 +1,41 @@
+#include "cache/store_buffer.hpp"
+
+namespace valkyrie::cache {
+namespace {
+constexpr std::uint64_t kPageMask = 0xfffULL;  // low 12 bits: 4K page offset
+}
+
+void StoreBuffer::store(std::uint64_t address) {
+  if (pending_.size() == capacity_) pending_.pop_front();
+  pending_.push_back(address);
+}
+
+LoadPath StoreBuffer::load(std::uint64_t address) const noexcept {
+  // Youngest-first search, as store-to-load forwarding picks the most recent
+  // matching store.
+  for (auto it = pending_.rbegin(); it != pending_.rend(); ++it) {
+    if (*it == address) return LoadPath::kForwarded;
+    if ((*it & kPageMask) == (address & kPageMask)) {
+      return LoadPath::kAliasReplay;
+    }
+  }
+  return LoadPath::kFromMemory;
+}
+
+int StoreBuffer::latency_cycles(LoadPath path) noexcept {
+  switch (path) {
+    case LoadPath::kForwarded:
+      return 5;
+    case LoadPath::kFromMemory:
+      return 40;
+    case LoadPath::kAliasReplay:
+      return 70;
+  }
+  return 40;
+}
+
+void StoreBuffer::drain(std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n && !pending_.empty(); ++i) pending_.pop_front();
+}
+
+}  // namespace valkyrie::cache

@@ -1,0 +1,48 @@
+// Load-store-buffer model for the Timed Speculative Attack (TSA) covert
+// channel (Chakraborty et al., DAC 2022). The channel works through
+// store-to-load forwarding latency: a load that 4K-aliases a buffered store
+// takes a measurably different path than one that forwards cleanly. The
+// sender modulates whether its stores alias the receiver's loads; the
+// receiver times its loads.
+//
+// We model the buffer as a bounded FIFO of pending stores; a load probes it
+// for a same-address entry (fast forward), a 4K-aliasing entry (slow,
+// mis-speculated forward that must replay) or no match (normal miss path).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+namespace valkyrie::cache {
+
+enum class LoadPath : std::uint8_t {
+  kForwarded,     // same-address store in buffer: fast store-to-load forward
+  kAliasReplay,   // 4K-aliased store: speculative forward then replay (slow)
+  kFromMemory,    // no matching store
+};
+
+class StoreBuffer {
+ public:
+  explicit StoreBuffer(std::size_t capacity = 56) : capacity_(capacity) {}
+
+  /// Buffers a store to `address`; the oldest entry drains when full.
+  void store(std::uint64_t address);
+
+  /// Classifies the path a load from `address` would take and returns the
+  /// associated latency in model cycles (forward < memory < alias-replay).
+  LoadPath load(std::uint64_t address) const noexcept;
+
+  /// Latency in model cycles for each path; used by the receiver's timer.
+  [[nodiscard]] static int latency_cycles(LoadPath path) noexcept;
+
+  /// Retires (drains) up to `n` oldest stores.
+  void drain(std::size_t n = 1) noexcept;
+  void clear() noexcept { pending_.clear(); }
+  [[nodiscard]] std::size_t size() const noexcept { return pending_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<std::uint64_t> pending_;
+};
+
+}  // namespace valkyrie::cache

@@ -1,0 +1,82 @@
+#include "core/actuator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace valkyrie::core {
+
+void SchedulerWeightActuator::apply(sim::SimSystem& sys, sim::ProcessId pid,
+                                    double delta_threat) {
+  if (delta_threat == 0.0) return;
+  sys.apply_sched_threat_delta(pid, delta_threat);
+}
+
+void SchedulerWeightActuator::reset(sim::SimSystem& sys, sim::ProcessId pid) {
+  sys.reset_sched_weight(pid);
+}
+
+void CgroupCpuActuator::apply(sim::SimSystem& sys, sim::ProcessId pid,
+                              double delta_threat) {
+  if (delta_threat == 0.0) return;
+  const double cap = sys.cgroup_caps(pid).cpu;
+  const double next = std::clamp(cap - step_ * delta_threat, floor_, 1.0);
+  sys.set_cgroup_caps(pid, next, std::nullopt, std::nullopt, std::nullopt);
+}
+
+void CgroupCpuActuator::reset(sim::SimSystem& sys, sim::ProcessId pid) {
+  sys.set_cgroup_caps(pid, 1.0, std::nullopt, std::nullopt, std::nullopt);
+}
+
+void CgroupFsActuator::apply(sim::SimSystem& sys, sim::ProcessId pid,
+                             double delta_threat) {
+  if (delta_threat == 0.0) return;
+  const double cap = sys.cgroup_caps(pid).fs;
+  const double next = delta_threat > 0.0
+                          ? std::max(cap * factor_, floor_)
+                          : std::min(cap / factor_, 1.0);
+  sys.set_cgroup_caps(pid, std::nullopt, std::nullopt, std::nullopt, next);
+}
+
+void CgroupFsActuator::reset(sim::SimSystem& sys, sim::ProcessId pid) {
+  sys.set_cgroup_caps(pid, std::nullopt, std::nullopt, std::nullopt, 1.0);
+}
+
+void CgroupMemActuator::apply(sim::SimSystem& sys, sim::ProcessId pid,
+                              double delta_threat) {
+  if (delta_threat == 0.0) return;
+  const double cap = sys.cgroup_caps(pid).mem;
+  const double next = std::clamp(cap - step_ * delta_threat, floor_, 1.0);
+  sys.set_cgroup_caps(pid, std::nullopt, next, std::nullopt, std::nullopt);
+}
+
+void CgroupMemActuator::reset(sim::SimSystem& sys, sim::ProcessId pid) {
+  sys.set_cgroup_caps(pid, std::nullopt, 1.0, std::nullopt, std::nullopt);
+}
+
+void CgroupNetActuator::apply(sim::SimSystem& sys, sim::ProcessId pid,
+                              double delta_threat) {
+  if (delta_threat == 0.0) return;
+  const double cap = sys.cgroup_caps(pid).net;
+  const double next =
+      std::clamp(cap * std::pow(factor_, delta_threat), floor_, 1.0);
+  sys.set_cgroup_caps(pid, std::nullopt, std::nullopt, next, std::nullopt);
+}
+
+void CgroupNetActuator::reset(sim::SimSystem& sys, sim::ProcessId pid) {
+  sys.set_cgroup_caps(pid, std::nullopt, std::nullopt, 1.0, std::nullopt);
+}
+
+void CompositeActuator::apply(sim::SimSystem& sys, sim::ProcessId pid,
+                              double delta_threat) {
+  for (const std::unique_ptr<Actuator>& part : parts_) {
+    part->apply(sys, pid, delta_threat);
+  }
+}
+
+void CompositeActuator::reset(sim::SimSystem& sys, sim::ProcessId pid) {
+  for (const std::unique_ptr<Actuator>& part : parts_) {
+    part->reset(sys, pid);
+  }
+}
+
+}  // namespace valkyrie::core

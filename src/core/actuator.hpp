@@ -1,0 +1,127 @@
+// Actuator functions A(R_{i-1}, dT) (paper §V-B): translate threat-index
+// changes into resource throttling, and Areset: restore defaults.
+//
+// Two families, matching the paper's case studies (Table III):
+//  * SchedulerWeightActuator — Eq. 8: multiplicative CFS-weight demotion,
+//    used for the micro-architectural and rowhammer case studies.
+//  * Cgroup actuators — cap CPU quota / memory residency / network
+//    bandwidth / file-access rate, used for ransomware and cryptominers.
+// A CompositeActuator throttles several resources at once (Q1 in §IV-C:
+// throttle the resources the attack class actually depends on).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/system.hpp"
+
+namespace valkyrie::core {
+
+class Actuator {
+ public:
+  virtual ~Actuator() = default;
+
+  /// Applies the resource update for a threat-index change of
+  /// `delta_threat` (positive = tighten, negative = relax). Called once per
+  /// epoch while the process is under measurement; delta 0 must be a no-op.
+  virtual void apply(sim::SimSystem& sys, sim::ProcessId pid,
+                     double delta_threat) = 0;
+
+  /// Areset: removes every restriction this actuator imposed.
+  virtual void reset(sim::SimSystem& sys, sim::ProcessId pid) = 0;
+};
+
+/// Eq. 8: relative scheduler weight s -> s * (1 -/+ gamma*|dT|), clamped to
+/// [min_share, 1]. gamma lives in the simulator's scheduler config.
+class SchedulerWeightActuator final : public Actuator {
+ public:
+  void apply(sim::SimSystem& sys, sim::ProcessId pid,
+             double delta_threat) override;
+  void reset(sim::SimSystem& sys, sim::ProcessId pid) override;
+};
+
+/// cgroup cpu.max-style quota: the cap drops by `step` (percentage points
+/// of the full share) per unit of threat increase, recovers likewise, and
+/// never goes below `floor` — the §V-C worked-example actuator ("drops the
+/// CPU share by 10% for every increase in the threat index, minimum 1%").
+/// `floor` doubles as the paper's user-configurable slowdown limit.
+class CgroupCpuActuator final : public Actuator {
+ public:
+  explicit CgroupCpuActuator(double step = 0.10, double floor = 0.01)
+      : step_(step), floor_(floor) {}
+
+  void apply(sim::SimSystem& sys, sim::ProcessId pid,
+             double delta_threat) override;
+  void reset(sim::SimSystem& sys, sim::ProcessId pid) override;
+
+ private:
+  double step_;
+  double floor_;
+};
+
+/// cgroup file-access throttling: halves the permitted file-access rate on
+/// every threat increase and doubles it on every decrease (paper §VI-C:
+/// "halves the rate of file accesses every time there is an increase in
+/// the threat index", 7 files/epoch -> 1 file/epoch).
+class CgroupFsActuator final : public Actuator {
+ public:
+  explicit CgroupFsActuator(double factor = 0.5, double floor = 1.0 / 7.0)
+      : factor_(factor), floor_(floor) {}
+
+  void apply(sim::SimSystem& sys, sim::ProcessId pid,
+             double delta_threat) override;
+  void reset(sim::SimSystem& sys, sim::ProcessId pid) override;
+
+ private:
+  double factor_;
+  double floor_;
+};
+
+/// cgroup memory limit: shrinks the resident-set allowance by `step`
+/// percentage points per unit of threat increase. Memory throttling is the
+/// sharp, non-linear knob of Table II — a small step goes a long way.
+class CgroupMemActuator final : public Actuator {
+ public:
+  explicit CgroupMemActuator(double step = 0.02, double floor = 0.85)
+      : step_(step), floor_(floor) {}
+
+  void apply(sim::SimSystem& sys, sim::ProcessId pid,
+             double delta_threat) override;
+  void reset(sim::SimSystem& sys, sim::ProcessId pid) override;
+
+ private:
+  double step_;
+  double floor_;
+};
+
+/// cgroup network-bandwidth cap: scales the cap by factor^dT (order-of-
+/// magnitude steps match Table II's policing behaviour).
+class CgroupNetActuator final : public Actuator {
+ public:
+  explicit CgroupNetActuator(double factor = 0.5, double floor = 1e-6)
+      : factor_(factor), floor_(floor) {}
+
+  void apply(sim::SimSystem& sys, sim::ProcessId pid,
+             double delta_threat) override;
+  void reset(sim::SimSystem& sys, sim::ProcessId pid) override;
+
+ private:
+  double factor_;
+  double floor_;
+};
+
+/// Applies several actuators in sequence.
+class CompositeActuator final : public Actuator {
+ public:
+  explicit CompositeActuator(std::vector<std::unique_ptr<Actuator>> parts)
+      : parts_(std::move(parts)) {}
+
+  void apply(sim::SimSystem& sys, sim::ProcessId pid,
+             double delta_threat) override;
+  void reset(sim::SimSystem& sys, sim::ProcessId pid) override;
+
+ private:
+  std::vector<std::unique_ptr<Actuator>> parts_;
+};
+
+}  // namespace valkyrie::core

@@ -1,0 +1,21 @@
+#include "core/assessment.hpp"
+
+namespace valkyrie::core {
+
+AssessmentFn incremental(double step) {
+  return [step](double prev) { return prev + step; };
+}
+
+AssessmentFn linear(double a, double b) {
+  return [a, b](double prev) { return a * prev + b; };
+}
+
+AssessmentFn exponential(double factor, double step) {
+  return [factor, step](double prev) { return factor * prev + step; };
+}
+
+AssessmentFn constant(double value) {
+  return [value](double) { return value; };
+}
+
+}  // namespace valkyrie::core

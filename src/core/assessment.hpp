@@ -1,0 +1,37 @@
+// Penalty and compensation assessment functions (paper §V-A).
+//
+// Valkyrie's threat index grows by a penalty value on every malicious
+// inference and shrinks by a compensation value on benign inferences in the
+// suspicious state. Both metrics evolve through configurable assessment
+// functions F(previous) -> next; the paper names incremental, linear and
+// exponential realisations, all clamped to [0, 100].
+#pragma once
+
+#include <functional>
+
+namespace valkyrie::core {
+
+/// An assessment function maps the previous penalty/compensation value to
+/// the next one. The caller clamps the result to [0, 100].
+using AssessmentFn = std::function<double(double)>;
+
+/// The paper's clamp(): restricts penalty, compensation and threat index
+/// to [0, 100].
+[[nodiscard]] constexpr double clamp_metric(double x) noexcept {
+  return x < 0.0 ? 0.0 : (x > 100.0 ? 100.0 : x);
+}
+
+/// Incremental: F(x) = x + step (paper default, step = 1).
+[[nodiscard]] AssessmentFn incremental(double step = 1.0);
+
+/// Linear: F(x) = a*x + b.
+[[nodiscard]] AssessmentFn linear(double a, double b);
+
+/// Exponential: F(x) = factor*x + step — doubles (etc.) the metric each
+/// hit, for aggressive escalation.
+[[nodiscard]] AssessmentFn exponential(double factor = 2.0, double step = 1.0);
+
+/// Constant: F(x) = value, for a fixed per-epoch penalty/compensation.
+[[nodiscard]] AssessmentFn constant(double value);
+
+}  // namespace valkyrie::core

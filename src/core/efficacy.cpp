@@ -1,0 +1,40 @@
+#include "core/efficacy.hpp"
+
+#include <algorithm>
+
+namespace valkyrie::core {
+
+std::optional<std::size_t> EfficacyCurve::required_measurements(
+    const EfficacySpec& spec) const {
+  for (const EfficacyPoint& p : points_) {
+    const bool f1_ok = !spec.min_f1 || p.f1 >= *spec.min_f1;
+    const bool fpr_ok = !spec.max_fpr || p.fpr <= *spec.max_fpr;
+    if (f1_ok && fpr_ok) return p.measurements;
+  }
+  return std::nullopt;
+}
+
+EfficacyCurve compute_efficacy_curve(const ml::Detector& detector,
+                                     const ml::TraceSet& validation,
+                                     std::size_t max_measurements,
+                                     std::size_t stride) {
+  std::vector<EfficacyPoint> points;
+  if (stride == 0) stride = 1;
+  for (std::size_t n = 1; n <= max_measurements; n += stride) {
+    EfficacyPoint point;
+    point.measurements = n;
+    for (const ml::LabeledTrace& trace : validation.traces) {
+      if (trace.samples.size() < n) continue;
+      const std::span<const hpc::HpcSample> prefix(trace.samples.data(), n);
+      const bool predicted_malicious =
+          detector.infer(prefix) == ml::Inference::kMalicious;
+      point.confusion.record(trace.malicious, predicted_malicious);
+    }
+    point.f1 = point.confusion.f1();
+    point.fpr = point.confusion.false_positive_rate();
+    points.push_back(point);
+  }
+  return EfficacyCurve(std::move(points));
+}
+
+}  // namespace valkyrie::core

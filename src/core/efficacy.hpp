@@ -1,0 +1,57 @@
+// Offline detection-efficacy calibration (paper §IV-A, Fig. 1, Fig. 2's
+// "offline phase"): given a trained detector and validation traces, measure
+// F1 and FPR as a function of the number of accumulated measurements, then
+// derive N* — the measurement budget needed to satisfy a user-specified
+// efficacy — which gates the terminable state at runtime.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/detector.hpp"
+#include "ml/metrics.hpp"
+
+namespace valkyrie::core {
+
+/// What the user of the deployment demands of the detector before Valkyrie
+/// may terminate (either or both bounds may be set).
+struct EfficacySpec {
+  std::optional<double> min_f1;
+  std::optional<double> max_fpr;
+};
+
+struct EfficacyPoint {
+  std::size_t measurements = 0;
+  double f1 = 0.0;
+  double fpr = 1.0;
+  ml::ConfusionMatrix confusion;
+};
+
+class EfficacyCurve {
+ public:
+  explicit EfficacyCurve(std::vector<EfficacyPoint> points)
+      : points_(std::move(points)) {}
+
+  [[nodiscard]] const std::vector<EfficacyPoint>& points() const noexcept {
+    return points_;
+  }
+
+  /// Smallest measurement count whose point satisfies the spec, or nullopt
+  /// if the detector never reaches it within the evaluated range.
+  [[nodiscard]] std::optional<std::size_t> required_measurements(
+      const EfficacySpec& spec) const;
+
+ private:
+  std::vector<EfficacyPoint> points_;
+};
+
+/// Evaluates the detector on every trace prefix of 1..max_measurements
+/// samples (stride-able for speed): one confusion-matrix entry per trace
+/// per prefix length. This is exactly how Fig. 1's curves are produced.
+[[nodiscard]] EfficacyCurve compute_efficacy_curve(
+    const ml::Detector& detector, const ml::TraceSet& validation,
+    std::size_t max_measurements, std::size_t stride = 1);
+
+}  // namespace valkyrie::core

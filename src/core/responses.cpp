@@ -1,0 +1,134 @@
+#include "core/responses.hpp"
+
+namespace valkyrie::core {
+
+void NoResponse::on_epoch(sim::SimSystem& /*sys*/, sim::ProcessId /*pid*/,
+                          ml::Inference inference) {
+  if (inference == ml::Inference::kMalicious) ++detections_;
+}
+
+void WarningResponse::on_epoch(sim::SimSystem& /*sys*/,
+                               sim::ProcessId /*pid*/,
+                               ml::Inference inference) {
+  if (inference == ml::Inference::kMalicious) {
+    ++detections_;
+    ++warnings_;
+  }
+}
+
+void TerminateOnFirstResponse::on_epoch(sim::SimSystem& sys,
+                                        sim::ProcessId pid,
+                                        ml::Inference inference) {
+  if (inference == ml::Inference::kMalicious) {
+    ++detections_;
+    sys.kill(pid);
+  }
+}
+
+void KConsecutiveResponse::on_epoch(sim::SimSystem& sys, sim::ProcessId pid,
+                                    ml::Inference inference) {
+  if (inference == ml::Inference::kMalicious) {
+    ++detections_;
+    if (++streak_ >= k_) sys.kill(pid);
+  } else {
+    streak_ = 0;
+  }
+}
+
+void PriorityReductionResponse::on_epoch(sim::SimSystem& sys,
+                                         sim::ProcessId pid,
+                                         ml::Inference inference) {
+  if (inference != ml::Inference::kMalicious) return;
+  ++detections_;
+  if (applied_) return;
+  applied_ = true;
+  // One demotion of `levels_` scheduler levels (~10% weight each, applied
+  // level by level per Eq. 7's discrete ladder); never undone. The paper's
+  // critique: the attack keeps executing indefinitely at reduced priority.
+  for (int l = 0; l < levels_; ++l) sys.apply_sched_threat_delta(pid, 1.0);
+}
+
+std::unique_ptr<MigrationResponse> MigrationResponse::core_migration() {
+  // Moving to a sibling core: brief stall, short cold-cache warmup.
+  return std::make_unique<MigrationResponse>(
+      "core-migration", Costs{.stall_epochs = 1, .warmup_epochs = 2,
+                              .warmup_share = 0.7});
+}
+
+std::unique_ptr<MigrationResponse> MigrationResponse::system_migration() {
+  // Moving to another VM/host: long state-transfer stall, then a warmup
+  // against remote storage and cold memory.
+  return std::make_unique<MigrationResponse>(
+      "system-migration", Costs{.stall_epochs = 4, .warmup_epochs = 5,
+                                .warmup_share = 0.6});
+}
+
+void MigrationResponse::on_epoch(sim::SimSystem& sys, sim::ProcessId pid,
+                                 ml::Inference inference) {
+  // Drain any in-flight migration penalty first.
+  if (penalty_epochs_left_ > 0) {
+    --penalty_epochs_left_;
+    if (penalty_epochs_left_ == 0) {
+      stalled_ = false;
+      sys.set_cgroup_caps(pid, 1.0, std::nullopt, std::nullopt, std::nullopt);
+    } else if (stalled_ &&
+               penalty_epochs_left_ <= costs_.warmup_epochs) {
+      // Stall finished; warmup begins.
+      stalled_ = false;
+      sys.set_cgroup_caps(pid, costs_.warmup_share, std::nullopt,
+                          std::nullopt, std::nullopt);
+    }
+    return;  // a migration in progress ignores further detections
+  }
+  if (inference == ml::Inference::kMalicious) {
+    ++detections_;
+    ++migrations_;
+    stalled_ = true;
+    penalty_epochs_left_ = costs_.stall_epochs + costs_.warmup_epochs;
+    sys.set_cgroup_caps(pid, 0.0, std::nullopt, std::nullopt, std::nullopt);
+  }
+}
+
+void ValkyrieResponse::on_epoch(sim::SimSystem& sys, sim::ProcessId pid,
+                                ml::Inference inference) {
+  if (inference == ml::Inference::kMalicious) ++detections_;
+  std::optional<ml::Inference> terminal;
+  if (terminal_detector_ != nullptr &&
+      monitor_.measurements() >= monitor_.config().required_measurements) {
+    const std::vector<hpc::HpcSample>& window = sys.sample_history(pid);
+    terminal = terminal_detector_->infer({window.data(), window.size()});
+  }
+  monitor_.on_epoch(sys, pid, inference, terminal);
+}
+
+PolicyRunResult run_with_policy(sim::SimSystem& sys, sim::ProcessId pid,
+                                const ml::Detector& detector,
+                                ResponsePolicy& policy,
+                                std::size_t max_epochs) {
+  PolicyRunResult result;
+  result.policy = policy.name();
+  for (std::size_t epoch = 0; epoch < max_epochs; ++epoch) {
+    if (!sys.is_live(pid)) break;
+    sys.run_epoch();
+    if (!sys.is_live(pid)) break;  // completed during this epoch
+    const std::vector<hpc::HpcSample>& window = sys.sample_history(pid);
+    const ml::Inference inference =
+        detector.infer({window.data(), window.size()});
+    policy.on_epoch(sys, pid, inference);
+  }
+  result.total_progress = sys.workload(pid).total_progress();
+  result.detections = policy.detections();
+  switch (sys.exit_reason(pid)) {
+    case sim::ExitReason::kCompleted:
+      result.epochs_to_complete = sys.epochs_run(pid);
+      break;
+    case sim::ExitReason::kKilled:
+      result.terminated = true;
+      break;
+    case sim::ExitReason::kRunning:
+      break;
+  }
+  return result;
+}
+
+}  // namespace valkyrie::core

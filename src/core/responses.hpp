@@ -1,0 +1,187 @@
+// Post-detection response baselines (paper Table I and Fig. 5b) behind a
+// single interface, so Valkyrie and the strategies it is compared against
+// run under identical detectors and workloads:
+//
+//   none / warning        — most detectors in the literature (R1 x, R2 ok)
+//   terminate-on-first    — kill at the first malicious inference
+//   k-consecutive         — Mushtaq et al.: kill after k consecutive
+//                           malicious inferences (the paper notes k=3 is
+//                           arbitrary and detector-specific)
+//   priority-reduction    — Payer: one-time nice drop, never restored
+//   core-migration        — Nomani/Zhang: move to another core per
+//                           detection (stall + cold caches)
+//   system-migration      — move to another VM/host per detection (much
+//                           larger stall)
+//   valkyrie              — this paper
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "core/valkyrie.hpp"
+#include "ml/detector.hpp"
+#include "sim/system.hpp"
+
+namespace valkyrie::core {
+
+class ResponsePolicy {
+ public:
+  virtual ~ResponsePolicy() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Reacts to one epoch's inference for the process.
+  virtual void on_epoch(sim::SimSystem& sys, sim::ProcessId pid,
+                        ml::Inference inference) = 0;
+
+  /// Number of detections (malicious inferences) seen so far.
+  [[nodiscard]] std::uint64_t detections() const noexcept {
+    return detections_;
+  }
+
+ protected:
+  std::uint64_t detections_ = 0;
+};
+
+/// No response at all (detection-only literature rows of Table I).
+class NoResponse final : public ResponsePolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "none"; }
+  void on_epoch(sim::SimSystem& sys, sim::ProcessId pid,
+                ml::Inference inference) override;
+};
+
+/// Raise a warning per detection and hope a vigilant user acts (Kulah et
+/// al.). Functionally a counter; the process is never touched.
+class WarningResponse final : public ResponsePolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "warning"; }
+  void on_epoch(sim::SimSystem& sys, sim::ProcessId pid,
+                ml::Inference inference) override;
+  [[nodiscard]] std::uint64_t warnings() const noexcept { return warnings_; }
+
+ private:
+  std::uint64_t warnings_ = 0;
+};
+
+/// Kill on the first malicious inference.
+class TerminateOnFirstResponse final : public ResponsePolicy {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "terminate-on-first";
+  }
+  void on_epoch(sim::SimSystem& sys, sim::ProcessId pid,
+                ml::Inference inference) override;
+};
+
+/// Kill after k consecutive malicious inferences (Mushtaq et al., k = 3).
+class KConsecutiveResponse final : public ResponsePolicy {
+ public:
+  explicit KConsecutiveResponse(int k = 3) : k_(k) {}
+  [[nodiscard]] std::string_view name() const override {
+    return "k-consecutive";
+  }
+  void on_epoch(sim::SimSystem& sys, sim::ProcessId pid,
+                ml::Inference inference) override;
+  [[nodiscard]] int streak() const noexcept { return streak_; }
+
+ private:
+  int k_;
+  int streak_ = 0;
+};
+
+/// One-time execution-priority reduction on first detection, never
+/// restored and never escalated (Payer's non-termination option).
+class PriorityReductionResponse final : public ResponsePolicy {
+ public:
+  /// `levels` of scheduler demotion applied once (~10%/level, Eq. 8).
+  explicit PriorityReductionResponse(int levels = 10) : levels_(levels) {}
+  [[nodiscard]] std::string_view name() const override {
+    return "priority-reduction";
+  }
+  void on_epoch(sim::SimSystem& sys, sim::ProcessId pid,
+                ml::Inference inference) override;
+
+ private:
+  int levels_;
+  bool applied_ = false;
+};
+
+/// Migrate the process on every detection. The process stalls for
+/// `stall_epochs` (state transfer) and then runs with degraded shares for
+/// `warmup_epochs` (cold caches / remote memory). Core migration is the
+/// cheap variant, cross-system (VM) migration the expensive one.
+class MigrationResponse final : public ResponsePolicy {
+ public:
+  struct Costs {
+    int stall_epochs;
+    int warmup_epochs;
+    double warmup_share;
+  };
+  /// Same-machine, different core.
+  [[nodiscard]] static std::unique_ptr<MigrationResponse> core_migration();
+  /// Different machine / VM over the network.
+  [[nodiscard]] static std::unique_ptr<MigrationResponse> system_migration();
+
+  MigrationResponse(std::string_view name, Costs costs)
+      : name_(name), costs_(costs) {}
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  void on_epoch(sim::SimSystem& sys, sim::ProcessId pid,
+                ml::Inference inference) override;
+  [[nodiscard]] std::uint64_t migrations() const noexcept {
+    return migrations_;
+  }
+
+ private:
+  std::string_view name_;
+  Costs costs_;
+  std::uint64_t migrations_ = 0;
+  int penalty_epochs_left_ = 0;
+  bool stalled_ = false;
+};
+
+/// Valkyrie as a ResponsePolicy, for apples-to-apples comparison runs.
+/// An optional terminal detector (must outlive the policy) provides the
+/// accumulated-window decision in the terminable state; see
+/// ValkyrieMonitor::on_epoch.
+class ValkyrieResponse final : public ResponsePolicy {
+ public:
+  ValkyrieResponse(ValkyrieConfig config, std::unique_ptr<Actuator> actuator,
+                   const ml::Detector* terminal_detector = nullptr)
+      : monitor_(config, std::move(actuator)),
+        terminal_detector_(terminal_detector) {}
+
+  [[nodiscard]] std::string_view name() const override { return "valkyrie"; }
+  void on_epoch(sim::SimSystem& sys, sim::ProcessId pid,
+                ml::Inference inference) override;
+  [[nodiscard]] const ValkyrieMonitor& monitor() const noexcept {
+    return monitor_;
+  }
+
+ private:
+  ValkyrieMonitor monitor_;
+  const ml::Detector* terminal_detector_;
+};
+
+// --- Comparison harness ------------------------------------------------------
+
+/// Outcome of running one workload to completion (or termination/timeout)
+/// under one response policy.
+struct PolicyRunResult {
+  std::string_view policy;
+  /// Epochs until the workload finished naturally (0 if it never did).
+  std::uint64_t epochs_to_complete = 0;
+  bool terminated = false;
+  double total_progress = 0.0;
+  std::uint64_t detections = 0;
+};
+
+/// Runs `workload` alone on a fresh epoch loop under `policy`, feeding the
+/// detector's inference each epoch, for at most `max_epochs`.
+[[nodiscard]] PolicyRunResult run_with_policy(
+    sim::SimSystem& sys, sim::ProcessId pid, const ml::Detector& detector,
+    ResponsePolicy& policy, std::size_t max_epochs);
+
+}  // namespace valkyrie::core

@@ -1,0 +1,72 @@
+#include "core/slowdown.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace valkyrie::core {
+
+double effective_slowdown_pct(std::span<const double> progress_without,
+                              std::span<const double> progress_with) noexcept {
+  double base = 0.0;
+  for (const double p : progress_without) base += p;
+  if (base <= 0.0) return 0.0;
+  double with = 0.0;
+  for (const double p : progress_with) with += p;
+  return (1.0 - with / base) * 100.0;
+}
+
+std::vector<double> worked_example_shares(
+    std::span<const ml::Inference> inferences,
+    const WorkedExampleConfig& config) {
+  ThreatIndex threat(config.threat);
+  std::vector<double> shares;
+  shares.reserve(inferences.size());
+
+  double share = 1.0;
+  shares.push_back(share);  // epoch 0 runs before any response lands
+  for (std::size_t i = 1; i < inferences.size(); ++i) {
+    // The inference of epoch i-1 sets the share for epoch i.
+    const ThreatIndex::Update u = threat.on_inference(inferences[i - 1]);
+    if (u.recovered) {
+      share = 1.0;  // threat 0: all restrictions removed
+    } else if (u.delta != 0.0) {
+      switch (config.actuator) {
+        case WorkedActuator::kPercentagePoint:
+          share -= config.step * u.delta;
+          break;
+        case WorkedActuator::kMultiplicative:
+          share *= (1.0 - config.step * u.delta);
+          break;
+      }
+      share = std::clamp(share, config.floor, 1.0);
+    }
+    shares.push_back(share);
+  }
+  return shares;
+}
+
+double worked_example_slowdown_pct(std::span<const ml::Inference> inferences,
+                                   const WorkedExampleConfig& config) {
+  const std::vector<double> shares =
+      worked_example_shares(inferences, config);
+  // Without Valkyrie every epoch progresses at the full share.
+  double with = 0.0;
+  for (const double s : shares) with += s;
+  const auto base = static_cast<double>(shares.size());
+  return base > 0.0 ? (1.0 - with / base) * 100.0 : 0.0;
+}
+
+std::vector<ml::Inference> always_malicious_schedule(std::size_t epochs) {
+  return std::vector<ml::Inference>(epochs, ml::Inference::kMalicious);
+}
+
+std::vector<ml::Inference> fp_burst_schedule(std::size_t fp_epochs,
+                                             std::size_t total_epochs) {
+  std::vector<ml::Inference> schedule(total_epochs, ml::Inference::kBenign);
+  for (std::size_t i = 0; i < fp_epochs && i < total_epochs; ++i) {
+    schedule[i] = ml::Inference::kMalicious;
+  }
+  return schedule;
+}
+
+}  // namespace valkyrie::core

@@ -1,0 +1,59 @@
+// Slowdown quantification (paper §V-C, Eqs. 2-4) and the closed-form
+// worked example: N* = 15 epochs, incremental penalty/compensation, a CPU
+// actuator that drops the share 10% per unit of threat increase (1% floor).
+// Always-malicious inferences give ~79.6% attack slowdown; false positives
+// for the first 5 epochs give ~26% benign slowdown.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/threat.hpp"
+#include "ml/detector.hpp"
+
+namespace valkyrie::core {
+
+/// Eq. 4 computed from measured per-epoch progress of two runs of the same
+/// workload: S(t) = (1 - progress_with / progress_without) * 100, in %.
+/// 0% = unaffected; 100% = progress fully halted.
+[[nodiscard]] double effective_slowdown_pct(
+    std::span<const double> progress_without,
+    std::span<const double> progress_with) noexcept;
+
+/// The two actuator conventions a "10% CPU drop per threat increase" can
+/// mean; the paper's numbers sit between them (see DESIGN.md §4/E16).
+enum class WorkedActuator {
+  /// share -= 0.1 * dT (percentage points), floor 1%.
+  kPercentagePoint,
+  /// share *= (1 - 0.1 * dT) (Eq. 8 with gamma=0.1), floor 1%.
+  kMultiplicative,
+};
+
+struct WorkedExampleConfig {
+  std::size_t required_measurements = 15;  // K = N* epochs
+  WorkedActuator actuator = WorkedActuator::kPercentagePoint;
+  double step = 0.10;
+  double floor = 0.01;
+  ThreatConfig threat{};  // incremental Fp/Fc by default
+};
+
+/// Analytically replays Algorithm 1 over a given inference schedule with
+/// progress proportional to the CPU share (B_i(R_i) = share_i), returning
+/// the effective slowdown in percent per Eq. 4. Epoch 0 runs at the default
+/// share; the inference of epoch i throttles epoch i+1 (Eq. 3 timing).
+[[nodiscard]] double worked_example_slowdown_pct(
+    std::span<const ml::Inference> inferences, const WorkedExampleConfig& config);
+
+/// Convenience schedules for the paper's two §V-C scenarios.
+[[nodiscard]] std::vector<ml::Inference> always_malicious_schedule(
+    std::size_t epochs);
+/// `fp_epochs` false positives followed by benign-classified epochs.
+[[nodiscard]] std::vector<ml::Inference> fp_burst_schedule(
+    std::size_t fp_epochs, std::size_t total_epochs);
+
+/// Per-epoch CPU shares the worked example produces (for tests/benches
+/// that want the full trajectory, e.g. to print the figure row by row).
+[[nodiscard]] std::vector<double> worked_example_shares(
+    std::span<const ml::Inference> inferences, const WorkedExampleConfig& config);
+
+}  // namespace valkyrie::core

@@ -1,0 +1,54 @@
+#include "core/threat.hpp"
+
+#include <utility>
+
+namespace valkyrie::core {
+
+std::string_view to_string(ProcessState state) noexcept {
+  switch (state) {
+    case ProcessState::kNormal:
+      return "normal";
+    case ProcessState::kSuspicious:
+      return "suspicious";
+    case ProcessState::kTerminable:
+      return "terminable";
+    case ProcessState::kTerminated:
+      return "terminated";
+  }
+  return "unknown";
+}
+
+ThreatIndex::ThreatIndex(ThreatConfig config) : config_(std::move(config)) {}
+
+ThreatIndex::Update ThreatIndex::on_inference(ml::Inference inference) {
+  const double previous_threat = threat_;
+
+  if (inference == ml::Inference::kMalicious) {
+    // Lines 8-11: enter/stay suspicious, escalate the penalty, grow T.
+    state_ = ProcessState::kSuspicious;
+    penalty_ = clamp_metric(config_.penalty(penalty_));
+    threat_ = clamp_metric(threat_ + penalty_);
+  } else if (state_ == ProcessState::kSuspicious) {
+    // Lines 13-15: benign while suspicious grows compensation, shrinks T.
+    compensation_ = clamp_metric(config_.compensation(compensation_));
+    threat_ = clamp_metric(threat_ - compensation_);
+  }
+
+  Update update;
+  update.recovered =
+      state_ == ProcessState::kSuspicious && threat_ == 0.0;
+  if (update.recovered) {
+    // Lines 17-18: full recovery.
+    state_ = ProcessState::kNormal;
+    if (config_.reset_metrics_on_normal) {
+      penalty_ = 0.0;
+      compensation_ = 0.0;
+    }
+  }
+  update.threat = threat_;
+  update.delta = threat_ - previous_threat;
+  update.state = state_;
+  return update;
+}
+
+}  // namespace valkyrie::core

@@ -1,0 +1,71 @@
+// The per-process threat index of Algorithm 1 (lines 5-18).
+#pragma once
+
+#include "core/assessment.hpp"
+#include "ml/detector.hpp"
+
+namespace valkyrie::core {
+
+/// Process lifecycle states (paper Fig. 3).
+enum class ProcessState : std::uint8_t {
+  kNormal,      // threat index 0, no restrictions
+  kSuspicious,  // threat index > 0, resources throttled
+  kTerminable,  // N* measurements reached: restore or terminate
+  kTerminated,
+};
+
+[[nodiscard]] std::string_view to_string(ProcessState state) noexcept;
+
+struct ThreatConfig {
+  AssessmentFn penalty = incremental(1.0);
+  AssessmentFn compensation = incremental(1.0);
+  /// When true, penalty and compensation reset to 0 on the suspicious ->
+  /// normal transition. Algorithm 1 as printed carries both across
+  /// recoveries (repeat offenders escalate faster), which is the default.
+  bool reset_metrics_on_normal = false;
+};
+
+/// Tracks penalty (P), compensation (C) and threat index (T) for one
+/// process across detector inferences, exactly per Algorithm 1: malicious
+/// epochs raise T by the freshly-assessed penalty; benign epochs in the
+/// suspicious state lower T by the freshly-assessed compensation; all three
+/// metrics are clamped to [0, 100].
+class ThreatIndex {
+ public:
+  explicit ThreatIndex(ThreatConfig config);
+  ThreatIndex() : ThreatIndex(ThreatConfig{}) {}
+
+  struct Update {
+    double threat = 0.0;  // T_i after the inference
+    double delta = 0.0;   // Delta T_{i,1} = T_i - T_{i-1}
+    /// kNormal or kSuspicious (terminable/terminated are owned by the
+    /// monitor, which also tracks the measurement budget).
+    ProcessState state = ProcessState::kNormal;
+    /// True exactly on a suspicious -> normal transition (full recovery).
+    bool recovered = false;
+  };
+
+  Update on_inference(ml::Inference inference);
+
+  [[nodiscard]] double threat() const noexcept { return threat_; }
+  [[nodiscard]] double penalty() const noexcept { return penalty_; }
+  [[nodiscard]] double compensation() const noexcept { return compensation_; }
+  [[nodiscard]] ProcessState state() const noexcept { return state_; }
+
+  /// Zeroes the threat index and returns to the normal state while keeping
+  /// the escalated penalty/compensation metrics (used when a terminable
+  /// episode resolves benign: restrictions lift, escalation carries over).
+  void reset_threat() noexcept {
+    threat_ = 0.0;
+    state_ = ProcessState::kNormal;
+  }
+
+ private:
+  ThreatConfig config_;
+  double threat_ = 0.0;
+  double penalty_ = 0.0;
+  double compensation_ = 0.0;
+  ProcessState state_ = ProcessState::kNormal;
+};
+
+}  // namespace valkyrie::core

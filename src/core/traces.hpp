@@ -1,0 +1,38 @@
+// Helpers for the offline phase: run workloads unthrottled to collect
+// labeled HPC traces for detector training/validation (the simulation
+// equivalent of profiling programs with perf).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "ml/dataset.hpp"
+#include "ml/stat_detector.hpp"
+#include "sim/platform.hpp"
+#include "sim/workload.hpp"
+
+namespace valkyrie::core {
+
+/// Runs the workload alone and unthrottled for `epochs` (or until it
+/// finishes) and returns its labeled sample trace.
+[[nodiscard]] ml::LabeledTrace collect_trace(
+    std::unique_ptr<sim::Workload> workload, std::size_t epochs,
+    const sim::PlatformProfile& platform = {}, std::uint64_t seed = 0x77ace);
+
+/// A factory so callers can enumerate workload corpora lazily.
+using WorkloadFactory = std::function<std::unique_ptr<sim::Workload>()>;
+
+/// Collects one trace per factory into a TraceSet.
+[[nodiscard]] ml::TraceSet collect_traces(
+    const std::vector<WorkloadFactory>& factories, std::size_t epochs,
+    const sim::PlatformProfile& platform = {}, std::uint64_t seed = 0x77ace);
+
+/// Sets the statistical detector's threshold so that the given benign
+/// per-measurement examples false-positive at ~`target_fp_rate` (quantile
+/// calibration). Returns the chosen threshold.
+double calibrate_stat_threshold(ml::StatisticalDetector& detector,
+                                std::span<const ml::Example> benign_examples,
+                                double target_fp_rate);
+
+}  // namespace valkyrie::core

@@ -1,0 +1,117 @@
+#include "core/valkyrie.hpp"
+
+#include <stdexcept>
+
+namespace valkyrie::core {
+
+ValkyrieMonitor::ValkyrieMonitor(ValkyrieConfig config,
+                                 std::unique_ptr<Actuator> actuator)
+    : config_(config),
+      actuator_(std::move(actuator)),
+      threat_(config.threat) {
+  if (actuator_ == nullptr) {
+    throw std::invalid_argument("ValkyrieMonitor: null actuator");
+  }
+  if (config_.required_measurements == 0) {
+    throw std::invalid_argument("ValkyrieMonitor: N* must be positive");
+  }
+}
+
+ValkyrieMonitor::Action ValkyrieMonitor::on_epoch(
+    sim::SimSystem& sys, sim::ProcessId pid, ml::Inference inference,
+    std::optional<ml::Inference> terminal_inference) {
+  if (state_ == ProcessState::kTerminated) return Action::kNone;
+
+  // Measurement-accumulation phase (Algorithm 1 lines 5-20). Under episode
+  // scoping, counting starts with the epoch that opens a suspicious
+  // episode; a benign epoch in the normal state accumulates nothing.
+  if (measurements_ < config_.required_measurements) {
+    const bool counting = !config_.episode_scoped_measurements ||
+                          state_ != ProcessState::kNormal ||
+                          inference == ml::Inference::kMalicious;
+    if (counting) ++measurements_;
+    const ThreatIndex::Update update = threat_.on_inference(inference);
+    state_ = update.state;
+    if (update.recovered) {
+      // Suspicious -> normal: threat 0 means no restrictions remain, and
+      // an episode-scoped measurement budget starts afresh.
+      actuator_->reset(sys, pid);
+      if (config_.episode_scoped_measurements) measurements_ = 0;
+      return Action::kRestored;
+    }
+    if (update.delta > 0.0) {
+      actuator_->apply(sys, pid, update.delta);
+      return Action::kThrottled;
+    }
+    if (update.delta < 0.0) {
+      actuator_->apply(sys, pid, update.delta);
+      return Action::kRelaxed;
+    }
+    return Action::kNone;
+  }
+
+  // Terminable phase (lines 21-26 / Fig. 3): the detector has accumulated
+  // the user-required evidence; the decision is taken on the accumulated-
+  // window view when one is provided. Benign -> full restore (Areset);
+  // malicious -> terminate.
+  state_ = ProcessState::kTerminable;
+  const ml::Inference decision = terminal_inference.value_or(inference);
+  if (decision == ml::Inference::kBenign) {
+    actuator_->reset(sys, pid);
+    if (config_.episode_scoped_measurements) {
+      // The episode resolved benign at full evidence: back to normal with
+      // a fresh measurement budget; penalty/compensation escalation
+      // carries over (repeat episodes throttle harder).
+      state_ = ProcessState::kNormal;
+      measurements_ = 0;
+      threat_.reset_threat();
+    }
+    return Action::kRestored;
+  }
+  sys.kill(pid);
+  state_ = ProcessState::kTerminated;
+  return Action::kTerminated;
+}
+
+ValkyrieEngine::ValkyrieEngine(sim::SimSystem& sys,
+                               const ml::Detector& detector)
+    : sys_(sys), detector_(detector) {}
+
+void ValkyrieEngine::attach(sim::ProcessId pid, ValkyrieConfig config,
+                            std::unique_ptr<Actuator> actuator,
+                            const ml::Detector* terminal_detector) {
+  attached_.push_back({pid, ValkyrieMonitor(config, std::move(actuator)),
+                       terminal_detector});
+}
+
+std::size_t ValkyrieEngine::step() {
+  sys_.run_epoch();
+  std::size_t live = 0;
+  for (Attached& a : attached_) {
+    if (!sys_.is_live(a.pid)) continue;
+    const std::vector<hpc::HpcSample>& window = sys_.sample_history(a.pid);
+    const ml::Inference inference =
+        detector_.infer({window.data(), window.size()});
+    std::optional<ml::Inference> terminal;
+    if (a.terminal_detector != nullptr &&
+        a.monitor.measurements() >= a.monitor.config().required_measurements) {
+      terminal = a.terminal_detector->infer({window.data(), window.size()});
+    }
+    a.monitor.on_epoch(sys_, a.pid, inference, terminal);
+    if (sys_.is_live(a.pid)) ++live;
+  }
+  return live;
+}
+
+void ValkyrieEngine::run(std::size_t epochs) {
+  for (std::size_t i = 0; i < epochs; ++i) step();
+}
+
+const ValkyrieMonitor& ValkyrieEngine::monitor(sim::ProcessId pid) const {
+  for (const Attached& a : attached_) {
+    if (a.pid == pid) return a.monitor;
+  }
+  throw std::out_of_range("ValkyrieEngine: process not attached");
+}
+
+}  // namespace valkyrie::core

@@ -1,0 +1,187 @@
+#include "crypto/aes128.hpp"
+
+#include <cstring>
+
+namespace valkyrie::crypto {
+namespace {
+
+// AES S-box (FIPS 197).
+constexpr std::array<std::uint8_t, 256> kSbox = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
+    0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26,
+    0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed,
+    0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f,
+    0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14,
+    0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f,
+    0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11,
+    0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
+    0xb0, 0x54, 0xbb, 0x16};
+
+constexpr std::uint8_t xtime(std::uint8_t x) noexcept {
+  return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
+}
+
+struct TTables {
+  std::array<std::uint32_t, 256> te[4];
+};
+
+// Builds Te0..Te3 from the S-box; Te_k is Te0 rotated by k bytes.
+TTables build_tables() noexcept {
+  TTables t{};
+  for (int i = 0; i < 256; ++i) {
+    const std::uint8_t s = kSbox[static_cast<std::size_t>(i)];
+    const std::uint8_t s2 = xtime(s);
+    const std::uint8_t s3 = static_cast<std::uint8_t>(s2 ^ s);
+    const std::uint32_t w = (static_cast<std::uint32_t>(s2) << 24) |
+                            (static_cast<std::uint32_t>(s) << 16) |
+                            (static_cast<std::uint32_t>(s) << 8) |
+                            static_cast<std::uint32_t>(s3);
+    t.te[0][static_cast<std::size_t>(i)] = w;
+    t.te[1][static_cast<std::size_t>(i)] = (w >> 8) | (w << 24);
+    t.te[2][static_cast<std::size_t>(i)] = (w >> 16) | (w << 16);
+    t.te[3][static_cast<std::size_t>(i)] = (w >> 24) | (w << 8);
+  }
+  return t;
+}
+
+const TTables& tables() noexcept {
+  static const TTables t = build_tables();
+  return t;
+}
+
+constexpr std::uint32_t sub_word(std::uint32_t w) noexcept {
+  return (static_cast<std::uint32_t>(kSbox[(w >> 24) & 0xff]) << 24) |
+         (static_cast<std::uint32_t>(kSbox[(w >> 16) & 0xff]) << 16) |
+         (static_cast<std::uint32_t>(kSbox[(w >> 8) & 0xff]) << 8) |
+         static_cast<std::uint32_t>(kSbox[w & 0xff]);
+}
+
+constexpr std::uint32_t rot_word(std::uint32_t w) noexcept {
+  return (w << 8) | (w >> 24);
+}
+
+}  // namespace
+
+Aes128::Aes128(const AesKey& key) noexcept {
+  std::array<std::uint32_t, 44> w{};
+  for (int i = 0; i < 4; ++i) {
+    w[static_cast<std::size_t>(i)] =
+        (static_cast<std::uint32_t>(key[static_cast<std::size_t>(4 * i)]) << 24) |
+        (static_cast<std::uint32_t>(key[static_cast<std::size_t>(4 * i + 1)]) << 16) |
+        (static_cast<std::uint32_t>(key[static_cast<std::size_t>(4 * i + 2)]) << 8) |
+        static_cast<std::uint32_t>(key[static_cast<std::size_t>(4 * i + 3)]);
+  }
+  std::uint32_t rcon = 0x01000000;
+  for (int i = 4; i < 44; ++i) {
+    std::uint32_t temp = w[static_cast<std::size_t>(i - 1)];
+    if (i % 4 == 0) {
+      temp = sub_word(rot_word(temp)) ^ rcon;
+      rcon = static_cast<std::uint32_t>(xtime(static_cast<std::uint8_t>(rcon >> 24)))
+             << 24;
+    }
+    w[static_cast<std::size_t>(i)] = w[static_cast<std::size_t>(i - 4)] ^ temp;
+  }
+  for (int r = 0; r < 11; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      round_keys_[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
+          w[static_cast<std::size_t>(4 * r + c)];
+    }
+  }
+}
+
+AesBlock Aes128::encrypt_block(const AesBlock& plaintext,
+                               std::vector<TableAccess>* trace) const noexcept {
+  const TTables& t = tables();
+  std::uint32_t s[4];
+  for (int c = 0; c < 4; ++c) {
+    s[c] = (static_cast<std::uint32_t>(plaintext[static_cast<std::size_t>(4 * c)]) << 24) |
+           (static_cast<std::uint32_t>(plaintext[static_cast<std::size_t>(4 * c + 1)]) << 16) |
+           (static_cast<std::uint32_t>(plaintext[static_cast<std::size_t>(4 * c + 2)]) << 8) |
+           static_cast<std::uint32_t>(plaintext[static_cast<std::size_t>(4 * c + 3)]);
+    s[c] ^= round_keys_[0][static_cast<std::size_t>(c)];
+  }
+
+  const auto lookup = [&](int table, std::uint8_t index) noexcept {
+    if (trace != nullptr) {
+      trace->push_back({static_cast<std::uint8_t>(table), index});
+    }
+    return t.te[table][index];
+  };
+
+  std::uint32_t n[4];
+  for (int round = 1; round <= 9; ++round) {
+    for (int c = 0; c < 4; ++c) {
+      n[c] = lookup(0, static_cast<std::uint8_t>(s[c] >> 24)) ^
+             lookup(1, static_cast<std::uint8_t>(s[(c + 1) & 3] >> 16)) ^
+             lookup(2, static_cast<std::uint8_t>(s[(c + 2) & 3] >> 8)) ^
+             lookup(3, static_cast<std::uint8_t>(s[(c + 3) & 3])) ^
+             round_keys_[static_cast<std::size_t>(round)][static_cast<std::size_t>(c)];
+    }
+    std::memcpy(s, n, sizeof s);
+  }
+
+  // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns). The
+  // real code would index a separate S-box table; for the cache-attack model
+  // we record these as accesses to the same four tables, which matches
+  // OpenSSL-style implementations that reuse Te tables for the last round.
+  AesBlock out{};
+  for (int c = 0; c < 4; ++c) {
+    const std::uint8_t b0 = static_cast<std::uint8_t>(s[c] >> 24);
+    const std::uint8_t b1 = static_cast<std::uint8_t>(s[(c + 1) & 3] >> 16);
+    const std::uint8_t b2 = static_cast<std::uint8_t>(s[(c + 2) & 3] >> 8);
+    const std::uint8_t b3 = static_cast<std::uint8_t>(s[(c + 3) & 3]);
+    if (trace != nullptr) {
+      trace->push_back({0, b0});
+      trace->push_back({1, b1});
+      trace->push_back({2, b2});
+      trace->push_back({3, b3});
+    }
+    const std::uint32_t word = (static_cast<std::uint32_t>(kSbox[b0]) << 24) |
+                               (static_cast<std::uint32_t>(kSbox[b1]) << 16) |
+                               (static_cast<std::uint32_t>(kSbox[b2]) << 8) |
+                               static_cast<std::uint32_t>(kSbox[b3]);
+    const std::uint32_t keyed = word ^ round_keys_[10][static_cast<std::size_t>(c)];
+    out[static_cast<std::size_t>(4 * c)] = static_cast<std::uint8_t>(keyed >> 24);
+    out[static_cast<std::size_t>(4 * c + 1)] = static_cast<std::uint8_t>(keyed >> 16);
+    out[static_cast<std::size_t>(4 * c + 2)] = static_cast<std::uint8_t>(keyed >> 8);
+    out[static_cast<std::size_t>(4 * c + 3)] = static_cast<std::uint8_t>(keyed);
+  }
+  return out;
+}
+
+void Aes128::ctr_crypt(std::span<std::uint8_t> data, std::uint64_t nonce,
+                       std::uint64_t initial_counter) const noexcept {
+  AesBlock counter_block{};
+  for (int i = 0; i < 8; ++i) {
+    counter_block[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(nonce >> (56 - 8 * i));
+  }
+  std::uint64_t counter = initial_counter;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    for (int i = 0; i < 8; ++i) {
+      counter_block[static_cast<std::size_t>(8 + i)] =
+          static_cast<std::uint8_t>(counter >> (56 - 8 * i));
+    }
+    const AesBlock keystream = encrypt_block(counter_block);
+    const std::size_t take = std::min<std::size_t>(16, data.size() - offset);
+    for (std::size_t i = 0; i < take; ++i) data[offset + i] ^= keystream[i];
+    offset += take;
+    ++counter;
+  }
+}
+
+}  // namespace valkyrie::crypto

@@ -1,0 +1,55 @@
+// AES-128 implemented with the classic four 1KB T-tables. This is the same
+// software structure that Osvik, Shamir & Tromer attacked with Prime+Probe on
+// the L1 data cache: the table index touched in round 1 is pt[i] ^ key[i], so
+// which cache line each lookup lands on leaks the high nibble of the key byte.
+//
+// The implementation doubles as (a) the *victim* of the L1-D case study (the
+// encrypt routine can record every T-table access so the cache simulator can
+// replay it) and (b) the cipher the ransomware workload uses in CTR mode.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace valkyrie::crypto {
+
+using AesKey = std::array<std::uint8_t, 16>;
+using AesBlock = std::array<std::uint8_t, 16>;
+
+/// One T-table lookup made during encryption: which of the four tables and
+/// which of its 256 entries. Cache-line granularity is derived by the cache
+/// model (16 four-byte entries per 64-byte line => line = index >> 4).
+struct TableAccess {
+  std::uint8_t table;  // 0..3
+  std::uint8_t index;  // 0..255
+};
+
+/// AES-128 encryption context (T-table software implementation).
+class Aes128 {
+ public:
+  explicit Aes128(const AesKey& key) noexcept;
+
+  /// Encrypts one 16-byte block. If `trace` is non-null, appends every
+  /// T-table access in execution order (40 accesses for 10 rounds: 4 per
+  /// round for rounds 1..9 use T-tables; the last round uses the S-box table,
+  /// recorded as table id 0..3 as well for simplicity of the cache mapping).
+  [[nodiscard]] AesBlock encrypt_block(
+      const AesBlock& plaintext, std::vector<TableAccess>* trace = nullptr) const noexcept;
+
+  /// CTR-mode keystream encryption/decryption in place (symmetric).
+  void ctr_crypt(std::span<std::uint8_t> data, std::uint64_t nonce,
+                 std::uint64_t initial_counter = 0) const noexcept;
+
+  /// The 11 round keys, exposed for tests of the key schedule.
+  [[nodiscard]] const std::array<std::array<std::uint32_t, 4>, 11>& round_keys()
+      const noexcept {
+    return round_keys_;
+  }
+
+ private:
+  std::array<std::array<std::uint32_t, 4>, 11> round_keys_{};
+};
+
+}  // namespace valkyrie::crypto

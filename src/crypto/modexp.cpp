@@ -1,0 +1,39 @@
+#include "crypto/modexp.hpp"
+
+namespace valkyrie::crypto {
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) noexcept {
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(a) * b) % m);
+}
+
+std::uint64_t modexp(std::uint64_t base, std::uint64_t exponent, std::uint64_t m,
+                     std::vector<ModExpOp>* trace) noexcept {
+  if (m == 1) return 0;
+  std::vector<bool> bits;
+  for (int i = 63; i >= 0; --i) {
+    if (!bits.empty() || ((exponent >> i) & 1)) {
+      bits.push_back(((exponent >> i) & 1) != 0);
+    }
+  }
+  if (bits.empty()) return 1 % m;
+  return modexp_bits(base, bits, m, trace);
+}
+
+std::uint64_t modexp_bits(std::uint64_t base, const std::vector<bool>& exponent_bits,
+                          std::uint64_t m, std::vector<ModExpOp>* trace) noexcept {
+  if (m == 1) return 0;
+  std::uint64_t result = 1 % m;
+  base %= m;
+  for (const bool bit : exponent_bits) {
+    result = mulmod(result, result, m);
+    if (trace != nullptr) trace->push_back(ModExpOp::kSquare);
+    if (bit) {
+      result = mulmod(result, base, m);
+      if (trace != nullptr) trace->push_back(ModExpOp::kMultiply);
+    }
+  }
+  return result;
+}
+
+}  // namespace valkyrie::crypto

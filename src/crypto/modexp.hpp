@@ -1,0 +1,39 @@
+// Left-to-right square-and-multiply modular exponentiation — the classic
+// instruction-cache side-channel victim (Aciicmez et al., CHES 2010). For
+// each exponent bit the routine always squares, and additionally multiplies
+// when the bit is 1. A spy probing the I-cache lines holding the multiply
+// routine can therefore read the secret exponent bit-by-bit.
+//
+// The arithmetic is 64-bit (via 128-bit intermediate products): the
+// side-channel experiments only need the *control-flow* structure of RSA,
+// not 2048-bit numbers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace valkyrie::crypto {
+
+/// Which routine a square-and-multiply step executed; the victim's
+/// instruction-fetch trace is a sequence of these.
+enum class ModExpOp : std::uint8_t { kSquare, kMultiply };
+
+/// (a * b) mod m without overflow.
+[[nodiscard]] std::uint64_t mulmod(std::uint64_t a, std::uint64_t b,
+                                   std::uint64_t m) noexcept;
+
+/// base^exponent mod m by left-to-right square-and-multiply. If `trace` is
+/// non-null, appends the executed operation sequence (one kSquare per bit
+/// after the leading one, plus one kMultiply per set bit).
+[[nodiscard]] std::uint64_t modexp(std::uint64_t base,
+                                   std::uint64_t exponent, std::uint64_t m,
+                                   std::vector<ModExpOp>* trace = nullptr) noexcept;
+
+/// Same control flow over an arbitrary-length exponent given as bits
+/// (most-significant first). Returns the modular result of raising `base`.
+[[nodiscard]] std::uint64_t modexp_bits(std::uint64_t base,
+                                        const std::vector<bool>& exponent_bits,
+                                        std::uint64_t m,
+                                        std::vector<ModExpOp>* trace = nullptr) noexcept;
+
+}  // namespace valkyrie::crypto

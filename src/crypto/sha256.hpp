@@ -1,0 +1,48 @@
+// SHA-256 (FIPS 180-4). Used by the cryptominer case study (proof-of-work
+// search) and by the ransomware/exfiltrator workloads (file hashing). This is
+// a straightforward, portable implementation — no attempt at SIMD.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace valkyrie::crypto {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256. update() may be called any number of times;
+/// finish() returns the digest and leaves the object in a reusable,
+/// re-initialised state.
+class Sha256 {
+ public:
+  Sha256() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(std::span<const std::uint8_t> data) noexcept;
+  [[nodiscard]] Sha256Digest finish() noexcept;
+
+  /// One-shot convenience.
+  [[nodiscard]] static Sha256Digest hash(std::span<const std::uint8_t> data) noexcept;
+
+  /// Double SHA-256 as used by Bitcoin-style proof of work.
+  [[nodiscard]] static Sha256Digest hash2(std::span<const std::uint8_t> data) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> h_{};
+  std::array<std::uint8_t, 64> buf_{};
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// Lowercase hex rendering of a digest (for tests and logs).
+[[nodiscard]] std::string to_hex(const Sha256Digest& digest);
+
+/// Number of leading zero bits in the digest, the usual PoW difficulty measure.
+[[nodiscard]] int leading_zero_bits(const Sha256Digest& digest) noexcept;
+
+}  // namespace valkyrie::crypto

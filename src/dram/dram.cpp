@@ -1,0 +1,48 @@
+#include "dram/dram.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace valkyrie::dram {
+
+Dram::Dram(const DramConfig& config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  assert(config.banks > 0 && config.rows_per_bank > 2);
+  disturbance_.resize(static_cast<std::size_t>(config.banks) *
+                      config.rows_per_bank);
+}
+
+void Dram::advance(double ns) noexcept {
+  now_ns_ += ns;
+  const double window_ns = config_.refresh_interval_ms * 1e6;
+  const auto target_window = static_cast<std::uint64_t>(now_ns_ / window_ns);
+  if (target_window != window_) {
+    // One or more refresh intervals elapsed: all counters reset. (Real DRAM
+    // staggers per-row refresh across the interval; the end effect for the
+    // hammering-rate threshold is the same.)
+    window_ = target_window;
+    std::fill(disturbance_.begin(), disturbance_.end(), 0);
+  }
+}
+
+void Dram::disturb(std::uint32_t bank, std::uint32_t row) {
+  const std::size_t idx =
+      static_cast<std::size_t>(bank) * config_.rows_per_bank + row;
+  const std::uint64_t count = ++disturbance_[idx];
+  if (count > config_.disturbance_threshold &&
+      rng_.chance(config_.flip_prob_per_excess)) {
+    flips_.push_back({bank, row, window_});
+  }
+}
+
+void Dram::activate(std::uint32_t bank, std::uint32_t row) {
+  assert(bank < config_.banks && row < config_.rows_per_bank);
+  advance(config_.t_rc_ns);
+  ++activations_;
+  if (row > 0) disturb(bank, row - 1);
+  if (row + 1 < config_.rows_per_bank) disturb(bank, row + 1);
+}
+
+void Dram::idle_ns(double ns) noexcept { advance(ns); }
+
+}  // namespace valkyrie::dram

@@ -1,0 +1,100 @@
+#include "hpc/hpc.hpp"
+
+#include <cmath>
+
+namespace valkyrie::hpc {
+
+std::string_view event_name(Event e) noexcept {
+  switch (e) {
+    case Event::kInstructions:
+      return "instructions";
+    case Event::kCycles:
+      return "cycles";
+    case Event::kL1dMisses:
+      return "l1d-misses";
+    case Event::kL1iMisses:
+      return "l1i-misses";
+    case Event::kLlcMisses:
+      return "llc-misses";
+    case Event::kBranchMisses:
+      return "branch-misses";
+    case Event::kDtlbMisses:
+      return "dtlb-misses";
+    case Event::kMemBandwidth:
+      return "mem-bandwidth";
+    case Event::kFileOps:
+      return "file-ops";
+    case Event::kNetBytes:
+      return "net-bytes";
+    case Event::kPageFaults:
+      return "page-faults";
+    case Event::kContextSwitches:
+      return "context-switches";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// How strongly the per-epoch interference factor scales each event.
+/// Contention inflates miss-type events and preemptions, depresses IPC,
+/// and leaves the process's own I/O and the wall-clock cycle count alone.
+constexpr double interference_exponent(Event e) noexcept {
+  switch (e) {
+    case Event::kL1dMisses:
+    case Event::kL1iMisses:
+    case Event::kLlcMisses:
+    case Event::kBranchMisses:
+    case Event::kDtlbMisses:
+    case Event::kMemBandwidth:
+      return 1.0;
+    case Event::kContextSwitches:
+      return 1.2;  // preemption storms are the defining symptom
+    case Event::kPageFaults:
+      return 0.5;
+    case Event::kInstructions:
+      return -0.3;  // IPC sags under contention
+    case Event::kCycles:
+    case Event::kFileOps:
+    case Event::kNetBytes:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+HpcSample HpcSignature::sample(util::Rng& rng, double activity,
+                               double noise_scale) const noexcept {
+  HpcSample out;
+  // One common interference draw per epoch, applied per event with the
+  // exponents above (misses up, IPC down, wall-clock untouched).
+  const double log_interference =
+      correlated_noise * noise_scale * rng.normal();
+  for (std::size_t i = 0; i < kNumEvents; ++i) {
+    const double interference = std::exp(
+        interference_exponent(static_cast<Event>(i)) * log_interference);
+    const double base = mean[i] * activity * interference;
+    if (base <= 0.0) {
+      out.counts[i] = 0.0;
+      continue;
+    }
+    const double noisy =
+        base * (1.0 + rel_stddev * noise_scale * rng.normal());
+    out.counts[i] = noisy < 0.0 ? 0.0 : noisy;
+  }
+  return out;
+}
+
+std::vector<double> to_features(const HpcSample& sample) {
+  std::vector<double> features(kNumEvents, 0.0);
+  const double cycles =
+      std::max(sample[Event::kCycles], 1.0);  // guard empty samples
+  for (std::size_t i = 0; i < kNumEvents; ++i) {
+    if (static_cast<Event>(i) == Event::kCycles) continue;  // stays 0
+    features[i] = std::log1p(sample.counts[i] * 1e6 / cycles);
+  }
+  return features;
+}
+
+}  // namespace valkyrie::hpc

@@ -1,0 +1,97 @@
+// Hardware-performance-counter model.
+//
+// The paper's detectors consume per-epoch vectors of HPC readings captured
+// with perf at ~100 ms granularity. Here every simulated workload owns an
+// HpcSignature — the characteristic per-epoch mean/spread of each event for
+// that program — and emits one HpcSample per epoch, scaled by how much work
+// the scheduler actually let it do. Detector quality then depends, exactly
+// as in the paper, on how separable benign and attack signatures are under
+// measurement noise.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace valkyrie::hpc {
+
+/// The event set profiled on the evaluation machines. A superset of what any
+/// one detector uses; detectors pick feature subsets from it.
+enum class Event : std::uint8_t {
+  kInstructions = 0,
+  kCycles,
+  kL1dMisses,
+  kL1iMisses,
+  kLlcMisses,
+  kBranchMisses,
+  kDtlbMisses,
+  kMemBandwidth,   // bytes read+written to DRAM
+  kFileOps,        // VFS operations (open/read/write)
+  kNetBytes,       // bytes through the NIC
+  kPageFaults,
+  kContextSwitches,
+};
+
+inline constexpr std::size_t kNumEvents = 12;
+
+[[nodiscard]] std::string_view event_name(Event e) noexcept;
+
+/// One epoch's counter readings.
+struct HpcSample {
+  std::array<double, kNumEvents> counts{};
+
+  [[nodiscard]] double operator[](Event e) const noexcept {
+    return counts[static_cast<std::size_t>(e)];
+  }
+  double& operator[](Event e) noexcept {
+    return counts[static_cast<std::size_t>(e)];
+  }
+};
+
+/// Per-program counter distribution: mean count per fully-scheduled epoch
+/// and a relative (multiplicative) noise level per event.
+struct HpcSignature {
+  std::array<double, kNumEvents> mean{};
+  /// Relative standard deviation applied multiplicatively per event.
+  double rel_stddev = 0.08;
+  /// Log-stddev of *correlated* interference: co-running daemons,
+  /// interrupt storms and SMT contention hit a whole epoch at once —
+  /// miss-type events (cache/TLB/branch misses, bandwidth, context
+  /// switches) inflate together while IPC drops. Unlike per-event noise
+  /// this does not average out across features, so it is what makes
+  /// individual epochs of perfectly benign programs look anomalous — the
+  /// raw material of false positives.
+  double correlated_noise = 0.18;
+
+  double& at(Event e) noexcept { return mean[static_cast<std::size_t>(e)]; }
+  [[nodiscard]] double at(Event e) const noexcept {
+    return mean[static_cast<std::size_t>(e)];
+  }
+
+  /// Draws one epoch sample. `activity` in [0,1] scales all counts (a
+  /// process throttled to half its CPU share retires roughly half the events
+  /// per wall-clock epoch). `noise_scale` lets platform profiles add
+  /// measurement noise on top of program variation.
+  [[nodiscard]] HpcSample sample(util::Rng& rng, double activity = 1.0,
+                                 double noise_scale = 1.0) const noexcept;
+};
+
+/// Normalises a sample into the ML feature vector used by every detector:
+/// log1p-compressed *per-megacycle rates* (count * 1e6 / cycles). Rate
+/// features are the standard practice for per-process HPC detectors (MPKI,
+/// IPC, ...) and make the features invariant to how much CPU time the
+/// scheduler granted the process — essential here, since a throttled
+/// process would otherwise look anomalous purely because it was throttled,
+/// and the response would feed back into the detector. The cycles slot
+/// itself is intentionally zeroed (scheduling share is the response's
+/// doing, not the program's behaviour).
+[[nodiscard]] std::vector<double> to_features(const HpcSample& sample);
+
+/// Feature dimension produced by to_features().
+inline constexpr std::size_t kFeatureDim = kNumEvents;
+
+}  // namespace valkyrie::hpc

@@ -1,0 +1,63 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+
+namespace valkyrie::ml {
+
+std::size_t TraceSet::count_malicious() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(traces.begin(), traces.end(),
+                    [](const LabeledTrace& t) { return t.malicious; }));
+}
+
+std::size_t TraceSet::count_benign() const noexcept {
+  return traces.size() - count_malicious();
+}
+
+std::vector<Example> flatten(const TraceSet& set) {
+  std::vector<Example> out;
+  for (const LabeledTrace& trace : set.traces) {
+    for (const hpc::HpcSample& sample : trace.samples) {
+      out.push_back({hpc::to_features(sample), trace.malicious});
+    }
+  }
+  return out;
+}
+
+void shuffle(std::vector<Example>& examples, util::Rng& rng) {
+  for (std::size_t i = examples.size(); i > 1; --i) {
+    const std::size_t j = rng.below(i);
+    std::swap(examples[i - 1], examples[j]);
+  }
+}
+
+TraceSplit split_traces(const TraceSet& set, double train_fraction,
+                        util::Rng& rng) {
+  // Partition per class so both halves see both classes.
+  std::vector<const LabeledTrace*> malicious;
+  std::vector<const LabeledTrace*> benign;
+  for (const LabeledTrace& t : set.traces) {
+    (t.malicious ? malicious : benign).push_back(&t);
+  }
+  const auto shuffle_ptrs = [&rng](std::vector<const LabeledTrace*>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[rng.below(i)]);
+    }
+  };
+  shuffle_ptrs(malicious);
+  shuffle_ptrs(benign);
+
+  TraceSplit out;
+  const auto distribute = [&](const std::vector<const LabeledTrace*>& v) {
+    const auto n_train = static_cast<std::size_t>(
+        train_fraction * static_cast<double>(v.size()) + 0.5);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      (i < n_train ? out.train : out.test).traces.push_back(*v[i]);
+    }
+  };
+  distribute(malicious);
+  distribute(benign);
+  return out;
+}
+
+}  // namespace valkyrie::ml

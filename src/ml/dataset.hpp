@@ -1,0 +1,50 @@
+// Labeled HPC traces for training and evaluating detectors.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hpc/hpc.hpp"
+#include "util/rng.hpp"
+
+namespace valkyrie::ml {
+
+/// One program execution: the sequence of per-epoch HPC samples plus the
+/// ground-truth label.
+struct LabeledTrace {
+  std::string name;
+  std::vector<hpc::HpcSample> samples;
+  bool malicious = false;
+};
+
+struct TraceSet {
+  std::vector<LabeledTrace> traces;
+
+  [[nodiscard]] std::size_t count_malicious() const noexcept;
+  [[nodiscard]] std::size_t count_benign() const noexcept;
+};
+
+/// A flat per-measurement example (for SVM / GBT, which classify each
+/// measurement individually and majority-vote).
+struct Example {
+  std::vector<double> features;
+  bool malicious = false;
+};
+
+/// Flattens traces into per-measurement examples using hpc::to_features.
+[[nodiscard]] std::vector<Example> flatten(const TraceSet& set);
+
+/// Shuffles examples in place (training order).
+void shuffle(std::vector<Example>& examples, util::Rng& rng);
+
+/// Splits a trace set into train/test by trace (not by sample), keeping
+/// `train_fraction` of each class in the training half.
+struct TraceSplit {
+  TraceSet train;
+  TraceSet test;
+};
+[[nodiscard]] TraceSplit split_traces(const TraceSet& set,
+                                      double train_fraction, util::Rng& rng);
+
+}  // namespace valkyrie::ml

@@ -1,0 +1,69 @@
+#include "ml/detector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace valkyrie::ml {
+
+void FeatureScaler::fit(std::span<const std::vector<double>> features) {
+  if (features.empty()) {
+    throw std::invalid_argument("FeatureScaler::fit: no data");
+  }
+  const std::size_t dim = features.front().size();
+  const double n = static_cast<double>(features.size());
+  mean_.assign(dim, 0.0);
+  inv_std_.assign(dim, 0.0);
+  for (const std::vector<double>& f : features) {
+    for (std::size_t i = 0; i < dim; ++i) mean_[i] += f[i];
+  }
+  for (double& m : mean_) m /= n;
+  for (const std::vector<double>& f : features) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double d = f[i] - mean_[i];
+      inv_std_[i] += d * d;
+    }
+  }
+  for (double& v : inv_std_) {
+    const double stddev = std::sqrt(v / n);
+    v = 1.0 / std::max(stddev, 1e-9);
+  }
+}
+
+std::vector<double> FeatureScaler::transform(
+    std::span<const double> features) const {
+  if (!fitted()) throw std::logic_error("FeatureScaler: not fitted");
+  if (features.size() != mean_.size()) {
+    throw std::invalid_argument("FeatureScaler: dimension mismatch");
+  }
+  std::vector<double> out(features.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = (features[i] - mean_[i]) * inv_std_[i];
+  }
+  return out;
+}
+
+std::vector<double> window_features(std::span<const hpc::HpcSample> window) {
+  std::vector<double> out(kWindowFeatureDim, 0.0);
+  if (window.empty()) return out;
+  const double n = static_cast<double>(window.size());
+  // Mean of each log1p feature.
+  for (const hpc::HpcSample& s : window) {
+    const std::vector<double> f = hpc::to_features(s);
+    for (std::size_t i = 0; i < hpc::kFeatureDim; ++i) out[i] += f[i];
+  }
+  for (std::size_t i = 0; i < hpc::kFeatureDim; ++i) out[i] /= n;
+  // Standard deviation of each feature.
+  for (const hpc::HpcSample& s : window) {
+    const std::vector<double> f = hpc::to_features(s);
+    for (std::size_t i = 0; i < hpc::kFeatureDim; ++i) {
+      const double d = f[i] - out[i];
+      out[hpc::kFeatureDim + i] += d * d;
+    }
+  }
+  for (std::size_t i = 0; i < hpc::kFeatureDim; ++i) {
+    out[hpc::kFeatureDim + i] = std::sqrt(out[hpc::kFeatureDim + i] / n);
+  }
+  return out;
+}
+
+}  // namespace valkyrie::ml

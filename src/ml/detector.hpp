@@ -1,0 +1,61 @@
+// The runtime-detector interface Valkyrie augments (paper Fig. 2).
+//
+// A detector sees the HPC measurement window accumulated for a process so
+// far and returns one inference per epoch: D(t, i) in {benign, malicious}.
+// Valkyrie is agnostic to what is behind the interface (paper §VII); this
+// repository ships a statistical detector, small/large MLPs, a linear SVM,
+// gradient-boosted trees and an LSTM behind it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "hpc/hpc.hpp"
+
+namespace valkyrie::ml {
+
+enum class Inference : std::uint8_t { kBenign, kMalicious };
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Classifies a process given every measurement captured for it so far
+  /// (oldest first). Called once per epoch with a growing window.
+  [[nodiscard]] virtual Inference infer(
+      std::span<const hpc::HpcSample> window) const = 0;
+};
+
+/// Aggregate feature vector for whole-window models (the ANNs): per-event
+/// mean and standard deviation of the log1p features over the window,
+/// giving a fixed 2 * kFeatureDim dimensionality regardless of window size.
+/// As the window grows these estimates concentrate, which is precisely why
+/// detection efficacy rises with measurement count (paper Fig. 1).
+[[nodiscard]] std::vector<double> window_features(
+    std::span<const hpc::HpcSample> window);
+
+inline constexpr std::size_t kWindowFeatureDim = 2 * hpc::kFeatureDim;
+
+/// Per-feature standardisation (z-scoring) fit on training data. Neural
+/// models need it: raw log1p counts sit around 15-20 and would saturate
+/// tanh/sigmoid units from the first step.
+class FeatureScaler {
+ public:
+  /// Learns mean and spread of each feature across the given vectors.
+  void fit(std::span<const std::vector<double>> features);
+
+  [[nodiscard]] std::vector<double> transform(
+      std::span<const double> features) const;
+
+  [[nodiscard]] bool fitted() const noexcept { return !mean_.empty(); }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+};
+
+}  // namespace valkyrie::ml

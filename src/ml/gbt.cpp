@@ -1,0 +1,187 @@
+#include "ml/gbt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace valkyrie::ml {
+namespace {
+
+double sigmoid(double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+void GradientBoostedTrees::train(const std::vector<Example>& examples) {
+  if (examples.empty()) {
+    throw std::invalid_argument("GradientBoostedTrees: empty dataset");
+  }
+  const std::size_t n = examples.size();
+  const auto n_pos = static_cast<double>(
+      std::count_if(examples.begin(), examples.end(),
+                    [](const Example& e) { return e.malicious; }));
+  if (n_pos == 0.0 || n_pos == static_cast<double>(n)) {
+    throw std::invalid_argument("GradientBoostedTrees: need both classes");
+  }
+  // Start from the prior log-odds.
+  base_score_ = std::log(n_pos / (static_cast<double>(n) - n_pos));
+  trees_.clear();
+
+  std::vector<double> score(n, base_score_);
+  std::vector<double> grad(n);
+  std::vector<double> hess(n);
+  std::vector<std::uint32_t> indices(n);
+
+  for (int round = 0; round < config_.num_trees; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p = sigmoid(score[i]);
+      const double y = examples[i].malicious ? 1.0 : 0.0;
+      grad[i] = p - y;
+      hess[i] = std::max(p * (1.0 - p), 1e-9);
+    }
+    std::iota(indices.begin(), indices.end(), 0u);
+    Tree tree;
+    build_node(tree, examples, indices, 0, n, grad, hess, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      score[i] += config_.learning_rate *
+                  tree_output(tree, examples[i].features);
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+int GradientBoostedTrees::build_node(Tree& tree,
+                                     const std::vector<Example>& examples,
+                                     std::vector<std::uint32_t>& indices,
+                                     std::size_t begin, std::size_t end,
+                                     const std::vector<double>& grad,
+                                     const std::vector<double>& hess,
+                                     int depth) {
+  double g_total = 0.0;
+  double h_total = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    g_total += grad[indices[i]];
+    h_total += hess[indices[i]];
+  }
+
+  const auto make_leaf = [&]() {
+    Node leaf;
+    leaf.leaf_value = -g_total / (h_total + config_.lambda);
+    tree.push_back(leaf);
+    return static_cast<int>(tree.size()) - 1;
+  };
+
+  const std::size_t count = end - begin;
+  if (depth >= config_.max_depth || count < 2 * config_.min_leaf) {
+    return make_leaf();
+  }
+
+  const std::size_t dim = examples.front().features.size();
+  const double parent_obj = g_total * g_total / (h_total + config_.lambda);
+
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_gain = config_.min_gain;
+
+  std::vector<std::uint32_t> sorted(indices.begin() + static_cast<long>(begin),
+                                    indices.begin() + static_cast<long>(end));
+  for (std::size_t f = 0; f < dim; ++f) {
+    std::sort(sorted.begin(), sorted.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return examples[a].features[f] < examples[b].features[f];
+              });
+    double g_left = 0.0;
+    double h_left = 0.0;
+    for (std::size_t i = 0; i + 1 < count; ++i) {
+      g_left += grad[sorted[i]];
+      h_left += hess[sorted[i]];
+      const double v = examples[sorted[i]].features[f];
+      const double v_next = examples[sorted[i + 1]].features[f];
+      if (v == v_next) continue;  // cannot split between equal values
+      const std::size_t n_left = i + 1;
+      if (n_left < config_.min_leaf || count - n_left < config_.min_leaf) {
+        continue;
+      }
+      const double g_right = g_total - g_left;
+      const double h_right = h_total - h_left;
+      const double gain =
+          g_left * g_left / (h_left + config_.lambda) +
+          g_right * g_right / (h_right + config_.lambda) - parent_obj;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (v + v_next);
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf();
+
+  // Partition indices[begin, end) by the chosen split.
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<long>(begin),
+      indices.begin() + static_cast<long>(end), [&](std::uint32_t idx) {
+        return examples[idx].features[static_cast<std::size_t>(best_feature)] <
+               best_threshold;
+      });
+  const auto mid = static_cast<std::size_t>(mid_it - indices.begin());
+
+  Node node;
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  tree.push_back(node);
+  const int self = static_cast<int>(tree.size()) - 1;
+  const int left =
+      build_node(tree, examples, indices, begin, mid, grad, hess, depth + 1);
+  const int right =
+      build_node(tree, examples, indices, mid, end, grad, hess, depth + 1);
+  tree[static_cast<std::size_t>(self)].left = left;
+  tree[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+double GradientBoostedTrees::tree_output(const Tree& tree,
+                                         std::span<const double> features) {
+  // Root is the first node pushed for the (sub)tree build at top level;
+  // because build_node pushes parent before children, index 0 is the root.
+  std::size_t node = 0;
+  while (tree[node].feature >= 0) {
+    const std::size_t f = static_cast<std::size_t>(tree[node].feature);
+    node = static_cast<std::size_t>(features[f] < tree[node].threshold
+                                        ? tree[node].left
+                                        : tree[node].right);
+  }
+  return tree[node].leaf_value;
+}
+
+double GradientBoostedTrees::predict_logit(
+    std::span<const double> features) const {
+  if (!trained()) throw std::logic_error("GradientBoostedTrees: not trained");
+  double score = base_score_;
+  for (const Tree& tree : trees_) {
+    score += config_.learning_rate * tree_output(tree, features);
+  }
+  return score;
+}
+
+double GradientBoostedTrees::predict(std::span<const double> features) const {
+  return sigmoid(predict_logit(features));
+}
+
+Inference GbtDetector::infer(std::span<const hpc::HpcSample> window) const {
+  if (window.empty()) return Inference::kBenign;
+  std::size_t malicious_votes = 0;
+  for (const hpc::HpcSample& s : window) {
+    if (model_.predict_logit(hpc::to_features(s)) > 0.0) ++malicious_votes;
+  }
+  return 2 * malicious_votes > window.size() ? Inference::kMalicious
+                                             : Inference::kBenign;
+}
+
+GbtDetector GbtDetector::make(const TraceSet& train, GbtConfig config) {
+  GradientBoostedTrees model(config);
+  model.train(flatten(train));
+  return GbtDetector(std::move(model));
+}
+
+}  // namespace valkyrie::ml

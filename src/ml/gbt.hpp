@@ -1,0 +1,95 @@
+// Gradient-boosted decision trees on the logistic loss — the paper's
+// "XGBoost ensemble" (as deployed in SUNDEW [Karapoola 2024]). Second-order
+// boosting: each regression tree is fit to the gradient/hessian of the
+// logistic loss, leaf values are -G/(H+lambda), exactly the XGBoost
+// formulation with exact greedy splits (no histogram approximation; the
+// datasets here are small).
+//
+// Like the SVM, the detector adapter classifies each measurement and
+// majority-votes across the accumulated window.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/detector.hpp"
+
+namespace valkyrie::ml {
+
+struct GbtConfig {
+  int num_trees = 25;
+  int max_depth = 2;
+  double learning_rate = 0.2;
+  /// L2 regularisation on leaf values (XGBoost lambda).
+  double lambda = 1.0;
+  /// Minimum gain to keep a split (XGBoost gamma).
+  double min_gain = 1e-4;
+  /// Minimum examples per leaf.
+  std::size_t min_leaf = 4;
+};
+
+class GradientBoostedTrees {
+ public:
+  explicit GradientBoostedTrees(GbtConfig config = {}) : config_(config) {}
+
+  void train(const std::vector<Example>& examples);
+
+  /// Raw additive score (log-odds); positive = malicious.
+  [[nodiscard]] double predict_logit(std::span<const double> features) const;
+
+  /// Probability of malicious via sigmoid.
+  [[nodiscard]] double predict(std::span<const double> features) const;
+
+  [[nodiscard]] bool trained() const noexcept { return !trees_.empty(); }
+  [[nodiscard]] std::size_t tree_count() const noexcept {
+    return trees_.size();
+  }
+  [[nodiscard]] const GbtConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Flat node storage: a node is a leaf when feature < 0.
+  struct Node {
+    int feature = -1;
+    double threshold = 0.0;
+    double leaf_value = 0.0;
+    int left = -1;
+    int right = -1;
+  };
+  using Tree = std::vector<Node>;
+
+  int build_node(Tree& tree, const std::vector<Example>& examples,
+                 std::vector<std::uint32_t>& indices, std::size_t begin,
+                 std::size_t end, const std::vector<double>& grad,
+                 const std::vector<double>& hess, int depth);
+  [[nodiscard]] static double tree_output(const Tree& tree,
+                                          std::span<const double> features);
+
+  GbtConfig config_;
+  std::vector<Tree> trees_;
+  double base_score_ = 0.0;
+};
+
+class GbtDetector final : public Detector {
+ public:
+  explicit GbtDetector(GradientBoostedTrees model)
+      : model_(std::move(model)) {}
+
+  [[nodiscard]] std::string_view name() const override { return "xgboost"; }
+  [[nodiscard]] Inference infer(
+      std::span<const hpc::HpcSample> window) const override;
+
+  [[nodiscard]] const GradientBoostedTrees& model() const noexcept {
+    return model_;
+  }
+
+  [[nodiscard]] static GbtDetector make(const TraceSet& train,
+                                        GbtConfig config = {});
+
+ private:
+  GradientBoostedTrees model_;
+};
+
+}  // namespace valkyrie::ml

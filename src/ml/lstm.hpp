@@ -1,0 +1,92 @@
+// Long Short-Term Memory classifier over HPC time series — the paper's
+// ransomware detector (§VI-C): an LSTM whose final hidden state feeds a
+// dense sigmoid output. Trained from scratch with backpropagation through
+// time and Adam; no external ML dependency.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/detector.hpp"
+#include "util/rng.hpp"
+
+namespace valkyrie::ml {
+
+struct LstmConfig {
+  std::size_t input_dim = hpc::kFeatureDim;
+  std::size_t hidden_dim = 8;  // the paper's hidden layer of 8 nodes
+};
+
+struct LstmTrainOptions {
+  int epochs = 30;
+  double learning_rate = 0.01;  // Adam step size
+  /// BPTT window: sequences longer than this are truncated to their tail.
+  std::size_t max_bptt_steps = 48;
+  /// Prefix sequences sampled per trace each epoch, so the model learns to
+  /// classify short windows too.
+  int prefixes_per_trace = 4;
+  double grad_clip_norm = 1.0;
+  std::uint64_t seed = 0x157a;
+};
+
+class Lstm {
+ public:
+  explicit Lstm(LstmConfig config = {}, std::uint64_t seed = 0xbeef);
+
+  /// Probability that the sequence (oldest first) is malicious.
+  [[nodiscard]] double predict(
+      std::span<const std::vector<double>> sequence) const;
+
+  void train(const TraceSet& train_set, const LstmTrainOptions& options);
+
+  [[nodiscard]] const LstmConfig& config() const noexcept { return config_; }
+
+ private:
+  struct ForwardState;
+
+  /// Runs the recurrence, optionally recording per-step state for BPTT.
+  double forward(std::span<const std::vector<double>> sequence,
+                 ForwardState* record) const;
+
+  /// Accumulates gradients for one (sequence, label) pair; returns loss.
+  double backward(std::span<const std::vector<double>> sequence, double target,
+                  double sample_weight, std::vector<double>& grad) const;
+
+  [[nodiscard]] std::size_t param_count() const noexcept;
+
+  LstmConfig config_;
+  /// Input standardisation fitted during train(); raw log1p counts would
+  /// saturate the gates otherwise.
+  FeatureScaler scaler_;
+  // Flat parameter vector: [W (4H x (D+H)), b (4H), w_out (H), b_out (1)].
+  // Gate order within the 4H block: input, forget, cell, output.
+  std::vector<double> params_;
+  // Adam state.
+  std::vector<double> adam_m_;
+  std::vector<double> adam_v_;
+  std::uint64_t adam_t_ = 0;
+};
+
+/// Detector adapter: converts the HPC window to feature sequences.
+class LstmDetector final : public Detector {
+ public:
+  explicit LstmDetector(Lstm model) : model_(std::move(model)) {}
+
+  [[nodiscard]] std::string_view name() const override { return "lstm"; }
+  [[nodiscard]] Inference infer(
+      std::span<const hpc::HpcSample> window) const override;
+
+  [[nodiscard]] const Lstm& model() const noexcept { return model_; }
+
+  [[nodiscard]] static LstmDetector make(const TraceSet& train,
+                                         std::uint64_t seed,
+                                         LstmTrainOptions options = {});
+
+ private:
+  Lstm model_;
+};
+
+}  // namespace valkyrie::ml

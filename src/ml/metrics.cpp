@@ -1,0 +1,48 @@
+#include "ml/metrics.hpp"
+
+namespace valkyrie::ml {
+
+double ConfusionMatrix::precision() const noexcept {
+  const std::uint64_t denom = true_positives + false_positives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double ConfusionMatrix::recall() const noexcept {
+  const std::uint64_t denom = true_positives + false_negatives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double ConfusionMatrix::f1() const noexcept {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::false_positive_rate() const noexcept {
+  const std::uint64_t denom = false_positives + true_negatives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(false_positives) /
+                          static_cast<double>(denom);
+}
+
+double ConfusionMatrix::accuracy() const noexcept {
+  const std::uint64_t t = total();
+  return t == 0 ? 0.0
+                : static_cast<double>(true_positives + true_negatives) /
+                      static_cast<double>(t);
+}
+
+ConfusionMatrix& ConfusionMatrix::operator+=(
+    const ConfusionMatrix& other) noexcept {
+  true_positives += other.true_positives;
+  false_positives += other.false_positives;
+  true_negatives += other.true_negatives;
+  false_negatives += other.false_negatives;
+  return *this;
+}
+
+}  // namespace valkyrie::ml

@@ -1,0 +1,42 @@
+// Binary-classification metrics used to express detection efficacy
+// (paper Fig. 1: F1-score and false-positive rate vs. measurement count).
+#pragma once
+
+#include <cstdint>
+
+namespace valkyrie::ml {
+
+/// Confusion-matrix counts for the attack-detection task. "Positive" means
+/// classified malicious.
+struct ConfusionMatrix {
+  std::uint64_t true_positives = 0;
+  std::uint64_t false_positives = 0;
+  std::uint64_t true_negatives = 0;
+  std::uint64_t false_negatives = 0;
+
+  void record(bool actual_malicious, bool predicted_malicious) noexcept {
+    if (actual_malicious) {
+      predicted_malicious ? ++true_positives : ++false_negatives;
+    } else {
+      predicted_malicious ? ++false_positives : ++true_negatives;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return true_positives + false_positives + true_negatives + false_negatives;
+  }
+
+  /// TP / (TP + FP); 0 when undefined.
+  [[nodiscard]] double precision() const noexcept;
+  /// TP / (TP + FN); 0 when undefined.
+  [[nodiscard]] double recall() const noexcept;
+  /// Harmonic mean of precision and recall; 0 when undefined.
+  [[nodiscard]] double f1() const noexcept;
+  /// FP / (FP + TN); 0 when undefined.
+  [[nodiscard]] double false_positive_rate() const noexcept;
+  [[nodiscard]] double accuracy() const noexcept;
+
+  ConfusionMatrix& operator+=(const ConfusionMatrix& other) noexcept;
+};
+
+}  // namespace valkyrie::ml

@@ -1,0 +1,187 @@
+#include "ml/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace valkyrie::ml {
+namespace {
+
+double sigmoid(double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+Mlp::Mlp(std::vector<std::size_t> layer_sizes, std::uint64_t seed)
+    : sizes_(std::move(layer_sizes)) {
+  if (sizes_.size() < 2) {
+    throw std::invalid_argument("Mlp: need at least input and output layers");
+  }
+  if (sizes_.back() != 1) {
+    throw std::invalid_argument("Mlp: binary classifier needs 1 output unit");
+  }
+  util::Rng rng(seed);
+  for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
+    Layer layer;
+    layer.in = sizes_[l];
+    layer.out = sizes_[l + 1];
+    const double scale =
+        std::sqrt(6.0 / static_cast<double>(layer.in + layer.out));
+    layer.weights.resize(layer.in * layer.out);
+    for (double& w : layer.weights) w = rng.uniform(-scale, scale);
+    layer.bias.assign(layer.out, 0.0);
+    layer.w_vel.assign(layer.weights.size(), 0.0);
+    layer.b_vel.assign(layer.out, 0.0);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+std::vector<std::vector<double>> Mlp::forward(
+    std::span<const double> input) const {
+  if (input.size() != sizes_.front()) {
+    throw std::invalid_argument("Mlp: input dimension mismatch");
+  }
+  std::vector<std::vector<double>> acts;
+  acts.emplace_back(input.begin(), input.end());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    std::vector<double> z(layer.out, 0.0);
+    const std::vector<double>& prev = acts.back();
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      double sum = layer.bias[o];
+      const double* w_row = layer.weights.data() + o * layer.in;
+      for (std::size_t i = 0; i < layer.in; ++i) sum += w_row[i] * prev[i];
+      const bool is_output = (l + 1 == layers_.size());
+      z[o] = is_output ? sigmoid(sum) : std::tanh(sum);
+    }
+    acts.push_back(std::move(z));
+  }
+  return acts;
+}
+
+double Mlp::predict(std::span<const double> input) const {
+  return forward(input).back().front();
+}
+
+void Mlp::train(std::vector<Example> examples, const MlpTrainOptions& options) {
+  if (examples.empty()) {
+    throw std::invalid_argument("Mlp::train: empty dataset");
+  }
+  // Class weights balance the loss when one class dominates the trace mix.
+  const auto n_pos = static_cast<double>(
+      std::count_if(examples.begin(), examples.end(),
+                    [](const Example& e) { return e.malicious; }));
+  const auto n_total = static_cast<double>(examples.size());
+  const double n_neg = n_total - n_pos;
+  if (n_pos == 0.0 || n_neg == 0.0) {
+    throw std::invalid_argument("Mlp::train: need both classes");
+  }
+  const double w_pos = n_total / (2.0 * n_pos);
+  const double w_neg = n_total / (2.0 * n_neg);
+
+  util::Rng rng(options.seed);
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    shuffle(examples, rng);
+    for (const Example& ex : examples) {
+      const std::vector<std::vector<double>> acts = forward(ex.features);
+      const double target = ex.malicious ? 1.0 : 0.0;
+      const double class_weight = ex.malicious ? w_pos : w_neg;
+
+      // Output delta for sigmoid + binary cross-entropy: (p - y).
+      std::vector<double> delta{(acts.back().front() - target) * class_weight};
+
+      for (std::size_t li = layers_.size(); li-- > 0;) {
+        Layer& layer = layers_[li];
+        const std::vector<double>& input_act = acts[li];
+        // Delta for the previous layer (before this layer's update).
+        std::vector<double> prev_delta;
+        if (li > 0) {
+          prev_delta.assign(layer.in, 0.0);
+          for (std::size_t o = 0; o < layer.out; ++o) {
+            const double* w_row = layer.weights.data() + o * layer.in;
+            for (std::size_t i = 0; i < layer.in; ++i) {
+              prev_delta[i] += w_row[i] * delta[o];
+            }
+          }
+          // tanh'(z) = 1 - a^2 where a is the activation.
+          for (std::size_t i = 0; i < layer.in; ++i) {
+            prev_delta[i] *= (1.0 - input_act[i] * input_act[i]);
+          }
+        }
+        for (std::size_t o = 0; o < layer.out; ++o) {
+          double* w_row = layer.weights.data() + o * layer.in;
+          double* v_row = layer.w_vel.data() + o * layer.in;
+          for (std::size_t i = 0; i < layer.in; ++i) {
+            const double grad = delta[o] * input_act[i];
+            v_row[i] = options.momentum * v_row[i] -
+                       options.learning_rate * grad;
+            w_row[i] += v_row[i];
+          }
+          layer.b_vel[o] =
+              options.momentum * layer.b_vel[o] - options.learning_rate * delta[o];
+          layer.bias[o] += layer.b_vel[o];
+        }
+        delta = std::move(prev_delta);
+      }
+    }
+  }
+}
+
+Inference MlpDetector::infer(std::span<const hpc::HpcSample> window) const {
+  if (window.empty()) return Inference::kBenign;
+  const std::vector<double> features =
+      scaler_.transform(window_features(window));
+  return mlp_.predict(features) > 0.5 ? Inference::kMalicious
+                                      : Inference::kBenign;
+}
+
+std::vector<Example> make_window_examples(const TraceSet& set, util::Rng& rng,
+                                          int prefixes_per_trace) {
+  std::vector<Example> out;
+  for (const LabeledTrace& trace : set.traces) {
+    if (trace.samples.empty()) continue;
+    for (int k = 0; k < prefixes_per_trace; ++k) {
+      const std::size_t len = 1 + rng.below(trace.samples.size());
+      const std::span<const hpc::HpcSample> prefix(trace.samples.data(), len);
+      out.push_back({window_features(prefix), trace.malicious});
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared training pipeline: window examples -> scaler -> SGD.
+MlpDetector train_ann(std::string name, std::vector<std::size_t> layers,
+                      const TraceSet& train, std::uint64_t seed,
+                      MlpTrainOptions options) {
+  util::Rng rng(seed);
+  std::vector<Example> examples = make_window_examples(train, rng);
+  std::vector<std::vector<double>> raw;
+  raw.reserve(examples.size());
+  for (const Example& ex : examples) raw.push_back(ex.features);
+  FeatureScaler scaler;
+  scaler.fit(raw);
+  for (Example& ex : examples) ex.features = scaler.transform(ex.features);
+
+  Mlp mlp(std::move(layers), seed);
+  options.seed = seed ^ 0x9e3779b9;
+  mlp.train(std::move(examples), options);
+  return MlpDetector(std::move(name), std::move(mlp), std::move(scaler));
+}
+
+}  // namespace
+
+MlpDetector MlpDetector::make_small_ann(const TraceSet& train,
+                                        std::uint64_t seed) {
+  return train_ann("small-ann", {kWindowFeatureDim, 4, 1}, train, seed, {});
+}
+
+MlpDetector MlpDetector::make_large_ann(const TraceSet& train,
+                                        std::uint64_t seed) {
+  MlpTrainOptions options;
+  options.epochs = 80;
+  return train_ann("large-ann", {kWindowFeatureDim, 8, 8, 1}, train, seed,
+                   options);
+}
+
+}  // namespace valkyrie::ml

@@ -1,0 +1,98 @@
+// Feed-forward neural network (the paper's "small ANN": one hidden layer of
+// 4 nodes; "large ANN": two hidden layers of 8 nodes) trained with SGD on
+// binary cross-entropy. Inputs are the fixed-size window aggregate features,
+// so the same network serves any measurement-window length — efficacy grows
+// with window size because the aggregates concentrate (paper Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/detector.hpp"
+#include "util/rng.hpp"
+
+namespace valkyrie::ml {
+
+struct MlpTrainOptions {
+  int epochs = 60;
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  std::uint64_t seed = 0x31337;
+};
+
+/// Fully connected network with tanh hidden activations and a sigmoid
+/// output. Layer sizes include input and output, e.g. {24, 4, 1}.
+class Mlp {
+ public:
+  explicit Mlp(std::vector<std::size_t> layer_sizes,
+               std::uint64_t seed = 0xabcd);
+
+  /// Probability the input is malicious, in (0, 1).
+  [[nodiscard]] double predict(std::span<const double> input) const;
+
+  /// SGD training on shuffled examples with class re-weighting so an
+  /// imbalanced trace mix still trains both classes.
+  void train(std::vector<Example> examples, const MlpTrainOptions& options);
+
+  [[nodiscard]] const std::vector<std::size_t>& layer_sizes() const noexcept {
+    return sizes_;
+  }
+
+ private:
+  struct Layer {
+    std::size_t in = 0;
+    std::size_t out = 0;
+    std::vector<double> weights;  // out x in, row-major
+    std::vector<double> bias;     // out
+    std::vector<double> w_vel;    // momentum buffers
+    std::vector<double> b_vel;
+  };
+
+  /// Forward pass storing activations per layer (for backprop).
+  [[nodiscard]] std::vector<std::vector<double>> forward(
+      std::span<const double> input) const;
+
+  std::vector<std::size_t> sizes_;
+  std::vector<Layer> layers_;
+};
+
+/// Detector adapter: window aggregate features -> standardise -> MLP ->
+/// threshold at 0.5.
+class MlpDetector final : public Detector {
+ public:
+  MlpDetector(std::string name, Mlp mlp, FeatureScaler scaler)
+      : name_(std::move(name)),
+        mlp_(std::move(mlp)),
+        scaler_(std::move(scaler)) {}
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] Inference infer(
+      std::span<const hpc::HpcSample> window) const override;
+
+  [[nodiscard]] const Mlp& model() const noexcept { return mlp_; }
+
+  /// Builds and trains the paper's small ANN (one hidden layer, 4 nodes)
+  /// on whole-window aggregates of the given traces.
+  [[nodiscard]] static MlpDetector make_small_ann(const TraceSet& train,
+                                                  std::uint64_t seed);
+  /// The paper's large ANN: two hidden layers of 8 nodes each.
+  [[nodiscard]] static MlpDetector make_large_ann(const TraceSet& train,
+                                                  std::uint64_t seed);
+
+ private:
+  std::string name_;
+  Mlp mlp_;
+  FeatureScaler scaler_;
+};
+
+/// Builds window-aggregate training examples from traces: for each trace,
+/// several prefixes of random length are aggregated, teaching the network
+/// to classify windows of any size.
+[[nodiscard]] std::vector<Example> make_window_examples(const TraceSet& set,
+                                                        util::Rng& rng,
+                                                        int prefixes_per_trace = 8);
+
+}  // namespace valkyrie::ml

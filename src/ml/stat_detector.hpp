@@ -1,0 +1,109 @@
+// The "simple statistical detector" used by the micro-architectural,
+// rowhammer and cryptominer case studies (paper §VI, similar to HexPADS
+// [Payer 2016]): diagonal-Gaussian models of the benign population and of
+// the known attack signatures. An epoch is classified malicious when its
+// feature vector sits measurably closer (in per-feature z-distance) to the
+// attack population than to the benign one — the statistical analogue of
+// HexPADS' per-counter attack-pattern thresholds. With benign examples
+// only, it degrades to a pure anomaly detector (worst per-counter z).
+//
+// The paper deliberately pairs Valkyrie with this deliberately-simple
+// detector because its higher false-positive frequency stresses the response
+// framework (§VI-A: it flags ~4% of SPEC epochs).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/detector.hpp"
+
+namespace valkyrie::ml {
+
+struct StatDetectorConfig {
+  /// Score above which an epoch is malicious. Deployments calibrate this
+  /// to a target benign false-positive rate (calibrate_stat_threshold).
+  double threshold = 0.0;
+  /// Number of most recent measurements to vote over (1 = newest only,
+  /// which is what lets falsely-flagged benign processes recover quickly).
+  std::size_t vote_window = 1;
+  /// Attack-signature clusters: the malicious population is multi-modal
+  /// (cache spies, hammers, miners, lockers), so the signature library is
+  /// a small k-means mixture rather than one Gaussian.
+  std::size_t attack_clusters = 10;
+  /// The benign population is just as multi-modal (compute kernels,
+  /// memory-bound code, graphics, streaming), so it gets a mixture too;
+  /// a single pooled Gaussian would swallow every attack inside its
+  /// cross-class variance.
+  std::size_t benign_clusters = 8;
+  /// Fraction of window votes that must be malicious for a malicious
+  /// inference. The default simple majority fits the per-epoch view; the
+  /// accumulated (terminable-decision) view uses a supermajority, because
+  /// termination should require *clear* evidence, not a 50.1% coin flip.
+  double vote_fraction = 0.5;
+};
+
+class StatisticalDetector final : public Detector {
+ public:
+  explicit StatisticalDetector(StatDetectorConfig config = {});
+
+  /// Learns the benign feature distribution, and — when malicious examples
+  /// are present — the attack-signature distribution as well.
+  void fit(std::span<const Example> examples);
+
+  [[nodiscard]] std::string_view name() const override {
+    return "statistical";
+  }
+  [[nodiscard]] Inference infer(
+      std::span<const hpc::HpcSample> window) const override;
+
+  /// Detection score (exposed for calibration and tests). With an attack
+  /// model: benign-z minus attack-z, so positive means closer to the
+  /// attack signatures. Without one: worst per-counter benign z-distance.
+  [[nodiscard]] double score(std::span<const double> features) const;
+
+  [[nodiscard]] bool has_attack_model() const noexcept {
+    return !attack_models_.empty();
+  }
+  [[nodiscard]] std::size_t attack_model_count() const noexcept {
+    return attack_models_.size();
+  }
+
+  [[nodiscard]] bool trained() const noexcept { return !mean_.empty(); }
+  [[nodiscard]] const StatDetectorConfig& config() const noexcept {
+    return config_;
+  }
+  void set_threshold(double threshold) noexcept { config_.threshold = threshold; }
+  void set_vote_window(std::size_t window) noexcept {
+    config_.vote_window = window;
+  }
+
+  /// A copy of this detector that majority-votes over the *entire*
+  /// accumulated window — the high-efficacy view used for the terminable
+  /// decision at N* measurements (what Fig. 1 evaluates for SVM/XGBoost).
+  [[nodiscard]] StatisticalDetector accumulated_view() const {
+    StatisticalDetector view = *this;
+    view.config_.vote_window = static_cast<std::size_t>(-1);
+    view.config_.vote_fraction = 0.8;
+    return view;
+  }
+
+ private:
+  struct Gaussian {
+    std::vector<double> mean;
+    std::vector<double> stddev;
+  };
+
+  /// k-means + per-cluster diagonal Gaussians over one class's examples.
+  [[nodiscard]] static std::vector<Gaussian> cluster_gaussians(
+      const std::vector<const std::vector<double>*>& rows, std::size_t max_k);
+
+  StatDetectorConfig config_;
+  std::vector<double> mean_;    // pooled benign model (anomaly fallback)
+  std::vector<double> stddev_;
+  std::vector<Gaussian> benign_models_;
+  std::vector<Gaussian> attack_models_;
+};
+
+}  // namespace valkyrie::ml

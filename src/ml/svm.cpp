@@ -1,0 +1,86 @@
+#include "ml/svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace valkyrie::ml {
+
+double LinearSvm::decision(std::span<const double> features) const {
+  if (!trained()) throw std::logic_error("LinearSvm: not trained");
+  if (features.size() != weights_.size()) {
+    throw std::invalid_argument("LinearSvm: feature dim mismatch");
+  }
+  double sum = bias_;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    sum += weights_[i] * features[i];
+  }
+  return sum;
+}
+
+void LinearSvm::train(std::vector<Example> examples,
+                      const SvmTrainOptions& options) {
+  if (examples.empty()) throw std::invalid_argument("LinearSvm: empty dataset");
+  const std::size_t dim = examples.front().features.size();
+  weights_.assign(dim, 0.0);
+  bias_ = 0.0;
+
+  // Class weights: a ransomware-heavy corpus must not buy recall by
+  // flagging everything (the FPR would explode).
+  const auto n_pos = static_cast<double>(
+      std::count_if(examples.begin(), examples.end(),
+                    [](const Example& e) { return e.malicious; }));
+  const auto n_total = static_cast<double>(examples.size());
+  const double n_neg = n_total - n_pos;
+  const double w_pos = n_pos > 0.0 ? n_total / (2.0 * n_pos) : 1.0;
+  const double w_neg = n_neg > 0.0 ? n_total / (2.0 * n_neg) : 1.0;
+
+  util::Rng rng(options.seed);
+  std::size_t t = 1;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    shuffle(examples, rng);
+    for (const Example& ex : examples) {
+      const double y = ex.malicious ? 1.0 : -1.0;
+      const double cw = ex.malicious ? w_pos : w_neg;
+      const double eta = 1.0 / (options.lambda * static_cast<double>(t));
+      double margin = bias_;
+      for (std::size_t i = 0; i < dim; ++i) {
+        margin += weights_[i] * ex.features[i];
+      }
+      // Pegasos update: always shrink, add the example when it violates
+      // the margin.
+      const double shrink = 1.0 - eta * options.lambda;
+      for (double& w : weights_) w *= shrink;
+      if (y * margin < 1.0) {
+        for (std::size_t i = 0; i < dim; ++i) {
+          weights_[i] += eta * y * cw * ex.features[i];
+        }
+        bias_ += eta * y * cw * 0.1;  // lightly-regularised bias term
+      }
+      ++t;
+    }
+  }
+}
+
+Inference SvmDetector::infer(std::span<const hpc::HpcSample> window) const {
+  if (window.empty()) return Inference::kBenign;
+  std::size_t malicious_votes = 0;
+  for (const hpc::HpcSample& s : window) {
+    if (svm_.decision(hpc::to_features(s)) > 0.0) ++malicious_votes;
+  }
+  return 2 * malicious_votes > window.size() ? Inference::kMalicious
+                                             : Inference::kBenign;
+}
+
+SvmDetector SvmDetector::make(const TraceSet& train, std::uint64_t seed) {
+  std::vector<Example> examples = flatten(train);
+  LinearSvm svm;
+  SvmTrainOptions options;
+  options.seed = seed;
+  svm.train(std::move(examples), options);
+  return SvmDetector(std::move(svm));
+}
+
+}  // namespace valkyrie::ml

@@ -1,0 +1,28 @@
+#include "sim/platform.hpp"
+
+namespace valkyrie::sim::platforms {
+
+PlatformProfile i7_3770() noexcept {
+  PlatformProfile p;
+  p.name = "i7-3770";
+  p.hpc_noise = 1.0;
+  return p;
+}
+
+PlatformProfile i7_7700() noexcept {
+  PlatformProfile p;
+  p.name = "i7-7700";
+  // Noisier PMU sampling on this box in our calibration: slightly more
+  // false-positive epochs, hence Table IV's higher benign slowdown (2.2%).
+  p.hpc_noise = 1.35;
+  return p;
+}
+
+PlatformProfile i9_11900() noexcept {
+  PlatformProfile p;
+  p.name = "i9-11900";
+  p.hpc_noise = 0.8;
+  return p;
+}
+
+}  // namespace valkyrie::sim::platforms

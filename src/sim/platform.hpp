@@ -1,0 +1,36 @@
+// Evaluation-platform profiles (paper §VI: Intel i7-3770 / Ubuntu 16.04,
+// i7-7700 and i9-11900 / Ubuntu 20.04, all on 4.19-series kernels).
+//
+// For the simulation the platforms differ in measurement noise (HPC event
+// multiplexing quality differs across PMU generations) and scheduler
+// parameters; these small differences produce the per-platform slowdown
+// spread of Table IV.
+#pragma once
+
+#include <string_view>
+
+#include "sim/scheduler.hpp"
+
+namespace valkyrie::sim {
+
+struct PlatformProfile {
+  std::string_view name = "generic";
+  /// Measurement epoch: one detector inference per epoch (paper: 100 ms).
+  double epoch_ms = 100.0;
+  /// Multiplier on every workload's HPC noise (PMU generation quality).
+  double hpc_noise = 1.0;
+  SchedulerConfig scheduler{};
+};
+
+namespace platforms {
+
+/// Intel Core i7-3770 (Ivy Bridge), Ubuntu 16.04, Linux 4.19.2.
+[[nodiscard]] PlatformProfile i7_3770() noexcept;
+/// Intel Core i7-7700 (Kaby Lake), Ubuntu 20.04, Linux 4.19.265.
+[[nodiscard]] PlatformProfile i7_7700() noexcept;
+/// Intel Core i9-11900 (Rocket Lake), Ubuntu 20.04, Linux 4.19.265.
+[[nodiscard]] PlatformProfile i9_11900() noexcept;
+
+}  // namespace platforms
+
+}  // namespace valkyrie::sim

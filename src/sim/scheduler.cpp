@@ -1,0 +1,78 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace valkyrie::sim {
+
+CfsScheduler::CfsScheduler(const SchedulerConfig& config) : config_(config) {
+  assert(config_.gamma > 0.0 && config_.gamma < 1.0);
+  assert(config_.background_weight_units >= 0.0);
+}
+
+void CfsScheduler::add_process(ProcessId pid) { factor_.emplace(pid, 1.0); }
+
+void CfsScheduler::remove_process(ProcessId pid) { factor_.erase(pid); }
+
+bool CfsScheduler::has_process(ProcessId pid) const {
+  return factor_.contains(pid);
+}
+
+double CfsScheduler::weight_factor(ProcessId pid) const {
+  const auto it = factor_.find(pid);
+  if (it == factor_.end()) {
+    throw std::out_of_range("CfsScheduler: unknown process id");
+  }
+  return it->second;
+}
+
+void CfsScheduler::apply_threat_delta(ProcessId pid, double delta_threat) {
+  const auto it = factor_.find(pid);
+  if (it == factor_.end()) {
+    throw std::out_of_range("CfsScheduler: unknown process id");
+  }
+  double s = it->second;
+  // Eq. 8: s_i = s_{i-1} -/+ gamma * s_{i-1} * |dT| for rising/falling
+  // threat. A drop of gamma per unit of threat change, multiplicative.
+  s *= (1.0 - config_.gamma * delta_threat);
+  it->second = std::clamp(s, config_.min_share_fraction, 1.0);
+}
+
+void CfsScheduler::reset_weight(ProcessId pid) {
+  const auto it = factor_.find(pid);
+  if (it == factor_.end()) {
+    throw std::out_of_range("CfsScheduler: unknown process id");
+  }
+  it->second = 1.0;
+}
+
+double CfsScheduler::total_weight() const {
+  double total = config_.background_weight_units;
+  for (const auto& [pid, factor] : factor_) total += factor;
+  return total;
+}
+
+double CfsScheduler::absolute_share(ProcessId pid) const {
+  const double w = weight_factor(pid);
+  const double total = total_weight();
+  return total > 0.0 ? w / total : 0.0;
+}
+
+double CfsScheduler::normalized_share(ProcessId pid) const {
+  const double w = weight_factor(pid);
+  // Share this process would have at default weight, holding the others at
+  // their current weights.
+  const double total_now = total_weight();
+  const double total_default = total_now - w + 1.0;
+  const double share_now = w / total_now;
+  const double share_default = 1.0 / total_default;
+  return share_default > 0.0 ? std::min(1.0, share_now / share_default) : 0.0;
+}
+
+double CfsScheduler::timeslice_ms(ProcessId pid) const {
+  return config_.targeted_latency_ms * absolute_share(pid);
+}
+
+}  // namespace valkyrie::sim

@@ -1,0 +1,83 @@
+// Completely-Fair-Scheduler-style weighted scheduler model (paper §VI-A).
+//
+// Linux CFS gives each runnable task a timeslice proportional to its weight:
+//   timeslice_t = targeted_latency * w_t / sum(w)          (Eq. 7)
+// with 40 discrete weight levels separated by a constant multiplicative step.
+// Valkyrie's scheduler actuator moves a flagged process down (or back up)
+// these levels as its threat index changes (Eq. 8, step gamma = 0.1 on the
+// evaluation platforms).
+//
+// The model keeps real weights per process plus a constant "background"
+// weight standing in for the rest of the system, so a single process's
+// relative share behaves like a lightly loaded interactive machine.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace valkyrie::sim {
+
+using ProcessId = std::uint32_t;
+
+struct SchedulerConfig {
+  /// CFS targeted latency: the window within which every runnable process
+  /// should run once.
+  double targeted_latency_ms = 24.0;
+  /// Multiplicative weight step between adjacent levels (paper gamma).
+  double gamma = 0.1;
+  /// Number of discrete weight levels (Linux nice range is 40 levels).
+  int weight_levels = 40;
+  /// Default level for a fresh process (middle of the range).
+  int default_level = 20;
+  /// Weight of everything else running on the machine, in units of one
+  /// default-level process. 9 background units means an unthrottled process
+  /// owns ~10% of the machine, i.e. a lightly loaded desktop.
+  double background_weight_units = 9.0;
+  /// Fraction of its default share below which a process cannot be pushed
+  /// (the paper's s_MIN; user-configurable slowdown cap lives on top).
+  double min_share_fraction = 0.01;
+};
+
+class CfsScheduler {
+ public:
+  explicit CfsScheduler(const SchedulerConfig& config = {});
+
+  void add_process(ProcessId pid);
+  void remove_process(ProcessId pid);
+  [[nodiscard]] bool has_process(ProcessId pid) const;
+
+  /// Relative weight factor of the process vs. its default weight, in
+  /// (0, 1]: 1 = untouched, lower = demoted by the actuator.
+  [[nodiscard]] double weight_factor(ProcessId pid) const;
+
+  /// Applies Eq. 8 with the configured gamma for a threat-index change of
+  /// `delta_threat` (positive = demote, negative = promote). The factor is
+  /// clamped to [min_share_fraction, 1].
+  void apply_threat_delta(ProcessId pid, double delta_threat);
+
+  /// Restores the default weight (Areset on the CPU resource).
+  void reset_weight(ProcessId pid);
+
+  /// The CPU share this process receives, as a fraction of the share an
+  /// un-demoted process would get: weight / (weight + others + background),
+  /// normalised so an untouched process reads 1.0.
+  [[nodiscard]] double normalized_share(ProcessId pid) const;
+
+  /// Absolute share of machine CPU (Eq. 7's s_t), before normalisation.
+  [[nodiscard]] double absolute_share(ProcessId pid) const;
+
+  /// CFS timeslice for the process within one targeted-latency window.
+  [[nodiscard]] double timeslice_ms(ProcessId pid) const;
+
+  [[nodiscard]] const SchedulerConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  [[nodiscard]] double total_weight() const;
+
+  SchedulerConfig config_;
+  std::unordered_map<ProcessId, double> factor_;  // pid -> weight factor
+};
+
+}  // namespace valkyrie::sim

@@ -1,0 +1,150 @@
+#include "sim/system.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace valkyrie::sim {
+
+SimSystem::SimSystem(const PlatformProfile& platform, std::uint64_t seed)
+    : platform_(platform), rng_(seed), scheduler_(platform.scheduler) {}
+
+ProcessId SimSystem::spawn(std::unique_ptr<Workload> workload) {
+  if (workload == nullptr) {
+    throw std::invalid_argument("SimSystem::spawn: null workload");
+  }
+  const auto pid = static_cast<ProcessId>(procs_.size());
+  Proc p;
+  p.workload = std::move(workload);
+  p.rng = rng_.fork();
+  procs_.push_back(std::move(p));
+  scheduler_.add_process(pid);
+  return pid;
+}
+
+const SimSystem::Proc& SimSystem::proc(ProcessId pid) const {
+  if (pid >= procs_.size()) {
+    throw std::out_of_range("SimSystem: unknown process id");
+  }
+  return procs_[pid];
+}
+
+SimSystem::Proc& SimSystem::proc(ProcessId pid) {
+  if (pid >= procs_.size()) {
+    throw std::out_of_range("SimSystem: unknown process id");
+  }
+  return procs_[pid];
+}
+
+void SimSystem::run_epoch() {
+  for (ProcessId pid = 0; pid < procs_.size(); ++pid) {
+    Proc& p = procs_[pid];
+    if (p.exit != ExitReason::kRunning) continue;
+
+    // Effective CPU share: the scheduler's (possibly demoted) share capped
+    // by any cgroup CPU quota. Other resources come from cgroup caps alone.
+    ResourceShares eff;
+    eff.cpu = std::min(scheduler_.normalized_share(pid), p.cgroup.cpu);
+    eff.mem = p.cgroup.mem;
+    eff.net = p.cgroup.net;
+    eff.fs = p.cgroup.fs;
+    p.effective = eff;
+
+    EpochContext ctx;
+    ctx.epoch = epoch_;
+    ctx.epoch_ms = platform_.epoch_ms;
+    ctx.hpc_noise = platform_.hpc_noise;
+    ctx.rng = &p.rng;
+
+    const StepResult step = p.workload->run_epoch(eff, ctx);
+    p.last_sample = step.hpc;
+    p.history.push_back(step.hpc);
+    p.last_progress = step.progress;
+    ++p.epochs_run;
+    if (step.finished) p.exit = ExitReason::kCompleted;
+  }
+  ++epoch_;
+}
+
+void SimSystem::run_epochs(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) run_epoch();
+}
+
+void SimSystem::set_cgroup_caps(ProcessId pid, std::optional<double> cpu,
+                                std::optional<double> mem,
+                                std::optional<double> net,
+                                std::optional<double> fs) {
+  Proc& p = proc(pid);
+  const auto clamp01 = [](double v) { return std::clamp(v, 0.0, 1.0); };
+  if (cpu) p.cgroup.cpu = clamp01(*cpu);
+  if (mem) p.cgroup.mem = clamp01(*mem);
+  if (net) p.cgroup.net = clamp01(*net);
+  if (fs) p.cgroup.fs = clamp01(*fs);
+}
+
+void SimSystem::clear_cgroup_caps(ProcessId pid) {
+  proc(pid).cgroup = ResourceShares{};
+}
+
+void SimSystem::apply_sched_threat_delta(ProcessId pid, double delta_threat) {
+  [[maybe_unused]] const Proc& p = proc(pid);  // validate pid
+  scheduler_.apply_threat_delta(pid, delta_threat);
+}
+
+void SimSystem::reset_sched_weight(ProcessId pid) {
+  [[maybe_unused]] const Proc& p = proc(pid);  // validate pid
+  scheduler_.reset_weight(pid);
+}
+
+void SimSystem::kill(ProcessId pid) {
+  Proc& p = proc(pid);
+  if (p.exit == ExitReason::kRunning) p.exit = ExitReason::kKilled;
+}
+
+bool SimSystem::is_live(ProcessId pid) const {
+  return proc(pid).exit == ExitReason::kRunning;
+}
+
+ExitReason SimSystem::exit_reason(ProcessId pid) const {
+  return proc(pid).exit;
+}
+
+const Workload& SimSystem::workload(ProcessId pid) const {
+  return *proc(pid).workload;
+}
+
+Workload& SimSystem::workload(ProcessId pid) { return *proc(pid).workload; }
+
+const ResourceShares& SimSystem::effective_shares(ProcessId pid) const {
+  return proc(pid).effective;
+}
+
+const ResourceShares& SimSystem::cgroup_caps(ProcessId pid) const {
+  return proc(pid).cgroup;
+}
+
+const hpc::HpcSample& SimSystem::last_sample(ProcessId pid) const {
+  return proc(pid).last_sample;
+}
+
+const std::vector<hpc::HpcSample>& SimSystem::sample_history(
+    ProcessId pid) const {
+  return proc(pid).history;
+}
+
+double SimSystem::last_progress(ProcessId pid) const {
+  return proc(pid).last_progress;
+}
+
+std::uint64_t SimSystem::epochs_run(ProcessId pid) const {
+  return proc(pid).epochs_run;
+}
+
+std::vector<ProcessId> SimSystem::live_processes() const {
+  std::vector<ProcessId> out;
+  for (ProcessId pid = 0; pid < procs_.size(); ++pid) {
+    if (procs_[pid].exit == ExitReason::kRunning) out.push_back(pid);
+  }
+  return out;
+}
+
+}  // namespace valkyrie::sim

@@ -1,0 +1,118 @@
+// The epoch-driven system simulator: owns processes (each wrapping a
+// Workload), a CFS-style scheduler, and cgroup-style resource caps. Each
+// call to run_epoch() advances simulated wall-clock time by one measurement
+// epoch, computes every process's effective resource shares, executes the
+// workloads and records their HPC samples.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hpc/hpc.hpp"
+#include "sim/platform.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/workload.hpp"
+#include "util/rng.hpp"
+
+namespace valkyrie::sim {
+
+/// Why a process is no longer runnable.
+enum class ExitReason : std::uint8_t { kRunning, kCompleted, kKilled };
+
+class SimSystem {
+ public:
+  explicit SimSystem(const PlatformProfile& platform = {},
+                     std::uint64_t seed = 0x5a1f);
+
+  /// Adds a process; returns its id. The process starts unthrottled.
+  ProcessId spawn(std::unique_ptr<Workload> workload);
+
+  /// Runs one measurement epoch for every live process.
+  void run_epoch();
+
+  /// Runs `n` epochs.
+  void run_epochs(std::size_t n);
+
+  // --- Actuator-facing controls -------------------------------------------
+
+  /// cgroup-style caps, as fractions of default. Only the fields the caller
+  /// sets are changed (std::nullopt leaves a dimension untouched).
+  void set_cgroup_caps(ProcessId pid, std::optional<double> cpu,
+                       std::optional<double> mem, std::optional<double> net,
+                       std::optional<double> fs);
+
+  /// Removes all cgroup caps for the process.
+  void clear_cgroup_caps(ProcessId pid);
+
+  /// CFS-weight demotion/promotion for a threat-index change (Eq. 8).
+  void apply_sched_threat_delta(ProcessId pid, double delta_threat);
+
+  /// Restores the default scheduler weight.
+  void reset_sched_weight(ProcessId pid);
+
+  /// Kills the process (termination response).
+  void kill(ProcessId pid);
+
+  // --- Observers -----------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t current_epoch() const noexcept { return epoch_; }
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return static_cast<double>(epoch_) * platform_.epoch_ms;
+  }
+  [[nodiscard]] const PlatformProfile& platform() const noexcept {
+    return platform_;
+  }
+  [[nodiscard]] CfsScheduler& scheduler() noexcept { return scheduler_; }
+
+  [[nodiscard]] bool is_live(ProcessId pid) const;
+  [[nodiscard]] ExitReason exit_reason(ProcessId pid) const;
+  [[nodiscard]] const Workload& workload(ProcessId pid) const;
+  [[nodiscard]] Workload& workload(ProcessId pid);
+
+  /// Effective shares the process received in the most recent epoch.
+  [[nodiscard]] const ResourceShares& effective_shares(ProcessId pid) const;
+
+  /// Current cgroup caps for the process (defaults are all 1.0).
+  [[nodiscard]] const ResourceShares& cgroup_caps(ProcessId pid) const;
+
+  /// Most recent HPC sample (empty sample before the first epoch).
+  [[nodiscard]] const hpc::HpcSample& last_sample(ProcessId pid) const;
+
+  /// All samples captured so far, oldest first.
+  [[nodiscard]] const std::vector<hpc::HpcSample>& sample_history(
+      ProcessId pid) const;
+
+  /// Progress the process made in the most recent epoch (B^t_i).
+  [[nodiscard]] double last_progress(ProcessId pid) const;
+
+  /// Number of epochs the process has actually executed.
+  [[nodiscard]] std::uint64_t epochs_run(ProcessId pid) const;
+
+  [[nodiscard]] std::vector<ProcessId> live_processes() const;
+
+ private:
+  struct Proc {
+    std::unique_ptr<Workload> workload;
+    util::Rng rng;
+    ResourceShares cgroup{};    // caps set by cgroup actuators
+    ResourceShares effective{}; // what the last epoch actually granted
+    hpc::HpcSample last_sample{};
+    std::vector<hpc::HpcSample> history;
+    double last_progress = 0.0;
+    std::uint64_t epochs_run = 0;
+    ExitReason exit = ExitReason::kRunning;
+  };
+
+  [[nodiscard]] const Proc& proc(ProcessId pid) const;
+  [[nodiscard]] Proc& proc(ProcessId pid);
+
+  PlatformProfile platform_;
+  util::Rng rng_;
+  CfsScheduler scheduler_;
+  std::vector<Proc> procs_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace valkyrie::sim

@@ -1,0 +1,57 @@
+// The workload abstraction every simulated program implements — attacks,
+// covert-channel pairs and benign benchmark programs alike.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "hpc/hpc.hpp"
+#include "sim/resources.hpp"
+#include "util/rng.hpp"
+
+namespace valkyrie::sim {
+
+/// Per-epoch environment handed to a workload by the system.
+struct EpochContext {
+  std::uint64_t epoch = 0;
+  double epoch_ms = 100.0;
+  /// Multiplier on HPC measurement noise (platform-dependent).
+  double hpc_noise = 1.0;
+  /// Per-process random stream; never null during run_epoch.
+  util::Rng* rng = nullptr;
+};
+
+/// What a workload accomplished in one epoch.
+struct StepResult {
+  /// Progress in the workload's own units (bytes encrypted, hashes, bits
+  /// transmitted, work items, ...). The paper's B^t_i(R^t_i).
+  double progress = 0.0;
+  /// The HPC readings this epoch's execution produced.
+  hpc::HpcSample hpc;
+  /// True when the program has run to natural completion.
+  bool finished = false;
+};
+
+/// A simulated program. One call to run_epoch models one measurement epoch
+/// (default 100 ms) of wall-clock execution under the given resource shares.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Ground-truth label, used when building training datasets and when
+  /// scoring detector inferences. Valkyrie itself never reads this.
+  [[nodiscard]] virtual bool is_attack() const = 0;
+
+  /// Unit string for progress values (for reports), e.g. "bytes", "hashes".
+  [[nodiscard]] virtual std::string_view progress_units() const = 0;
+
+  virtual StepResult run_epoch(const ResourceShares& shares,
+                               EpochContext& ctx) = 0;
+
+  /// Cumulative progress across all epochs so far.
+  [[nodiscard]] virtual double total_progress() const = 0;
+};
+
+}  // namespace valkyrie::sim

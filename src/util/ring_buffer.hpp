@@ -1,0 +1,69 @@
+// Fixed-capacity ring buffer used for sliding windows of HPC measurements.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace valkyrie::util {
+
+/// Keeps the most recent `capacity` elements pushed into it. Iteration order
+/// (via at/oldest-first copy) is oldest to newest, which is the order the
+/// time-series detectors consume.
+template <typename T>
+class RingBuffer {
+  // std::vector<bool> is a packed proxy container: at()/newest() would
+  // return references to temporaries. Store std::uint8_t instead.
+  static_assert(!std::is_same_v<T, bool>,
+                "RingBuffer<bool> is unsafe; use std::uint8_t");
+
+ public:
+  explicit RingBuffer(std::size_t capacity) : buf_(capacity) {
+    assert(capacity > 0);
+  }
+
+  void push(T value) {
+    buf_[head_] = std::move(value);
+    head_ = (head_ + 1) % buf_.size();
+    if (size_ < buf_.size()) ++size_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == buf_.size(); }
+
+  /// Element i in oldest-first order; i must be < size().
+  [[nodiscard]] const T& at(std::size_t i) const {
+    assert(i < size_);
+    const std::size_t start = (head_ + buf_.size() - size_) % buf_.size();
+    return buf_[(start + i) % buf_.size()];
+  }
+
+  /// Most recently pushed element; buffer must be non-empty.
+  [[nodiscard]] const T& newest() const {
+    assert(size_ > 0);
+    return buf_[(head_ + buf_.size() - 1) % buf_.size()];
+  }
+
+  /// Copies contents oldest-first into a vector (for detector input).
+  [[nodiscard]] std::vector<T> snapshot() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) out.push_back(at(i));
+    return out;
+  }
+
+  void clear() noexcept {
+    size_ = 0;
+    head_ = 0;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace valkyrie::util

@@ -1,0 +1,74 @@
+// Small statistics helpers shared by detectors, benchmarks and reports.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace valkyrie::util {
+
+/// Single-pass mean/variance accumulator (Welford's algorithm).
+/// Numerically stable; suitable for long HPC streams.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Population variance; 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_);
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  void merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * nb / (na + nb);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of a span; 0 for an empty span.
+[[nodiscard]] double mean_of(std::span<const double> xs) noexcept;
+
+/// Geometric mean of non-negative values. Values <= 0 are lifted to `floor`
+/// (the paper reports geometric-mean slowdowns over values that may be ~0%).
+[[nodiscard]] double geomean_of(std::span<const double> xs,
+                                double floor = 1e-6) noexcept;
+
+/// p-th percentile (p in [0,100]) by linear interpolation on a sorted copy.
+[[nodiscard]] double percentile_of(std::span<const double> xs, double p);
+
+/// Pearson correlation coefficient; 0 when either side is constant.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys) noexcept;
+
+}  // namespace valkyrie::util

@@ -1,0 +1,75 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace valkyrie::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      line += cell;
+      if (c + 1 < widths.size()) {
+        line.append(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string fmt_pct(double fraction, int decimals) {
+  return fmt(fraction * 100.0, decimals) + "%";
+}
+
+std::string fmt_bytes(double bytes, int decimals) {
+  const char* suffix = "B";
+  double v = bytes;
+  if (v >= 1e9) {
+    v /= 1e9;
+    suffix = "GB";
+  } else if (v >= 1e6) {
+    v /= 1e6;
+    suffix = "MB";
+  } else if (v >= 1e3) {
+    v /= 1e3;
+    suffix = "KB";
+  }
+  return fmt(v, decimals) + suffix;
+}
+
+}  // namespace valkyrie::util

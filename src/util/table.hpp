@@ -1,0 +1,37 @@
+// Plain-text table rendering for benchmark reports. Each bench binary prints
+// the rows of the paper table/figure it regenerates; this keeps that output
+// aligned and diff-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace valkyrie::util {
+
+/// Column-aligned ASCII table. Collects rows of strings, pads on render.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds one row; it may have fewer cells than the header (rest left blank).
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header underline and two-space column gaps.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimal places.
+[[nodiscard]] std::string fmt(double value, int decimals = 2);
+
+/// Formats a fraction (0..1) as a percentage string, e.g. 0.123 -> "12.3%".
+[[nodiscard]] std::string fmt_pct(double fraction, int decimals = 1);
+
+/// Formats a byte count with a binary-ish human suffix (KB/MB/GB), matching
+/// how the paper reports rates ("11.67MB/s", "152KB/s").
+[[nodiscard]] std::string fmt_bytes(double bytes, int decimals = 2);
+
+}  // namespace valkyrie::util

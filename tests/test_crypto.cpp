@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "crypto/aes128.hpp"
+#include "crypto/modexp.hpp"
+#include "crypto/sha256.hpp"
+
+namespace valkyrie::crypto {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Sha256, EmptyStringKat) {
+  const auto digest = Sha256::hash({});
+  EXPECT_EQ(to_hex(digest),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, AbcKat) {
+  const auto data = bytes_of("abc");
+  EXPECT_EQ(to_hex(Sha256::hash({data.data(), data.size()})),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockKat) {
+  const auto data =
+      bytes_of("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  EXPECT_EQ(to_hex(Sha256::hash({data.data(), data.size()})),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAKat) {
+  Sha256 ctx;
+  const std::vector<std::uint8_t> chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update({chunk.data(), chunk.size()});
+  EXPECT_EQ(to_hex(ctx.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const auto data = bytes_of("the quick brown fox jumps over the lazy dog!!");
+  Sha256 ctx;
+  ctx.update({data.data(), 10});
+  ctx.update({data.data() + 10, data.size() - 10});
+  EXPECT_EQ(to_hex(ctx.finish()),
+            to_hex(Sha256::hash({data.data(), data.size()})));
+}
+
+TEST(Sha256, FinishResetsForReuse) {
+  const auto a = bytes_of("abc");
+  Sha256 ctx;
+  ctx.update({a.data(), a.size()});
+  (void)ctx.finish();
+  ctx.update({a.data(), a.size()});
+  EXPECT_EQ(to_hex(ctx.finish()),
+            to_hex(Sha256::hash({a.data(), a.size()})));
+}
+
+TEST(Sha256, DoubleHashDiffersFromSingle) {
+  const auto data = bytes_of("pow");
+  EXPECT_NE(to_hex(Sha256::hash({data.data(), data.size()})),
+            to_hex(Sha256::hash2({data.data(), data.size()})));
+}
+
+TEST(Sha256, LeadingZeroBits) {
+  Sha256Digest d{};
+  d.fill(0);
+  EXPECT_EQ(leading_zero_bits(d), 256);
+  d[0] = 0x80;
+  EXPECT_EQ(leading_zero_bits(d), 0);
+  d[0] = 0x01;
+  EXPECT_EQ(leading_zero_bits(d), 7);
+  d[0] = 0x00;
+  d[1] = 0x10;
+  EXPECT_EQ(leading_zero_bits(d), 11);
+}
+
+// FIPS-197 Appendix B example vector.
+TEST(Aes128, Fips197Kat) {
+  const AesKey key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                      0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  const AesBlock pt = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                       0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+  const AesBlock expected = {0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+                             0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32};
+  Aes128 aes(key);
+  EXPECT_EQ(aes.encrypt_block(pt), expected);
+}
+
+TEST(Aes128, KeyScheduleFirstAndLastRoundKeys) {
+  // FIPS-197 A.1 expansion of the same key.
+  const AesKey key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                      0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  Aes128 aes(key);
+  EXPECT_EQ(aes.round_keys()[0][0], 0x2b7e1516u);
+  EXPECT_EQ(aes.round_keys()[10][3], 0xb6630ca6u);
+}
+
+TEST(Aes128, TraceHas160TableAccesses) {
+  Aes128 aes(AesKey{});
+  std::vector<TableAccess> trace;
+  (void)aes.encrypt_block(AesBlock{}, &trace);
+  // 9 T-table rounds * 16 lookups + 16 final-round lookups.
+  EXPECT_EQ(trace.size(), 160u);
+}
+
+TEST(Aes128, FirstRoundAccessesLeakPlaintextXorKey) {
+  const AesKey key = {0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88,
+                      0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff, 0x00};
+  AesBlock pt{};
+  for (std::size_t i = 0; i < pt.size(); ++i) {
+    pt[i] = static_cast<std::uint8_t>(0xc0 + i);
+  }
+  Aes128 aes(key);
+  std::vector<TableAccess> trace;
+  (void)aes.encrypt_block(pt, &trace);
+  // The very first lookup is Te0[pt[0] ^ key[0]] — the OST attack's handle.
+  EXPECT_EQ(trace[0].table, 0);
+  EXPECT_EQ(trace[0].index, static_cast<std::uint8_t>(pt[0] ^ key[0]));
+  // Column 0's round-1 lookups cover bytes 0, 5, 10, 15 of pt^key.
+  EXPECT_EQ(trace[1].index, static_cast<std::uint8_t>(pt[5] ^ key[5]));
+  EXPECT_EQ(trace[2].index, static_cast<std::uint8_t>(pt[10] ^ key[10]));
+  EXPECT_EQ(trace[3].index, static_cast<std::uint8_t>(pt[15] ^ key[15]));
+}
+
+TEST(Aes128, CtrRoundTrips) {
+  const AesKey key = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  Aes128 aes(key);
+  std::vector<std::uint8_t> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  const std::vector<std::uint8_t> original = data;
+  aes.ctr_crypt({data.data(), data.size()}, /*nonce=*/42);
+  EXPECT_NE(data, original);
+  aes.ctr_crypt({data.data(), data.size()}, /*nonce=*/42);
+  EXPECT_EQ(data, original);
+}
+
+TEST(Aes128, CtrDifferentNoncesDiffer) {
+  Aes128 aes(AesKey{});
+  std::vector<std::uint8_t> a(64, 0);
+  std::vector<std::uint8_t> b(64, 0);
+  aes.ctr_crypt({a.data(), a.size()}, 1);
+  aes.ctr_crypt({b.data(), b.size()}, 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(Modexp, MatchesReference) {
+  EXPECT_EQ(modexp(2, 10, 1000), 24u);
+  EXPECT_EQ(modexp(3, 0, 7), 1u);
+  EXPECT_EQ(modexp(10, 5, 1), 0u);
+  EXPECT_EQ(modexp(7, 13, 11), 2u);  // 7^13 mod 11
+}
+
+TEST(Modexp, MulmodNoOverflow) {
+  const std::uint64_t big = 0xfffffffffffffffULL;
+  EXPECT_EQ(mulmod(big, big, 1000000007ULL),
+            static_cast<std::uint64_t>(
+                (static_cast<__uint128_t>(big) * big) % 1000000007ULL));
+}
+
+TEST(Modexp, TraceStructureMatchesBits) {
+  // Exponent 0b1011: squares = 4 (one per bit), multiplies = 3 (set bits).
+  std::vector<ModExpOp> trace;
+  (void)modexp(5, 0b1011, 97, &trace);
+  int squares = 0;
+  int multiplies = 0;
+  for (const ModExpOp op : trace) {
+    (op == ModExpOp::kSquare ? squares : multiplies) += 1;
+  }
+  EXPECT_EQ(squares, 4);
+  EXPECT_EQ(multiplies, 3);
+  // Each multiply directly follows a square.
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (trace[i] == ModExpOp::kMultiply) {
+      ASSERT_GT(i, 0u);
+      EXPECT_EQ(trace[i - 1], ModExpOp::kSquare);
+    }
+  }
+}
+
+TEST(Modexp, BitsVariantAgreesWithWordVariant) {
+  const std::vector<bool> bits = {true, false, true, true};  // 0b1011 = 11
+  EXPECT_EQ(modexp_bits(5, bits, 97), modexp(5, 11, 97));
+}
+
+// Parameterised KAT sweep for CTR at odd buffer sizes (partial last block).
+class CtrSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CtrSizes, RoundTripAtAnyLength) {
+  Aes128 aes(AesKey{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 1, 2, 3, 4, 5, 6});
+  std::vector<std::uint8_t> data(GetParam(), 0x5c);
+  const auto original = data;
+  aes.ctr_crypt({data.data(), data.size()}, 77);
+  aes.ctr_crypt({data.data(), data.size()}, 77);
+  EXPECT_EQ(data, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, CtrSizes,
+                         ::testing::Values(0, 1, 15, 16, 17, 31, 33, 100));
+
+}  // namespace
+}  // namespace valkyrie::crypto

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "dram/dram.hpp"
+
+namespace valkyrie::dram {
+namespace {
+
+DramConfig small_config() {
+  DramConfig c;
+  c.banks = 2;
+  c.rows_per_bank = 64;
+  c.t_rc_ns = 50.0;
+  c.refresh_interval_ms = 1.0;  // 20000 activations per window max
+  c.disturbance_threshold = 5000;
+  c.flip_prob_per_excess = 0.01;
+  return c;
+}
+
+TEST(Dram, NoFlipsBelowThreshold) {
+  Dram dram(small_config());
+  // 2500 activations on each neighbour of row 10 inside one window: the
+  // double-sided victim accumulates 5000 disturbances, never *exceeding*
+  // the threshold; the single-sided victims (8, 12) see half that.
+  for (int i = 0; i < 2500; ++i) {
+    dram.activate(0, 9);
+    dram.activate(0, 11);
+  }
+  EXPECT_EQ(dram.total_bit_flips(), 0u);
+  EXPECT_EQ(dram.total_activations(), 5000u);
+}
+
+TEST(Dram, FlipsAccumulatePastThreshold) {
+  Dram dram(small_config());
+  // 2x the threshold on the double-sided victim inside one refresh window.
+  for (int i = 0; i < 5000; ++i) {
+    dram.activate(0, 9);
+    dram.activate(0, 11);
+  }
+  EXPECT_GT(dram.total_bit_flips(), 0u);
+  // Flips hit the hammered bank, on the double-sided victim (row 10) or —
+  // with enough excess — the single-sided victims 8 and 12.
+  std::uint64_t flips_on_10 = 0;
+  for (const FlipRecord& flip : dram.flips()) {
+    EXPECT_EQ(flip.bank, 0u);
+    EXPECT_TRUE(flip.row == 8 || flip.row == 10 || flip.row == 12)
+        << "row " << flip.row;
+    if (flip.row == 10) ++flips_on_10;
+  }
+  // The double-sided victim must dominate.
+  EXPECT_GE(2 * flips_on_10, dram.total_bit_flips());
+}
+
+TEST(Dram, RefreshClearsDisturbance) {
+  DramConfig cfg = small_config();
+  Dram dram(cfg);
+  // 3000+3000 disturbances on row 10 with a refresh in between: each
+  // window stays below the 5000 threshold, so no flips — though 6000
+  // within one window would have flipped (see FlipsAccumulate test).
+  for (int i = 0; i < 1500; ++i) {
+    dram.activate(0, 9);
+    dram.activate(0, 11);
+  }
+  dram.idle_ns(cfg.refresh_interval_ms * 1e6 * 2);
+  for (int i = 0; i < 1500; ++i) {
+    dram.activate(0, 9);
+    dram.activate(0, 11);
+  }
+  EXPECT_EQ(dram.total_bit_flips(), 0u);
+  EXPECT_GE(dram.refresh_windows_elapsed(), 2u);
+}
+
+TEST(Dram, ActivationAdvancesTime) {
+  Dram dram(small_config());
+  dram.activate(0, 5);
+  dram.activate(0, 5);
+  EXPECT_DOUBLE_EQ(dram.now_ms(), 2 * 50.0 / 1e6);
+}
+
+TEST(Dram, IdleAdvancesWindows) {
+  Dram dram(small_config());
+  EXPECT_EQ(dram.refresh_windows_elapsed(), 0u);
+  dram.idle_ns(3.5e6);  // 3.5 ms = 3 full 1 ms windows elapsed
+  EXPECT_EQ(dram.refresh_windows_elapsed(), 3u);
+}
+
+TEST(Dram, EdgeRowsDisturbOneNeighbourOnly) {
+  DramConfig cfg = small_config();
+  Dram dram(cfg);
+  // Hammering row 0 only disturbs row 1 (no out-of-range access); well
+  // past the threshold it must flip bits there and only there.
+  for (int i = 0; i < 12000; ++i) dram.activate(1, 0);
+  EXPECT_GT(dram.total_bit_flips(), 0u);
+  for (const FlipRecord& flip : dram.flips()) {
+    EXPECT_EQ(flip.row, 1u);
+    EXPECT_EQ(flip.bank, 1u);
+  }
+}
+
+TEST(Dram, BanksAreIndependent) {
+  Dram dram(small_config());
+  // Split the hammering across banks: neither victim crosses threshold,
+  // even though the combined count would.
+  for (int i = 0; i < 3000; ++i) {
+    dram.activate(0, 9);
+    dram.activate(1, 9);
+  }
+  EXPECT_EQ(dram.total_bit_flips(), 0u);
+}
+
+TEST(Dram, DeterministicForSeed) {
+  Dram a(small_config(), 99);
+  Dram b(small_config(), 99);
+  for (int i = 0; i < 4000; ++i) {
+    a.activate(0, 9);
+    a.activate(0, 11);
+    b.activate(0, 9);
+    b.activate(0, 11);
+  }
+  EXPECT_EQ(a.total_bit_flips(), b.total_bit_flips());
+}
+
+// Property: the hammering-rate threshold. Sweep the active duty cycle; bit
+// flips must be zero whenever the per-window activation count stays at or
+// below the threshold, and positive when it is far above.
+class DutyCycle : public ::testing::TestWithParam<double> {};
+
+TEST_P(DutyCycle, ThresholdSeparatesFlipFromNoFlip) {
+  const double duty = GetParam();
+  DramConfig cfg = small_config();
+  Dram dram(cfg);
+  // One window = 1 ms = at most 20000 activations; victim row sees all of
+  // them. Interleave active/idle at 0.1 ms granularity.
+  const int slices = 100;  // 10 windows worth
+  const double slice_ns = 0.1e6;
+  const auto acts_per_slice = static_cast<int>(slice_ns / cfg.t_rc_ns);
+  double credit = 0.0;
+  for (int s = 0; s < slices; ++s) {
+    credit += duty;
+    if (credit >= 1.0) {
+      credit -= 1.0;
+      for (int a = 0; a < acts_per_slice; ++a) {
+        dram.activate(0, (a & 1) ? 9 : 11);
+      }
+    } else {
+      dram.idle_ns(slice_ns);
+    }
+  }
+  // Per window: duty * 10 slices * 2000 activations on the victim.
+  const double acts_per_window = duty * 10 * 2000;
+  if (acts_per_window <= cfg.disturbance_threshold) {
+    EXPECT_EQ(dram.total_bit_flips(), 0u) << "duty=" << duty;
+  }
+  if (acts_per_window > 3 * cfg.disturbance_threshold) {
+    EXPECT_GT(dram.total_bit_flips(), 0u) << "duty=" << duty;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Duties, DutyCycle,
+                         ::testing::Values(0.01, 0.05, 0.2, 0.5, 1.0));
+
+}  // namespace
+}  // namespace valkyrie::dram

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hpc/hpc.hpp"
+#include "util/stats.hpp"
+
+namespace valkyrie::hpc {
+namespace {
+
+HpcSignature flat_signature(double value) {
+  HpcSignature s;
+  for (double& m : s.mean) m = value;
+  s.correlated_noise = 0.0;  // tests control each noise source explicitly
+  return s;
+}
+
+TEST(Hpc, EventNamesAreDistinct) {
+  for (std::size_t i = 0; i < kNumEvents; ++i) {
+    for (std::size_t j = i + 1; j < kNumEvents; ++j) {
+      EXPECT_NE(event_name(static_cast<Event>(i)),
+                event_name(static_cast<Event>(j)));
+    }
+  }
+}
+
+TEST(Hpc, SampleScalesWithActivity) {
+  HpcSignature s = flat_signature(1000.0);
+  s.rel_stddev = 0.0;  // deterministic
+  util::Rng rng(1);
+  const HpcSample full = s.sample(rng, 1.0);
+  const HpcSample half = s.sample(rng, 0.5);
+  for (std::size_t i = 0; i < kNumEvents; ++i) {
+    EXPECT_DOUBLE_EQ(full.counts[i], 1000.0);
+    EXPECT_DOUBLE_EQ(half.counts[i], 500.0);
+  }
+}
+
+TEST(Hpc, SampleNoiseHasConfiguredSpread) {
+  HpcSignature s = flat_signature(1000.0);
+  s.rel_stddev = 0.1;
+  util::Rng rng(2);
+  util::RunningStats stats;
+  for (int i = 0; i < 5000; ++i) {
+    stats.add(s.sample(rng)[Event::kInstructions]);
+  }
+  EXPECT_NEAR(stats.mean(), 1000.0, 10.0);
+  EXPECT_NEAR(stats.stddev(), 100.0, 10.0);
+}
+
+TEST(Hpc, NoiseScaleMultiplies) {
+  HpcSignature s = flat_signature(1000.0);
+  s.rel_stddev = 0.1;
+  util::Rng rng(3);
+  util::RunningStats stats;
+  for (int i = 0; i < 5000; ++i) {
+    stats.add(s.sample(rng, 1.0, 2.0)[Event::kCycles]);
+  }
+  EXPECT_NEAR(stats.stddev(), 200.0, 20.0);
+}
+
+TEST(Hpc, SamplesNeverNegative) {
+  HpcSignature s = flat_signature(1.0);
+  s.rel_stddev = 5.0;  // extreme noise
+  util::Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    const HpcSample sample = s.sample(rng);
+    for (const double c : sample.counts) EXPECT_GE(c, 0.0);
+  }
+}
+
+TEST(Hpc, CorrelatedNoiseMovesMissEventsTogetherAgainstIpc) {
+  // One interference draw per epoch: the miss-type events shift by the
+  // same ratio while instructions move the opposite way and the cycle
+  // count stays put.
+  HpcSignature s = flat_signature(1000.0);
+  s.correlated_noise = 0.3;
+  s.rel_stddev = 0.0;
+  util::Rng rng(6);
+  bool saw_shift = false;
+  for (int i = 0; i < 50; ++i) {
+    const HpcSample sample = s.sample(rng);
+    const double miss_ratio = sample[Event::kL1dMisses] / 1000.0;
+    EXPECT_NEAR(sample[Event::kLlcMisses] / 1000.0, miss_ratio, 1e-9);
+    EXPECT_NEAR(sample[Event::kBranchMisses] / 1000.0, miss_ratio, 1e-9);
+    EXPECT_DOUBLE_EQ(sample[Event::kCycles], 1000.0);
+    if (miss_ratio > 1.05) {
+      EXPECT_LT(sample[Event::kInstructions], 1000.0);
+      saw_shift = true;
+    }
+  }
+  EXPECT_TRUE(saw_shift);
+}
+
+TEST(Hpc, ZeroMeanStaysZero) {
+  HpcSignature s;  // all means zero
+  util::Rng rng(5);
+  const HpcSample sample = s.sample(rng);
+  for (const double c : sample.counts) EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+TEST(Hpc, FeaturesAreLog1pRatesPerMegacycle) {
+  HpcSample sample;
+  sample[Event::kCycles] = 1e6;
+  sample[Event::kInstructions] = std::exp(1.0) - 1.0;
+  const std::vector<double> f = to_features(sample);
+  ASSERT_EQ(f.size(), kFeatureDim);
+  EXPECT_NEAR(f[static_cast<std::size_t>(Event::kInstructions)], 1.0, 1e-12);
+  // The cycles slot carries no scheduling-share information.
+  EXPECT_DOUBLE_EQ(f[static_cast<std::size_t>(Event::kCycles)], 0.0);
+}
+
+TEST(Hpc, FeaturesInvariantToSchedulingShare) {
+  // A throttled epoch (all counts scaled by the granted CPU share) must
+  // produce the same feature vector — the detector sees behaviour, not
+  // the response's own throttling.
+  HpcSample full;
+  full[Event::kCycles] = 3.5e8;
+  full[Event::kInstructions] = 7e8;
+  full[Event::kL1dMisses] = 2e6;
+  HpcSample throttled = full;
+  for (double& c : throttled.counts) c *= 0.01;
+  const std::vector<double> f_full = to_features(full);
+  const std::vector<double> f_thr = to_features(throttled);
+  for (std::size_t i = 0; i < kFeatureDim; ++i) {
+    EXPECT_NEAR(f_full[i], f_thr[i], 1e-6) << "feature " << i;
+  }
+}
+
+TEST(Hpc, IndexOperatorReadsWrites) {
+  HpcSample sample;
+  sample[Event::kLlcMisses] = 42.0;
+  EXPECT_DOUBLE_EQ(sample[Event::kLlcMisses], 42.0);
+}
+
+}  // namespace
+}  // namespace valkyrie::hpc

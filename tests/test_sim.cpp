@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/platform.hpp"
+#include "sim/resources.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/system.hpp"
+#include "sim/workload.hpp"
+
+namespace valkyrie::sim {
+namespace {
+
+/// Minimal workload for system tests: progress == cpu share each epoch.
+class StubWorkload final : public Workload {
+ public:
+  explicit StubWorkload(double work_epochs = 1e9, bool attack = false)
+      : work_(work_epochs), attack_(attack) {}
+
+  [[nodiscard]] std::string_view name() const override { return "stub"; }
+  [[nodiscard]] bool is_attack() const override { return attack_; }
+  [[nodiscard]] std::string_view progress_units() const override {
+    return "units";
+  }
+  StepResult run_epoch(const ResourceShares& shares,
+                       EpochContext& ctx) override {
+    StepResult r;
+    r.progress = shares.cpu * memory_progress_multiplier(shares.mem) *
+                 fs_progress_multiplier(shares.fs) *
+                 network_progress_multiplier(shares.net);
+    progress_ += r.progress;
+    r.finished = progress_ >= work_;
+    r.hpc[hpc::Event::kInstructions] = 100.0 * shares.cpu;
+    last_ctx_epoch_ = ctx.epoch;
+    return r;
+  }
+  [[nodiscard]] double total_progress() const override { return progress_; }
+
+  std::uint64_t last_ctx_epoch_ = 0;
+
+ private:
+  double work_;
+  bool attack_;
+  double progress_ = 0.0;
+};
+
+TEST(ResourceModel, CpuMultiplierMatchesTableII) {
+  EXPECT_DOUBLE_EQ(cpu_progress_multiplier(1.0), 1.0);
+  // Table II: 90% -> ~8.7% slowdown, 50% -> ~45.2%, 1% -> ~99.7%.
+  EXPECT_NEAR(cpu_progress_multiplier(0.9), 0.913, 0.03);
+  EXPECT_NEAR(cpu_progress_multiplier(0.5), 0.548, 0.07);
+  EXPECT_NEAR(cpu_progress_multiplier(0.01), 0.0027, 0.001);
+  EXPECT_DOUBLE_EQ(cpu_progress_multiplier(0.0), 0.0);
+}
+
+TEST(ResourceModel, CpuMultiplierMonotone) {
+  double prev = 0.0;
+  for (double s = 0.0; s <= 1.0; s += 0.01) {
+    const double m = cpu_progress_multiplier(s);
+    EXPECT_GE(m, prev - 1e-12);
+    prev = m;
+  }
+}
+
+TEST(ResourceModel, MemoryMultiplierSharpNonLinear) {
+  EXPECT_DOUBLE_EQ(memory_progress_multiplier(1.0), 1.0);
+  // Table II: 93.6% residency -> >99.9% slowdown.
+  EXPECT_LT(memory_progress_multiplier(0.936), 1e-3);
+  EXPECT_LT(memory_progress_multiplier(0.894), memory_progress_multiplier(0.936));
+  EXPECT_GT(memory_progress_multiplier(0.99), 0.1);
+}
+
+TEST(ResourceModel, NetworkMultiplierMatchesTableII) {
+  EXPECT_DOUBLE_EQ(network_progress_multiplier(1.0), 1.0);
+  EXPECT_NEAR(network_progress_multiplier(0.5), 0.886, 0.01);
+  EXPECT_NEAR(network_progress_multiplier(1e-3), 0.251, 0.01);
+  EXPECT_NEAR(network_progress_multiplier(1e-6), 2.2e-4, 1e-4);
+}
+
+TEST(ResourceModel, FsMultiplierProportional) {
+  EXPECT_DOUBLE_EQ(fs_progress_multiplier(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(fs_progress_multiplier(1.5), 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(fs_progress_multiplier(-1.0), 0.0);
+}
+
+TEST(Scheduler, DefaultShareIsNormalizedToOne) {
+  CfsScheduler sched;
+  sched.add_process(0);
+  EXPECT_DOUBLE_EQ(sched.weight_factor(0), 1.0);
+  EXPECT_DOUBLE_EQ(sched.normalized_share(0), 1.0);
+}
+
+TEST(Scheduler, Eq8DemotionAndPromotion) {
+  SchedulerConfig cfg;
+  cfg.gamma = 0.1;
+  CfsScheduler sched(cfg);
+  sched.add_process(0);
+  sched.apply_threat_delta(0, 1.0);  // s *= 0.9
+  EXPECT_NEAR(sched.weight_factor(0), 0.9, 1e-12);
+  sched.apply_threat_delta(0, 2.0);  // s *= 0.8
+  EXPECT_NEAR(sched.weight_factor(0), 0.72, 1e-12);
+  sched.apply_threat_delta(0, -2.0);  // s *= 1.2
+  EXPECT_NEAR(sched.weight_factor(0), 0.864, 1e-12);
+}
+
+TEST(Scheduler, FloorAndCeiling) {
+  CfsScheduler sched;
+  sched.add_process(0);
+  sched.apply_threat_delta(0, 1000.0);
+  EXPECT_DOUBLE_EQ(sched.weight_factor(0),
+                   sched.config().min_share_fraction);
+  sched.apply_threat_delta(0, -1e9);
+  EXPECT_DOUBLE_EQ(sched.weight_factor(0), 1.0);
+}
+
+TEST(Scheduler, ResetRestoresDefault) {
+  CfsScheduler sched;
+  sched.add_process(0);
+  sched.apply_threat_delta(0, 5.0);
+  sched.reset_weight(0);
+  EXPECT_DOUBLE_EQ(sched.weight_factor(0), 1.0);
+}
+
+TEST(Scheduler, TimesliceProportionalToWeight) {
+  CfsScheduler sched;
+  sched.add_process(0);
+  sched.add_process(1);
+  const double t0 = sched.timeslice_ms(0);
+  sched.apply_threat_delta(0, 5.0);  // halve-ish the weight
+  EXPECT_LT(sched.timeslice_ms(0), t0);
+  // Eq. 7: absolute shares sum to <= 1 across processes + background.
+  EXPECT_LE(sched.absolute_share(0) + sched.absolute_share(1), 1.0);
+}
+
+TEST(Scheduler, UnknownPidThrows) {
+  CfsScheduler sched;
+  EXPECT_THROW((void)sched.weight_factor(7), std::out_of_range);
+  EXPECT_THROW(sched.apply_threat_delta(7, 1.0), std::out_of_range);
+}
+
+TEST(Scheduler, DemotingOneRaisesOthersShare) {
+  CfsScheduler sched;
+  sched.add_process(0);
+  sched.add_process(1);
+  const double before = sched.absolute_share(1);
+  sched.apply_threat_delta(0, 10.0);
+  EXPECT_GT(sched.absolute_share(1), before);
+}
+
+TEST(System, SpawnRunProgress) {
+  SimSystem sys;
+  const ProcessId pid = sys.spawn(std::make_unique<StubWorkload>());
+  sys.run_epochs(5);
+  EXPECT_EQ(sys.current_epoch(), 5u);
+  EXPECT_EQ(sys.epochs_run(pid), 5u);
+  EXPECT_NEAR(sys.workload(pid).total_progress(), 5.0, 1e-9);
+  EXPECT_EQ(sys.sample_history(pid).size(), 5u);
+  EXPECT_DOUBLE_EQ(sys.elapsed_ms(), 500.0);
+}
+
+TEST(System, CgroupCpuCapReducesProgress) {
+  SimSystem sys;
+  const ProcessId pid = sys.spawn(std::make_unique<StubWorkload>());
+  sys.set_cgroup_caps(pid, 0.5, std::nullopt, std::nullopt, std::nullopt);
+  sys.run_epoch();
+  EXPECT_DOUBLE_EQ(sys.effective_shares(pid).cpu, 0.5);
+  EXPECT_NEAR(sys.last_progress(pid), 0.5, 1e-9);
+}
+
+TEST(System, SchedulerDemotionReducesEffectiveShare) {
+  SimSystem sys;
+  const ProcessId pid = sys.spawn(std::make_unique<StubWorkload>());
+  sys.apply_sched_threat_delta(pid, 5.0);
+  sys.run_epoch();
+  EXPECT_LT(sys.effective_shares(pid).cpu, 1.0);
+  sys.reset_sched_weight(pid);
+  sys.run_epoch();
+  EXPECT_NEAR(sys.effective_shares(pid).cpu, 1.0, 1e-9);
+}
+
+TEST(System, EffectiveCpuIsMinOfSchedulerAndCgroup) {
+  SimSystem sys;
+  const ProcessId pid = sys.spawn(std::make_unique<StubWorkload>());
+  sys.set_cgroup_caps(pid, 0.3, std::nullopt, std::nullopt, std::nullopt);
+  sys.apply_sched_threat_delta(pid, 1.0);  // scheduler at ~0.9
+  sys.run_epoch();
+  EXPECT_NEAR(sys.effective_shares(pid).cpu, 0.3, 1e-9);
+}
+
+TEST(System, KillStopsExecution) {
+  SimSystem sys;
+  const ProcessId pid = sys.spawn(std::make_unique<StubWorkload>());
+  sys.run_epoch();
+  sys.kill(pid);
+  EXPECT_FALSE(sys.is_live(pid));
+  EXPECT_EQ(sys.exit_reason(pid), ExitReason::kKilled);
+  sys.run_epoch();
+  EXPECT_EQ(sys.epochs_run(pid), 1u);  // no further execution
+}
+
+TEST(System, NaturalCompletion) {
+  SimSystem sys;
+  const ProcessId pid = sys.spawn(std::make_unique<StubWorkload>(3.0));
+  sys.run_epochs(10);
+  EXPECT_EQ(sys.exit_reason(pid), ExitReason::kCompleted);
+  EXPECT_EQ(sys.epochs_run(pid), 3u);
+}
+
+TEST(System, ClearCgroupCapsRestoresDefaults) {
+  SimSystem sys;
+  const ProcessId pid = sys.spawn(std::make_unique<StubWorkload>());
+  sys.set_cgroup_caps(pid, 0.1, 0.9, 0.5, 0.2);
+  sys.clear_cgroup_caps(pid);
+  EXPECT_DOUBLE_EQ(sys.cgroup_caps(pid).cpu, 1.0);
+  EXPECT_DOUBLE_EQ(sys.cgroup_caps(pid).mem, 1.0);
+  EXPECT_DOUBLE_EQ(sys.cgroup_caps(pid).net, 1.0);
+  EXPECT_DOUBLE_EQ(sys.cgroup_caps(pid).fs, 1.0);
+}
+
+TEST(System, InvalidPidThrows) {
+  SimSystem sys;
+  EXPECT_THROW((void)sys.is_live(3), std::out_of_range);
+  EXPECT_THROW(sys.kill(3), std::out_of_range);
+  EXPECT_THROW(sys.spawn(nullptr), std::invalid_argument);
+}
+
+TEST(System, LiveProcessList) {
+  SimSystem sys;
+  const ProcessId a = sys.spawn(std::make_unique<StubWorkload>());
+  const ProcessId b = sys.spawn(std::make_unique<StubWorkload>());
+  EXPECT_EQ(sys.live_processes().size(), 2u);
+  sys.kill(a);
+  const std::vector<ProcessId> live = sys.live_processes();
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0], b);
+}
+
+TEST(Platform, ProfilesDiffer) {
+  EXPECT_LT(platforms::i9_11900().hpc_noise, platforms::i7_3770().hpc_noise);
+  EXPECT_GT(platforms::i7_7700().hpc_noise, platforms::i7_3770().hpc_noise);
+  EXPECT_EQ(platforms::i7_3770().epoch_ms, 100.0);
+}
+
+}  // namespace
+}  // namespace valkyrie::sim

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/slowdown.hpp"
+
+namespace valkyrie::core {
+namespace {
+
+using ml::Inference;
+
+TEST(Slowdown, EffectiveSlowdownBasics) {
+  const std::vector<double> base{1.0, 1.0, 1.0, 1.0};
+  const std::vector<double> half{0.5, 0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(effective_slowdown_pct(base, base), 0.0);
+  EXPECT_DOUBLE_EQ(effective_slowdown_pct(base, half), 50.0);
+  EXPECT_DOUBLE_EQ(effective_slowdown_pct(base, {}), 100.0);
+  EXPECT_DOUBLE_EQ(effective_slowdown_pct({}, half), 0.0);  // undefined -> 0
+}
+
+TEST(Slowdown, WorkedExampleAttackPercentagePoint) {
+  // §V-C: N*=15, incremental Fp, CPU share -10pp per threat unit, 1% floor,
+  // malicious every epoch -> paper reports 79.6%; our convention (epoch 0
+  // unthrottled, inference i throttles epoch i+1) gives 79.27%.
+  WorkedExampleConfig cfg;
+  cfg.actuator = WorkedActuator::kPercentagePoint;
+  const auto schedule = always_malicious_schedule(15);
+  EXPECT_NEAR(worked_example_slowdown_pct(schedule, cfg), 79.27, 0.05);
+}
+
+TEST(Slowdown, WorkedExampleAttackMultiplicative) {
+  WorkedExampleConfig cfg;
+  cfg.actuator = WorkedActuator::kMultiplicative;
+  const auto schedule = always_malicious_schedule(15);
+  // Eq. 8 convention lands in the same band as the paper's 79.6%.
+  EXPECT_NEAR(worked_example_slowdown_pct(schedule, cfg), 75.16, 0.05);
+}
+
+TEST(Slowdown, WorkedExampleFalsePositiveBurst) {
+  // §V-C: FPs in the first 5 epochs, correct for the next 10 -> paper
+  // reports 26%; our conventions give 33% (pp) and 36% (multiplicative) —
+  // same band, and crucially far below termination's 100% damage.
+  WorkedExampleConfig cfg;
+  const auto schedule = fp_burst_schedule(5, 15);
+  cfg.actuator = WorkedActuator::kPercentagePoint;
+  EXPECT_NEAR(worked_example_slowdown_pct(schedule, cfg), 33.0, 0.1);
+  cfg.actuator = WorkedActuator::kMultiplicative;
+  EXPECT_NEAR(worked_example_slowdown_pct(schedule, cfg), 36.23, 0.1);
+}
+
+TEST(Slowdown, AllBenignIsZero) {
+  WorkedExampleConfig cfg;
+  const std::vector<Inference> schedule(15, Inference::kBenign);
+  EXPECT_DOUBLE_EQ(worked_example_slowdown_pct(schedule, cfg), 0.0);
+}
+
+TEST(Slowdown, SharesTrajectoryPercentagePoint) {
+  WorkedExampleConfig cfg;
+  cfg.actuator = WorkedActuator::kPercentagePoint;
+  const auto shares =
+      worked_example_shares(always_malicious_schedule(6), cfg);
+  // Epoch 0 full; then deltas 1,2,3,4 -> 0.9, 0.7, 0.4, floor, floor.
+  ASSERT_EQ(shares.size(), 6u);
+  EXPECT_DOUBLE_EQ(shares[0], 1.0);
+  EXPECT_NEAR(shares[1], 0.9, 1e-12);
+  EXPECT_NEAR(shares[2], 0.7, 1e-12);
+  EXPECT_NEAR(shares[3], 0.4, 1e-12);
+  EXPECT_DOUBLE_EQ(shares[4], 0.01);
+  EXPECT_DOUBLE_EQ(shares[5], 0.01);
+}
+
+TEST(Slowdown, RecoveryRestoresFullShare) {
+  WorkedExampleConfig cfg;
+  cfg.actuator = WorkedActuator::kPercentagePoint;
+  // 2 FPs then benign: T = 1, 3 then compensation 1, 2 -> T = 2, 0.
+  const auto schedule = fp_burst_schedule(2, 8);
+  const auto shares = worked_example_shares(schedule, cfg);
+  // After recovery (T==0) the share snaps back to 1.0 and stays there.
+  EXPECT_DOUBLE_EQ(shares.back(), 1.0);
+  double min_share = 1.0;
+  for (const double s : shares) min_share = std::min(min_share, s);
+  EXPECT_LT(min_share, 1.0);  // it was throttled in between
+}
+
+TEST(Slowdown, FloorLimitsMaximumSlowdown) {
+  // The user-configurable floor bounds worst-case damage (paper §V-C).
+  WorkedExampleConfig strict;
+  strict.floor = 0.25;
+  WorkedExampleConfig loose;
+  loose.floor = 0.01;
+  const auto schedule = always_malicious_schedule(15);
+  EXPECT_LT(worked_example_slowdown_pct(schedule, strict),
+            worked_example_slowdown_pct(schedule, loose));
+  // With a 25% floor the slowdown can never exceed 75% even if throttled
+  // from epoch 1.
+  EXPECT_LE(worked_example_slowdown_pct(schedule, strict), 75.0 + 1e-9);
+}
+
+TEST(Slowdown, SchedulesHaveExpectedShape) {
+  const auto mal = always_malicious_schedule(4);
+  EXPECT_EQ(mal.size(), 4u);
+  for (const auto inf : mal) EXPECT_EQ(inf, Inference::kMalicious);
+  const auto fp = fp_burst_schedule(2, 4);
+  EXPECT_EQ(fp[0], Inference::kMalicious);
+  EXPECT_EQ(fp[1], Inference::kMalicious);
+  EXPECT_EQ(fp[2], Inference::kBenign);
+  EXPECT_EQ(fp[3], Inference::kBenign);
+}
+
+// Property: slowdown always lands in [0, 100] and more FP epochs never
+// reduce it, for both actuator conventions.
+struct SlowdownParam {
+  WorkedActuator actuator;
+  std::size_t fp_epochs;
+};
+
+class SlowdownProperty : public ::testing::TestWithParam<SlowdownParam> {};
+
+TEST_P(SlowdownProperty, BoundedAndMonotoneInFpCount) {
+  WorkedExampleConfig cfg;
+  cfg.actuator = GetParam().actuator;
+  const std::size_t k = GetParam().fp_epochs;
+  const double s =
+      worked_example_slowdown_pct(fp_burst_schedule(k, 15), cfg);
+  EXPECT_GE(s, 0.0);
+  EXPECT_LE(s, 100.0);
+  if (k > 0) {
+    const double s_less =
+        worked_example_slowdown_pct(fp_burst_schedule(k - 1, 15), cfg);
+    EXPECT_GE(s, s_less - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SlowdownProperty,
+    ::testing::Values(SlowdownParam{WorkedActuator::kPercentagePoint, 0},
+                      SlowdownParam{WorkedActuator::kPercentagePoint, 1},
+                      SlowdownParam{WorkedActuator::kPercentagePoint, 3},
+                      SlowdownParam{WorkedActuator::kPercentagePoint, 5},
+                      SlowdownParam{WorkedActuator::kPercentagePoint, 10},
+                      SlowdownParam{WorkedActuator::kPercentagePoint, 15},
+                      SlowdownParam{WorkedActuator::kMultiplicative, 0},
+                      SlowdownParam{WorkedActuator::kMultiplicative, 1},
+                      SlowdownParam{WorkedActuator::kMultiplicative, 3},
+                      SlowdownParam{WorkedActuator::kMultiplicative, 5},
+                      SlowdownParam{WorkedActuator::kMultiplicative, 10},
+                      SlowdownParam{WorkedActuator::kMultiplicative, 15}));
+
+}  // namespace
+}  // namespace valkyrie::core

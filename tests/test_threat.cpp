@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/assessment.hpp"
+#include "core/threat.hpp"
+#include "util/rng.hpp"
+
+namespace valkyrie::core {
+namespace {
+
+using ml::Inference;
+
+TEST(Assessment, Incremental) {
+  const AssessmentFn f = incremental(1.0);
+  EXPECT_DOUBLE_EQ(f(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(f(5.0), 6.0);
+}
+
+TEST(Assessment, Linear) {
+  const AssessmentFn f = linear(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(f(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(f(4.0), 11.0);
+}
+
+TEST(Assessment, Exponential) {
+  const AssessmentFn f = exponential(2.0, 1.0);
+  EXPECT_DOUBLE_EQ(f(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(f(3.0), 7.0);
+}
+
+TEST(Assessment, Constant) {
+  const AssessmentFn f = constant(7.0);
+  EXPECT_DOUBLE_EQ(f(123.0), 7.0);
+}
+
+TEST(Assessment, ClampMetric) {
+  EXPECT_DOUBLE_EQ(clamp_metric(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp_metric(50.0), 50.0);
+  EXPECT_DOUBLE_EQ(clamp_metric(150.0), 100.0);
+}
+
+TEST(ThreatIndex, StartsNormalAtZero) {
+  ThreatIndex t;
+  EXPECT_DOUBLE_EQ(t.threat(), 0.0);
+  EXPECT_EQ(t.state(), ProcessState::kNormal);
+}
+
+TEST(ThreatIndex, PaperPenaltySequence) {
+  // Incremental Fp: P = 1,2,3,4,5 -> T = 1,3,6,10,15 (the §V-C example).
+  ThreatIndex t;
+  const std::vector<double> expected_t = {1, 3, 6, 10, 15};
+  const std::vector<double> expected_delta = {1, 2, 3, 4, 5};
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto u = t.on_inference(Inference::kMalicious);
+    EXPECT_DOUBLE_EQ(u.threat, expected_t[i]);
+    EXPECT_DOUBLE_EQ(u.delta, expected_delta[i]);
+    EXPECT_EQ(u.state, ProcessState::kSuspicious);
+  }
+  EXPECT_DOUBLE_EQ(t.penalty(), 5.0);
+  EXPECT_DOUBLE_EQ(t.compensation(), 0.0);
+}
+
+TEST(ThreatIndex, CompensationRecoverySequence) {
+  // After 5 malicious epochs (T=15), benign epochs compensate 1,2,3,4,5:
+  // T = 14, 12, 9, 5, 0 -> recovery at the 5th benign epoch.
+  ThreatIndex t;
+  for (int i = 0; i < 5; ++i) t.on_inference(Inference::kMalicious);
+  const std::vector<double> expected_t = {14, 12, 9, 5, 0};
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto u = t.on_inference(Inference::kBenign);
+    EXPECT_DOUBLE_EQ(u.threat, expected_t[i]);
+    EXPECT_EQ(u.recovered, i == 4);
+  }
+  EXPECT_EQ(t.state(), ProcessState::kNormal);
+}
+
+TEST(ThreatIndex, BenignInNormalStateIsNoOp) {
+  ThreatIndex t;
+  const auto u = t.on_inference(Inference::kBenign);
+  EXPECT_DOUBLE_EQ(u.threat, 0.0);
+  EXPECT_DOUBLE_EQ(u.delta, 0.0);
+  EXPECT_EQ(u.state, ProcessState::kNormal);
+  // Compensation must not grow outside the suspicious state (line 13).
+  EXPECT_DOUBLE_EQ(t.compensation(), 0.0);
+}
+
+TEST(ThreatIndex, ThreatClampsAt100) {
+  ThreatConfig cfg;
+  cfg.penalty = constant(60.0);
+  ThreatIndex t(cfg);
+  t.on_inference(Inference::kMalicious);
+  const auto u = t.on_inference(Inference::kMalicious);
+  EXPECT_DOUBLE_EQ(u.threat, 100.0);
+  EXPECT_DOUBLE_EQ(u.delta, 40.0);
+}
+
+TEST(ThreatIndex, ThreatClampsAtZeroOnRecovery) {
+  ThreatConfig cfg;
+  cfg.compensation = constant(50.0);
+  ThreatIndex t(cfg);
+  t.on_inference(Inference::kMalicious);  // T = 1
+  const auto u = t.on_inference(Inference::kBenign);
+  EXPECT_DOUBLE_EQ(u.threat, 0.0);
+  EXPECT_DOUBLE_EQ(u.delta, -1.0);  // only back to zero, not negative
+  EXPECT_TRUE(u.recovered);
+}
+
+TEST(ThreatIndex, MetricsCarryAcrossRecoveryByDefault) {
+  // Algorithm 1 as printed: P and C persist, so repeat offenders escalate
+  // faster.
+  ThreatIndex t;
+  t.on_inference(Inference::kMalicious);  // P=1, T=1
+  t.on_inference(Inference::kBenign);     // C=1, T=0, recovered
+  const auto u = t.on_inference(Inference::kMalicious);
+  EXPECT_DOUBLE_EQ(u.threat, 2.0);  // P continued to 2
+}
+
+TEST(ThreatIndex, MetricsResetOptionClears) {
+  ThreatConfig cfg;
+  cfg.reset_metrics_on_normal = true;
+  ThreatIndex t(cfg);
+  t.on_inference(Inference::kMalicious);
+  t.on_inference(Inference::kBenign);
+  EXPECT_DOUBLE_EQ(t.penalty(), 0.0);
+  const auto u = t.on_inference(Inference::kMalicious);
+  EXPECT_DOUBLE_EQ(u.threat, 1.0);  // penalty restarted from scratch
+}
+
+TEST(ThreatIndex, ExponentialEscalatesFasterThanIncremental) {
+  ThreatConfig exp_cfg;
+  exp_cfg.penalty = exponential(2.0, 1.0);
+  ThreatIndex fast(exp_cfg);
+  ThreatIndex slow;
+  for (int i = 0; i < 4; ++i) {
+    fast.on_inference(Inference::kMalicious);
+    slow.on_inference(Inference::kMalicious);
+  }
+  EXPECT_GT(fast.threat(), slow.threat());
+}
+
+// Property: under arbitrary inference streams, T stays in [0,100], state
+// is consistent with T (suspicious iff T>0), and delta matches the change.
+class ThreatProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ThreatProperty, InvariantsUnderRandomStreams) {
+  util::Rng rng(GetParam());
+  ThreatIndex t;
+  double prev = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const auto inference =
+        rng.chance(0.4) ? Inference::kMalicious : Inference::kBenign;
+    const auto u = t.on_inference(inference);
+    EXPECT_GE(u.threat, 0.0);
+    EXPECT_LE(u.threat, 100.0);
+    EXPECT_NEAR(u.delta, u.threat - prev, 1e-12);
+    if (u.threat > 0.0) {
+      EXPECT_EQ(u.state, ProcessState::kSuspicious);
+    } else {
+      EXPECT_EQ(u.state, ProcessState::kNormal);
+    }
+    if (inference == Inference::kMalicious) {
+      EXPECT_GE(u.delta, 0.0);  // malicious never lowers the threat
+    } else {
+      EXPECT_LE(u.delta, 0.0);  // benign never raises it
+    }
+    prev = u.threat;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreatProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 99u, 1234u));
+
+TEST(ProcessStateNames, AllDistinct) {
+  EXPECT_EQ(to_string(ProcessState::kNormal), "normal");
+  EXPECT_EQ(to_string(ProcessState::kSuspicious), "suspicious");
+  EXPECT_EQ(to_string(ProcessState::kTerminable), "terminable");
+  EXPECT_EQ(to_string(ProcessState::kTerminated), "terminated");
+}
+
+}  // namespace
+}  // namespace valkyrie::core

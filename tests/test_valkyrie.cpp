@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/valkyrie.hpp"
+#include "sim/system.hpp"
+#include "sim/workload.hpp"
+
+namespace valkyrie::core {
+namespace {
+
+using ml::Inference;
+
+class UnitWorkload final : public sim::Workload {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "unit"; }
+  [[nodiscard]] bool is_attack() const override { return false; }
+  [[nodiscard]] std::string_view progress_units() const override {
+    return "units";
+  }
+  sim::StepResult run_epoch(const sim::ResourceShares& shares,
+                            sim::EpochContext&) override {
+    sim::StepResult r;
+    r.progress = shares.cpu;
+    progress_ += r.progress;
+    r.hpc[hpc::Event::kInstructions] = 100.0;
+    return r;
+  }
+  [[nodiscard]] double total_progress() const override { return progress_; }
+
+ private:
+  double progress_ = 0.0;
+};
+
+/// Scripted detector for driving the monitor deterministically.
+class ScriptedDetector final : public ml::Detector {
+ public:
+  explicit ScriptedDetector(std::vector<Inference> script)
+      : script_(std::move(script)) {}
+
+  [[nodiscard]] std::string_view name() const override { return "scripted"; }
+  [[nodiscard]] Inference infer(
+      std::span<const hpc::HpcSample> window) const override {
+    const std::size_t i = window.size() - 1;  // one inference per epoch
+    return i < script_.size() ? script_[i] : Inference::kBenign;
+  }
+
+ private:
+  std::vector<Inference> script_;
+};
+
+ValkyrieConfig config_n(std::size_t n) {
+  ValkyrieConfig cfg;
+  cfg.required_measurements = n;
+  return cfg;
+}
+
+struct Fixture {
+  sim::SimSystem sys;
+  sim::ProcessId pid;
+
+  Fixture() : pid(sys.spawn(std::make_unique<UnitWorkload>())) {}
+};
+
+TEST(Monitor, RejectsBadConstruction) {
+  EXPECT_THROW(ValkyrieMonitor(config_n(5), nullptr), std::invalid_argument);
+  EXPECT_THROW(
+      ValkyrieMonitor(config_n(0), std::make_unique<CgroupCpuActuator>()),
+      std::invalid_argument);
+}
+
+TEST(Monitor, BenignProcessStaysNormalForever) {
+  // Episode scoping (default): benign epochs in the normal state do not
+  // consume the measurement budget, so an always-benign process never
+  // becomes terminable and is never touched.
+  Fixture f;
+  ValkyrieMonitor m(config_n(3), std::make_unique<CgroupCpuActuator>());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(m.on_epoch(f.sys, f.pid, Inference::kBenign),
+              ValkyrieMonitor::Action::kNone);
+  }
+  EXPECT_EQ(m.state(), ProcessState::kNormal);
+  EXPECT_EQ(m.measurements(), 0u);
+  EXPECT_DOUBLE_EQ(f.sys.cgroup_caps(f.pid).cpu, 1.0);
+}
+
+TEST(Monitor, LiteralModeBenignBecomesTerminable) {
+  // Algorithm-1-as-printed (lifetime count): after N* epochs every process
+  // is terminable, and benign inferences keep restoring it.
+  Fixture f;
+  ValkyrieConfig cfg = config_n(3);
+  cfg.episode_scoped_measurements = false;
+  ValkyrieMonitor m(cfg, std::make_unique<CgroupCpuActuator>());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(m.on_epoch(f.sys, f.pid, Inference::kBenign),
+              ValkyrieMonitor::Action::kNone);
+  }
+  EXPECT_EQ(m.state(), ProcessState::kNormal);
+  EXPECT_EQ(m.on_epoch(f.sys, f.pid, Inference::kBenign),
+            ValkyrieMonitor::Action::kRestored);
+  EXPECT_EQ(m.state(), ProcessState::kTerminable);
+  EXPECT_TRUE(f.sys.is_live(f.pid));
+}
+
+TEST(Monitor, MaliciousThrottlesThenTerminates) {
+  Fixture f;
+  ValkyrieMonitor m(config_n(3), std::make_unique<CgroupCpuActuator>());
+  EXPECT_EQ(m.on_epoch(f.sys, f.pid, Inference::kMalicious),
+            ValkyrieMonitor::Action::kThrottled);
+  EXPECT_EQ(m.state(), ProcessState::kSuspicious);
+  EXPECT_NEAR(f.sys.cgroup_caps(f.pid).cpu, 0.9, 1e-12);  // dT=1
+  EXPECT_EQ(m.on_epoch(f.sys, f.pid, Inference::kMalicious),
+            ValkyrieMonitor::Action::kThrottled);
+  EXPECT_NEAR(f.sys.cgroup_caps(f.pid).cpu, 0.7, 1e-12);  // dT=2
+  EXPECT_EQ(m.on_epoch(f.sys, f.pid, Inference::kMalicious),
+            ValkyrieMonitor::Action::kThrottled);
+  // N* reached; the next malicious inference terminates.
+  EXPECT_EQ(m.on_epoch(f.sys, f.pid, Inference::kMalicious),
+            ValkyrieMonitor::Action::kTerminated);
+  EXPECT_EQ(m.state(), ProcessState::kTerminated);
+  EXPECT_FALSE(f.sys.is_live(f.pid));
+  EXPECT_EQ(f.sys.exit_reason(f.pid), sim::ExitReason::kKilled);
+}
+
+TEST(Monitor, FalsePositiveRecoversAndRestores) {
+  Fixture f;
+  ValkyrieMonitor m(config_n(10), std::make_unique<CgroupCpuActuator>());
+  m.on_epoch(f.sys, f.pid, Inference::kMalicious);  // T=1, cap 0.9
+  EXPECT_EQ(m.measurements(), 1u);
+  const auto action = m.on_epoch(f.sys, f.pid, Inference::kBenign);  // C=1 -> T=0
+  EXPECT_EQ(action, ValkyrieMonitor::Action::kRestored);
+  EXPECT_EQ(m.state(), ProcessState::kNormal);
+  EXPECT_DOUBLE_EQ(f.sys.cgroup_caps(f.pid).cpu, 1.0);
+  // Episode resolved: the measurement budget resets.
+  EXPECT_EQ(m.measurements(), 0u);
+}
+
+TEST(Monitor, RelaxesWhileStillSuspicious) {
+  Fixture f;
+  ValkyrieMonitor m(config_n(10), std::make_unique<CgroupCpuActuator>());
+  for (int i = 0; i < 3; ++i) m.on_epoch(f.sys, f.pid, Inference::kMalicious);
+  // T = 6, cap = 1 - 0.6 = 0.4.
+  EXPECT_NEAR(f.sys.cgroup_caps(f.pid).cpu, 0.4, 1e-12);
+  const auto action = m.on_epoch(f.sys, f.pid, Inference::kBenign);
+  // C=1 -> T=5, delta=-1 -> cap 0.5: relaxed but still suspicious.
+  EXPECT_EQ(action, ValkyrieMonitor::Action::kRelaxed);
+  EXPECT_EQ(m.state(), ProcessState::kSuspicious);
+  EXPECT_NEAR(f.sys.cgroup_caps(f.pid).cpu, 0.5, 1e-12);
+}
+
+TEST(Monitor, TerminableBenignReturnsToNormalUnderEpisodeScoping) {
+  Fixture f;
+  ValkyrieMonitor m(config_n(1), std::make_unique<CgroupCpuActuator>());
+  m.on_epoch(f.sys, f.pid, Inference::kMalicious);  // uses up N*
+  // Episode resolves benign at full evidence: restored and back to normal.
+  EXPECT_EQ(m.on_epoch(f.sys, f.pid, Inference::kBenign),
+            ValkyrieMonitor::Action::kRestored);
+  EXPECT_EQ(m.state(), ProcessState::kNormal);
+  EXPECT_EQ(m.measurements(), 0u);
+  EXPECT_TRUE(f.sys.is_live(f.pid));
+  // A new malicious episode starts the cycle again...
+  EXPECT_EQ(m.on_epoch(f.sys, f.pid, Inference::kMalicious),
+            ValkyrieMonitor::Action::kThrottled);
+  // ...and a second consecutive malicious epoch (past N*=1) terminates.
+  EXPECT_EQ(m.on_epoch(f.sys, f.pid, Inference::kMalicious),
+            ValkyrieMonitor::Action::kTerminated);
+}
+
+TEST(Monitor, LiteralModeTerminableIsAbsorbing) {
+  Fixture f;
+  ValkyrieConfig cfg = config_n(1);
+  cfg.episode_scoped_measurements = false;
+  ValkyrieMonitor m(cfg, std::make_unique<CgroupCpuActuator>());
+  m.on_epoch(f.sys, f.pid, Inference::kMalicious);  // uses up N*
+  EXPECT_EQ(m.on_epoch(f.sys, f.pid, Inference::kBenign),
+            ValkyrieMonitor::Action::kRestored);
+  EXPECT_EQ(m.state(), ProcessState::kTerminable);
+  EXPECT_EQ(m.on_epoch(f.sys, f.pid, Inference::kBenign),
+            ValkyrieMonitor::Action::kRestored);
+  // Fig. 3: terminable -> terminated on any later malicious inference.
+  EXPECT_EQ(m.on_epoch(f.sys, f.pid, Inference::kMalicious),
+            ValkyrieMonitor::Action::kTerminated);
+}
+
+TEST(Monitor, TerminatedIsAbsorbing) {
+  Fixture f;
+  ValkyrieMonitor m(config_n(1), std::make_unique<CgroupCpuActuator>());
+  m.on_epoch(f.sys, f.pid, Inference::kMalicious);
+  m.on_epoch(f.sys, f.pid, Inference::kMalicious);  // terminates
+  EXPECT_EQ(m.on_epoch(f.sys, f.pid, Inference::kBenign),
+            ValkyrieMonitor::Action::kNone);
+  EXPECT_EQ(m.state(), ProcessState::kTerminated);
+}
+
+TEST(Monitor, MeasurementCountStopsAtNStarInLiteralMode) {
+  Fixture f;
+  ValkyrieConfig cfg = config_n(4);
+  cfg.episode_scoped_measurements = false;
+  ValkyrieMonitor m(cfg, std::make_unique<CgroupCpuActuator>());
+  for (int i = 0; i < 10; ++i) m.on_epoch(f.sys, f.pid, Inference::kBenign);
+  EXPECT_EQ(m.measurements(), 4u);
+}
+
+TEST(Monitor, EpisodeMeasurementsCountSuspiciousSpans) {
+  Fixture f;
+  ValkyrieMonitor m(config_n(10), std::make_unique<CgroupCpuActuator>());
+  m.on_epoch(f.sys, f.pid, Inference::kBenign);     // normal: no counting
+  EXPECT_EQ(m.measurements(), 0u);
+  m.on_epoch(f.sys, f.pid, Inference::kMalicious);  // episode opens
+  m.on_epoch(f.sys, f.pid, Inference::kMalicious);
+  EXPECT_EQ(m.measurements(), 2u);
+  m.on_epoch(f.sys, f.pid, Inference::kBenign);     // still suspicious: counts
+  EXPECT_EQ(m.measurements(), 3u);
+}
+
+TEST(Engine, AttackGetsThrottledAndKilled) {
+  sim::SimSystem sys;
+  const sim::ProcessId pid = sys.spawn(std::make_unique<UnitWorkload>());
+  const ScriptedDetector detector(
+      std::vector<Inference>(100, Inference::kMalicious));
+  ValkyrieEngine engine(sys, detector);
+  engine.attach(pid, config_n(5), std::make_unique<CgroupCpuActuator>());
+  engine.run(20);
+  EXPECT_FALSE(sys.is_live(pid));
+  EXPECT_EQ(engine.monitor(pid).state(), ProcessState::kTerminated);
+  // Throttling bit before termination: progress < 6 full epochs plus the
+  // post-N* epoch. (Unthrottled it would be ~7.)
+  EXPECT_LT(sys.workload(pid).total_progress(), 5.0);
+}
+
+TEST(Engine, BenignWithFpBurstSurvivesAndRecovers) {
+  sim::SimSystem sys;
+  const sim::ProcessId pid = sys.spawn(std::make_unique<UnitWorkload>());
+  std::vector<Inference> script(40, Inference::kBenign);
+  script[1] = script[2] = Inference::kMalicious;  // brief FP burst
+  const ScriptedDetector detector(script);
+  ValkyrieEngine engine(sys, detector);
+  engine.attach(pid, config_n(15), std::make_unique<CgroupCpuActuator>());
+  engine.run(40);
+  EXPECT_TRUE(sys.is_live(pid));
+  EXPECT_EQ(engine.monitor(pid).state(), ProcessState::kNormal);
+  EXPECT_DOUBLE_EQ(sys.cgroup_caps(pid).cpu, 1.0);  // fully restored
+  // Slight slowdown: progress < epochs but well above half.
+  EXPECT_GT(sys.workload(pid).total_progress(), 35.0);
+  EXPECT_LT(sys.workload(pid).total_progress(), 40.0);
+}
+
+TEST(Engine, UnknownPidThrows) {
+  sim::SimSystem sys;
+  const ScriptedDetector detector({});
+  ValkyrieEngine engine(sys, detector);
+  EXPECT_THROW((void)engine.monitor(3), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace valkyrie::core
