@@ -1,0 +1,89 @@
+// Shared setup for the engine-scaling perf harnesses (engine_scaling.cpp
+// and the BM_EngineEpoch microbenchmarks): an endless signature-driven
+// workload plus a small separable corpus and a trained MLP detector, so
+// both harnesses measure the exact same detector inputs.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "hpc/hpc.hpp"
+#include "ml/dataset.hpp"
+#include "ml/mlp.hpp"
+#include "sim/workload.hpp"
+#include "util/rng.hpp"
+
+namespace valkyrie::bench {
+
+/// Endless synthetic workload: emits samples from a fixed HPC signature.
+/// Never finishes, so process counts stay constant across the whole run.
+class SignatureWorkload final : public sim::Workload {
+ public:
+  explicit SignatureWorkload(hpc::HpcSignature sig) : sig_(sig) {}
+
+  [[nodiscard]] std::string_view name() const override { return "signature"; }
+  [[nodiscard]] bool is_attack() const override { return false; }
+  [[nodiscard]] std::string_view progress_units() const override {
+    return "epochs";
+  }
+  sim::StepResult run_epoch(const sim::ResourceShares& shares,
+                            sim::EpochContext& ctx) override {
+    sim::StepResult out;
+    out.progress = shares.cpu;
+    progress_ += out.progress;
+    out.hpc = sig_.sample(*ctx.rng, shares.cpu, ctx.hpc_noise);
+    return out;
+  }
+  [[nodiscard]] double total_progress() const override { return progress_; }
+
+ private:
+  hpc::HpcSignature sig_;
+  double progress_ = 0.0;
+};
+
+inline hpc::HpcSignature engine_bench_benign_signature() {
+  hpc::HpcSignature sig;
+  sig.at(hpc::Event::kInstructions) = 3e8;
+  sig.at(hpc::Event::kCycles) = 3.5e8;
+  sig.at(hpc::Event::kL1dMisses) = 2e6;
+  sig.at(hpc::Event::kLlcMisses) = 4e5;
+  sig.at(hpc::Event::kMemBandwidth) = 5e7;
+  return sig;
+}
+
+inline hpc::HpcSignature engine_bench_attack_signature() {
+  hpc::HpcSignature sig;
+  sig.at(hpc::Event::kInstructions) = 4e7;
+  sig.at(hpc::Event::kCycles) = 3.5e8;
+  sig.at(hpc::Event::kL1dMisses) = 6e7;
+  sig.at(hpc::Event::kLlcMisses) = 4e7;
+  sig.at(hpc::Event::kMemBandwidth) = 2e9;
+  return sig;
+}
+
+/// Small well-separated corpus so the trained MLP stays quiet on the
+/// benign signature (no terminations mid-measurement).
+inline ml::TraceSet engine_bench_corpus(std::uint64_t seed) {
+  util::Rng rng(seed);
+  ml::TraceSet set;
+  for (int label = 0; label < 2; ++label) {
+    const hpc::HpcSignature sig = label == 1 ? engine_bench_attack_signature()
+                                             : engine_bench_benign_signature();
+    for (int t = 0; t < 8; ++t) {
+      ml::LabeledTrace trace;
+      trace.malicious = label == 1;
+      trace.name =
+          (trace.malicious ? "attack-" : "benign-") + std::to_string(t);
+      for (int i = 0; i < 30; ++i) trace.samples.push_back(sig.sample(rng));
+      set.traces.push_back(std::move(trace));
+    }
+  }
+  return set;
+}
+
+inline ml::MlpDetector engine_bench_detector() {
+  return ml::MlpDetector::make_small_ann(engine_bench_corpus(0x5ca1e),
+                                         0x5eed);
+}
+
+}  // namespace valkyrie::bench

@@ -1,0 +1,111 @@
+// Engine-epoch scaling harness: measures ValkyrieEngine::step() cost as the
+// accumulated measurement window grows, and writes the series as JSON so CI
+// can track the perf trajectory across PRs (target: ns/epoch flat in window
+// length, i.e. O(1) per-epoch inference).
+//
+//   ./build/engine_scaling [out.json]
+//
+// Emits one series per process count: ns/epoch averaged over a short probe
+// run at each checkpoint epoch.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/responses.hpp"
+#include "core/valkyrie.hpp"
+#include "engine_bench_common.hpp"
+#include "hpc/hpc.hpp"
+#include "sim/system.hpp"
+
+namespace {
+
+using namespace valkyrie;
+using Clock = std::chrono::steady_clock;
+
+struct Point {
+  std::uint64_t epoch;
+  double ns_per_epoch;
+};
+
+std::vector<Point> run_series(const ml::Detector& detector,
+                              std::size_t processes,
+                              std::uint64_t max_epoch) {
+  sim::SimSystem sys;
+  core::ValkyrieEngine engine(sys, detector);
+  for (std::size_t p = 0; p < processes; ++p) {
+    const sim::ProcessId pid = sys.spawn(std::make_unique<bench::SignatureWorkload>(
+        bench::engine_bench_benign_signature()));
+    engine.attach(pid, core::ValkyrieConfig{},
+                  std::make_unique<core::SchedulerWeightActuator>());
+  }
+
+  constexpr std::uint64_t kProbe = 10;  // epochs timed per checkpoint
+  std::vector<Point> points;
+  std::uint64_t epoch = 0;
+  for (std::uint64_t target = 50; target <= max_epoch; target *= 10) {
+    while (epoch + kProbe < target) {
+      engine.step();
+      ++epoch;
+    }
+    const auto start = Clock::now();
+    for (std::uint64_t i = 0; i < kProbe; ++i) engine.step();
+    const auto stop = Clock::now();
+    epoch += kProbe;
+    const double ns =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+                .count()) /
+        static_cast<double>(kProbe);
+    points.push_back({epoch, ns});
+  }
+  return points;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_engine.json";
+
+  const ml::MlpDetector detector = bench::engine_bench_detector();
+
+  std::string json = "{\n  \"benchmark\": \"engine_scaling\",\n  \"series\": [\n";
+  const std::size_t process_counts[] = {1, 8};
+  bool first_series = true;
+  for (const std::size_t processes : process_counts) {
+    const std::vector<Point> points = run_series(detector, processes, 5000);
+    if (!first_series) json += ",\n";
+    first_series = false;
+    json += "    {\"processes\": " + std::to_string(processes) +
+            ", \"points\": [";
+    bool first = true;
+    for (const Point& p : points) {
+      if (!first) json += ", ";
+      first = false;
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"epoch\": %llu, \"ns_per_epoch\": %.1f}",
+                    static_cast<unsigned long long>(p.epoch), p.ns_per_epoch);
+      json += buf;
+    }
+    json += "]}";
+    std::printf("processes=%zu:", processes);
+    for (const Point& p : points) {
+      std::printf("  epoch %llu: %.0f ns/epoch",
+                  static_cast<unsigned long long>(p.epoch), p.ns_per_epoch);
+    }
+    std::printf("\n");
+  }
+  json += "\n  ]\n}\n";
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

@@ -50,9 +50,9 @@ int main() {
       "== Fig. 1: detection efficacy vs. number of measurements ==\n"
       "corpus: 67 ransomware samples + 77 single-threaded benign programs\n\n");
 
-  const ml::TraceSet all = bench::ransomware_corpus_traces(kMaxMeasurements);
+  ml::TraceSet all = bench::ransomware_corpus_traces(kMaxMeasurements);
   util::Rng split_rng(0x51e1);
-  const ml::TraceSplit split = ml::split_traces(all, 0.6, split_rng);
+  const ml::TraceSplit split = ml::split_traces(std::move(all), 0.6, split_rng);
   std::printf("train: %zu traces (%zu ransomware), test: %zu traces\n\n",
               split.train.traces.size(), split.train.count_malicious(),
               split.test.traces.size());

@@ -56,9 +56,8 @@ RateSeries run_corpus_sample(const ml::Detector* detector,
           sys.last_progress(pid) / 0.1 / 1e6 / kSamples;
       series.total_mb += sys.last_progress(pid) / 1e6 / kSamples;
       if (monitor != nullptr && sys.is_live(pid)) {
-        const auto& window = sys.sample_history(pid);
         monitor->on_epoch(sys, pid,
-                          detector->infer({window.data(), window.size()}));
+                          detector->infer(sys.window_summary(pid)));
       }
     }
   }
@@ -80,9 +79,9 @@ int main() {
   // Train the paper's LSTM detector on the ransomware corpus.
   std::printf("training LSTM detector (input %zu, hidden 8)...\n",
               hpc::kFeatureDim);
-  const ml::TraceSet traces = bench::ransomware_corpus_traces(40);
+  ml::TraceSet traces = bench::ransomware_corpus_traces(40);
   util::Rng split_rng(0x6b);
-  const ml::TraceSplit split = ml::split_traces(traces, 0.6, split_rng);
+  const ml::TraceSplit split = ml::split_traces(std::move(traces), 0.6, split_rng);
   ml::LstmTrainOptions train_opts;
   train_opts.epochs = 10;
   const ml::LstmDetector lstm =

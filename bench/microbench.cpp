@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 
 #include "attacks/pp_aes.hpp"
 #include "cache/cache.hpp"
@@ -12,9 +13,12 @@
 #include "crypto/aes128.hpp"
 #include "crypto/sha256.hpp"
 #include "dram/dram.hpp"
+#include "engine_bench_common.hpp"
 #include "hpc/hpc.hpp"
 #include "ml/gbt.hpp"
+#include "ml/mlp.hpp"
 #include "ml/stat_detector.hpp"
+#include "ml/window_accumulator.hpp"
 #include "sim/system.hpp"
 #include "util/rng.hpp"
 #include "workloads/benchmarks.hpp"
@@ -79,7 +83,8 @@ void BM_StatDetectorInfer(benchmark::State& state) {
   for (double& m : sig.mean) m = 1e6;
   std::vector<ml::Example> examples;
   for (int i = 0; i < 200; ++i) {
-    examples.push_back({hpc::to_features(sig.sample(rng)), false});
+    const hpc::FeatureVec f = hpc::to_features(sig.sample(rng));
+    examples.push_back({{f.begin(), f.end()}, false});
   }
   ml::StatisticalDetector detector;
   detector.fit(examples);
@@ -91,6 +96,77 @@ void BM_StatDetectorInfer(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StatDetectorInfer);
+
+// --- Feature-pipeline scaling: batch recompute vs streaming accumulator ------
+//
+// The batch path is what every epoch used to pay (two passes over the whole
+// accumulated window); the streaming path is what an epoch pays now (fold
+// one sample, read the summary). The gap at 4096 is the O(T) -> O(1) win.
+
+std::vector<hpc::HpcSample> make_window(std::size_t n) {
+  util::Rng rng(7);
+  hpc::HpcSignature sig;
+  for (double& m : sig.mean) m = 1e6;
+  std::vector<hpc::HpcSample> window;
+  window.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) window.push_back(sig.sample(rng));
+  return window;
+}
+
+void BM_WindowFeaturesBatch(benchmark::State& state) {
+  const std::vector<hpc::HpcSample> window =
+      make_window(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::window_features(window));
+  }
+}
+BENCHMARK(BM_WindowFeaturesBatch)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_WindowFeaturesStreaming(benchmark::State& state) {
+  const std::vector<hpc::HpcSample> window =
+      make_window(static_cast<std::size_t>(state.range(0)));
+  ml::WindowAccumulator acc;
+  std::size_t next = 0;
+  for (auto _ : state) {
+    // One epoch's worth of work at window length |window|: fold the new
+    // sample and materialise the aggregate features. No allocations.
+    acc.add(window[next]);
+    next = (next + 1) % window.size();
+    benchmark::DoNotOptimize(acc.summary().features());
+  }
+}
+BENCHMARK(BM_WindowFeaturesStreaming)->Arg(16)->Arg(256)->Arg(4096);
+
+// --- Full engine epochs at scale ---------------------------------------------
+//
+// Persistent system + engine: every iteration is one real epoch, so the
+// accumulated window grows throughout the run. Flat ns/epoch across
+// iteration counts is the O(1)-per-epoch property; multiply process count
+// via the argument. Setup is shared with bench/engine_scaling.cpp so both
+// harnesses measure the same detector inputs.
+
+const ml::MlpDetector& cached_engine_detector() {
+  static const ml::MlpDetector detector = bench::engine_bench_detector();
+  return detector;
+}
+
+void BM_EngineEpoch(benchmark::State& state) {
+  const std::size_t processes = static_cast<std::size_t>(state.range(0));
+  sim::SimSystem sys;
+  core::ValkyrieEngine engine(sys, cached_engine_detector());
+  for (std::size_t p = 0; p < processes; ++p) {
+    const sim::ProcessId pid = sys.spawn(std::make_unique<bench::SignatureWorkload>(
+        bench::engine_bench_benign_signature()));
+    engine.attach(pid, core::ValkyrieConfig{},
+                  std::make_unique<core::SchedulerWeightActuator>());
+  }
+  for (auto _ : state) {
+    engine.step();
+  }
+  state.counters["window"] =
+      static_cast<double>(sys.current_epoch());  // final window length
+}
+BENCHMARK(BM_EngineEpoch)->Arg(8)->Arg(64)->Arg(256);
 
 void BM_SimEpochBenchmarkWorkload(benchmark::State& state) {
   sim::SimSystem sys;

@@ -66,6 +66,7 @@ workloads::BenchmarkSpec outlier_program() {
 int main() {
   const ml::StatisticalDetector detector = train_detector();
   const ml::StatisticalDetector terminal = detector.accumulated_view();
+  ml::StreamingInference term_stream;
   const workloads::BenchmarkSpec program = outlier_program();
 
   // --- Policy 1: terminate on first detection ----------------------------
@@ -89,9 +90,11 @@ int main() {
   for (int epoch = 0; epoch < 2000 && v_sys.is_live(v_pid); ++epoch) {
     v_sys.run_epoch();
     if (!v_sys.is_live(v_pid)) break;
-    const auto& window = v_sys.sample_history(v_pid);
-    const ml::Inference inf = detector.infer({window.data(), window.size()});
-    const ml::Inference term = terminal.infer({window.data(), window.size()});
+    // Streaming inference: one summary per epoch, shared by both views;
+    // the running-vote state keeps the accumulated decision O(1)/epoch.
+    const ml::WindowSummary summary = v_sys.window_summary(v_pid);
+    const ml::Inference inf = detector.infer(summary);
+    const ml::Inference term = term_stream.infer(terminal, summary);
     monitor.on_epoch(v_sys, v_pid, inf, term);
     ++v_epochs;
     if (epoch < 25) {

@@ -37,9 +37,9 @@ int main() {
       return std::make_unique<workloads::BenchmarkWorkload>(spec);
     });
   }
-  const ml::TraceSet traces = core::collect_traces(corpus, 40);
+  ml::TraceSet traces = core::collect_traces(corpus, 40);
   util::Rng rng(7);
-  const ml::TraceSplit split = ml::split_traces(traces, 0.6, rng);
+  const ml::TraceSplit split = ml::split_traces(std::move(traces), 0.6, rng);
 
   // 2. Train the paper's LSTM (hidden layer of 8 nodes).
   std::printf("training LSTM detector...\n");

@@ -23,16 +23,30 @@ EfficacyCurve compute_efficacy_curve(const ml::Detector& detector,
   for (std::size_t n = 1; n <= max_measurements; n += stride) {
     EfficacyPoint point;
     point.measurements = n;
-    for (const ml::LabeledTrace& trace : validation.traces) {
-      if (trace.samples.size() < n) continue;
-      const std::span<const hpc::HpcSample> prefix(trace.samples.data(), n);
+    points.push_back(point);
+  }
+  // Stream each trace once: the accumulator folds samples as the prefix
+  // grows and the checkpoints reuse it, instead of re-deriving every
+  // prefix's features from scratch (which made the offline curve O(T^2)
+  // per trace for aggregate detectors).
+  for (const ml::LabeledTrace& trace : validation.traces) {
+    ml::WindowAccumulator acc;
+    ml::StreamingInference stream;
+    std::size_t consumed = 0;
+    for (EfficacyPoint& point : points) {
+      const std::size_t n = point.measurements;
+      if (trace.samples.size() < n) break;
+      while (consumed < n) acc.add(trace.samples[consumed++]);
+      const ml::WindowSummary summary =
+          acc.summary({trace.samples.data(), n});
       const bool predicted_malicious =
-          detector.infer(prefix) == ml::Inference::kMalicious;
+          stream.infer(detector, summary) == ml::Inference::kMalicious;
       point.confusion.record(trace.malicious, predicted_malicious);
     }
+  }
+  for (EfficacyPoint& point : points) {
     point.f1 = point.confusion.f1();
     point.fpr = point.confusion.false_positive_rate();
-    points.push_back(point);
   }
   return EfficacyCurve(std::move(points));
 }

@@ -95,8 +95,8 @@ void ValkyrieResponse::on_epoch(sim::SimSystem& sys, sim::ProcessId pid,
   std::optional<ml::Inference> terminal;
   if (terminal_detector_ != nullptr &&
       monitor_.measurements() >= monitor_.config().required_measurements) {
-    const std::vector<hpc::HpcSample>& window = sys.sample_history(pid);
-    terminal = terminal_detector_->infer({window.data(), window.size()});
+    terminal =
+        terminal_stream_.infer(*terminal_detector_, sys.window_summary(pid));
   }
   monitor_.on_epoch(sys, pid, inference, terminal);
 }
@@ -107,13 +107,13 @@ PolicyRunResult run_with_policy(sim::SimSystem& sys, sim::ProcessId pid,
                                 std::size_t max_epochs) {
   PolicyRunResult result;
   result.policy = policy.name();
+  ml::StreamingInference stream;
   for (std::size_t epoch = 0; epoch < max_epochs; ++epoch) {
     if (!sys.is_live(pid)) break;
     sys.run_epoch();
     if (!sys.is_live(pid)) break;  // completed during this epoch
-    const std::vector<hpc::HpcSample>& window = sys.sample_history(pid);
     const ml::Inference inference =
-        detector.infer({window.data(), window.size()});
+        stream.infer(detector, sys.window_summary(pid));
     policy.on_epoch(sys, pid, inference);
   }
   result.total_progress = sys.workload(pid).total_progress();

@@ -163,6 +163,7 @@ class ValkyrieResponse final : public ResponsePolicy {
  private:
   ValkyrieMonitor monitor_;
   const ml::Detector* terminal_detector_;
+  ml::StreamingInference terminal_stream_;
 };
 
 // --- Comparison harness ------------------------------------------------------

@@ -80,8 +80,9 @@ ValkyrieEngine::ValkyrieEngine(sim::SimSystem& sys,
 void ValkyrieEngine::attach(sim::ProcessId pid, ValkyrieConfig config,
                             std::unique_ptr<Actuator> actuator,
                             const ml::Detector* terminal_detector) {
-  attached_.push_back({pid, ValkyrieMonitor(config, std::move(actuator)),
-                       terminal_detector});
+  Attached a{pid, ValkyrieMonitor(config, std::move(actuator)),
+             terminal_detector, {}, {}};
+  attached_.push_back(std::move(a));
 }
 
 std::size_t ValkyrieEngine::step() {
@@ -89,13 +90,17 @@ std::size_t ValkyrieEngine::step() {
   std::size_t live = 0;
   for (Attached& a : attached_) {
     if (!sys_.is_live(a.pid)) continue;
-    const std::vector<hpc::HpcSample>& window = sys_.sample_history(a.pid);
-    const ml::Inference inference =
-        detector_.infer({window.data(), window.size()});
+    // One summary per process per epoch; both detectors share it, so
+    // feature extraction and statistics assembly happen exactly once.
+    const ml::WindowSummary summary = sys_.window_summary(a.pid);
+    const ml::Inference inference = a.stream.infer(detector_, summary);
     std::optional<ml::Inference> terminal;
     if (a.terminal_detector != nullptr &&
         a.monitor.measurements() >= a.monitor.config().required_measurements) {
-      terminal = a.terminal_detector->infer({window.data(), window.size()});
+      // StreamingInference catches up on any epochs it was not consulted
+      // for, so the first terminable-state query pays one linear pass and
+      // every subsequent epoch is O(1).
+      terminal = a.terminal_stream.infer(*a.terminal_detector, summary);
     }
     a.monitor.on_epoch(sys_, a.pid, inference, terminal);
     if (sys_.is_live(a.pid)) ++live;

@@ -81,6 +81,13 @@ class ValkyrieMonitor {
 /// feeds every live attached process's accumulated measurement window
 /// through the detector and its monitor (so the response applies from the
 /// next epoch on, matching Eq. 3's B_i(A(R_{i-1}, dT_i)) timing).
+///
+/// The per-epoch inference loop is streaming: the system maintains each
+/// process's window statistics incrementally, the engine assembles one
+/// WindowSummary per process per epoch, and per-attachment
+/// StreamingInference state keeps running vote counts — so an epoch costs
+/// O(1) per process in the accumulated window length for every bundled
+/// detector family (previously O(window)).
 class ValkyrieEngine {
  public:
   using ActuatorFactory = std::unique_ptr<Actuator> (*)();
@@ -109,6 +116,8 @@ class ValkyrieEngine {
     sim::ProcessId pid;
     ValkyrieMonitor monitor;
     const ml::Detector* terminal_detector = nullptr;
+    ml::StreamingInference stream;           // running state for detector_
+    ml::StreamingInference terminal_stream;  // ... for terminal_detector
   };
 
   sim::SimSystem& sys_;

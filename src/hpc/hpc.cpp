@@ -86,15 +86,20 @@ HpcSample HpcSignature::sample(util::Rng& rng, double activity,
   return out;
 }
 
-std::vector<double> to_features(const HpcSample& sample) {
-  std::vector<double> features(kNumEvents, 0.0);
+FeatureVec to_features(const HpcSample& sample) noexcept {
+  FeatureVec features;
+  to_features(sample, features);
+  return features;
+}
+
+void to_features(const HpcSample& sample, std::span<double> out) noexcept {
   const double cycles =
       std::max(sample[Event::kCycles], 1.0);  // guard empty samples
   for (std::size_t i = 0; i < kNumEvents; ++i) {
-    if (static_cast<Event>(i) == Event::kCycles) continue;  // stays 0
-    features[i] = std::log1p(sample.counts[i] * 1e6 / cycles);
+    out[i] = static_cast<Event>(i) == Event::kCycles
+                 ? 0.0  // scheduling share is the response's doing
+                 : std::log1p(sample.counts[i] * 1e6 / cycles);
   }
-  return features;
 }
 
 }  // namespace valkyrie::hpc

@@ -80,6 +80,13 @@ struct HpcSignature {
                                  double noise_scale = 1.0) const noexcept;
 };
 
+/// Feature dimension produced by to_features().
+inline constexpr std::size_t kFeatureDim = kNumEvents;
+
+/// Fixed-size feature vector: one inference happens every epoch for every
+/// monitored process, so the feature plumbing is allocation-free.
+using FeatureVec = std::array<double, kFeatureDim>;
+
 /// Normalises a sample into the ML feature vector used by every detector:
 /// log1p-compressed *per-megacycle rates* (count * 1e6 / cycles). Rate
 /// features are the standard practice for per-process HPC detectors (MPKI,
@@ -89,9 +96,10 @@ struct HpcSignature {
 /// and the response would feed back into the detector. The cycles slot
 /// itself is intentionally zeroed (scheduling share is the response's
 /// doing, not the program's behaviour).
-[[nodiscard]] std::vector<double> to_features(const HpcSample& sample);
+[[nodiscard]] FeatureVec to_features(const HpcSample& sample) noexcept;
 
-/// Feature dimension produced by to_features().
-inline constexpr std::size_t kFeatureDim = kNumEvents;
+/// Write-into variant for callers that own the storage. `out` must have
+/// exactly kFeatureDim elements.
+void to_features(const HpcSample& sample, std::span<double> out) noexcept;
 
 }  // namespace valkyrie::hpc

@@ -1,6 +1,7 @@
 #include "ml/dataset.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace valkyrie::ml {
 
@@ -15,10 +16,14 @@ std::size_t TraceSet::count_benign() const noexcept {
 }
 
 std::vector<Example> flatten(const TraceSet& set) {
+  std::size_t total = 0;
+  for (const LabeledTrace& trace : set.traces) total += trace.samples.size();
   std::vector<Example> out;
+  out.reserve(total);
   for (const LabeledTrace& trace : set.traces) {
     for (const hpc::HpcSample& sample : trace.samples) {
-      out.push_back({hpc::to_features(sample), trace.malicious});
+      const hpc::FeatureVec f = hpc::to_features(sample);
+      out.push_back({{f.begin(), f.end()}, trace.malicious});
     }
   }
   return out;
@@ -31,15 +36,18 @@ void shuffle(std::vector<Example>& examples, util::Rng& rng) {
   }
 }
 
-TraceSplit split_traces(const TraceSet& set, double train_fraction,
-                        util::Rng& rng) {
-  // Partition per class so both halves see both classes.
-  std::vector<const LabeledTrace*> malicious;
-  std::vector<const LabeledTrace*> benign;
-  for (const LabeledTrace& t : set.traces) {
+TraceSplit split_traces(TraceSet set, double train_fraction, util::Rng& rng) {
+  // Partition per class so both halves see both classes. The set is taken
+  // by value and traces are moved into the halves, so no sample vector is
+  // ever copied (callers that still need the source pass a copy).
+  std::vector<LabeledTrace*> malicious;
+  std::vector<LabeledTrace*> benign;
+  malicious.reserve(set.traces.size());
+  benign.reserve(set.traces.size());
+  for (LabeledTrace& t : set.traces) {
     (t.malicious ? malicious : benign).push_back(&t);
   }
-  const auto shuffle_ptrs = [&rng](std::vector<const LabeledTrace*>& v) {
+  const auto shuffle_ptrs = [&rng](std::vector<LabeledTrace*>& v) {
     for (std::size_t i = v.size(); i > 1; --i) {
       std::swap(v[i - 1], v[rng.below(i)]);
     }
@@ -48,11 +56,14 @@ TraceSplit split_traces(const TraceSet& set, double train_fraction,
   shuffle_ptrs(benign);
 
   TraceSplit out;
-  const auto distribute = [&](const std::vector<const LabeledTrace*>& v) {
+  out.train.traces.reserve(set.traces.size());
+  out.test.traces.reserve(set.traces.size());
+  const auto distribute = [&](const std::vector<LabeledTrace*>& v) {
     const auto n_train = static_cast<std::size_t>(
         train_fraction * static_cast<double>(v.size()) + 0.5);
     for (std::size_t i = 0; i < v.size(); ++i) {
-      (i < n_train ? out.train : out.test).traces.push_back(*v[i]);
+      (i < n_train ? out.train : out.test)
+          .traces.push_back(std::move(*v[i]));
     }
   };
   distribute(malicious);

@@ -39,12 +39,14 @@ struct Example {
 void shuffle(std::vector<Example>& examples, util::Rng& rng);
 
 /// Splits a trace set into train/test by trace (not by sample), keeping
-/// `train_fraction` of each class in the training half.
+/// `train_fraction` of each class in the training half. Takes the set by
+/// value and moves every trace into one of the halves — pass std::move(set)
+/// to avoid copying trace samples, or an lvalue to keep the source intact.
 struct TraceSplit {
   TraceSet train;
   TraceSet test;
 };
-[[nodiscard]] TraceSplit split_traces(const TraceSet& set,
-                                      double train_fraction, util::Rng& rng);
+[[nodiscard]] TraceSplit split_traces(TraceSet set, double train_fraction,
+                                      util::Rng& rng);
 
 }  // namespace valkyrie::ml

@@ -29,32 +29,66 @@ void FeatureScaler::fit(std::span<const std::vector<double>> features) {
   }
 }
 
-std::vector<double> FeatureScaler::transform(
-    std::span<const double> features) const {
+void FeatureScaler::transform(std::span<const double> features,
+                              std::span<double> out) const {
   if (!fitted()) throw std::logic_error("FeatureScaler: not fitted");
-  if (features.size() != mean_.size()) {
+  if (features.size() != mean_.size() || out.size() != mean_.size()) {
     throw std::invalid_argument("FeatureScaler: dimension mismatch");
   }
-  std::vector<double> out(features.size());
   for (std::size_t i = 0; i < out.size(); ++i) {
     out[i] = (features[i] - mean_[i]) * inv_std_[i];
   }
+}
+
+std::vector<double> FeatureScaler::transform(
+    std::span<const double> features) const {
+  std::vector<double> out(features.size());
+  transform(features, out);
   return out;
+}
+
+Inference StreamingInference::infer(const Detector& detector,
+                                    const WindowSummary& summary) {
+  const std::optional<double> fraction = detector.vote_fraction();
+  if (!fraction || summary.count == 0) return detector.infer(summary);
+  if (counted_ > summary.count) reset();  // window shrank: recount
+  if (counted_ + 1 == summary.count) {
+    // The common per-epoch step: exactly one new measurement.
+    if (detector.measurement_vote(summary.newest)) ++malicious_;
+    counted_ = summary.count;
+  } else if (counted_ < summary.count) {
+    // Attached mid-run (or several epochs elapsed between calls): fold the
+    // not-yet-counted measurements from the raw window. One-time cost.
+    if (summary.window.size() < summary.count) {
+      return detector.infer(summary);  // raw window unavailable; fall back
+    }
+    hpc::FeatureVec f;
+    for (std::size_t i = counted_; i < summary.count; ++i) {
+      hpc::to_features(summary.window[i], f);
+      if (detector.measurement_vote(f)) ++malicious_;
+    }
+    counted_ = summary.count;
+  }
+  return static_cast<double>(malicious_) >
+                 *fraction * static_cast<double>(counted_)
+             ? Inference::kMalicious
+             : Inference::kBenign;
 }
 
 std::vector<double> window_features(std::span<const hpc::HpcSample> window) {
   std::vector<double> out(kWindowFeatureDim, 0.0);
   if (window.empty()) return out;
   const double n = static_cast<double>(window.size());
+  hpc::FeatureVec f;
   // Mean of each log1p feature.
   for (const hpc::HpcSample& s : window) {
-    const std::vector<double> f = hpc::to_features(s);
+    hpc::to_features(s, f);
     for (std::size_t i = 0; i < hpc::kFeatureDim; ++i) out[i] += f[i];
   }
   for (std::size_t i = 0; i < hpc::kFeatureDim; ++i) out[i] /= n;
   // Standard deviation of each feature.
   for (const hpc::HpcSample& s : window) {
-    const std::vector<double> f = hpc::to_features(s);
+    hpc::to_features(s, f);
     for (std::size_t i = 0; i < hpc::kFeatureDim; ++i) {
       const double d = f[i] - out[i];
       out[hpc::kFeatureDim + i] += d * d;

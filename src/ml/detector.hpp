@@ -5,14 +5,32 @@
 // Valkyrie is agnostic to what is behind the interface (paper §VII); this
 // repository ships a statistical detector, small/large MLPs, a linear SVM,
 // gradient-boosted trees and an LSTM behind it.
+//
+// Two entry points exist because the window grows every epoch:
+//
+//   infer(span)           — classify from the raw accumulated window; cost
+//                           grows with the window for aggregate detectors.
+//   infer(WindowSummary)  — classify from streaming statistics maintained
+//                           in O(1) per epoch by a WindowAccumulator. The
+//                           default adapter falls back to the raw window,
+//                           so existing whole-window detectors keep working
+//                           unmodified; detectors that can consume the
+//                           summary override it and become O(1) per epoch.
+//
+// Detectors that classify each measurement independently and majority-vote
+// (SVM, XGBoost, the statistical detector's accumulated view) additionally
+// expose the per-measurement vote, letting the caller maintain running vote
+// counts instead of re-scoring the whole window every epoch.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string_view>
 #include <vector>
 
 #include "hpc/hpc.hpp"
+#include "ml/window_accumulator.hpp"
 
 namespace valkyrie::ml {
 
@@ -28,6 +46,62 @@ class Detector {
   /// (oldest first). Called once per epoch with a growing window.
   [[nodiscard]] virtual Inference infer(
       std::span<const hpc::HpcSample> window) const = 0;
+
+  /// Incremental entry point: classifies from the streaming summary of the
+  /// accumulated window. The default adapter forwards to the whole-window
+  /// overload via summary.window; summary-capable detectors override this
+  /// and never touch the raw measurements.
+  [[nodiscard]] virtual Inference infer(const WindowSummary& summary) const {
+    return infer(summary.window);
+  }
+
+  /// For vote-based detectors: the fraction of per-measurement malicious
+  /// votes (strictly) above which the whole window is inferred malicious.
+  /// Returning a value promises that infer(window) is equivalent to scoring
+  /// each measurement with measurement_vote() and comparing the malicious
+  /// fraction against it — which lets callers keep running counts and infer
+  /// in O(1) per epoch. Detectors without that structure return nullopt.
+  [[nodiscard]] virtual std::optional<double> vote_fraction() const {
+    return std::nullopt;
+  }
+
+  /// Classifies one measurement (features from hpc::to_features) in
+  /// isolation. Only meaningful when vote_fraction() returns a value.
+  [[nodiscard]] virtual bool measurement_vote(
+      std::span<const double> /*features*/) const {
+    return false;
+  }
+};
+
+/// Per-(process, detector) incremental inference state. Routes each epoch's
+/// decision through the cheapest path the detector supports:
+///
+///   - vote-based detectors: fold the newest measurement's vote into running
+///     counts and compare fractions — O(1) per epoch;
+///   - everything else: hand over the streaming summary (summary-capable
+///     detectors are O(1); legacy whole-window detectors fall back to the
+///     raw window through the default adapter).
+///
+/// Catches up from summary.window when attached to a process that already
+/// has history, and recounts after a shrink (episode reset).
+///
+/// One instance serves exactly one (process, detector) pair: progress is
+/// tracked by measurement count alone, so pointing an instance at a
+/// *different* process whose window is at least as long would silently
+/// merge stale votes. Call reset() before reusing an instance.
+class StreamingInference {
+ public:
+  [[nodiscard]] Inference infer(const Detector& detector,
+                                const WindowSummary& summary);
+
+  void reset() noexcept {
+    malicious_ = 0;
+    counted_ = 0;
+  }
+
+ private:
+  std::size_t malicious_ = 0;
+  std::size_t counted_ = 0;
 };
 
 /// Aggregate feature vector for whole-window models (the ANNs): per-event
@@ -35,10 +109,12 @@ class Detector {
 /// giving a fixed 2 * kFeatureDim dimensionality regardless of window size.
 /// As the window grows these estimates concentrate, which is precisely why
 /// detection efficacy rises with measurement count (paper Fig. 1).
+///
+/// This is the batch (two-pass) computation, used when building training
+/// examples; the per-epoch inference path streams the same statistics
+/// through a WindowAccumulator instead.
 [[nodiscard]] std::vector<double> window_features(
     std::span<const hpc::HpcSample> window);
-
-inline constexpr std::size_t kWindowFeatureDim = 2 * hpc::kFeatureDim;
 
 /// Per-feature standardisation (z-scoring) fit on training data. Neural
 /// models need it: raw log1p counts sit around 15-20 and would saturate
@@ -51,7 +127,13 @@ class FeatureScaler {
   [[nodiscard]] std::vector<double> transform(
       std::span<const double> features) const;
 
+  /// Allocation-free variant: writes standardised features into `out`
+  /// (same length as the input; `out` may alias `features`, so in-place
+  /// transformation is `transform(f, f)`).
+  void transform(std::span<const double> features, std::span<double> out) const;
+
   [[nodiscard]] bool fitted() const noexcept { return !mean_.empty(); }
+  [[nodiscard]] std::size_t dim() const noexcept { return mean_.size(); }
 
  private:
   std::vector<double> mean_;

@@ -171,8 +171,10 @@ double GradientBoostedTrees::predict(std::span<const double> features) const {
 Inference GbtDetector::infer(std::span<const hpc::HpcSample> window) const {
   if (window.empty()) return Inference::kBenign;
   std::size_t malicious_votes = 0;
+  hpc::FeatureVec f;
   for (const hpc::HpcSample& s : window) {
-    if (model_.predict_logit(hpc::to_features(s)) > 0.0) ++malicious_votes;
+    hpc::to_features(s, f);
+    if (model_.predict_logit(f) > 0.0) ++malicious_votes;
   }
   return 2 * malicious_votes > window.size() ? Inference::kMalicious
                                              : Inference::kBenign;

@@ -78,8 +78,19 @@ class GbtDetector final : public Detector {
       : model_(std::move(model)) {}
 
   [[nodiscard]] std::string_view name() const override { return "xgboost"; }
+  using Detector::infer;  // keep infer(WindowSummary) visible
   [[nodiscard]] Inference infer(
       std::span<const hpc::HpcSample> window) const override;
+  /// Per-measurement vote structure (paper §IV-A): simple majority over
+  /// individual measurement classifications. Lets callers keep running
+  /// counts and infer in O(1) per epoch via StreamingInference.
+  [[nodiscard]] std::optional<double> vote_fraction() const override {
+    return 0.5;
+  }
+  [[nodiscard]] bool measurement_vote(
+      std::span<const double> features) const override {
+    return model_.predict_logit(features) > 0.0;
+  }
 
   [[nodiscard]] const GradientBoostedTrees& model() const noexcept {
     return model_;

@@ -187,9 +187,15 @@ void Lstm::train(const TraceSet& train_set, const LstmTrainOptions& options) {
 
   // Fit the input scaler on every training feature vector first.
   std::vector<std::vector<double>> all_features;
+  std::size_t total_samples = 0;
+  for (const LabeledTrace& trace : train_set.traces) {
+    total_samples += trace.samples.size();
+  }
+  all_features.reserve(total_samples);
   for (const LabeledTrace& trace : train_set.traces) {
     for (const hpc::HpcSample& s : trace.samples) {
-      all_features.push_back(hpc::to_features(s));
+      const hpc::FeatureVec f = hpc::to_features(s);
+      all_features.emplace_back(f.begin(), f.end());
     }
   }
   if (all_features.empty()) {
@@ -203,7 +209,9 @@ void Lstm::train(const TraceSet& train_set, const LstmTrainOptions& options) {
     std::vector<std::vector<double>> full;
     full.reserve(trace.samples.size());
     for (const hpc::HpcSample& s : trace.samples) {
-      full.push_back(scaler_.transform(hpc::to_features(s)));
+      hpc::FeatureVec f = hpc::to_features(s);
+      scaler_.transform(f, f);  // standardise in place
+      full.emplace_back(f.begin(), f.end());
     }
     for (int k = 0; k < options.prefixes_per_trace; ++k) {
       const std::size_t len = 1 + rng.below(full.size());
@@ -277,7 +285,8 @@ Inference LstmDetector::infer(std::span<const hpc::HpcSample> window) const {
   std::vector<std::vector<double>> seq;
   seq.reserve(window.size() - start);
   for (std::size_t i = start; i < window.size(); ++i) {
-    seq.push_back(hpc::to_features(window[i]));
+    const hpc::FeatureVec f = hpc::to_features(window[i]);
+    seq.emplace_back(f.begin(), f.end());
   }
   return model_.predict(seq) > 0.5 ? Inference::kMalicious
                                    : Inference::kBenign;

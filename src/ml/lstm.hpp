@@ -76,6 +76,7 @@ class LstmDetector final : public Detector {
   explicit LstmDetector(Lstm model) : model_(std::move(model)) {}
 
   [[nodiscard]] std::string_view name() const override { return "lstm"; }
+  using Detector::infer;  // keep infer(WindowSummary) visible
   [[nodiscard]] Inference infer(
       std::span<const hpc::HpcSample> window) const override;
 

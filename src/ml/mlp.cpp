@@ -1,6 +1,7 @@
 #include "ml/mlp.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
@@ -59,7 +60,32 @@ std::vector<std::vector<double>> Mlp::forward(
 }
 
 double Mlp::predict(std::span<const double> input) const {
-  return forward(input).back().front();
+  if (input.size() != sizes_.front()) {
+    throw std::invalid_argument("Mlp: input dimension mismatch");
+  }
+  // Inference needs no per-layer activation record; ping-pong between two
+  // stack buffers instead so the per-epoch hot path never allocates.
+  constexpr std::size_t kStackWidth = 64;
+  for (const std::size_t s : sizes_) {
+    if (s > kStackWidth) return forward(input).back().front();
+  }
+  std::array<double, kStackWidth> buf_a;
+  std::array<double, kStackWidth> buf_b;
+  std::copy(input.begin(), input.end(), buf_a.begin());
+  double* prev = buf_a.data();
+  double* next = buf_b.data();
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    const bool is_output = (l + 1 == layers_.size());
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      double sum = layer.bias[o];
+      const double* w_row = layer.weights.data() + o * layer.in;
+      for (std::size_t i = 0; i < layer.in; ++i) sum += w_row[i] * prev[i];
+      next[o] = is_output ? sigmoid(sum) : std::tanh(sum);
+    }
+    std::swap(prev, next);
+  }
+  return prev[0];
 }
 
 void Mlp::train(std::vector<Example> examples, const MlpTrainOptions& options) {
@@ -128,8 +154,17 @@ void Mlp::train(std::vector<Example> examples, const MlpTrainOptions& options) {
 
 Inference MlpDetector::infer(std::span<const hpc::HpcSample> window) const {
   if (window.empty()) return Inference::kBenign;
-  const std::vector<double> features =
-      scaler_.transform(window_features(window));
+  const std::vector<double> features = window_features(window);
+  std::array<double, kWindowFeatureDim> scaled;
+  scaler_.transform(features, scaled);
+  return mlp_.predict(scaled) > 0.5 ? Inference::kMalicious
+                                    : Inference::kBenign;
+}
+
+Inference MlpDetector::infer(const WindowSummary& summary) const {
+  if (summary.count == 0) return Inference::kBenign;
+  std::array<double, kWindowFeatureDim> features = summary.features();
+  scaler_.transform(features, features);  // standardise in place
   return mlp_.predict(features) > 0.5 ? Inference::kMalicious
                                       : Inference::kBenign;
 }

@@ -30,7 +30,9 @@ class Mlp {
   explicit Mlp(std::vector<std::size_t> layer_sizes,
                std::uint64_t seed = 0xabcd);
 
-  /// Probability the input is malicious, in (0, 1).
+  /// Probability the input is malicious, in (0, 1). Allocation-free for
+  /// networks whose widest layer fits the stack scratch buffer (all of the
+  /// paper's architectures do).
   [[nodiscard]] double predict(std::span<const double> input) const;
 
   /// SGD training on shuffled examples with class re-weighting so an
@@ -71,6 +73,10 @@ class MlpDetector final : public Detector {
   [[nodiscard]] std::string_view name() const override { return name_; }
   [[nodiscard]] Inference infer(
       std::span<const hpc::HpcSample> window) const override;
+  /// Streaming path: consumes the running mean/stddev aggregates directly —
+  /// O(kWindowFeatureDim) per epoch, no allocations, never touches the raw
+  /// window.
+  [[nodiscard]] Inference infer(const WindowSummary& summary) const override;
 
   [[nodiscard]] const Mlp& model() const noexcept { return mlp_; }
 

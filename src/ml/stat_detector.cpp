@@ -172,15 +172,26 @@ Inference StatisticalDetector::infer(
   if (window.empty()) return Inference::kBenign;
   const std::size_t take = std::min(config_.vote_window, window.size());
   std::size_t malicious_votes = 0;
+  hpc::FeatureVec f;
   for (std::size_t i = 0; i < take; ++i) {
-    const hpc::HpcSample& s = window[window.size() - 1 - i];
-    const std::vector<double> f = hpc::to_features(s);
+    hpc::to_features(window[window.size() - 1 - i], f);
     if (score(f) > config_.threshold) ++malicious_votes;
   }
   return static_cast<double>(malicious_votes) >
                  config_.vote_fraction * static_cast<double>(take)
              ? Inference::kMalicious
              : Inference::kBenign;
+}
+
+Inference StatisticalDetector::infer(const WindowSummary& summary) const {
+  if (summary.count == 0) return Inference::kBenign;
+  if (config_.vote_window == 1) {
+    // Newest-only vote: exactly infer({&newest, 1}) without the window.
+    const bool malicious = measurement_vote(summary.newest) &&
+                           config_.vote_fraction < 1.0;
+    return malicious ? Inference::kMalicious : Inference::kBenign;
+  }
+  return infer(summary.window);
 }
 
 }  // namespace valkyrie::ml

@@ -52,11 +52,29 @@ class StatisticalDetector final : public Detector {
   /// are present — the attack-signature distribution as well.
   void fit(std::span<const Example> examples);
 
+  /// Sentinel vote_window meaning "vote over the entire accumulated
+  /// window" (the terminable-decision view).
+  static constexpr std::size_t kWholeWindow = static_cast<std::size_t>(-1);
+
   [[nodiscard]] std::string_view name() const override {
     return "statistical";
   }
   [[nodiscard]] Inference infer(
       std::span<const hpc::HpcSample> window) const override;
+  /// Streaming path: with the default newest-only vote (vote_window == 1)
+  /// the decision depends solely on the latest measurement's features,
+  /// which the summary carries — O(1) per epoch, no raw-window access.
+  [[nodiscard]] Inference infer(const WindowSummary& summary) const override;
+  /// The whole-window view classifies each measurement independently and
+  /// compares the malicious fraction, so callers may keep running counts.
+  [[nodiscard]] std::optional<double> vote_fraction() const override {
+    if (config_.vote_window == kWholeWindow) return config_.vote_fraction;
+    return std::nullopt;
+  }
+  [[nodiscard]] bool measurement_vote(
+      std::span<const double> features) const override {
+    return score(features) > config_.threshold;
+  }
 
   /// Detection score (exposed for calibration and tests). With an attack
   /// model: benign-z minus attack-z, so positive means closer to the
@@ -84,7 +102,7 @@ class StatisticalDetector final : public Detector {
   /// decision at N* measurements (what Fig. 1 evaluates for SVM/XGBoost).
   [[nodiscard]] StatisticalDetector accumulated_view() const {
     StatisticalDetector view = *this;
-    view.config_.vote_window = static_cast<std::size_t>(-1);
+    view.config_.vote_window = kWholeWindow;
     view.config_.vote_fraction = 0.8;
     return view;
   }

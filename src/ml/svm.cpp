@@ -67,8 +67,10 @@ void LinearSvm::train(std::vector<Example> examples,
 Inference SvmDetector::infer(std::span<const hpc::HpcSample> window) const {
   if (window.empty()) return Inference::kBenign;
   std::size_t malicious_votes = 0;
+  hpc::FeatureVec f;
   for (const hpc::HpcSample& s : window) {
-    if (svm_.decision(hpc::to_features(s)) > 0.0) ++malicious_votes;
+    hpc::to_features(s, f);
+    if (svm_.decision(f) > 0.0) ++malicious_votes;
   }
   return 2 * malicious_votes > window.size() ? Inference::kMalicious
                                              : Inference::kBenign;

@@ -52,8 +52,19 @@ class SvmDetector final : public Detector {
   explicit SvmDetector(LinearSvm svm) : svm_(std::move(svm)) {}
 
   [[nodiscard]] std::string_view name() const override { return "svm"; }
+  using Detector::infer;  // keep infer(WindowSummary) visible
   [[nodiscard]] Inference infer(
       std::span<const hpc::HpcSample> window) const override;
+  /// Per-measurement vote structure (paper §IV-A): simple majority over
+  /// individual measurement classifications. Lets callers keep running
+  /// counts and infer in O(1) per epoch via StreamingInference.
+  [[nodiscard]] std::optional<double> vote_fraction() const override {
+    return 0.5;
+  }
+  [[nodiscard]] bool measurement_vote(
+      std::span<const double> features) const override {
+    return svm_.decision(features) > 0.0;
+  }
 
   [[nodiscard]] const LinearSvm& model() const noexcept { return svm_; }
 

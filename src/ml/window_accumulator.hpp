@@ -1,0 +1,120 @@
+// Streaming per-process feature statistics — the O(1)-per-epoch replacement
+// for recomputing window_features() over the full accumulated measurement
+// window every epoch.
+//
+// Valkyrie's premise is that detection efficacy grows with the accumulated
+// window (paper Fig. 1 / §IV-A), so a T-epoch run that re-derives aggregate
+// features from scratch each epoch pays O(T^2) total feature work per
+// process. A WindowAccumulator instead folds each new HpcSample into
+// Welford running mean/variance of the log1p features as it is captured:
+// O(kFeatureDim) per epoch, allocation-free, and numerically at least as
+// good as the two-pass batch computation.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+#include "hpc/hpc.hpp"
+
+namespace valkyrie::ml {
+
+/// Aggregate feature dimensionality for whole-window models: per-event mean
+/// followed by per-event standard deviation of the log1p features.
+inline constexpr std::size_t kWindowFeatureDim = 2 * hpc::kFeatureDim;
+
+/// One epoch's view of a process's accumulated measurement window: the
+/// streaming statistics plus (for detectors that still need it) the raw
+/// window itself. Assembled once per process per epoch and shared by every
+/// detector that inspects the process.
+struct WindowSummary {
+  /// Number of measurements accumulated.
+  std::size_t count = 0;
+  /// Per-feature running mean of hpc::to_features over the window.
+  hpc::FeatureVec mean{};
+  /// Per-feature population standard deviation over the window.
+  hpc::FeatureVec stddev{};
+  /// Features of the newest measurement (the one added this epoch).
+  hpc::FeatureVec newest{};
+  /// The raw accumulated window, oldest first. May be empty for callers
+  /// that only stream; the default Detector adapter needs it.
+  std::span<const hpc::HpcSample> window{};
+
+  /// The whole-window aggregate feature vector [mean..., stddev...] —
+  /// identical (to floating-point noise) to batch window_features().
+  [[nodiscard]] std::array<double, kWindowFeatureDim> features()
+      const noexcept {
+    std::array<double, kWindowFeatureDim> out;
+    for (std::size_t i = 0; i < hpc::kFeatureDim; ++i) {
+      out[i] = mean[i];
+      out[hpc::kFeatureDim + i] = stddev[i];
+    }
+    return out;
+  }
+};
+
+/// Welford running mean/variance over the log1p features of a growing
+/// measurement window. add() is O(kFeatureDim) with zero heap allocations;
+/// the summary is always consistent with the samples added since the last
+/// reset().
+class WindowAccumulator {
+ public:
+  /// Folds one epoch's sample into the running statistics.
+  void add(const hpc::HpcSample& sample) noexcept {
+    hpc::to_features(sample, newest_);
+    add_features(newest_);
+  }
+
+  /// Folds an already-computed feature vector (callers that have one).
+  void add_features(std::span<const double> features) noexcept {
+    ++count_;
+    const double inv_n = 1.0 / static_cast<double>(count_);
+    for (std::size_t i = 0; i < hpc::kFeatureDim; ++i) {
+      const double delta = features[i] - mean_[i];
+      mean_[i] += delta * inv_n;
+      m2_[i] += delta * (features[i] - mean_[i]);
+    }
+  }
+
+  /// Forgets everything (episode reset / process restart).
+  void reset() noexcept {
+    count_ = 0;
+    mean_.fill(0.0);
+    m2_.fill(0.0);
+    newest_.fill(0.0);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+  /// Features of the most recently added sample.
+  [[nodiscard]] const hpc::FeatureVec& newest_features() const noexcept {
+    return newest_;
+  }
+
+  /// Assembles the streaming summary; `window` is attached verbatim for
+  /// detectors that fall back to the raw measurements.
+  [[nodiscard]] WindowSummary summary(
+      std::span<const hpc::HpcSample> window = {}) const noexcept {
+    WindowSummary out;
+    out.count = count_;
+    out.newest = newest_;
+    out.window = window;
+    if (count_ == 0) return out;
+    const double inv_n = 1.0 / static_cast<double>(count_);
+    for (std::size_t i = 0; i < hpc::kFeatureDim; ++i) {
+      out.mean[i] = mean_[i];
+      const double var = m2_[i] * inv_n;
+      out.stddev[i] = var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+    return out;
+  }
+
+ private:
+  std::size_t count_ = 0;
+  hpc::FeatureVec mean_{};
+  hpc::FeatureVec m2_{};
+  hpc::FeatureVec newest_{};
+};
+
+}  // namespace valkyrie::ml

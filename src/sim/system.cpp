@@ -58,6 +58,7 @@ void SimSystem::run_epoch() {
     const StepResult step = p.workload->run_epoch(eff, ctx);
     p.last_sample = step.hpc;
     p.history.push_back(step.hpc);
+    p.accumulator.add(step.hpc);
     p.last_progress = step.progress;
     ++p.epochs_run;
     if (step.finished) p.exit = ExitReason::kCompleted;
@@ -129,6 +130,16 @@ const hpc::HpcSample& SimSystem::last_sample(ProcessId pid) const {
 const std::vector<hpc::HpcSample>& SimSystem::sample_history(
     ProcessId pid) const {
   return proc(pid).history;
+}
+
+ml::WindowSummary SimSystem::window_summary(ProcessId pid) const {
+  const Proc& p = proc(pid);
+  return p.accumulator.summary({p.history.data(), p.history.size()});
+}
+
+const ml::WindowAccumulator& SimSystem::window_accumulator(
+    ProcessId pid) const {
+  return proc(pid).accumulator;
 }
 
 double SimSystem::last_progress(ProcessId pid) const {

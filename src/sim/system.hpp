@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "hpc/hpc.hpp"
+#include "ml/window_accumulator.hpp"
 #include "sim/platform.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/workload.hpp"
@@ -84,6 +85,17 @@ class SimSystem {
   [[nodiscard]] const std::vector<hpc::HpcSample>& sample_history(
       ProcessId pid) const;
 
+  /// Streaming statistics over the process's accumulated window, maintained
+  /// in O(kFeatureDim) per epoch alongside the history (so per-epoch
+  /// inference never re-derives features from the full window). The
+  /// returned summary carries the raw window span for detectors that still
+  /// need it.
+  [[nodiscard]] ml::WindowSummary window_summary(ProcessId pid) const;
+
+  /// The accumulator itself (for callers that only want the running stats).
+  [[nodiscard]] const ml::WindowAccumulator& window_accumulator(
+      ProcessId pid) const;
+
   /// Progress the process made in the most recent epoch (B^t_i).
   [[nodiscard]] double last_progress(ProcessId pid) const;
 
@@ -100,6 +112,7 @@ class SimSystem {
     ResourceShares effective{}; // what the last epoch actually granted
     hpc::HpcSample last_sample{};
     std::vector<hpc::HpcSample> history;
+    ml::WindowAccumulator accumulator;
     double last_progress = 0.0;
     std::uint64_t epochs_run = 0;
     ExitReason exit = ExitReason::kRunning;

@@ -103,7 +103,7 @@ TEST(Hpc, FeaturesAreLog1pRatesPerMegacycle) {
   HpcSample sample;
   sample[Event::kCycles] = 1e6;
   sample[Event::kInstructions] = std::exp(1.0) - 1.0;
-  const std::vector<double> f = to_features(sample);
+  const FeatureVec f = to_features(sample);
   ASSERT_EQ(f.size(), kFeatureDim);
   EXPECT_NEAR(f[static_cast<std::size_t>(Event::kInstructions)], 1.0, 1e-12);
   // The cycles slot carries no scheduling-share information.
@@ -120,8 +120,8 @@ TEST(Hpc, FeaturesInvariantToSchedulingShare) {
   full[Event::kL1dMisses] = 2e6;
   HpcSample throttled = full;
   for (double& c : throttled.counts) c *= 0.01;
-  const std::vector<double> f_full = to_features(full);
-  const std::vector<double> f_thr = to_features(throttled);
+  const FeatureVec f_full = to_features(full);
+  const FeatureVec f_thr = to_features(throttled);
   for (std::size_t i = 0; i < kFeatureDim; ++i) {
     EXPECT_NEAR(f_full[i], f_thr[i], 1e-6) << "feature " << i;
   }

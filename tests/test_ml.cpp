@@ -197,7 +197,7 @@ TEST(StatDetector, NoBenignExamplesThrows) {
 
 TEST(StatDetector, EmptyWindowIsBenign) {
   StatisticalDetector det;
-  EXPECT_EQ(det.infer({}), Inference::kBenign);
+  EXPECT_EQ(det.infer(std::span<const hpc::HpcSample>{}), Inference::kBenign);
 }
 
 // --- MLP ---------------------------------------------------------------------
@@ -355,7 +355,7 @@ TEST(Lstm, EmptySequencePredictsBenign) {
   Lstm model;
   EXPECT_DOUBLE_EQ(model.predict({}), 0.0);
   LstmDetector det(Lstm{});
-  EXPECT_EQ(det.infer({}), Inference::kBenign);
+  EXPECT_EQ(det.infer(std::span<const hpc::HpcSample>{}), Inference::kBenign);
 }
 
 TEST(Lstm, RejectsDimensionMismatch) {
