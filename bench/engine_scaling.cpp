@@ -1,16 +1,22 @@
-// Engine-epoch scaling harness: measures ValkyrieEngine::step() cost as the
-// accumulated measurement window grows, and writes the series as JSON so CI
-// can track the perf trajectory across PRs (target: ns/epoch flat in window
-// length, i.e. O(1) per-epoch inference).
+// Engine-epoch scaling harness. Two experiments, both written into one JSON
+// file so CI can track the perf trajectory across PRs:
 //
-//   ./build/engine_scaling [out.json]
+//   1. Window growth: ValkyrieEngine::step() cost as the accumulated
+//      measurement window grows (target: ns/epoch flat in window length,
+//      i.e. O(1) per-epoch inference — the PR 1 contract).
+//   2. Shard sweep: ns/epoch across a process-count x worker-thread grid
+//      (8..4096 processes, 1..8 threads), measuring the sharded step's
+//      speedup over the sequential path (the PR 2 contract). Sharded runs
+//      are bit-identical to sequential, so this is pure throughput.
 //
-// Emits one series per process count: ns/epoch averaged over a short probe
-// run at each checkpoint epoch.
+//   ./build/engine_scaling [out.json] [max_threads]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/responses.hpp"
@@ -40,6 +46,7 @@ std::vector<Point> run_series(const ml::Detector& detector,
     engine.attach(pid, core::ValkyrieConfig{},
                   std::make_unique<core::SchedulerWeightActuator>());
   }
+  sys.reserve_history(max_epoch + 1);
 
   constexpr std::uint64_t kProbe = 10;  // epochs timed per checkpoint
   std::vector<Point> points;
@@ -63,14 +70,63 @@ std::vector<Point> run_series(const ml::Detector& detector,
   return points;
 }
 
+struct SweepPoint {
+  std::size_t processes;
+  std::size_t threads;
+  double ns_per_epoch;
+  double ns_per_proc_epoch;
+};
+
+SweepPoint run_sweep_point(const ml::Detector& detector, std::size_t processes,
+                           std::size_t threads) {
+  sim::SimSystem sys;
+  core::ValkyrieEngine engine(sys, detector, threads);
+  for (std::size_t p = 0; p < processes; ++p) {
+    const sim::ProcessId pid = sys.spawn(std::make_unique<bench::SignatureWorkload>(
+        bench::engine_bench_benign_signature()));
+    engine.attach(pid, core::ValkyrieConfig{},
+                  std::make_unique<core::SchedulerWeightActuator>());
+  }
+
+  const std::uint64_t warmup = 20;
+  const std::uint64_t probe = std::clamp<std::uint64_t>(
+      40960 / static_cast<std::uint64_t>(processes), 10, 2000);
+  sys.reserve_history(warmup + probe + 1);
+  for (std::uint64_t i = 0; i < warmup; ++i) engine.step();
+
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < probe; ++i) engine.step();
+  const auto stop = Clock::now();
+  const double ns =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+              .count()) /
+      static_cast<double>(probe);
+  return {processes, threads, ns, ns / static_cast<double>(processes)};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* out_path = argc > 1 ? argv[1] : "BENCH_engine.json";
+  std::size_t max_threads = 8;
+  if (argc > 2) {
+    char* parse_end = nullptr;
+    const unsigned long parsed = std::strtoul(argv[2], &parse_end, 10);
+    if (parse_end == argv[2] || *parse_end != '\0' || parsed == 0) {
+      std::fprintf(stderr, "max_threads must be a positive integer, got %s\n",
+                   argv[2]);
+      return 1;
+    }
+    max_threads = static_cast<std::size_t>(parsed);
+  }
 
   const ml::MlpDetector detector = bench::engine_bench_detector();
 
-  std::string json = "{\n  \"benchmark\": \"engine_scaling\",\n  \"series\": [\n";
+  std::string json = "{\n  \"benchmark\": \"engine_scaling\",\n";
+  json += "  \"hardware_threads\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  json += "  \"series\": [\n";
   const std::size_t process_counts[] = {1, 8};
   bool first_series = true;
   for (const std::size_t processes : process_counts) {
@@ -96,6 +152,39 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(p.epoch), p.ns_per_epoch);
     }
     std::printf("\n");
+  }
+  json += "\n  ],\n  \"sweep\": [\n";
+
+  // Shard sweep: thread-count x process-count grid.
+  const std::size_t sweep_processes[] = {8, 64, 256, 1024, 4096};
+  std::vector<std::size_t> sweep_threads;
+  for (std::size_t t = 1; t <= max_threads; t *= 2) sweep_threads.push_back(t);
+  // A non-power-of-two cap (e.g. a 6-core box) still gets its own row.
+  if (sweep_threads.back() != max_threads) sweep_threads.push_back(max_threads);
+  bool first_point = true;
+  for (const std::size_t processes : sweep_processes) {
+    double baseline_ns = 0.0;
+    for (const std::size_t threads : sweep_threads) {
+      const SweepPoint p = run_sweep_point(detector, processes, threads);
+      if (threads == 1) baseline_ns = p.ns_per_epoch;
+      const double speedup =
+          baseline_ns > 0.0 ? baseline_ns / p.ns_per_epoch : 0.0;
+      if (!first_point) json += ",\n";
+      first_point = false;
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"processes\": %zu, \"threads\": %zu, "
+                    "\"ns_per_epoch\": %.1f, \"ns_per_proc_epoch\": %.1f, "
+                    "\"speedup\": %.2f}",
+                    p.processes, p.threads, p.ns_per_epoch,
+                    p.ns_per_proc_epoch, speedup);
+      json += buf;
+      std::printf(
+          "processes=%zu threads=%zu: %.0f ns/epoch  %.1f ns/proc/epoch  "
+          "speedup %.2fx\n",
+          p.processes, p.threads, p.ns_per_epoch, p.ns_per_proc_epoch,
+          speedup);
+    }
   }
   json += "\n  ]\n}\n";
 

@@ -5,6 +5,22 @@
 
 namespace valkyrie::core {
 
+void ActuatorCommand::apply(sim::SimSystem& sys) const {
+  switch (kind) {
+    case Kind::kNone:
+      break;
+    case Kind::kApply:
+      actuator->apply(sys, pid, delta);
+      break;
+    case Kind::kReset:
+      actuator->reset(sys, pid);
+      break;
+    case Kind::kKill:
+      sys.kill(pid);
+      break;
+  }
+}
+
 void SchedulerWeightActuator::apply(sim::SimSystem& sys, sim::ProcessId pid,
                                     double delta_threat) {
   if (delta_threat == 0.0) return;

@@ -31,6 +31,31 @@ class Actuator {
   virtual void reset(sim::SimSystem& sys, sim::ProcessId pid) = 0;
 };
 
+/// A deferred actuator invocation. Monitors running inside parallel engine
+/// shards must not mutate shared system state (scheduler weights, cgroup
+/// caps, process liveness), so they emit commands into per-shard buffers
+/// which the engine applies serially after the shards join — the response
+/// still lands before the next epoch's workload execution, preserving the
+/// paper's Eq. 3 next-epoch timing. Every command targets only its own
+/// process's state, so applying a batch in attachment order is equivalent
+/// to the sequential engine's interleaved application.
+struct ActuatorCommand {
+  enum class Kind : std::uint8_t {
+    kNone,   // nothing to apply
+    kApply,  // actuator->apply(sys, pid, delta)
+    kReset,  // actuator->reset(sys, pid)
+    kKill,   // sys.kill(pid); no actuator involved
+  };
+
+  Kind kind = Kind::kNone;
+  sim::ProcessId pid = 0;
+  double delta = 0.0;
+  Actuator* actuator = nullptr;  // non-owning; null for kKill/kNone
+
+  /// Executes the command against the system (the serial commit phase).
+  void apply(sim::SimSystem& sys) const;
+};
+
 /// Eq. 8: relative scheduler weight s -> s * (1 -/+ gamma*|dT|), clamped to
 /// [min_share, 1]. gamma lives in the simulator's scheduler config.
 class SchedulerWeightActuator final : public Actuator {

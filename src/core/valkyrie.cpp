@@ -17,10 +17,11 @@ ValkyrieMonitor::ValkyrieMonitor(ValkyrieConfig config,
   }
 }
 
-ValkyrieMonitor::Action ValkyrieMonitor::on_epoch(
-    sim::SimSystem& sys, sim::ProcessId pid, ml::Inference inference,
+ValkyrieMonitor::PlannedAction ValkyrieMonitor::plan(
+    sim::ProcessId pid, ml::Inference inference,
     std::optional<ml::Inference> terminal_inference) {
-  if (state_ == ProcessState::kTerminated) return Action::kNone;
+  PlannedAction out;
+  if (state_ == ProcessState::kTerminated) return out;
 
   // Measurement-accumulation phase (Algorithm 1 lines 5-20). Under episode
   // scoping, counting starts with the epoch that opens a suspicious
@@ -35,19 +36,18 @@ ValkyrieMonitor::Action ValkyrieMonitor::on_epoch(
     if (update.recovered) {
       // Suspicious -> normal: threat 0 means no restrictions remain, and
       // an episode-scoped measurement budget starts afresh.
-      actuator_->reset(sys, pid);
       if (config_.episode_scoped_measurements) measurements_ = 0;
-      return Action::kRestored;
+      out.action = Action::kRestored;
+      out.command = {ActuatorCommand::Kind::kReset, pid, 0.0, actuator_.get()};
+      return out;
     }
-    if (update.delta > 0.0) {
-      actuator_->apply(sys, pid, update.delta);
-      return Action::kThrottled;
+    if (update.delta != 0.0) {
+      out.action =
+          update.delta > 0.0 ? Action::kThrottled : Action::kRelaxed;
+      out.command = {ActuatorCommand::Kind::kApply, pid, update.delta,
+                     actuator_.get()};
     }
-    if (update.delta < 0.0) {
-      actuator_->apply(sys, pid, update.delta);
-      return Action::kRelaxed;
-    }
-    return Action::kNone;
+    return out;
   }
 
   // Terminable phase (lines 21-26 / Fig. 3): the detector has accumulated
@@ -57,7 +57,6 @@ ValkyrieMonitor::Action ValkyrieMonitor::on_epoch(
   state_ = ProcessState::kTerminable;
   const ml::Inference decision = terminal_inference.value_or(inference);
   if (decision == ml::Inference::kBenign) {
-    actuator_->reset(sys, pid);
     if (config_.episode_scoped_measurements) {
       // The episode resolved benign at full evidence: back to normal with
       // a fresh measurement budget; penalty/compensation escalation
@@ -66,43 +65,120 @@ ValkyrieMonitor::Action ValkyrieMonitor::on_epoch(
       measurements_ = 0;
       threat_.reset_threat();
     }
-    return Action::kRestored;
+    out.action = Action::kRestored;
+    out.command = {ActuatorCommand::Kind::kReset, pid, 0.0, actuator_.get()};
+    return out;
   }
-  sys.kill(pid);
   state_ = ProcessState::kTerminated;
-  return Action::kTerminated;
+  out.action = Action::kTerminated;
+  out.command = {ActuatorCommand::Kind::kKill, pid, 0.0, nullptr};
+  return out;
+}
+
+ValkyrieMonitor::Action ValkyrieMonitor::on_epoch(
+    sim::SimSystem& sys, sim::ProcessId pid, ml::Inference inference,
+    std::optional<ml::Inference> terminal_inference) {
+  const PlannedAction planned = plan(pid, inference, terminal_inference);
+  planned.command.apply(sys);
+  return planned.action;
 }
 
 ValkyrieEngine::ValkyrieEngine(sim::SimSystem& sys,
-                               const ml::Detector& detector)
-    : sys_(sys), detector_(detector) {}
+                               const ml::Detector& detector,
+                               std::size_t worker_threads)
+    : sys_(sys), detector_(detector) {
+  if (worker_threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(worker_threads);
+  }
+  shard_commands_.resize(shard_count());
+}
 
 void ValkyrieEngine::attach(sim::ProcessId pid, ValkyrieConfig config,
                             std::unique_ptr<Actuator> actuator,
                             const ml::Detector* terminal_detector) {
+  if (pid < attached_index_.size() && attached_index_[pid] >= 0) {
+    throw std::invalid_argument("ValkyrieEngine: process already attached");
+  }
+  if (pid >= attached_index_.size()) {
+    attached_index_.resize(static_cast<std::size_t>(pid) + 1, -1);
+  }
+  attached_index_[pid] = static_cast<std::int32_t>(attached_.size());
   Attached a{pid, ValkyrieMonitor(config, std::move(actuator)),
-             terminal_detector, {}, {}};
+             terminal_detector, {}, {}, ValkyrieMonitor::Action::kNone};
   attached_.push_back(std::move(a));
+  // A shard emits at most one command per attachment it owns, and owns at
+  // most ceil(attached/shards) attachments; reserving that keeps the
+  // per-epoch hot path allocation-free without shard_count-fold overcommit.
+  const std::size_t per_shard =
+      (attached_.size() + shard_commands_.size() - 1) / shard_commands_.size();
+  for (std::vector<ActuatorCommand>& buf : shard_commands_) {
+    buf.reserve(per_shard);
+  }
 }
 
 std::size_t ValkyrieEngine::step() {
-  sys_.run_epoch();
-  std::size_t live = 0;
-  for (Attached& a : attached_) {
-    if (!sys_.is_live(a.pid)) continue;
-    // One summary per process per epoch; both detectors share it, so
-    // feature extraction and statistics assembly happen exactly once.
-    const ml::WindowSummary summary = sys_.window_summary(a.pid);
-    const ml::Inference inference = a.stream.infer(detector_, summary);
-    std::optional<ml::Inference> terminal;
-    if (a.terminal_detector != nullptr &&
-        a.monitor.measurements() >= a.monitor.config().required_measurements) {
-      // StreamingInference catches up on any epochs it was not consulted
-      // for, so the first terminable-state query pays one linear pass and
-      // every subsequent epoch is O(1).
-      terminal = a.terminal_stream.infer(*a.terminal_detector, summary);
+  // Shard phase 1: simulate the epoch (workloads, HPC capture, window
+  // statistics) across the pool.
+  sys_.run_epoch(pool_.get());
+
+  for (std::vector<ActuatorCommand>& buf : shard_commands_) buf.clear();
+
+  // Shard phase 2: streaming inference + monitor decisions. Each shard
+  // touches only its own attachments' state and reads the system, emitting
+  // side effects as commands into its own buffer.
+  const auto infer_range = [&](std::size_t shard, std::size_t begin,
+                               std::size_t end) {
+    std::vector<ActuatorCommand>& commands = shard_commands_[shard];
+    for (std::size_t i = begin; i < end; ++i) {
+      Attached& a = attached_[i];
+      a.last_action = ValkyrieMonitor::Action::kNone;
+      if (!sys_.is_live(a.pid)) continue;
+      // One summary per process per epoch; both detectors share it, so
+      // feature extraction and statistics assembly happen exactly once.
+      const ml::WindowSummary summary = sys_.window_summary(a.pid);
+      const ml::Inference inference = a.stream.infer(detector_, summary);
+      std::optional<ml::Inference> terminal;
+      if (a.terminal_detector != nullptr &&
+          a.monitor.measurements() >=
+              a.monitor.config().required_measurements) {
+        // StreamingInference catches up on any epochs it was not consulted
+        // for, so the first terminable-state query pays one linear pass and
+        // every subsequent epoch is O(1).
+        terminal = a.terminal_stream.infer(*a.terminal_detector, summary);
+      }
+      const ValkyrieMonitor::PlannedAction planned =
+          a.monitor.plan(a.pid, inference, terminal);
+      a.last_action = planned.action;
+      if (planned.command.kind != ActuatorCommand::Kind::kNone) {
+        commands.push_back(planned.command);
+      }
     }
-    a.monitor.on_epoch(sys_, a.pid, inference, terminal);
+  };
+  // Serial commit phase: apply the batched responses. Shards own contiguous
+  // ascending ranges, so draining buffers in shard order replays the exact
+  // sequence the sequential engine would have produced. On a shard
+  // exception the commands planned so far are still committed before the
+  // rethrow — a monitor that recorded a decision (e.g. kTerminated) must
+  // never have its side effect dropped, or engine and system state diverge.
+  const auto commit = [&] {
+    for (const std::vector<ActuatorCommand>& buf : shard_commands_) {
+      for (const ActuatorCommand& cmd : buf) cmd.apply(sys_);
+    }
+  };
+  try {
+    if (pool_ != nullptr && attached_.size() > 1) {
+      pool_->parallel_for_shards(attached_.size(), infer_range);
+    } else if (!attached_.empty()) {
+      infer_range(0, 0, attached_.size());
+    }
+  } catch (...) {
+    commit();
+    throw;
+  }
+  commit();
+
+  std::size_t live = 0;
+  for (const Attached& a : attached_) {
     if (sys_.is_live(a.pid)) ++live;
   }
   return live;
@@ -112,11 +188,20 @@ void ValkyrieEngine::run(std::size_t epochs) {
   for (std::size_t i = 0; i < epochs; ++i) step();
 }
 
-const ValkyrieMonitor& ValkyrieEngine::monitor(sim::ProcessId pid) const {
-  for (const Attached& a : attached_) {
-    if (a.pid == pid) return a.monitor;
+const ValkyrieEngine::Attached& ValkyrieEngine::attachment(
+    sim::ProcessId pid) const {
+  if (pid >= attached_index_.size() || attached_index_[pid] < 0) {
+    throw std::out_of_range("ValkyrieEngine: process not attached");
   }
-  throw std::out_of_range("ValkyrieEngine: process not attached");
+  return attached_[static_cast<std::size_t>(attached_index_[pid])];
+}
+
+const ValkyrieMonitor& ValkyrieEngine::monitor(sim::ProcessId pid) const {
+  return attachment(pid).monitor;
+}
+
+ValkyrieMonitor::Action ValkyrieEngine::last_action(sim::ProcessId pid) const {
+  return attachment(pid).last_action;
 }
 
 }  // namespace valkyrie::core

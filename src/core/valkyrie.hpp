@@ -7,11 +7,13 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "core/actuator.hpp"
 #include "core/threat.hpp"
 #include "ml/detector.hpp"
 #include "sim/system.hpp"
+#include "util/thread_pool.hpp"
 
 namespace valkyrie::core {
 
@@ -46,8 +48,18 @@ class ValkyrieMonitor {
     kTerminated,  // process killed
   };
 
-  /// Feeds one epoch's inference for the process; applies the response.
-  /// Call once per epoch, after the inference for that epoch is available.
+  /// One epoch's response, decided but not yet applied: the lifecycle
+  /// action taken plus the actuator command the commit phase must run.
+  struct PlannedAction {
+    Action action = Action::kNone;
+    ActuatorCommand command{};
+  };
+
+  /// Decides the response to one epoch's inference, advancing the monitor's
+  /// own state (threat index, measurement budget, lifecycle state) but
+  /// leaving the system untouched: the returned command carries the side
+  /// effect. Safe to call from a parallel shard — only shared system state
+  /// mutation is deferred to the command's serial application.
   ///
   /// `terminal_inference` is the detector's decision over the *entire*
   /// accumulated measurement window — the high-efficacy judgement the user
@@ -55,6 +67,12 @@ class ValkyrieMonitor {
   /// measurement count). It gates restore-vs-terminate in the terminable
   /// state, while the per-epoch `inference` drives the threat index. For
   /// detectors that already aggregate their window the two coincide.
+  [[nodiscard]] PlannedAction plan(
+      sim::ProcessId pid, ml::Inference inference,
+      std::optional<ml::Inference> terminal_inference = std::nullopt);
+
+  /// Feeds one epoch's inference for the process and applies the response
+  /// immediately: plan() followed by the command (the sequential driver).
   Action on_epoch(sim::SimSystem& sys, sim::ProcessId pid,
                   ml::Inference inference,
                   std::optional<ml::Inference> terminal_inference = std::nullopt);
@@ -88,28 +106,51 @@ class ValkyrieMonitor {
 /// StreamingInference state keeps running vote counts — so an epoch costs
 /// O(1) per process in the accumulated window length for every bundled
 /// detector family (previously O(window)).
+///
+/// With `worker_threads > 1` the engine owns a persistent util::ThreadPool
+/// and each step runs in shards: workload execution and HPC capture shard
+/// inside SimSystem::run_epoch, then streaming inference and monitor
+/// decisions shard over the attachments, with every monitor emitting its
+/// ActuatorCommand into a per-shard buffer. The buffers are drained
+/// serially in shard order once the shards join (shared scheduler weights,
+/// cgroup caps and kills mutate shared state), so responses land before the
+/// next epoch exactly as in the sequential engine — and because every
+/// command touches only its own process, a sharded run is bit-identical to
+/// the sequential one for any worker count.
 class ValkyrieEngine {
  public:
   using ActuatorFactory = std::unique_ptr<Actuator> (*)();
 
-  ValkyrieEngine(sim::SimSystem& sys, const ml::Detector& detector);
+  /// `worker_threads` <= 1 runs fully sequential (no pool, no threads).
+  ValkyrieEngine(sim::SimSystem& sys, const ml::Detector& detector,
+                 std::size_t worker_threads = 1);
 
-  /// Attaches a process with its own config and actuator. If
-  /// `terminal_detector` is non-null it provides the accumulated-window
-  /// decision once N* measurements have been gathered (see
-  /// ValkyrieMonitor::on_epoch); it must outlive the engine.
+  /// Attaches a process with its own config and actuator. Each process can
+  /// be attached at most once. If `terminal_detector` is non-null it
+  /// provides the accumulated-window decision once N* measurements have
+  /// been gathered (see ValkyrieMonitor::plan); it must outlive the engine.
   void attach(sim::ProcessId pid, ValkyrieConfig config,
               std::unique_ptr<Actuator> actuator,
               const ml::Detector* terminal_detector = nullptr);
 
-  /// One epoch: simulate, infer, respond. Returns the number of processes
-  /// still live.
+  /// One epoch: simulate, infer, respond. Returns the number of attached
+  /// processes still live.
   std::size_t step();
 
   void run(std::size_t epochs);
 
   [[nodiscard]] const ValkyrieMonitor& monitor(sim::ProcessId pid) const;
+
+  /// The action the process's monitor took in the most recent step()
+  /// (kNone if the process was not live that epoch).
+  [[nodiscard]] ValkyrieMonitor::Action last_action(sim::ProcessId pid) const;
+
   [[nodiscard]] sim::SimSystem& system() noexcept { return sys_; }
+
+  /// Shards a step runs in: worker threads + the caller (1 = sequential).
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return pool_ != nullptr ? pool_->shard_count() : 1;
+  }
 
  private:
   struct Attached {
@@ -118,11 +159,20 @@ class ValkyrieEngine {
     const ml::Detector* terminal_detector = nullptr;
     ml::StreamingInference stream;           // running state for detector_
     ml::StreamingInference terminal_stream;  // ... for terminal_detector
+    ValkyrieMonitor::Action last_action = ValkyrieMonitor::Action::kNone;
   };
+
+  [[nodiscard]] const Attached& attachment(sim::ProcessId pid) const;
 
   sim::SimSystem& sys_;
   const ml::Detector& detector_;
   std::vector<Attached> attached_;
+  // pid -> index into attached_ (-1 = not attached): O(1) monitor lookup
+  // for callers and for the shards.
+  std::vector<std::int32_t> attached_index_;
+  std::unique_ptr<util::ThreadPool> pool_;  // null when sequential
+  // One pre-reserved command buffer per shard, reused every epoch.
+  std::vector<std::vector<ActuatorCommand>> shard_commands_;
 };
 
 }  // namespace valkyrie::core

@@ -61,12 +61,15 @@ double CfsScheduler::absolute_share(ProcessId pid) const {
 }
 
 double CfsScheduler::normalized_share(ProcessId pid) const {
+  return normalized_share(pid, total_weight());
+}
+
+double CfsScheduler::normalized_share(ProcessId pid, double total) const {
   const double w = weight_factor(pid);
   // Share this process would have at default weight, holding the others at
   // their current weights.
-  const double total_now = total_weight();
-  const double total_default = total_now - w + 1.0;
-  const double share_now = w / total_now;
+  const double total_default = total - w + 1.0;
+  const double share_now = w / total;
   const double share_default = 1.0 / total_default;
   return share_default > 0.0 ? std::min(1.0, share_now / share_default) : 0.0;
 }

@@ -63,6 +63,16 @@ class CfsScheduler {
   /// normalised so an untouched process reads 1.0.
   [[nodiscard]] double normalized_share(ProcessId pid) const;
 
+  /// O(1) variant for callers that computed total_weight() once for the
+  /// epoch (the engine's serial share phase): summing all weights per
+  /// process would make one epoch O(P^2). Bit-identical to the overload
+  /// above as long as `total` is this scheduler's current total_weight().
+  [[nodiscard]] double normalized_share(ProcessId pid, double total) const;
+
+  /// Sum of every process's weight factor plus the background weight. One
+  /// pass over all processes; pair with the normalized_share overload above.
+  [[nodiscard]] double total_weight() const;
+
   /// Absolute share of machine CPU (Eq. 7's s_t), before normalisation.
   [[nodiscard]] double absolute_share(ProcessId pid) const;
 
@@ -74,8 +84,6 @@ class CfsScheduler {
   }
 
  private:
-  [[nodiscard]] double total_weight() const;
-
   SchedulerConfig config_;
   std::unordered_map<ProcessId, double> factor_;  // pid -> weight factor
 };

@@ -1,7 +1,10 @@
 #include "sim/system.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
+
+#include "util/thread_pool.hpp"
 
 namespace valkyrie::sim {
 
@@ -18,6 +21,7 @@ ProcessId SimSystem::spawn(std::unique_ptr<Workload> workload) {
   p.rng = rng_.fork();
   procs_.push_back(std::move(p));
   scheduler_.add_process(pid);
+  live_dirty_ = true;
   return pid;
 }
 
@@ -35,39 +39,78 @@ SimSystem::Proc& SimSystem::proc(ProcessId pid) {
   return procs_[pid];
 }
 
-void SimSystem::run_epoch() {
-  for (ProcessId pid = 0; pid < procs_.size(); ++pid) {
-    Proc& p = procs_[pid];
-    if (p.exit != ExitReason::kRunning) continue;
+void SimSystem::run_epoch(util::ThreadPool* pool) {
+  const std::span<const ProcessId> live = live_processes();
 
-    // Effective CPU share: the scheduler's (possibly demoted) share capped
-    // by any cgroup CPU quota. Other resources come from cgroup caps alone.
-    ResourceShares eff;
-    eff.cpu = std::min(scheduler_.normalized_share(pid), p.cgroup.cpu);
-    eff.mem = p.cgroup.mem;
-    eff.net = p.cgroup.net;
-    eff.fs = p.cgroup.fs;
-    p.effective = eff;
+  // Serial global phase: one pass over the scheduler's weights. Every
+  // per-process share below is then O(1), where re-summing inside
+  // normalized_share(pid) would make the epoch O(P^2).
+  const double total_weight = scheduler_.total_weight();
 
-    EpochContext ctx;
-    ctx.epoch = epoch_;
-    ctx.epoch_ms = platform_.epoch_ms;
-    ctx.hpc_noise = platform_.hpc_noise;
-    ctx.rng = &p.rng;
+  std::atomic<bool> any_exited{false};
+  const auto run_range = [&](std::size_t begin, std::size_t end) {
+    bool exited = false;
+    for (std::size_t i = begin; i < end; ++i) {
+      const ProcessId pid = live[i];
+      Proc& p = procs_[pid];
 
-    const StepResult step = p.workload->run_epoch(eff, ctx);
-    p.last_sample = step.hpc;
-    p.history.push_back(step.hpc);
-    p.accumulator.add(step.hpc);
-    p.last_progress = step.progress;
-    ++p.epochs_run;
-    if (step.finished) p.exit = ExitReason::kCompleted;
+      // Effective CPU share: the scheduler's (possibly demoted) share capped
+      // by any cgroup CPU quota. Other resources come from cgroup caps alone.
+      ResourceShares eff;
+      eff.cpu = std::min(scheduler_.normalized_share(pid, total_weight),
+                         p.cgroup.cpu);
+      eff.mem = p.cgroup.mem;
+      eff.net = p.cgroup.net;
+      eff.fs = p.cgroup.fs;
+      p.effective = eff;
+
+      EpochContext ctx;
+      ctx.epoch = epoch_;
+      ctx.epoch_ms = platform_.epoch_ms;
+      ctx.hpc_noise = platform_.hpc_noise;
+      ctx.rng = &p.rng;
+
+      const StepResult step = p.workload->run_epoch(eff, ctx);
+      p.last_sample = step.hpc;
+      p.history.push_back(step.hpc);
+      p.accumulator.add(step.hpc);
+      p.last_progress = step.progress;
+      ++p.epochs_run;
+      if (step.finished) {
+        p.exit = ExitReason::kCompleted;
+        exited = true;
+      }
+    }
+    if (exited) any_exited.store(true, std::memory_order_relaxed);
+  };
+
+  // Per-process phase: every process touches only its own state (rng,
+  // history, accumulator) and reads the scheduler map, so sharding is safe
+  // and bit-identical to the sequential loop.
+  try {
+    if (pool != nullptr && live.size() > 1) {
+      pool->parallel_for(live.size(), run_range);
+    } else {
+      run_range(0, live.size());
+    }
+  } catch (...) {
+    // A workload threw mid-epoch: the epoch did not complete (epoch_ stays),
+    // but other shards may have marked completions — the live list must be
+    // rebuilt or a retry would re-execute finished workloads.
+    live_dirty_ = true;
+    throw;
   }
+
   ++epoch_;
+  if (any_exited.load(std::memory_order_relaxed)) live_dirty_ = true;
 }
 
-void SimSystem::run_epochs(std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) run_epoch();
+void SimSystem::run_epochs(std::size_t n, util::ThreadPool* pool) {
+  for (std::size_t i = 0; i < n; ++i) run_epoch(pool);
+}
+
+void SimSystem::reserve_history(std::size_t epochs) {
+  for (Proc& p : procs_) p.history.reserve(p.history.size() + epochs);
 }
 
 void SimSystem::set_cgroup_caps(ProcessId pid, std::optional<double> cpu,
@@ -98,7 +141,10 @@ void SimSystem::reset_sched_weight(ProcessId pid) {
 
 void SimSystem::kill(ProcessId pid) {
   Proc& p = proc(pid);
-  if (p.exit == ExitReason::kRunning) p.exit = ExitReason::kKilled;
+  if (p.exit == ExitReason::kRunning) {
+    p.exit = ExitReason::kKilled;
+    live_dirty_ = true;
+  }
 }
 
 bool SimSystem::is_live(ProcessId pid) const {
@@ -150,12 +196,16 @@ std::uint64_t SimSystem::epochs_run(ProcessId pid) const {
   return proc(pid).epochs_run;
 }
 
-std::vector<ProcessId> SimSystem::live_processes() const {
-  std::vector<ProcessId> out;
-  for (ProcessId pid = 0; pid < procs_.size(); ++pid) {
-    if (procs_[pid].exit == ExitReason::kRunning) out.push_back(pid);
+std::span<const ProcessId> SimSystem::live_processes() const {
+  if (live_dirty_) {
+    live_.clear();
+    live_.reserve(procs_.size());
+    for (ProcessId pid = 0; pid < procs_.size(); ++pid) {
+      if (procs_[pid].exit == ExitReason::kRunning) live_.push_back(pid);
+    }
+    live_dirty_ = false;
   }
-  return out;
+  return live_;
 }
 
 }  // namespace valkyrie::sim

@@ -3,10 +3,18 @@
 // call to run_epoch() advances simulated wall-clock time by one measurement
 // epoch, computes every process's effective resource shares, executes the
 // workloads and records their HPC samples.
+//
+// An epoch splits into a serial global phase (one CFS total-weight pass, so
+// each share lookup is O(1)) and a per-process phase (workload execution,
+// HPC capture, window-statistics fold) that is embarrassingly parallel:
+// every process owns its Rng, history and accumulator, so run_epoch can
+// shard the live list across a util::ThreadPool and stay bit-identical to
+// the sequential path for any worker count.
 #pragma once
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -16,6 +24,10 @@
 #include "sim/scheduler.hpp"
 #include "sim/workload.hpp"
 #include "util/rng.hpp"
+
+namespace valkyrie::util {
+class ThreadPool;
+}
 
 namespace valkyrie::sim {
 
@@ -30,11 +42,18 @@ class SimSystem {
   /// Adds a process; returns its id. The process starts unthrottled.
   ProcessId spawn(std::unique_ptr<Workload> workload);
 
-  /// Runs one measurement epoch for every live process.
-  void run_epoch();
+  /// Runs one measurement epoch for every live process. With a pool the
+  /// per-process phase is sharded across its workers; results are
+  /// bit-identical to the sequential path for any shard count.
+  void run_epoch(util::ThreadPool* pool = nullptr);
 
   /// Runs `n` epochs.
-  void run_epochs(std::size_t n);
+  void run_epochs(std::size_t n, util::ThreadPool* pool = nullptr);
+
+  /// Pre-reserves capacity for `epochs` further samples in every process's
+  /// history, so the per-epoch hot path performs no heap allocation until
+  /// the reservation is exhausted.
+  void reserve_history(std::size_t epochs);
 
   // --- Actuator-facing controls -------------------------------------------
 
@@ -102,7 +121,11 @@ class SimSystem {
   /// Number of epochs the process has actually executed.
   [[nodiscard]] std::uint64_t epochs_run(ProcessId pid) const;
 
-  [[nodiscard]] std::vector<ProcessId> live_processes() const;
+  /// The live process ids, ascending. The list is epoch-scoped: it is
+  /// rebuilt lazily (allocation-free in steady state) after spawns, kills
+  /// and natural completions, and the returned span is valid until the next
+  /// mutation of the process set.
+  [[nodiscard]] std::span<const ProcessId> live_processes() const;
 
  private:
   struct Proc {
@@ -126,6 +149,10 @@ class SimSystem {
   CfsScheduler scheduler_;
   std::vector<Proc> procs_;
   std::uint64_t epoch_ = 0;
+  // Epoch-scoped live list, rebuilt on demand so live_processes() never
+  // allocates once live_ has reached procs_.size() capacity.
+  mutable std::vector<ProcessId> live_;
+  mutable bool live_dirty_ = true;
 };
 
 }  // namespace valkyrie::sim

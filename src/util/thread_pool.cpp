@@ -1,0 +1,160 @@
+#include "util/thread_pool.hpp"
+
+namespace valkyrie::util {
+
+namespace {
+
+// Spin iterations before a waiter falls back to blocking on the condvar.
+// Back-to-back epoch phases are handed over within the spin window; the
+// condvar only pays off when the engine goes quiet between steps.
+constexpr int kSpinIterations = 1 << 12;
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads < 2) return;
+  const unsigned hw = std::thread::hardware_concurrency();
+  spin_iterations_ = (hw == 0 || threads <= hw) ? kSpinIterations : 0;
+  workers_.reserve(threads - 1);
+  try {
+    for (std::size_t i = 0; i + 1 < threads; ++i) {
+      workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+  } catch (...) {
+    // Partial spawn (e.g. EAGAIN): stop and join the workers that did
+    // start, or their joinable destructors would std::terminate.
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stop_.store(true, std::memory_order_relaxed);
+    }
+    work_ready_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    // Empty critical section: orders the stop flag against a worker that
+    // checked its wait predicate but has not yet gone to sleep.
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::chunk(std::size_t n, std::size_t shards, std::size_t shard,
+                       std::size_t& begin, std::size_t& end) noexcept {
+  const std::size_t base = n / shards;
+  const std::size_t extra = n % shards;
+  begin = shard * base + (shard < extra ? shard : extra);
+  end = begin + base + (shard < extra ? 1 : 0);
+}
+
+void ThreadPool::run_job(std::size_t n, JobFn fn, void* ctx) {
+  if (workers_.empty() || n <= 1) {
+    if (n != 0) fn(ctx, 0, 0, n);
+    return;
+  }
+
+  job_fn_ = fn;
+  job_ctx_ = ctx;
+  job_n_ = n;
+  job_error_ = nullptr;
+  pending_.store(workers_.size(), std::memory_order_relaxed);
+  {
+    // The lock pairs with the workers' wait predicate so a worker that is
+    // about to block cannot miss the generation bump; spinning workers see
+    // the release-store directly.
+    const std::lock_guard<std::mutex> lock(mu_);
+    generation_.fetch_add(1, std::memory_order_release);
+  }
+  work_ready_.notify_all();
+
+  // The caller owns the last shard, so dispatch overhead overlaps real
+  // work. A throwing shard must not unwind past this point while workers
+  // still execute against ctx (it lives in the caller's frame), so the
+  // exception is parked until every shard has joined.
+  const std::size_t shards = shard_count();
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  chunk(n, shards, shards - 1, begin, end);
+  std::exception_ptr caller_error;
+  if (begin < end) {
+    try {
+      fn(ctx, shards - 1, begin, end);
+    } catch (...) {
+      caller_error = std::current_exception();
+    }
+  }
+
+  bool done = pending_.load(std::memory_order_acquire) == 0;
+  for (int i = 0; i < spin_iterations_ && !done; ++i) {
+    cpu_relax();
+    done = pending_.load(std::memory_order_acquire) == 0;
+  }
+  if (!done) {
+    std::unique_lock<std::mutex> lock(mu_);
+    work_done_.wait(lock, [this] {
+      return pending_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (caller_error != nullptr) std::rethrow_exception(caller_error);
+  if (job_error_ != nullptr) std::rethrow_exception(job_error_);
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    // Wait for the next job: spin first, then block.
+    bool have_job = false;
+    for (int i = 0; i < spin_iterations_ && !have_job; ++i) {
+      have_job = stop_.load(std::memory_order_relaxed) ||
+                 generation_.load(std::memory_order_acquire) != seen;
+      if (!have_job) cpu_relax();
+    }
+    if (!have_job) {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this, seen] {
+        return stop_.load(std::memory_order_relaxed) ||
+               generation_.load(std::memory_order_acquire) != seen;
+      });
+    }
+    if (stop_.load(std::memory_order_relaxed)) return;
+    seen = generation_.load(std::memory_order_acquire);
+
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    chunk(job_n_, workers_.size() + 1, index, begin, end);
+    if (begin < end) {
+      try {
+        job_fn_(job_ctx_, index, begin, end);
+      } catch (...) {
+        // Park the first exception for the dispatcher; letting it escape a
+        // worker would std::terminate the process. Stored before the
+        // pending_ decrement so the dispatcher's acquire on pending_ == 0
+        // orders the read.
+        const std::lock_guard<std::mutex> lock(mu_);
+        if (job_error_ == nullptr) job_error_ = std::current_exception();
+      }
+    }
+
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last worker out: wake a dispatcher that gave up spinning. The empty
+      // critical section orders the decrement against its wait predicate.
+      { const std::lock_guard<std::mutex> lock(mu_); }
+      work_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace valkyrie::util

@@ -1,0 +1,152 @@
+// Steady-state allocation guard for the sharded engine step: after warm-up
+// (histories reserved, command buffers and pool queues sized), one epoch —
+// workload execution, HPC capture, window fold, streaming inference,
+// monitor decisions, batched actuator commit — must perform zero heap
+// allocations, sequentially AND across a worker pool. Extends the
+// operator-new guard pattern from test_window_accumulator.cpp to the whole
+// parallel step.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <string_view>
+
+#include "core/actuator.hpp"
+#include "core/valkyrie.hpp"
+#include "ml/detector.hpp"
+#include "sim/system.hpp"
+#include "sim/workload.hpp"
+
+namespace {
+
+/// Global allocation counter for the zero-allocation hot-path guard.
+std::atomic<std::size_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace valkyrie::core {
+namespace {
+
+hpc::HpcSignature benign_signature() {
+  hpc::HpcSignature sig;
+  sig.at(hpc::Event::kInstructions) = 3e8;
+  sig.at(hpc::Event::kCycles) = 3.5e8;
+  sig.at(hpc::Event::kL1dMisses) = 2e6;
+  sig.at(hpc::Event::kLlcMisses) = 4e5;
+  sig.at(hpc::Event::kMemBandwidth) = 5e7;
+  return sig;
+}
+
+/// Endless signature workload: allocation-free run_epoch.
+class SigWorkload final : public sim::Workload {
+ public:
+  explicit SigWorkload(hpc::HpcSignature sig) : sig_(sig) {}
+
+  [[nodiscard]] std::string_view name() const override { return "sig"; }
+  [[nodiscard]] bool is_attack() const override { return false; }
+  [[nodiscard]] std::string_view progress_units() const override {
+    return "epochs";
+  }
+  sim::StepResult run_epoch(const sim::ResourceShares& shares,
+                            sim::EpochContext& ctx) override {
+    sim::StepResult out;
+    out.progress = shares.cpu;
+    progress_ += out.progress;
+    out.hpc = sig_.sample(*ctx.rng, shares.cpu, ctx.hpc_noise);
+    return out;
+  }
+  [[nodiscard]] double total_progress() const override { return progress_; }
+
+ private:
+  hpc::HpcSignature sig_;
+  double progress_ = 0.0;
+};
+
+/// Deterministically flapping detector: flags every 7th window state as
+/// malicious, driving a steady churn of throttle / restore commands through
+/// the per-shard buffers without ever reaching the termination budget.
+class FlappingDetector final : public ml::Detector {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "flap"; }
+  [[nodiscard]] ml::Inference infer(
+      std::span<const hpc::HpcSample> window) const override {
+    return window.size() % 7 == 3 ? ml::Inference::kMalicious
+                                  : ml::Inference::kBenign;
+  }
+  [[nodiscard]] ml::Inference infer(
+      const ml::WindowSummary& summary) const override {
+    return summary.count % 7 == 3 ? ml::Inference::kMalicious
+                                  : ml::Inference::kBenign;
+  }
+};
+
+void expect_steady_state_step_does_not_allocate(std::size_t worker_threads) {
+  const FlappingDetector detector;
+  sim::SimSystem sys;
+  ValkyrieEngine engine(sys, detector, worker_threads);
+
+  constexpr std::size_t kProcs = 32;
+  constexpr std::size_t kWarmup = 32;
+  constexpr std::size_t kMeasured = 64;
+  for (std::size_t i = 0; i < kProcs; ++i) {
+    const sim::ProcessId pid =
+        sys.spawn(std::make_unique<SigWorkload>(benign_signature()));
+    std::unique_ptr<Actuator> actuator;
+    if (i % 2 == 0) {
+      actuator = std::make_unique<SchedulerWeightActuator>();
+    } else {
+      actuator = std::make_unique<CgroupCpuActuator>();
+    }
+    engine.attach(pid, ValkyrieConfig{}, std::move(actuator));
+  }
+
+  sys.reserve_history(kWarmup + kMeasured + 1);
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < kWarmup; ++i) live = engine.step();
+  ASSERT_EQ(live, kProcs);
+
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  std::size_t actions_seen = 0;
+  for (std::size_t i = 0; i < kMeasured; ++i) {
+    live = engine.step();
+    for (std::size_t p = 0; p < kProcs; ++p) {
+      actions_seen += engine.last_action(static_cast<sim::ProcessId>(p)) !=
+                      ValkyrieMonitor::Action::kNone;
+    }
+  }
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after, before)
+      << "parallel step allocated with " << worker_threads << " workers";
+  EXPECT_EQ(live, kProcs);
+  // The flapping detector flags every 7th epoch, so the measured window
+  // must actually have driven actuator commands through the commit phase
+  // (one throttle and one restore per flap, for every process).
+  EXPECT_GE(actions_seen, kMeasured / 7 * 2 * kProcs);
+}
+
+TEST(ParallelNoAlloc, SequentialStepIsAllocationFreeAfterWarmup) {
+  expect_steady_state_step_does_not_allocate(1);
+}
+
+TEST(ParallelNoAlloc, ShardedStepIsAllocationFreeAfterWarmup) {
+  expect_steady_state_step_does_not_allocate(4);
+}
+
+}  // namespace
+}  // namespace valkyrie::core

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
 
 #include "sim/platform.hpp"
 #include "sim/resources.hpp"
@@ -230,9 +231,58 @@ TEST(System, LiveProcessList) {
   const ProcessId b = sys.spawn(std::make_unique<StubWorkload>());
   EXPECT_EQ(sys.live_processes().size(), 2u);
   sys.kill(a);
-  const std::vector<ProcessId> live = sys.live_processes();
+  const std::span<const ProcessId> live = sys.live_processes();
   ASSERT_EQ(live.size(), 1u);
   EXPECT_EQ(live[0], b);
+}
+
+TEST(System, LiveProcessListTracksCompletionAndSpawn) {
+  SimSystem sys;
+  const ProcessId a = sys.spawn(std::make_unique<StubWorkload>(2.0));
+  const ProcessId b = sys.spawn(std::make_unique<StubWorkload>());
+  sys.run_epochs(5);  // `a` completes after 2 epochs
+  ASSERT_EQ(sys.live_processes().size(), 1u);
+  EXPECT_EQ(sys.live_processes()[0], b);
+  const ProcessId c = sys.spawn(std::make_unique<StubWorkload>());
+  const std::span<const ProcessId> live = sys.live_processes();
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_EQ(live[0], b);
+  EXPECT_EQ(live[1], c);
+  EXPECT_EQ(sys.exit_reason(a), ExitReason::kCompleted);
+}
+
+TEST(System, ThrowingWorkloadDoesNotStaleTheLiveList) {
+  // One process completes in the same epoch another throws: the epoch does
+  // not complete, but the live list must still drop the finished process,
+  // or a retry would re-execute its workload.
+  class ThrowingWorkload final : public Workload {
+   public:
+    [[nodiscard]] std::string_view name() const override { return "throw"; }
+    [[nodiscard]] bool is_attack() const override { return false; }
+    [[nodiscard]] std::string_view progress_units() const override {
+      return "units";
+    }
+    StepResult run_epoch(const ResourceShares&, EpochContext& ctx) override {
+      if (ctx.epoch >= 2) throw std::runtime_error("workload failure");
+      return {};
+    }
+    [[nodiscard]] double total_progress() const override { return 0.0; }
+  };
+
+  SimSystem sys;
+  const ProcessId completes = sys.spawn(std::make_unique<StubWorkload>(3.0));
+  const ProcessId throws = sys.spawn(std::make_unique<ThrowingWorkload>());
+  sys.run_epochs(2);
+  const std::uint64_t epoch_before = sys.current_epoch();
+  EXPECT_THROW(sys.run_epoch(), std::runtime_error);
+  EXPECT_EQ(sys.current_epoch(), epoch_before);  // epoch did not complete
+  // `completes` ran its 3rd and final epoch before the throw; it must be
+  // off the live list even though the epoch aborted.
+  EXPECT_EQ(sys.exit_reason(completes), ExitReason::kCompleted);
+  for (const ProcessId pid : sys.live_processes()) {
+    EXPECT_NE(pid, completes);
+  }
+  EXPECT_TRUE(sys.is_live(throws));
 }
 
 TEST(Platform, ProfilesDiffer) {
