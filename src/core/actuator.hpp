@@ -37,8 +37,10 @@ class Actuator {
 /// which the engine applies serially after the shards join — the response
 /// still lands before the next epoch's workload execution, preserving the
 /// paper's Eq. 3 next-epoch timing. Every command targets only its own
-/// process's state, so applying a batch in attachment order is equivalent
-/// to the sequential engine's interleaved application.
+/// process's state and a process plans at most one command per epoch, so
+/// the committed state is invariant under drain order: attachment order
+/// (split schedule), live-slot order (fused schedule) and the sequential
+/// engine's interleaved application all produce identical results.
 struct ActuatorCommand {
   enum class Kind : std::uint8_t {
     kNone,   // nothing to apply

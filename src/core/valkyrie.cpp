@@ -1,6 +1,8 @@
 #include "core/valkyrie.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <thread>
 
 namespace valkyrie::core {
 
@@ -85,12 +87,20 @@ ValkyrieMonitor::Action ValkyrieMonitor::on_epoch(
 
 ValkyrieEngine::ValkyrieEngine(sim::SimSystem& sys,
                                const ml::Detector& detector,
-                               std::size_t worker_threads)
-    : sys_(sys), detector_(detector) {
+                               std::size_t worker_threads, StepMode mode)
+    : sys_(sys), detector_(detector), mode_(mode) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw != 0 && worker_threads > hw) worker_threads = hw;
   if (worker_threads > 1) {
     pool_ = std::make_unique<util::ThreadPool>(worker_threads);
   }
   shard_commands_.resize(shard_count());
+}
+
+void ValkyrieEngine::reserve_shard_buffers(std::size_t per_shard) {
+  for (std::vector<ActuatorCommand>& buf : shard_commands_) {
+    buf.reserve(per_shard);  // no-op once capacity has caught up
+  }
 }
 
 void ValkyrieEngine::attach(sim::ProcessId pid, ValkyrieConfig config,
@@ -103,20 +113,130 @@ void ValkyrieEngine::attach(sim::ProcessId pid, ValkyrieConfig config,
     attached_index_.resize(static_cast<std::size_t>(pid) + 1, -1);
   }
   attached_index_[pid] = static_cast<std::int32_t>(attached_.size());
-  Attached a{pid, ValkyrieMonitor(config, std::move(actuator)),
-             terminal_detector, {}, {}, ValkyrieMonitor::Action::kNone};
+  Attached a{pid,
+             ValkyrieMonitor(config, std::move(actuator)),
+             terminal_detector,
+             {},
+             {},
+             ValkyrieMonitor::Action::kNone,
+             0};
   attached_.push_back(std::move(a));
-  // A shard emits at most one command per attachment it owns, and owns at
-  // most ceil(attached/shards) attachments; reserving that keeps the
-  // per-epoch hot path allocation-free without shard_count-fold overcommit.
-  const std::size_t per_shard =
-      (attached_.size() + shard_commands_.size() - 1) / shard_commands_.size();
-  for (std::vector<ActuatorCommand>& buf : shard_commands_) {
-    buf.reserve(per_shard);
+  // A shard emits at most one command per attachment it owns; sizing to one
+  // ceil-chunk keeps the per-epoch hot path allocation-free without
+  // shard_count-fold overcommit. (The fused schedule re-checks per step
+  // against its live-slot ranges, which may cluster attachments.)
+  reserve_shard_buffers(shard_quota(attached_.size()));
+}
+
+void ValkyrieEngine::infer_attachment(Attached& a,
+                                      std::vector<ActuatorCommand>& commands) {
+  // One summary per process per epoch; both detectors share it, so
+  // feature extraction and statistics assembly happen exactly once.
+  const ml::WindowSummary summary = sys_.window_summary(a.pid);
+  const ml::Inference inference = a.stream.infer(detector_, summary);
+  std::optional<ml::Inference> terminal;
+  if (a.terminal_detector != nullptr &&
+      a.monitor.measurements() >= a.monitor.config().required_measurements) {
+    // StreamingInference catches up on any epochs it was not consulted
+    // for, so the first terminable-state query pays one linear pass and
+    // every subsequent epoch is O(1).
+    terminal = a.terminal_stream.infer(*a.terminal_detector, summary);
+  }
+  const ValkyrieMonitor::PlannedAction planned =
+      a.monitor.plan(a.pid, inference, terminal);
+  a.last_action = planned.action;
+  if (planned.command.kind != ActuatorCommand::Kind::kNone) {
+    commands.push_back(planned.command);
   }
 }
 
+// Serial commit phase: apply the batched responses once the shards have
+// joined. Every command targets only its own process's state (weights,
+// caps, liveness), so the committed state is independent of drain order —
+// the fused schedule drains in live-slot order, the split schedule in
+// attachment order, and both land exactly where the sequential engine
+// does, before the next epoch's workload execution (Eq. 3 timing).
+void ValkyrieEngine::commit_shard_commands() {
+  for (const std::vector<ActuatorCommand>& buf : shard_commands_) {
+    for (const ActuatorCommand& cmd : buf) cmd.apply(sys_);
+  }
+}
+
+std::size_t ValkyrieEngine::live_attached_count() const {
+  std::size_t live = 0;
+  for (const Attached& a : attached_) {
+    if (sys_.is_live(a.pid)) ++live;
+  }
+  return live;
+}
+
 std::size_t ValkyrieEngine::step() {
+  ++step_tag_;
+  return mode_ == StepMode::kFused ? step_fused() : step_split();
+}
+
+std::size_t ValkyrieEngine::step_fused() {
+  // Serial open phase: CFS share snapshot; the live list and pid -> slot
+  // remap are frozen until the epoch closes, so slot i below is
+  // live[i] for the whole dispatch.
+  sys_.begin_epoch();
+  const std::span<const sim::ProcessId> live = sys_.live_processes();
+
+  for (std::vector<ActuatorCommand>& buf : shard_commands_) buf.clear();
+  // The fused dispatch shards over live slots, not attachments, so a single
+  // shard can own up to one ceil-chunk of *processes* worth of attachments
+  // when they cluster. Re-check capacity against that bound (a no-op in
+  // steady state; live counts only shrink between attaches).
+  if (!attached_.empty() && !live.empty()) {
+    reserve_shard_buffers(
+        std::min(shard_quota(live.size()), attached_.size()));
+  }
+
+  // One fused shard dispatch: simulate the process, then consume its fresh
+  // HPC sample for inference + the monitor decision while it is still hot,
+  // emitting side effects as commands into the shard's buffer.
+  const auto fused_range = [&](std::size_t shard, std::size_t begin,
+                               std::size_t end) {
+    std::vector<ActuatorCommand>& commands = shard_commands_[shard];
+    for (std::size_t slot = begin; slot < end; ++slot) {
+      const sim::ProcessId pid = live[slot];
+      const bool finished = sys_.step_slot(slot);
+      if (pid >= attached_index_.size()) continue;
+      const std::int32_t idx = attached_index_[pid];
+      if (idx < 0) continue;
+      Attached& a = attached_[static_cast<std::size_t>(idx)];
+      a.last_action = ValkyrieMonitor::Action::kNone;
+      a.last_action_step = step_tag_;
+      // A process that completed this epoch gets no inference — exactly as
+      // the split schedule's inference pass sees it (already dead).
+      if (finished) continue;
+      infer_attachment(a, commands);
+    }
+  };
+
+  // On a shard exception the commands planned so far are still committed
+  // before the rethrow — a monitor that recorded a decision (e.g.
+  // kTerminated) must never have its side effect dropped, or engine and
+  // system state diverge. abort_epoch still retires completed processes
+  // but does not count the epoch.
+  try {
+    if (pool_ != nullptr && live.size() > 1) {
+      pool_->parallel_for_shards(live.size(), fused_range);
+    } else if (!live.empty()) {
+      fused_range(0, 0, live.size());
+    }
+  } catch (...) {
+    sys_.abort_epoch();
+    commit_shard_commands();
+    throw;
+  }
+  sys_.end_epoch();
+  commit_shard_commands();
+
+  return live_attached_count();
+}
+
+std::size_t ValkyrieEngine::step_split() {
   // Shard phase 1: simulate the epoch (workloads, HPC capture, window
   // statistics) across the pool.
   sys_.run_epoch(pool_.get());
@@ -132,37 +252,9 @@ std::size_t ValkyrieEngine::step() {
     for (std::size_t i = begin; i < end; ++i) {
       Attached& a = attached_[i];
       a.last_action = ValkyrieMonitor::Action::kNone;
+      a.last_action_step = step_tag_;
       if (!sys_.is_live(a.pid)) continue;
-      // One summary per process per epoch; both detectors share it, so
-      // feature extraction and statistics assembly happen exactly once.
-      const ml::WindowSummary summary = sys_.window_summary(a.pid);
-      const ml::Inference inference = a.stream.infer(detector_, summary);
-      std::optional<ml::Inference> terminal;
-      if (a.terminal_detector != nullptr &&
-          a.monitor.measurements() >=
-              a.monitor.config().required_measurements) {
-        // StreamingInference catches up on any epochs it was not consulted
-        // for, so the first terminable-state query pays one linear pass and
-        // every subsequent epoch is O(1).
-        terminal = a.terminal_stream.infer(*a.terminal_detector, summary);
-      }
-      const ValkyrieMonitor::PlannedAction planned =
-          a.monitor.plan(a.pid, inference, terminal);
-      a.last_action = planned.action;
-      if (planned.command.kind != ActuatorCommand::Kind::kNone) {
-        commands.push_back(planned.command);
-      }
-    }
-  };
-  // Serial commit phase: apply the batched responses. Shards own contiguous
-  // ascending ranges, so draining buffers in shard order replays the exact
-  // sequence the sequential engine would have produced. On a shard
-  // exception the commands planned so far are still committed before the
-  // rethrow — a monitor that recorded a decision (e.g. kTerminated) must
-  // never have its side effect dropped, or engine and system state diverge.
-  const auto commit = [&] {
-    for (const std::vector<ActuatorCommand>& buf : shard_commands_) {
-      for (const ActuatorCommand& cmd : buf) cmd.apply(sys_);
+      infer_attachment(a, commands);
     }
   };
   try {
@@ -172,19 +264,16 @@ std::size_t ValkyrieEngine::step() {
       infer_range(0, 0, attached_.size());
     }
   } catch (...) {
-    commit();
+    commit_shard_commands();
     throw;
   }
-  commit();
+  commit_shard_commands();
 
-  std::size_t live = 0;
-  for (const Attached& a : attached_) {
-    if (sys_.is_live(a.pid)) ++live;
-  }
-  return live;
+  return live_attached_count();
 }
 
 void ValkyrieEngine::run(std::size_t epochs) {
+  sys_.reserve_history(epochs);
   for (std::size_t i = 0; i < epochs; ++i) step();
 }
 
@@ -201,7 +290,11 @@ const ValkyrieMonitor& ValkyrieEngine::monitor(sim::ProcessId pid) const {
 }
 
 ValkyrieMonitor::Action ValkyrieEngine::last_action(sim::ProcessId pid) const {
-  return attachment(pid).last_action;
+  const Attached& a = attachment(pid);
+  // The fused schedule never visits attachments of already-dead processes,
+  // so an action from an older step reads as "nothing happened this epoch".
+  return a.last_action_step == step_tag_ ? a.last_action
+                                         : ValkyrieMonitor::Action::kNone;
 }
 
 }  // namespace valkyrie::core

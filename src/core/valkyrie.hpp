@@ -107,23 +107,41 @@ class ValkyrieMonitor {
 /// O(1) per process in the accumulated window length for every bundled
 /// detector family (previously O(window)).
 ///
-/// With `worker_threads > 1` the engine owns a persistent util::ThreadPool
-/// and each step runs in shards: workload execution and HPC capture shard
-/// inside SimSystem::run_epoch, then streaming inference and monitor
-/// decisions shard over the attachments, with every monitor emitting its
-/// ActuatorCommand into a per-shard buffer. The buffers are drained
-/// serially in shard order once the shards join (shared scheduler weights,
-/// cgroup caps and kills mutate shared state), so responses land before the
-/// next epoch exactly as in the sequential engine — and because every
-/// command touches only its own process, a sharded run is bit-identical to
-/// the sequential one for any worker count.
+/// Two step schedules exist, selected at construction:
+///
+///   * StepMode::kFused (default) — ONE shard dispatch per epoch. Each
+///     shard walks a contiguous range of the system's live slots and, per
+///     process, runs workload execution + HPC capture + window fold
+///     (SimSystem::step_slot) immediately followed by streaming inference
+///     and the monitor decision — the HPC sample is consumed while still
+///     register/L1-hot instead of being re-fetched by a second pass.
+///   * StepMode::kSplit — the two-dispatch schedule (sim pass, then
+///     inference pass), kept for A/B benchmarking of the fused schedule.
+///
+/// Both schedules bracket the dispatch with the same serial phases: the CFS
+/// share snapshot before (SimSystem::begin_epoch) and the command commit
+/// after, so with `worker_threads > 1` every monitor emits its
+/// ActuatorCommand into a per-shard buffer and the buffers are drained
+/// serially once the shards join (shared scheduler weights, cgroup caps and
+/// kills mutate shared state). Every command touches only its own process,
+/// so the committed state is independent of drain order — which is why the
+/// fused schedule (slot order), the split schedule (attachment order) and
+/// the sequential engine are all bit-identical for any worker count.
 class ValkyrieEngine {
  public:
   using ActuatorFactory = std::unique_ptr<Actuator> (*)();
 
+  /// Epoch schedule: fused single-dispatch (default) or the split
+  /// two-dispatch schedule it replaced (kept for benchmarking).
+  enum class StepMode : std::uint8_t { kFused, kSplit };
+
   /// `worker_threads` <= 1 runs fully sequential (no pool, no threads).
+  /// Requests beyond std::thread::hardware_concurrency() are clamped to it
+  /// (when detectable): oversubscribed shards only add contention, and a
+  /// silent 64-thread pool on a 4-core box is never what the caller meant.
   ValkyrieEngine(sim::SimSystem& sys, const ml::Detector& detector,
-                 std::size_t worker_threads = 1);
+                 std::size_t worker_threads = 1,
+                 StepMode mode = StepMode::kFused);
 
   /// Attaches a process with its own config and actuator. Each process can
   /// be attached at most once. If `terminal_detector` is non-null it
@@ -137,6 +155,8 @@ class ValkyrieEngine {
   /// processes still live.
   std::size_t step();
 
+  /// Runs `epochs` steps, reserving history capacity up front so the run
+  /// is allocation-free in steady state.
   void run(std::size_t epochs);
 
   [[nodiscard]] const ValkyrieMonitor& monitor(sim::ProcessId pid) const;
@@ -152,6 +172,14 @@ class ValkyrieEngine {
     return pool_ != nullptr ? pool_->shard_count() : 1;
   }
 
+  [[nodiscard]] StepMode step_mode() const noexcept { return mode_; }
+
+  /// Shard dispatches issued to the pool so far (0 when sequential). The
+  /// fused schedule costs exactly one per epoch; the split schedule two.
+  [[nodiscard]] std::uint64_t pool_dispatch_count() const noexcept {
+    return pool_ != nullptr ? pool_->dispatch_count() : 0;
+  }
+
  private:
   struct Attached {
     sim::ProcessId pid;
@@ -160,12 +188,41 @@ class ValkyrieEngine {
     ml::StreamingInference stream;           // running state for detector_
     ml::StreamingInference terminal_stream;  // ... for terminal_detector
     ValkyrieMonitor::Action last_action = ValkyrieMonitor::Action::kNone;
+    // Step that wrote last_action. The fused schedule never visits
+    // attachments whose process is already dead, so staleness is detected
+    // by tag instead of by eagerly clearing every attachment.
+    std::uint64_t last_action_step = 0;
   };
 
   [[nodiscard]] const Attached& attachment(sim::ProcessId pid) const;
 
+  std::size_t step_fused();
+  std::size_t step_split();
+
+  /// Runs one attachment's streaming inference + monitor decision for the
+  /// current step, appending any resulting command to `commands`. Shared by
+  /// both schedules so they cannot drift.
+  void infer_attachment(Attached& a, std::vector<ActuatorCommand>& commands);
+
+  /// Serially applies the per-shard command buffers, in shard order.
+  void commit_shard_commands();
+
+  /// Commands one shard can emit for `items` work items: each item yields
+  /// at most one command and a shard owns at most one ceil-chunk of items.
+  [[nodiscard]] std::size_t shard_quota(std::size_t items) const noexcept {
+    const std::size_t shards = shard_commands_.size();
+    return (items + shards - 1) / shards;
+  }
+
+  /// Grows every shard buffer's capacity to `per_shard` (no-op, and
+  /// allocation-free, once steady state is reached).
+  void reserve_shard_buffers(std::size_t per_shard);
+
+  [[nodiscard]] std::size_t live_attached_count() const;
+
   sim::SimSystem& sys_;
   const ml::Detector& detector_;
+  StepMode mode_;
   std::vector<Attached> attached_;
   // pid -> index into attached_ (-1 = not attached): O(1) monitor lookup
   // for callers and for the shards.
@@ -173,6 +230,7 @@ class ValkyrieEngine {
   std::unique_ptr<util::ThreadPool> pool_;  // null when sequential
   // One pre-reserved command buffer per shard, reused every epoch.
   std::vector<std::vector<ActuatorCommand>> shard_commands_;
+  std::uint64_t step_tag_ = 0;  // bumped at the start of every step()
 };
 
 }  // namespace valkyrie::core

@@ -71,9 +71,19 @@ HpcSample HpcSignature::sample(util::Rng& rng, double activity,
   // exponents above (misses up, IPC down, wall-clock untouched).
   const double log_interference =
       correlated_noise * noise_scale * rng.normal();
+  // exp(1.0 * x) == exp(x) and exp(0.0 * x) == 1.0 hold bit-exactly, so
+  // the six miss-type events share one exp and the untouched events skip
+  // it entirely — sample() sits on the per-process epoch hot path, and
+  // this drops 12 exp calls to 4 (the shared unit exponent plus the three
+  // fractional ones) without changing a single output bit.
+  const double unit_interference = std::exp(log_interference);
   for (std::size_t i = 0; i < kNumEvents; ++i) {
-    const double interference = std::exp(
-        interference_exponent(static_cast<Event>(i)) * log_interference);
+    const double exponent = interference_exponent(static_cast<Event>(i));
+    const double interference =
+        exponent == 1.0
+            ? unit_interference
+            : (exponent == 0.0 ? 1.0
+                               : std::exp(exponent * log_interference));
     const double base = mean[i] * activity * interference;
     if (base <= 0.0) {
       out.counts[i] = 0.0;

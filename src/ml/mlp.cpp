@@ -77,7 +77,41 @@ double Mlp::predict(std::span<const double> input) const {
   for (std::size_t l = 0; l < layers_.size(); ++l) {
     const Layer& layer = layers_[l];
     const bool is_output = (l + 1 == layers_.size());
-    for (std::size_t o = 0; o < layer.out; ++o) {
+    // Four neurons at a time: each neuron's sum still accumulates in the
+    // exact i order above (bit-identical outputs), but the four dependency
+    // chains interleave, so the serial FP-add latency that dominates a
+    // single chain overlaps ~4x. This is the per-epoch inference hot path:
+    // every monitored process pays one predict() per epoch.
+    std::size_t o = 0;
+    for (; o + 4 <= layer.out; o += 4) {
+      double s0 = layer.bias[o];
+      double s1 = layer.bias[o + 1];
+      double s2 = layer.bias[o + 2];
+      double s3 = layer.bias[o + 3];
+      const double* w0 = layer.weights.data() + o * layer.in;
+      const double* w1 = w0 + layer.in;
+      const double* w2 = w1 + layer.in;
+      const double* w3 = w2 + layer.in;
+      for (std::size_t i = 0; i < layer.in; ++i) {
+        const double p = prev[i];
+        s0 += w0[i] * p;
+        s1 += w1[i] * p;
+        s2 += w2[i] * p;
+        s3 += w3[i] * p;
+      }
+      if (is_output) {
+        next[o] = sigmoid(s0);
+        next[o + 1] = sigmoid(s1);
+        next[o + 2] = sigmoid(s2);
+        next[o + 3] = sigmoid(s3);
+      } else {
+        next[o] = std::tanh(s0);
+        next[o + 1] = std::tanh(s1);
+        next[o + 2] = std::tanh(s2);
+        next[o + 3] = std::tanh(s3);
+      }
+    }
+    for (; o < layer.out; ++o) {
       double sum = layer.bias[o];
       const double* w_row = layer.weights.data() + o * layer.in;
       for (std::size_t i = 0; i < layer.in; ++i) sum += w_row[i] * prev[i];

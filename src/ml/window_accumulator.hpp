@@ -15,6 +15,7 @@
 #include <cmath>
 #include <cstddef>
 #include <span>
+#include <type_traits>
 
 #include "hpc/hpc.hpp"
 
@@ -58,6 +59,10 @@ struct WindowSummary {
 /// measurement window. add() is O(kFeatureDim) with zero heap allocations;
 /// the summary is always consistent with the samples added since the last
 /// reset().
+///
+/// The accumulator lives in SimSystem's slot-indexed hot-state arrays and
+/// is relocated by plain assignment when slots compact, so it must stay
+/// trivially copyable (static_asserted below) — no owning members.
 class WindowAccumulator {
  public:
   /// Folds one epoch's sample into the running statistics.
@@ -116,5 +121,9 @@ class WindowAccumulator {
   hpc::FeatureVec m2_{};
   hpc::FeatureVec newest_{};
 };
+
+static_assert(std::is_trivially_copyable_v<WindowAccumulator>,
+              "WindowAccumulator is relocated byte-wise by SimSystem's "
+              "hot-slot compaction");
 
 }  // namespace valkyrie::ml

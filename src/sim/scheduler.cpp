@@ -10,47 +10,54 @@ namespace valkyrie::sim {
 CfsScheduler::CfsScheduler(const SchedulerConfig& config) : config_(config) {
   assert(config_.gamma > 0.0 && config_.gamma < 1.0);
   assert(config_.background_weight_units >= 0.0);
+  // Thrown, not asserted: release builds compile asserts out, and a zero
+  // floor would let apply_threat_delta clamp a live factor onto the dense
+  // table's 0.0 absent-pid sentinel (besides stalling the process
+  // entirely — the paper's s_MIN is strictly positive).
+  if (config_.min_share_fraction <= 0.0) {
+    throw std::invalid_argument(
+        "CfsScheduler: min_share_fraction must be positive");
+  }
 }
 
-void CfsScheduler::add_process(ProcessId pid) { factor_.emplace(pid, 1.0); }
+void CfsScheduler::add_process(ProcessId pid) {
+  if (pid >= factor_.size()) factor_.resize(static_cast<std::size_t>(pid) + 1, 0.0);
+  if (factor_[pid] == 0.0) factor_[pid] = 1.0;  // emplace semantics: no overwrite
+}
 
-void CfsScheduler::remove_process(ProcessId pid) { factor_.erase(pid); }
+void CfsScheduler::remove_process(ProcessId pid) {
+  if (pid < factor_.size()) factor_[pid] = 0.0;
+}
 
 bool CfsScheduler::has_process(ProcessId pid) const {
-  return factor_.contains(pid);
+  return pid < factor_.size() && factor_[pid] != 0.0;
 }
 
 double CfsScheduler::weight_factor(ProcessId pid) const {
-  const auto it = factor_.find(pid);
-  if (it == factor_.end()) {
+  if (!has_process(pid)) {
     throw std::out_of_range("CfsScheduler: unknown process id");
   }
-  return it->second;
+  return factor_[pid];
 }
 
 void CfsScheduler::apply_threat_delta(ProcessId pid, double delta_threat) {
-  const auto it = factor_.find(pid);
-  if (it == factor_.end()) {
-    throw std::out_of_range("CfsScheduler: unknown process id");
-  }
-  double s = it->second;
+  double s = weight_factor(pid);
   // Eq. 8: s_i = s_{i-1} -/+ gamma * s_{i-1} * |dT| for rising/falling
   // threat. A drop of gamma per unit of threat change, multiplicative.
   s *= (1.0 - config_.gamma * delta_threat);
-  it->second = std::clamp(s, config_.min_share_fraction, 1.0);
+  factor_[pid] = std::clamp(s, config_.min_share_fraction, 1.0);
 }
 
 void CfsScheduler::reset_weight(ProcessId pid) {
-  const auto it = factor_.find(pid);
-  if (it == factor_.end()) {
+  if (!has_process(pid)) {
     throw std::out_of_range("CfsScheduler: unknown process id");
   }
-  it->second = 1.0;
+  factor_[pid] = 1.0;
 }
 
 double CfsScheduler::total_weight() const {
   double total = config_.background_weight_units;
-  for (const auto& [pid, factor] : factor_) total += factor;
+  for (const double factor : factor_) total += factor;
   return total;
 }
 
@@ -66,6 +73,12 @@ double CfsScheduler::normalized_share(ProcessId pid) const {
 
 double CfsScheduler::normalized_share(ProcessId pid, double total) const {
   const double w = weight_factor(pid);
+  // Untouched process: share_now and share_default are the same 1/total,
+  // so the ratio is exactly 1.0. The total - 1 + 1 == total guard proves
+  // the slow path would compute identical bits (it fails only at absurd
+  // totals where the round-trip rounds), and skipping three divides
+  // matters — this runs once per live process per epoch.
+  if (w == 1.0 && total - 1.0 + 1.0 == total && total > 0.0) return 1.0;
   // Share this process would have at default weight, holding the others at
   // their current weights.
   const double total_default = total - w + 1.0;

@@ -13,7 +13,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 namespace valkyrie::sim {
 
@@ -35,6 +35,8 @@ struct SchedulerConfig {
   double background_weight_units = 9.0;
   /// Fraction of its default share below which a process cannot be pushed
   /// (the paper's s_MIN; user-configurable slowdown cap lives on top).
+  /// Must be strictly positive — CfsScheduler's constructor throws
+  /// otherwise (a zero floor would stall a process outright).
   double min_share_fraction = 0.01;
 };
 
@@ -85,7 +87,13 @@ class CfsScheduler {
 
  private:
   SchedulerConfig config_;
-  std::unordered_map<ProcessId, double> factor_;  // pid -> weight factor
+  // pid -> weight factor, dense. SimSystem allocates pids densely from 0, so
+  // the per-epoch share lookups (one weight_factor per live process) are
+  // plain vector reads instead of hash probes. 0.0 marks an absent pid: a
+  // live factor is clamped to [min_share_fraction, 1] with
+  // min_share_fraction > 0, so 0 is never a valid weight — and the additive
+  // sentinel keeps total_weight() a single branchless pass.
+  std::vector<double> factor_;
 };
 
 }  // namespace valkyrie::sim

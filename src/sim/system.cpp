@@ -1,12 +1,20 @@
 #include "sim/system.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <stdexcept>
+#include <type_traits>
 
 #include "util/thread_pool.hpp"
 
 namespace valkyrie::sim {
+
+// The compaction pass moves hot state between slots by plain assignment;
+// these stay trivially copyable so the shift is a handful of memcpys and
+// retirement snapshots cannot throw mid-compaction.
+static_assert(std::is_trivially_copyable_v<util::Rng>);
+static_assert(std::is_trivially_copyable_v<ResourceShares>);
+static_assert(std::is_trivially_copyable_v<hpc::HpcSample>);
+static_assert(std::is_trivially_copyable_v<ml::WindowAccumulator>);
 
 SimSystem::SimSystem(const PlatformProfile& platform, std::uint64_t seed)
     : platform_(platform), rng_(seed), scheduler_(platform.scheduler) {}
@@ -15,197 +23,306 @@ ProcessId SimSystem::spawn(std::unique_ptr<Workload> workload) {
   if (workload == nullptr) {
     throw std::invalid_argument("SimSystem::spawn: null workload");
   }
-  const auto pid = static_cast<ProcessId>(procs_.size());
-  Proc p;
-  p.workload = std::move(workload);
-  p.rng = rng_.fork();
-  procs_.push_back(std::move(p));
+  if (epoch_open_) {
+    throw std::logic_error("SimSystem::spawn: epoch in progress");
+  }
+  const auto pid = static_cast<ProcessId>(cold_.size());
+  const auto slot = static_cast<std::uint32_t>(slot_pid_.size());
+
+  ColdProc cold;
+  cold.workload = std::move(workload);
+  cold_.push_back(std::move(cold));
+  pid_slot_.push_back(slot);
+
+  // New pids are maximal, so appending keeps the slot order ascending in
+  // pid — the invariant the stable compaction preserves.
+  slot_pid_.push_back(pid);
+  rng_s_.push_back(rng_.fork());
+  cgroup_s_.emplace_back();
+  effective_s_.emplace_back();
+  last_sample_s_.emplace_back();
+  accum_s_.emplace_back();
+  last_progress_s_.push_back(0.0);
+  epochs_run_s_.push_back(0);
+  exit_s_.push_back(ExitReason::kRunning);
+
   scheduler_.add_process(pid);
-  live_dirty_ = true;
   return pid;
 }
 
-const SimSystem::Proc& SimSystem::proc(ProcessId pid) const {
-  if (pid >= procs_.size()) {
+std::uint32_t SimSystem::slot_checked(ProcessId pid) const {
+  if (pid >= pid_slot_.size()) {
     throw std::out_of_range("SimSystem: unknown process id");
   }
-  return procs_[pid];
+  return pid_slot_[pid];
 }
 
-SimSystem::Proc& SimSystem::proc(ProcessId pid) {
-  if (pid >= procs_.size()) {
-    throw std::out_of_range("SimSystem: unknown process id");
+void SimSystem::begin_epoch() {
+  if (epoch_open_) {
+    throw std::logic_error("SimSystem::begin_epoch: epoch already open");
   }
-  return procs_[pid];
+  // Slots killed since the last epoch retire now, in one pass — a
+  // step_slot on a stale slot would re-execute a dead process.
+  if (retire_pending_) retire_dead_slots();
+  // Serial global phase: one pass over the scheduler's weights. Every
+  // per-slot share below is then O(1), where re-summing inside
+  // normalized_share(pid) would make the epoch O(P^2).
+  epoch_total_weight_ = scheduler_.total_weight();
+  epoch_any_exited_.store(false, std::memory_order_relaxed);
+  epoch_open_ = true;
+}
+
+bool SimSystem::step_slot(std::size_t slot) {
+  if (!epoch_open_ || slot >= slot_pid_.size()) {
+    throw std::logic_error("SimSystem::step_slot: no open epoch / bad slot");
+  }
+  const ProcessId pid = slot_pid_[slot];
+
+  // Effective CPU share: the scheduler's (possibly demoted) share capped
+  // by any cgroup CPU quota. Other resources come from cgroup caps alone.
+  const ResourceShares& cg = cgroup_s_[slot];
+  ResourceShares eff;
+  eff.cpu = std::min(scheduler_.normalized_share(pid, epoch_total_weight_),
+                     cg.cpu);
+  eff.mem = cg.mem;
+  eff.net = cg.net;
+  eff.fs = cg.fs;
+  effective_s_[slot] = eff;
+
+  EpochContext ctx;
+  ctx.epoch = epoch_;
+  ctx.epoch_ms = platform_.epoch_ms;
+  ctx.hpc_noise = platform_.hpc_noise;
+  ctx.rng = &rng_s_[slot];
+
+  ColdProc& cold = cold_[pid];
+  const StepResult step = cold.workload->run_epoch(eff, ctx);
+  last_sample_s_[slot] = step.hpc;
+  cold.history.push_back(step.hpc);
+  accum_s_[slot].add(step.hpc);
+  last_progress_s_[slot] = step.progress;
+  ++epochs_run_s_[slot];
+  if (step.finished) {
+    exit_s_[slot] = ExitReason::kCompleted;
+    epoch_any_exited_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void SimSystem::end_epoch() {
+  if (!epoch_open_) {
+    throw std::logic_error("SimSystem::end_epoch: no open epoch");
+  }
+  epoch_open_ = false;
+  ++epoch_;
+  if (epoch_any_exited_.load(std::memory_order_relaxed)) retire_dead_slots();
+}
+
+void SimSystem::abort_epoch() {
+  // The epoch did not complete (epoch_ stays), but shards may have marked
+  // completions — those slots must still retire, or a retry would
+  // re-execute finished workloads.
+  epoch_open_ = false;
+  if (epoch_any_exited_.load(std::memory_order_relaxed)) retire_dead_slots();
 }
 
 void SimSystem::run_epoch(util::ThreadPool* pool) {
-  const std::span<const ProcessId> live = live_processes();
-
-  // Serial global phase: one pass over the scheduler's weights. Every
-  // per-process share below is then O(1), where re-summing inside
-  // normalized_share(pid) would make the epoch O(P^2).
-  const double total_weight = scheduler_.total_weight();
-
-  std::atomic<bool> any_exited{false};
-  const auto run_range = [&](std::size_t begin, std::size_t end) {
-    bool exited = false;
-    for (std::size_t i = begin; i < end; ++i) {
-      const ProcessId pid = live[i];
-      Proc& p = procs_[pid];
-
-      // Effective CPU share: the scheduler's (possibly demoted) share capped
-      // by any cgroup CPU quota. Other resources come from cgroup caps alone.
-      ResourceShares eff;
-      eff.cpu = std::min(scheduler_.normalized_share(pid, total_weight),
-                         p.cgroup.cpu);
-      eff.mem = p.cgroup.mem;
-      eff.net = p.cgroup.net;
-      eff.fs = p.cgroup.fs;
-      p.effective = eff;
-
-      EpochContext ctx;
-      ctx.epoch = epoch_;
-      ctx.epoch_ms = platform_.epoch_ms;
-      ctx.hpc_noise = platform_.hpc_noise;
-      ctx.rng = &p.rng;
-
-      const StepResult step = p.workload->run_epoch(eff, ctx);
-      p.last_sample = step.hpc;
-      p.history.push_back(step.hpc);
-      p.accumulator.add(step.hpc);
-      p.last_progress = step.progress;
-      ++p.epochs_run;
-      if (step.finished) {
-        p.exit = ExitReason::kCompleted;
-        exited = true;
-      }
-    }
-    if (exited) any_exited.store(true, std::memory_order_relaxed);
+  begin_epoch();
+  const std::size_t live = slot_pid_.size();
+  const auto run_range = [this](std::size_t begin, std::size_t end) {
+    for (std::size_t slot = begin; slot < end; ++slot) (void)step_slot(slot);
   };
 
-  // Per-process phase: every process touches only its own state (rng,
-  // history, accumulator) and reads the scheduler map, so sharding is safe
-  // and bit-identical to the sequential loop.
+  // Per-slot phase: every slot touches only its own hot-array entries and
+  // cold row, and reads the serial share snapshot, so sharding is safe and
+  // bit-identical to the sequential loop.
   try {
-    if (pool != nullptr && live.size() > 1) {
-      pool->parallel_for(live.size(), run_range);
+    if (pool != nullptr && live > 1) {
+      pool->parallel_for(live, run_range);
     } else {
-      run_range(0, live.size());
+      run_range(0, live);
     }
   } catch (...) {
-    // A workload threw mid-epoch: the epoch did not complete (epoch_ stays),
-    // but other shards may have marked completions — the live list must be
-    // rebuilt or a retry would re-execute finished workloads.
-    live_dirty_ = true;
+    abort_epoch();
     throw;
   }
-
-  ++epoch_;
-  if (any_exited.load(std::memory_order_relaxed)) live_dirty_ = true;
+  end_epoch();
 }
 
 void SimSystem::run_epochs(std::size_t n, util::ThreadPool* pool) {
+  reserve_history(n);
   for (std::size_t i = 0; i < n; ++i) run_epoch(pool);
 }
 
 void SimSystem::reserve_history(std::size_t epochs) {
-  for (Proc& p : procs_) p.history.reserve(p.history.size() + epochs);
+  for (const ProcessId pid : slot_pid_) {
+    std::vector<hpc::HpcSample>& history = cold_[pid].history;
+    history.reserve(history.size() + epochs);
+  }
+}
+
+void SimSystem::retire_dead_slots() {
+  retire_pending_ = false;
+  const std::size_t n = slot_pid_.size();
+  std::size_t w = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const ProcessId pid = slot_pid_[s];
+    if (exit_s_[s] == ExitReason::kRunning) {
+      if (w != s) {
+        slot_pid_[w] = pid;
+        pid_slot_[pid] = static_cast<std::uint32_t>(w);
+        rng_s_[w] = rng_s_[s];
+        cgroup_s_[w] = cgroup_s_[s];
+        effective_s_[w] = effective_s_[s];
+        last_sample_s_[w] = last_sample_s_[s];
+        accum_s_[w] = accum_s_[s];
+        last_progress_s_[w] = last_progress_s_[s];
+        epochs_run_s_[w] = epochs_run_s_[s];
+        exit_s_[w] = exit_s_[s];
+      }
+      ++w;
+    } else {
+      RetiredState& retired = cold_[pid].retired;
+      retired.cgroup = cgroup_s_[s];
+      retired.effective = effective_s_[s];
+      retired.last_sample = last_sample_s_[s];
+      retired.accumulator = accum_s_[s];
+      retired.last_progress = last_progress_s_[s];
+      retired.epochs_run = epochs_run_s_[s];
+      retired.exit = exit_s_[s];
+      pid_slot_[pid] = kNoSlot;
+    }
+  }
+  // Shrinking never releases capacity, so later spawns reuse it.
+  slot_pid_.resize(w);
+  rng_s_.resize(w);
+  cgroup_s_.resize(w);
+  effective_s_.resize(w);
+  last_sample_s_.resize(w);
+  accum_s_.resize(w);
+  last_progress_s_.resize(w);
+  epochs_run_s_.resize(w);
+  exit_s_.resize(w);
 }
 
 void SimSystem::set_cgroup_caps(ProcessId pid, std::optional<double> cpu,
                                 std::optional<double> mem,
                                 std::optional<double> net,
                                 std::optional<double> fs) {
-  Proc& p = proc(pid);
+  const std::uint32_t slot = slot_checked(pid);
+  ResourceShares& cg =
+      slot != kNoSlot ? cgroup_s_[slot] : cold_[pid].retired.cgroup;
   const auto clamp01 = [](double v) { return std::clamp(v, 0.0, 1.0); };
-  if (cpu) p.cgroup.cpu = clamp01(*cpu);
-  if (mem) p.cgroup.mem = clamp01(*mem);
-  if (net) p.cgroup.net = clamp01(*net);
-  if (fs) p.cgroup.fs = clamp01(*fs);
+  if (cpu) cg.cpu = clamp01(*cpu);
+  if (mem) cg.mem = clamp01(*mem);
+  if (net) cg.net = clamp01(*net);
+  if (fs) cg.fs = clamp01(*fs);
 }
 
 void SimSystem::clear_cgroup_caps(ProcessId pid) {
-  proc(pid).cgroup = ResourceShares{};
+  const std::uint32_t slot = slot_checked(pid);
+  (slot != kNoSlot ? cgroup_s_[slot] : cold_[pid].retired.cgroup) =
+      ResourceShares{};
 }
 
 void SimSystem::apply_sched_threat_delta(ProcessId pid, double delta_threat) {
-  [[maybe_unused]] const Proc& p = proc(pid);  // validate pid
+  (void)slot_checked(pid);  // validate pid
   scheduler_.apply_threat_delta(pid, delta_threat);
 }
 
 void SimSystem::reset_sched_weight(ProcessId pid) {
-  [[maybe_unused]] const Proc& p = proc(pid);  // validate pid
+  (void)slot_checked(pid);  // validate pid
   scheduler_.reset_weight(pid);
 }
 
 void SimSystem::kill(ProcessId pid) {
-  Proc& p = proc(pid);
-  if (p.exit == ExitReason::kRunning) {
-    p.exit = ExitReason::kKilled;
-    live_dirty_ = true;
+  if (epoch_open_) {
+    throw std::logic_error("SimSystem::kill: epoch in progress");
   }
+  const std::uint32_t slot = slot_checked(pid);
+  if (slot == kNoSlot || exit_s_[slot] != ExitReason::kRunning) return;
+  // Mark now, compact later (next live_processes() or begin_epoch): every
+  // pid-addressed observer already answers correctly for a marked slot,
+  // and deferring keeps a mass-termination commit — k kills applied
+  // back-to-back — at one O(live) compaction pass instead of k.
+  exit_s_[slot] = ExitReason::kKilled;
+  retire_pending_ = true;
 }
 
 bool SimSystem::is_live(ProcessId pid) const {
-  return proc(pid).exit == ExitReason::kRunning;
+  const std::uint32_t slot = slot_checked(pid);
+  return slot != kNoSlot && exit_s_[slot] == ExitReason::kRunning;
 }
 
 ExitReason SimSystem::exit_reason(ProcessId pid) const {
-  return proc(pid).exit;
+  const std::uint32_t slot = slot_checked(pid);
+  return slot != kNoSlot ? exit_s_[slot] : cold_[pid].retired.exit;
 }
 
 const Workload& SimSystem::workload(ProcessId pid) const {
-  return *proc(pid).workload;
+  (void)slot_checked(pid);
+  return *cold_[pid].workload;
 }
 
-Workload& SimSystem::workload(ProcessId pid) { return *proc(pid).workload; }
+Workload& SimSystem::workload(ProcessId pid) {
+  (void)slot_checked(pid);
+  return *cold_[pid].workload;
+}
 
 const ResourceShares& SimSystem::effective_shares(ProcessId pid) const {
-  return proc(pid).effective;
+  const std::uint32_t slot = slot_checked(pid);
+  return slot != kNoSlot ? effective_s_[slot] : cold_[pid].retired.effective;
 }
 
 const ResourceShares& SimSystem::cgroup_caps(ProcessId pid) const {
-  return proc(pid).cgroup;
+  const std::uint32_t slot = slot_checked(pid);
+  return slot != kNoSlot ? cgroup_s_[slot] : cold_[pid].retired.cgroup;
 }
 
 const hpc::HpcSample& SimSystem::last_sample(ProcessId pid) const {
-  return proc(pid).last_sample;
+  const std::uint32_t slot = slot_checked(pid);
+  return slot != kNoSlot ? last_sample_s_[slot]
+                         : cold_[pid].retired.last_sample;
 }
 
 const std::vector<hpc::HpcSample>& SimSystem::sample_history(
     ProcessId pid) const {
-  return proc(pid).history;
+  (void)slot_checked(pid);
+  return cold_[pid].history;
 }
 
 ml::WindowSummary SimSystem::window_summary(ProcessId pid) const {
-  const Proc& p = proc(pid);
-  return p.accumulator.summary({p.history.data(), p.history.size()});
+  const ml::WindowAccumulator& acc = window_accumulator(pid);
+  const std::vector<hpc::HpcSample>& history = cold_[pid].history;
+  return acc.summary({history.data(), history.size()});
 }
 
 const ml::WindowAccumulator& SimSystem::window_accumulator(
     ProcessId pid) const {
-  return proc(pid).accumulator;
+  const std::uint32_t slot = slot_checked(pid);
+  return slot != kNoSlot ? accum_s_[slot] : cold_[pid].retired.accumulator;
 }
 
 double SimSystem::last_progress(ProcessId pid) const {
-  return proc(pid).last_progress;
+  const std::uint32_t slot = slot_checked(pid);
+  return slot != kNoSlot ? last_progress_s_[slot]
+                         : cold_[pid].retired.last_progress;
 }
 
 std::uint64_t SimSystem::epochs_run(ProcessId pid) const {
-  return proc(pid).epochs_run;
+  const std::uint32_t slot = slot_checked(pid);
+  return slot != kNoSlot ? epochs_run_s_[slot]
+                         : cold_[pid].retired.epochs_run;
 }
 
 std::span<const ProcessId> SimSystem::live_processes() const {
-  if (live_dirty_) {
-    live_.clear();
-    live_.reserve(procs_.size());
-    for (ProcessId pid = 0; pid < procs_.size(); ++pid) {
-      if (procs_[pid].exit == ExitReason::kRunning) live_.push_back(pid);
-    }
-    live_dirty_ = false;
-  }
-  return live_;
+  // The slot->pid array IS the live list: no separate rebuild, no
+  // allocation, ever. Kills since the last epoch compact here first —
+  // logically const (the live *set* is unchanged; only the internal slot
+  // layout tightens), hence the cast.
+  if (retire_pending_) const_cast<SimSystem*>(this)->retire_dead_slots();
+  return slot_pid_;
 }
 
 }  // namespace valkyrie::sim

@@ -4,14 +4,29 @@
 // epoch, computes every process's effective resource shares, executes the
 // workloads and records their HPC samples.
 //
-// An epoch splits into a serial global phase (one CFS total-weight pass, so
-// each share lookup is O(1)) and a per-process phase (workload execution,
-// HPC capture, window-statistics fold) that is embarrassingly parallel:
-// every process owns its Rng, history and accumulator, so run_epoch can
-// shard the live list across a util::ThreadPool and stay bit-identical to
-// the sequential path for any worker count.
+// Per-process hot state lives in a structure-of-arrays core: dense parallel
+// arrays indexed by *live slot* (rng, cgroup caps, effective shares, last
+// sample, window accumulator, last progress, epoch count, exit flag), kept
+// compact by a stable compaction pass whenever a process exits. Cold state
+// (the workload object, the growing sample history, and a snapshot of the
+// hot fields taken when the process retires) sits in a separate pid-indexed
+// table so it never pollutes the hot stride. A pid -> slot remap makes every
+// pid-addressed accessor O(1) while the epoch loop walks slots 0..live-1
+// with unit stride.
+//
+// An epoch splits into a serial global phase (begin_epoch: one CFS
+// total-weight pass, so each share lookup is O(1)), a per-slot phase
+// (step_slot: workload execution, HPC capture, window-statistics fold) that
+// is embarrassingly parallel for distinct slots, and a serial close
+// (end_epoch: epoch count + retirement of finished slots). run_epoch()
+// drives the three phases itself; ValkyrieEngine's fused path interleaves
+// its own per-process inference with step_slot inside a single shard
+// dispatch. Either way results are bit-identical to the sequential path for
+// any shard count.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
@@ -40,20 +55,59 @@ class SimSystem {
                      std::uint64_t seed = 0x5a1f);
 
   /// Adds a process; returns its id. The process starts unthrottled.
+  /// Must not be called while an epoch is open (spawn would reallocate the
+  /// hot arrays under the feet of running shards).
   ProcessId spawn(std::unique_ptr<Workload> workload);
 
   /// Runs one measurement epoch for every live process. With a pool the
-  /// per-process phase is sharded across its workers; results are
+  /// per-slot phase is sharded across its workers; results are
   /// bit-identical to the sequential path for any shard count.
   void run_epoch(util::ThreadPool* pool = nullptr);
 
-  /// Runs `n` epochs.
+  /// Runs `n` epochs. Reserves history capacity for all `n` up front, so
+  /// multi-epoch drivers are allocation-free without remembering to call
+  /// reserve_history themselves.
   void run_epochs(std::size_t n, util::ThreadPool* pool = nullptr);
 
-  /// Pre-reserves capacity for `epochs` further samples in every process's
-  /// history, so the per-epoch hot path performs no heap allocation until
-  /// the reservation is exhausted.
+  /// Pre-reserves capacity for `epochs` further samples in every live
+  /// process's history, so the per-epoch hot path performs no heap
+  /// allocation until the reservation is exhausted.
   void reserve_history(std::size_t epochs);
+
+  // --- Fused-epoch driver API ----------------------------------------------
+  //
+  // run_epoch() is built from these three phases; external drivers (the
+  // engine's fused step) call them directly so per-process work of their own
+  // can run inside the same shard dispatch as the simulation:
+  //
+  //   begin_epoch();                  // serial: share snapshot
+  //   for slot in shards of [0, live_processes().size()):
+  //     step_slot(slot);              // parallel-safe for distinct slots
+  //   end_epoch();                    // serial: ++epoch, retire finished
+  //
+  // Between begin_epoch and end_epoch the live list and the pid -> slot
+  // remap are frozen: slot i corresponds to live_processes()[i] for the
+  // whole dispatch. On an exception out of the dispatch call abort_epoch()
+  // instead of end_epoch(): finished slots still retire (a retry must not
+  // re-execute completed workloads) but the epoch does not count.
+
+  /// Serial epoch-open phase: snapshots the CFS total weight and arms the
+  /// per-slot phase. Throws std::logic_error if an epoch is already open.
+  void begin_epoch();
+
+  /// Runs one live slot's process for the open epoch: effective shares,
+  /// workload execution, HPC capture, history append, window fold. Safe to
+  /// call concurrently for distinct slots. Returns true if the workload ran
+  /// to natural completion this epoch.
+  bool step_slot(std::size_t slot);
+
+  /// Serial epoch-close phase: advances the epoch count and retires any
+  /// slot whose process finished during the dispatch.
+  void end_epoch();
+
+  /// Epoch-close for an aborted dispatch (a workload threw): retires
+  /// finished slots but leaves the epoch count untouched.
+  void abort_epoch();
 
   // --- Actuator-facing controls -------------------------------------------
 
@@ -72,7 +126,11 @@ class SimSystem {
   /// Restores the default scheduler weight.
   void reset_sched_weight(ProcessId pid);
 
-  /// Kills the process (termination response).
+  /// Kills the process (termination response). The slot is marked dead
+  /// immediately (is_live/exit_reason answer right away) and retires in
+  /// one batched compaction pass at the next live_processes() or
+  /// begin_epoch; the pid-addressed observers keep returning the state
+  /// the process died with throughout.
   void kill(ProcessId pid);
 
   // --- Observers -----------------------------------------------------------
@@ -121,38 +179,74 @@ class SimSystem {
   /// Number of epochs the process has actually executed.
   [[nodiscard]] std::uint64_t epochs_run(ProcessId pid) const;
 
-  /// The live process ids, ascending. The list is epoch-scoped: it is
-  /// rebuilt lazily (allocation-free in steady state) after spawns, kills
-  /// and natural completions, and the returned span is valid until the next
-  /// mutation of the process set.
+  /// The live process ids, ascending. Slot i of the hot arrays belongs to
+  /// live_processes()[i] (the compaction is stable, so slot order is always
+  /// ascending pid order). The span is valid until the next mutation of the
+  /// process set (spawn, kill, or an epoch with completions).
   [[nodiscard]] std::span<const ProcessId> live_processes() const;
 
  private:
-  struct Proc {
-    std::unique_ptr<Workload> workload;
-    util::Rng rng;
-    ResourceShares cgroup{};    // caps set by cgroup actuators
-    ResourceShares effective{}; // what the last epoch actually granted
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  /// Snapshot of the hot fields a process died with, so pid-addressed
+  /// observers keep working after the slot is recycled.
+  struct RetiredState {
+    ResourceShares cgroup{};
+    ResourceShares effective{};
     hpc::HpcSample last_sample{};
-    std::vector<hpc::HpcSample> history;
-    ml::WindowAccumulator accumulator;
+    ml::WindowAccumulator accumulator{};
     double last_progress = 0.0;
     std::uint64_t epochs_run = 0;
     ExitReason exit = ExitReason::kRunning;
   };
 
-  [[nodiscard]] const Proc& proc(ProcessId pid) const;
-  [[nodiscard]] Proc& proc(ProcessId pid);
+  /// Per-pid cold table: pointer-chased or growing state the hot stride
+  /// must not carry, plus the retirement snapshot. Never moves once
+  /// created, so history spans stay valid across compactions.
+  struct ColdProc {
+    std::unique_ptr<Workload> workload;
+    std::vector<hpc::HpcSample> history;
+    RetiredState retired{};
+  };
+
+  /// pid -> slot, throwing on unknown pid; kNoSlot marks a retired process.
+  [[nodiscard]] std::uint32_t slot_checked(ProcessId pid) const;
+
+  /// Stable compaction: retires every slot whose exit flag is set, shifting
+  /// survivors down (preserving ascending pid order) and snapshotting the
+  /// dead processes' hot fields into their cold entries.
+  void retire_dead_slots();
 
   PlatformProfile platform_;
   util::Rng rng_;
   CfsScheduler scheduler_;
-  std::vector<Proc> procs_;
   std::uint64_t epoch_ = 0;
-  // Epoch-scoped live list, rebuilt on demand so live_processes() never
-  // allocates once live_ has reached procs_.size() capacity.
-  mutable std::vector<ProcessId> live_;
-  mutable bool live_dirty_ = true;
+
+  // --- SoA hot core: parallel arrays indexed by live slot ------------------
+  std::vector<ProcessId> slot_pid_;   // slot -> pid; doubles as the live list
+  std::vector<std::uint32_t> pid_slot_;  // pid -> slot, kNoSlot when retired
+  std::vector<util::Rng> rng_s_;
+  std::vector<ResourceShares> cgroup_s_;
+  std::vector<ResourceShares> effective_s_;
+  std::vector<hpc::HpcSample> last_sample_s_;
+  std::vector<ml::WindowAccumulator> accum_s_;
+  std::vector<double> last_progress_s_;
+  std::vector<std::uint64_t> epochs_run_s_;
+  std::vector<ExitReason> exit_s_;
+
+  std::vector<ColdProc> cold_;  // pid-indexed
+
+  // --- Open-epoch state -----------------------------------------------------
+  double epoch_total_weight_ = 0.0;
+  bool epoch_open_ = false;
+  // Slots killed since the last compaction. Marked slots stay observable
+  // (every accessor answers from the still-valid slot); the single
+  // compaction pass runs at the next live_processes() or begin_epoch, so
+  // k kills in one commit cost one pass, not k.
+  bool retire_pending_ = false;
+  // Set by step_slot when a workload completes; read serially at epoch
+  // close. Relaxed is enough: the pool's join orders it before end_epoch.
+  std::atomic<bool> epoch_any_exited_{false};
 };
 
 }  // namespace valkyrie::sim

@@ -66,6 +66,7 @@ void ThreadPool::run_job(std::size_t n, JobFn fn, void* ctx) {
     return;
   }
 
+  ++dispatch_count_;
   job_fn_ = fn;
   job_ctx_ = ctx;
   job_n_ = n;

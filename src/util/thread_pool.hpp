@@ -39,6 +39,14 @@ class ThreadPool {
     return workers_.size() + 1;
   }
 
+  /// Jobs dispatched to the worker shards since construction. Degenerate
+  /// runs that stay inline on the caller (no workers, or n <= 1) are not
+  /// counted. This is the observability hook behind the fused-step
+  /// contract: one engine epoch must cost exactly one dispatch.
+  [[nodiscard]] std::uint64_t dispatch_count() const noexcept {
+    return dispatch_count_;
+  }
+
   /// Runs body(begin, end) over a partition of [0, n). Blocks until every
   /// shard has finished. Only one thread may dispatch jobs at a time (the
   /// pool is an engine-loop primitive, not a general task queue). If any
@@ -80,6 +88,9 @@ class ThreadPool {
   void worker_loop(std::size_t index);
 
   std::vector<std::thread> workers_;
+  // Dispatches to the workers; written only by the (single) dispatching
+  // thread, so a plain counter suffices.
+  std::uint64_t dispatch_count_ = 0;
   // Spin budget for waiters: positive when the pool fits the machine,
   // zero (block immediately) when oversubscribed — spinning workers would
   // steal the cores the actual work needs.

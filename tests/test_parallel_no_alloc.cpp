@@ -1,10 +1,11 @@
-// Steady-state allocation guard for the sharded engine step: after warm-up
+// Steady-state allocation guard for the engine step: after warm-up
 // (histories reserved, command buffers and pool queues sized), one epoch —
 // workload execution, HPC capture, window fold, streaming inference,
 // monitor decisions, batched actuator commit — must perform zero heap
-// allocations, sequentially AND across a worker pool. Extends the
-// operator-new guard pattern from test_window_accumulator.cpp to the whole
-// parallel step.
+// allocations, sequentially AND across a worker pool, on BOTH the fused
+// single-dispatch schedule (the SoA hot-core path) and the split
+// two-dispatch schedule. Extends the operator-new guard pattern from
+// test_window_accumulator.cpp to the whole step.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -95,10 +96,12 @@ class FlappingDetector final : public ml::Detector {
   }
 };
 
-void expect_steady_state_step_does_not_allocate(std::size_t worker_threads) {
+void expect_steady_state_step_does_not_allocate(
+    std::size_t worker_threads,
+    ValkyrieEngine::StepMode mode = ValkyrieEngine::StepMode::kFused) {
   const FlappingDetector detector;
   sim::SimSystem sys;
-  ValkyrieEngine engine(sys, detector, worker_threads);
+  ValkyrieEngine engine(sys, detector, worker_threads, mode);
 
   constexpr std::size_t kProcs = 32;
   constexpr std::size_t kWarmup = 32;
@@ -140,12 +143,22 @@ void expect_steady_state_step_does_not_allocate(std::size_t worker_threads) {
   EXPECT_GE(actions_seen, kMeasured / 7 * 2 * kProcs);
 }
 
-TEST(ParallelNoAlloc, SequentialStepIsAllocationFreeAfterWarmup) {
+TEST(ParallelNoAlloc, SequentialFusedStepIsAllocationFreeAfterWarmup) {
   expect_steady_state_step_does_not_allocate(1);
 }
 
-TEST(ParallelNoAlloc, ShardedStepIsAllocationFreeAfterWarmup) {
+TEST(ParallelNoAlloc, ShardedFusedStepIsAllocationFreeAfterWarmup) {
   expect_steady_state_step_does_not_allocate(4);
+}
+
+TEST(ParallelNoAlloc, SequentialSplitStepIsAllocationFreeAfterWarmup) {
+  expect_steady_state_step_does_not_allocate(1,
+                                             ValkyrieEngine::StepMode::kSplit);
+}
+
+TEST(ParallelNoAlloc, ShardedSplitStepIsAllocationFreeAfterWarmup) {
+  expect_steady_state_step_does_not_allocate(4,
+                                             ValkyrieEngine::StepMode::kSplit);
 }
 
 }  // namespace

@@ -139,6 +139,12 @@ TEST(Scheduler, UnknownPidThrows) {
   EXPECT_THROW(sched.apply_threat_delta(7, 1.0), std::out_of_range);
 }
 
+TEST(Scheduler, NonPositiveMinShareRejected) {
+  SchedulerConfig cfg;
+  cfg.min_share_fraction = 0.0;
+  EXPECT_THROW(CfsScheduler{cfg}, std::invalid_argument);
+}
+
 TEST(Scheduler, DemotingOneRaisesOthersShare) {
   CfsScheduler sched;
   sched.add_process(0);
@@ -283,6 +289,120 @@ TEST(System, ThrowingWorkloadDoesNotStaleTheLiveList) {
     EXPECT_NE(pid, completes);
   }
   EXPECT_TRUE(sys.is_live(throws));
+}
+
+TEST(System, RetiredProcessKeepsObservableState) {
+  // The SoA hot core recycles a process's slot when it dies; every
+  // pid-addressed observer must keep returning the state it died with.
+  SimSystem sys;
+  const ProcessId victim = sys.spawn(std::make_unique<StubWorkload>());
+  const ProcessId survivor = sys.spawn(std::make_unique<StubWorkload>());
+  sys.set_cgroup_caps(victim, 0.4, 0.9, std::nullopt, std::nullopt);
+  sys.run_epochs(3);
+  const hpc::HpcSample last = sys.last_sample(victim);
+  const double progress = sys.last_progress(victim);
+  const ResourceShares eff = sys.effective_shares(victim);
+
+  sys.kill(victim);
+
+  EXPECT_EQ(sys.exit_reason(victim), ExitReason::kKilled);
+  EXPECT_DOUBLE_EQ(sys.cgroup_caps(victim).cpu, 0.4);
+  EXPECT_DOUBLE_EQ(sys.cgroup_caps(victim).mem, 0.9);
+  EXPECT_EQ(sys.last_sample(victim).counts, last.counts);
+  EXPECT_DOUBLE_EQ(sys.last_progress(victim), progress);
+  EXPECT_DOUBLE_EQ(sys.effective_shares(victim).cpu, eff.cpu);
+  EXPECT_EQ(sys.epochs_run(victim), 3u);
+  EXPECT_EQ(sys.sample_history(victim).size(), 3u);
+  EXPECT_EQ(sys.window_summary(victim).count, 3u);
+  EXPECT_EQ(sys.window_accumulator(victim).count(), 3u);
+
+  // The survivor's slot moved down; its pid-addressed state is untouched
+  // and further epochs only advance the survivor.
+  sys.run_epochs(2);
+  EXPECT_EQ(sys.epochs_run(victim), 3u);
+  EXPECT_EQ(sys.epochs_run(survivor), 5u);
+  EXPECT_EQ(sys.sample_history(survivor).size(), 5u);
+}
+
+TEST(System, PidSlotRemapSurvivesMixedExitsAndSpawns) {
+  // Stable compaction keeps live slots in ascending pid order through an
+  // arbitrary mix of kills, completions and respawns.
+  SimSystem sys;
+  std::vector<ProcessId> pids;
+  for (int i = 0; i < 6; ++i) {
+    // pids 1 and 4 complete naturally after 2 epochs.
+    const double work = (i == 1 || i == 4) ? 2.0 : 1e9;
+    pids.push_back(sys.spawn(std::make_unique<StubWorkload>(work)));
+  }
+  sys.kill(pids[3]);
+  sys.run_epochs(4);  // pids 1 and 4 complete after 2 epochs
+
+  std::span<const ProcessId> live = sys.live_processes();
+  ASSERT_EQ(live.size(), 3u);
+  EXPECT_EQ(live[0], pids[0]);
+  EXPECT_EQ(live[1], pids[2]);
+  EXPECT_EQ(live[2], pids[5]);
+  EXPECT_EQ(sys.exit_reason(pids[1]), ExitReason::kCompleted);
+  EXPECT_EQ(sys.exit_reason(pids[3]), ExitReason::kKilled);
+  for (const ProcessId pid : live) {
+    EXPECT_TRUE(sys.is_live(pid));
+    EXPECT_EQ(sys.epochs_run(pid), 4u);
+    EXPECT_EQ(sys.sample_history(pid).size(), 4u);
+  }
+  EXPECT_EQ(sys.epochs_run(pids[1]), 2u);
+  EXPECT_EQ(sys.epochs_run(pids[3]), 0u);
+
+  // A new spawn lands at the end of the compacted slot range.
+  const ProcessId fresh = sys.spawn(std::make_unique<StubWorkload>());
+  live = sys.live_processes();
+  ASSERT_EQ(live.size(), 4u);
+  EXPECT_EQ(live[3], fresh);
+  sys.run_epoch();
+  EXPECT_EQ(sys.epochs_run(fresh), 1u);
+  EXPECT_EQ(sys.epochs_run(pids[0]), 5u);
+}
+
+TEST(System, FusedEpochApiMatchesRunEpoch) {
+  // run_epoch is begin_epoch + step_slot* + end_epoch; driving the phases
+  // by hand must be indistinguishable.
+  SimSystem by_hand;
+  SimSystem by_run_epoch;
+  for (int i = 0; i < 3; ++i) {
+    by_hand.spawn(std::make_unique<StubWorkload>(i == 1 ? 2.0 : 1e9));
+    by_run_epoch.spawn(std::make_unique<StubWorkload>(i == 1 ? 2.0 : 1e9));
+  }
+  for (int e = 0; e < 4; ++e) {
+    by_hand.begin_epoch();
+    for (std::size_t s = 0; s < by_hand.live_processes().size(); ++s) {
+      by_hand.step_slot(s);
+    }
+    by_hand.end_epoch();
+    by_run_epoch.run_epoch();
+  }
+  EXPECT_EQ(by_hand.current_epoch(), by_run_epoch.current_epoch());
+  for (ProcessId pid = 0; pid < 3; ++pid) {
+    EXPECT_EQ(by_hand.exit_reason(pid), by_run_epoch.exit_reason(pid));
+    EXPECT_EQ(by_hand.epochs_run(pid), by_run_epoch.epochs_run(pid));
+    ASSERT_EQ(by_hand.sample_history(pid).size(),
+              by_run_epoch.sample_history(pid).size());
+    for (std::size_t e = 0; e < by_hand.sample_history(pid).size(); ++e) {
+      EXPECT_EQ(by_hand.sample_history(pid)[e].counts,
+                by_run_epoch.sample_history(pid)[e].counts);
+    }
+  }
+}
+
+TEST(System, OpenEpochRejectsStructuralMutation) {
+  SimSystem sys;
+  sys.spawn(std::make_unique<StubWorkload>());
+  sys.begin_epoch();
+  EXPECT_THROW(sys.begin_epoch(), std::logic_error);
+  EXPECT_THROW(sys.spawn(std::make_unique<StubWorkload>()), std::logic_error);
+  EXPECT_THROW(sys.kill(0), std::logic_error);
+  sys.abort_epoch();  // close without counting
+  EXPECT_EQ(sys.current_epoch(), 0u);
+  sys.run_epoch();
+  EXPECT_EQ(sys.current_epoch(), 1u);
 }
 
 TEST(Platform, ProfilesDiffer) {
