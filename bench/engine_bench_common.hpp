@@ -4,8 +4,10 @@
 // both harnesses measure the exact same detector inputs.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "hpc/hpc.hpp"
 #include "ml/dataset.hpp"
@@ -84,6 +86,53 @@ inline ml::TraceSet engine_bench_corpus(std::uint64_t seed) {
 inline ml::MlpDetector engine_bench_detector() {
   return ml::MlpDetector::make_small_ann(engine_bench_corpus(0x5ca1e),
                                          0x5eed);
+}
+
+/// A populated feature plane over `n` synthetic processes (mixed
+/// benign/attack signatures, window lengths 8-31), plus the per-column
+/// scalar summaries — the shared fixture behind every scalar-vs-batch
+/// detector-kernel measurement (bench/microbench.cpp and the
+/// batch_kernels section of bench/engine_scaling.cpp), so both harnesses
+/// measure the same data distribution.
+struct BatchPlane {
+  std::size_t n = 0;
+  std::size_t stride = 0;
+  std::vector<double> plane;  // [newest | mean | stddev] x stride
+  std::vector<std::size_t> counts;
+  std::vector<ml::WindowSummary> summaries;
+
+  [[nodiscard]] ml::SummaryMatrixView view() const {
+    ml::SummaryMatrixView v;
+    v.newest = plane.data();
+    v.mean = plane.data() + hpc::kFeatureDim * stride;
+    v.stddev = plane.data() + 2 * hpc::kFeatureDim * stride;
+    v.counts = counts.data();
+    v.count = n;
+    v.stride = stride;
+    return v;
+  }
+};
+
+inline BatchPlane make_batch_plane(std::size_t n) {
+  util::Rng rng(0x91a9e);
+  BatchPlane bp;
+  bp.n = n;
+  bp.stride = (n + 7) / 8 * 8;
+  bp.plane.assign(3 * hpc::kFeatureDim * bp.stride, 0.0);
+  bp.counts.assign(n, 0);
+  for (std::size_t c = 0; c < n; ++c) {
+    const hpc::HpcSignature sig = c % 4 == 1 ? engine_bench_attack_signature()
+                                             : engine_bench_benign_signature();
+    ml::WindowAccumulator acc;
+    const std::size_t len = 8 + rng.below(24);
+    for (std::size_t i = 0; i < len; ++i) acc.add(sig.sample(rng));
+    double* col = bp.plane.data() + c;
+    acc.store_plane_column(col, col + hpc::kFeatureDim * bp.stride,
+                           col + 2 * hpc::kFeatureDim * bp.stride, bp.stride);
+    bp.counts[c] = acc.count();
+    bp.summaries.push_back(acc.summary());
+  }
+  return bp;
 }
 
 }  // namespace valkyrie::bench

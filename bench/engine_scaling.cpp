@@ -1,23 +1,37 @@
-// Engine-epoch scaling harness. Two experiments, both written into one JSON
-// file so CI can track the perf trajectory across PRs:
+// Engine-epoch scaling harness. Three experiments, all written into one
+// JSON file so CI can track the perf trajectory across PRs:
 //
 //   1. Window growth: ValkyrieEngine::step() cost as the accumulated
 //      measurement window grows (target: ns/epoch flat in window length,
 //      i.e. O(1) per-epoch inference — the PR 1 contract).
 //   2. Shard sweep: ns/epoch across a process-count x worker-thread x
-//      step-schedule grid (8..4096 processes, 1..8 threads, fused vs.
-//      split dispatch), measuring the sharded step's speedup over the
-//      sequential path (PR 2) and the fused single-dispatch schedule's
-//      gain over the split two-dispatch schedule (PR 3). Every variant is
-//      bit-identical to the sequential engine, so this is pure throughput.
-//      Each row also records the measured pool dispatches per epoch
-//      (fused: 1, split: 2, sequential: 0).
+//      step-schedule grid (8..4096 processes, 1..8 threads; fused vs.
+//      split vs. batched dispatch), measuring the sharded step's speedup
+//      over the sequential path (PR 2), the fused single-dispatch
+//      schedule's gain over the split schedule (PR 3), and the cross-slot
+//      batched-inference schedule's gain over fused (PR 4, reported as
+//      batch_speedup on the batched rows). Every variant is bit-identical
+//      to the sequential engine, so this is pure throughput. Each row also
+//      records the schedule executions per epoch — pool dispatches PLUS
+//      inline runs, so single-shard rows report the true schedule (fused/
+//      batched: 1, split: 2) instead of the 0.0 the dispatch counter alone
+//      used to under-report — plus an `inline` flag for single-shard rows.
+//   3. Batch kernels: scalar-vs-batch per-item cost of the shipped
+//      detector kernels (MLP window inference, SVM/GBT/stat measurement
+//      votes) over a feature plane at batch sizes 16/256/4096, recording
+//      the speedup the cross-slot batching buys per detector family.
 //
-//   ./build/engine_scaling [out.json] [max_threads]
+//   ./engine_scaling [out.json] [max_threads] [--smoke]
+//
+// --smoke shrinks every experiment to a seconds-scale CI sanity run. The
+// emitted JSON is always validated for well-formedness before the process
+// exits 0.
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -27,6 +41,9 @@
 #include "core/valkyrie.hpp"
 #include "engine_bench_common.hpp"
 #include "hpc/hpc.hpp"
+#include "ml/gbt.hpp"
+#include "ml/stat_detector.hpp"
+#include "ml/svm.hpp"
 #include "sim/system.hpp"
 
 namespace {
@@ -36,7 +53,15 @@ using Clock = std::chrono::steady_clock;
 using StepMode = core::ValkyrieEngine::StepMode;
 
 const char* mode_name(StepMode mode) {
-  return mode == StepMode::kFused ? "fused" : "split";
+  switch (mode) {
+    case StepMode::kFused:
+      return "fused";
+    case StepMode::kSplit:
+      return "split";
+    case StepMode::kBatched:
+      return "batched";
+  }
+  return "unknown";
 }
 
 struct Point {
@@ -86,7 +111,7 @@ struct SweepPoint {
   StepMode mode;
   double ns_per_epoch;
   double ns_per_proc_epoch;
-  double dispatches_per_epoch;
+  double dispatches_per_epoch;  // schedule executions (incl. inline runs)
 };
 
 SweepPoint run_sweep_point(const ml::Detector& detector, std::size_t processes,
@@ -105,12 +130,17 @@ SweepPoint run_sweep_point(const ml::Detector& detector, std::size_t processes,
       40960 / static_cast<std::uint64_t>(processes), 10, 2000);
   // Best-of-R probes: the sweep runs on shared machines, and a single
   // averaged probe inherits whatever the neighbours were doing. The minimum
-  // over repeats is the stable statistic for a deterministic workload.
-  constexpr std::uint64_t kRepeats = 3;
+  // over repeats is the stable statistic for a deterministic workload; five
+  // repeats ride over the multi-second throttling windows CPU-share-capped
+  // containers impose (observed swinging single-run numbers by 2-4x).
+  constexpr std::uint64_t kRepeats = 5;
   sys.reserve_history(warmup + kRepeats * probe + 1);
   for (std::uint64_t i = 0; i < warmup; ++i) engine.step();
 
-  const std::uint64_t dispatches_before = engine.pool_dispatch_count();
+  // schedule_run_count counts inline executions too, so a single-shard run
+  // reports its real schedule (fused/batched: 1 per epoch, split: 2)
+  // instead of the dispatch counter's misleading 0.
+  const std::uint64_t runs_before = engine.schedule_run_count();
   double best_ns = 0.0;
   for (std::uint64_t r = 0; r < kRepeats; ++r) {
     const auto start = Clock::now();
@@ -124,7 +154,7 @@ SweepPoint run_sweep_point(const ml::Detector& detector, std::size_t processes,
     if (r == 0 || ns < best_ns) best_ns = ns;
   }
   const double dispatches =
-      static_cast<double>(engine.pool_dispatch_count() - dispatches_before) /
+      static_cast<double>(engine.schedule_run_count() - runs_before) /
       static_cast<double>(kRepeats * probe);
   return {processes,
           threads,
@@ -135,32 +165,280 @@ SweepPoint run_sweep_point(const ml::Detector& detector, std::size_t processes,
           dispatches};
 }
 
+// --- Batch-kernel micro-measurements -----------------------------------------
+//
+// Scalar-vs-batch per-item cost of one detector family over a synthetic
+// feature plane: the scalar side walks the per-process streaming path (one
+// WindowSummary / one measurement vote per column), the batch side issues
+// the single plane-sweep call the batched engine schedule issues per shard.
+
+struct KernelRow {
+  const char* detector;
+  std::size_t batch;
+  double scalar_ns;  // per item
+  double batch_ns;   // per item
+  double speedup;
+};
+
+template <typename F>
+double best_of_ns_per_item(std::size_t items, int repeats, const F& body) {
+  double best = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    const auto start = Clock::now();
+    body();
+    const auto stop = Clock::now();
+    const double ns =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+                .count()) /
+        static_cast<double>(items);
+    if (r == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+std::vector<KernelRow> run_batch_kernels(bool smoke) {
+  std::vector<KernelRow> rows;
+  const ml::TraceSet corpus = bench::engine_bench_corpus(0x5ca1e);
+  const ml::MlpDetector mlp = bench::engine_bench_detector();
+  const ml::SvmDetector svm = ml::SvmDetector::make(corpus, 3);
+  const ml::GbtDetector gbt = ml::GbtDetector::make(corpus);
+  ml::StatisticalDetector stat;
+  stat.fit(ml::flatten(corpus));
+
+  const int repeats = smoke ? 2 : 5;
+  const int inner = smoke ? 4 : 16;  // plane sweeps per timing probe
+  std::vector<std::size_t> sizes = {16, 256, 4096};
+  if (smoke) sizes = {16, 256};
+
+  for (const std::size_t n : sizes) {
+    const bench::BatchPlane kp = bench::make_batch_plane(n);
+    const ml::SummaryMatrixView view = kp.view();
+    const ml::FeatureMatrixView newest = view.newest_view();
+    std::vector<ml::Inference> inferences(n);
+    std::vector<std::uint8_t> votes(n);
+    volatile std::size_t sink = 0;
+
+    // MLP: the per-epoch window inference (its "vote" in the batched
+    // schedule), scalar streaming path vs. the blocked batch GEMV.
+    const double mlp_scalar =
+        best_of_ns_per_item(n * inner, repeats, [&] {
+          std::size_t acc = 0;
+          for (int k = 0; k < inner; ++k) {
+            for (std::size_t c = 0; c < n; ++c) {
+              acc += static_cast<std::size_t>(mlp.infer(kp.summaries[c]));
+            }
+          }
+          sink = acc;
+        });
+    const double mlp_batch = best_of_ns_per_item(n * inner, repeats, [&] {
+      for (int k = 0; k < inner; ++k) mlp.infer_batch(view, inferences);
+      sink = static_cast<std::size_t>(inferences[0]);
+    });
+    rows.push_back({"mlp", n, mlp_scalar, mlp_batch, mlp_scalar / mlp_batch});
+
+    const auto vote_pair = [&](const char* name, const ml::Detector& d) {
+      const double scalar = best_of_ns_per_item(n * inner, repeats, [&] {
+        std::size_t acc = 0;
+        for (int k = 0; k < inner; ++k) {
+          for (std::size_t c = 0; c < n; ++c) {
+            acc += d.measurement_vote(kp.summaries[c].newest) ? 1u : 0u;
+          }
+        }
+        sink = acc;
+      });
+      const double batch = best_of_ns_per_item(n * inner, repeats, [&] {
+        for (int k = 0; k < inner; ++k) d.measurement_votes(newest, votes);
+        sink = votes[0];
+      });
+      rows.push_back({name, n, scalar, batch, scalar / batch});
+    };
+    vote_pair("svm", svm);
+    vote_pair("gbt", gbt);
+    vote_pair("stat", stat);
+  }
+  return rows;
+}
+
+// --- Minimal JSON well-formedness check --------------------------------------
+//
+// Not a full validator — just enough structure awareness (objects, arrays,
+// strings, numbers, literals, commas/colons) to catch an emitter bug like a
+// trailing comma or unbalanced bracket before the file is committed as a
+// perf artifact.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  [[nodiscard]] bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  bool literal(const char* word) {
+    const std::size_t len = std::strlen(word);
+    if (s_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  bool string() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    for (++pos_; pos_ < s_.size(); ++pos_) {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+      } else if (s_[pos_] == '"') {
+        ++pos_;
+        return true;
+      }
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t begin = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    const auto eat_digits = [&] {
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0) {
+        ++pos_;
+        digits = true;
+      }
+    };
+    eat_digits();
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      eat_digits();
+    }
+    if (digits && pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+      eat_digits();
+    }
+    return digits && pos_ > begin;
+  }
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': {
+        ++pos_;
+        skip_ws();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        for (;;) {
+          skip_ws();
+          if (!string()) return false;
+          skip_ws();
+          if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+          ++pos_;
+          skip_ws();
+          if (!value()) return false;
+          skip_ws();
+          if (pos_ < s_.size() && s_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          break;
+        }
+        if (pos_ >= s_.size() || s_[pos_] != '}') return false;
+        ++pos_;
+        return true;
+      }
+      case '[': {
+        ++pos_;
+        skip_ws();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        for (;;) {
+          skip_ws();
+          if (!value()) return false;
+          skip_ws();
+          if (pos_ < s_.size() && s_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          break;
+        }
+        if (pos_ >= s_.size() || s_[pos_] != ']') return false;
+        ++pos_;
+        return true;
+      }
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* out_path = argc > 1 ? argv[1] : "BENCH_engine.json";
+  const char* out_path = "BENCH_engine.json";
   std::size_t max_threads = 8;
-  if (argc > 2) {
-    char* parse_end = nullptr;
-    const unsigned long parsed = std::strtoul(argv[2], &parse_end, 10);
-    if (parse_end == argv[2] || *parse_end != '\0' || parsed == 0) {
-      std::fprintf(stderr, "max_threads must be a positive integer, got %s\n",
-                   argv[2]);
+  bool smoke = false;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      continue;
+    }
+    if (positional == 0) {
+      out_path = argv[i];
+    } else if (positional == 1) {
+      char* parse_end = nullptr;
+      const unsigned long parsed = std::strtoul(argv[i], &parse_end, 10);
+      if (parse_end == argv[i] || *parse_end != '\0' || parsed == 0) {
+        std::fprintf(stderr, "max_threads must be a positive integer, got %s\n",
+                     argv[i]);
+        return 1;
+      }
+      max_threads = static_cast<std::size_t>(parsed);
+    } else {
+      std::fprintf(stderr, "usage: %s [out.json] [max_threads] [--smoke]\n",
+                   argv[0]);
       return 1;
     }
-    max_threads = static_cast<std::size_t>(parsed);
+    ++positional;
   }
 
   const ml::MlpDetector detector = bench::engine_bench_detector();
 
   std::string json = "{\n  \"benchmark\": \"engine_scaling\",\n";
+  json += "  \"smoke\": ";
+  json += smoke ? "true" : "false";
+  json += ",\n";
   json += "  \"hardware_threads\": " +
           std::to_string(std::thread::hardware_concurrency()) + ",\n";
   json += "  \"series\": [\n";
   const std::size_t process_counts[] = {1, 8};
+  const std::uint64_t series_max_epoch = smoke ? 500 : 5000;
   bool first_series = true;
   for (const std::size_t processes : process_counts) {
-    const std::vector<Point> points = run_series(detector, processes, 5000);
+    const std::vector<Point> points =
+        run_series(detector, processes, series_max_epoch);
     if (!first_series) json += ",\n";
     first_series = false;
     json += "    {\"processes\": " + std::to_string(processes) +
@@ -187,45 +465,90 @@ int main(int argc, char** argv) {
 
   // Shard sweep: step-schedule x thread-count x process-count grid. The
   // split rows keep the PR 2 two-dispatch schedule measurable next to the
-  // fused rows, so the dispatch-fusion gain stays visible in the perf
-  // trajectory.
-  const std::size_t sweep_processes[] = {8, 64, 256, 1024, 4096};
+  // fused rows, and the batched rows record the cross-slot batch-inference
+  // gain over fused (batch_speedup) at identical configurations.
+  std::vector<std::size_t> sweep_processes = {8, 64, 256, 1024, 4096};
+  if (smoke) sweep_processes = {8, 64};
   std::vector<std::size_t> sweep_threads;
   for (std::size_t t = 1; t <= max_threads; t *= 2) sweep_threads.push_back(t);
   // A non-power-of-two cap (e.g. a 6-core box) still gets its own row.
   if (sweep_threads.back() != max_threads) sweep_threads.push_back(max_threads);
   bool first_point = true;
   for (const std::size_t processes : sweep_processes) {
-    for (const StepMode mode : {StepMode::kFused, StepMode::kSplit}) {
+    // ns_per_epoch of the fused row at the same thread count, for the
+    // batched rows' batch_speedup field (fused runs first).
+    std::vector<double> fused_ns(sweep_threads.size(), 0.0);
+    for (const StepMode mode :
+         {StepMode::kFused, StepMode::kSplit, StepMode::kBatched}) {
       double baseline_ns = 0.0;
-      for (const std::size_t threads : sweep_threads) {
+      for (std::size_t ti = 0; ti < sweep_threads.size(); ++ti) {
+        const std::size_t threads = sweep_threads[ti];
         const SweepPoint p = run_sweep_point(detector, processes, threads, mode);
         if (threads == 1) baseline_ns = p.ns_per_epoch;
+        if (mode == StepMode::kFused) fused_ns[ti] = p.ns_per_epoch;
         const double speedup =
             baseline_ns > 0.0 ? baseline_ns / p.ns_per_epoch : 0.0;
         if (!first_point) json += ",\n";
         first_point = false;
-        char buf[256];
+        char buf[384];
         std::snprintf(buf, sizeof(buf),
                       "    {\"processes\": %zu, \"threads\": %zu, "
                       "\"effective_shards\": %zu, "
                       "\"mode\": \"%s\", \"ns_per_epoch\": %.1f, "
                       "\"ns_per_proc_epoch\": %.1f, \"speedup\": %.2f, "
-                      "\"dispatches_per_epoch\": %.1f}",
+                      "\"dispatches_per_epoch\": %.1f, \"inline\": %s",
                       p.processes, p.threads, p.effective_shards,
                       mode_name(mode), p.ns_per_epoch, p.ns_per_proc_epoch,
-                      speedup, p.dispatches_per_epoch);
+                      speedup, p.dispatches_per_epoch,
+                      p.effective_shards == 1 ? "true" : "false");
         json += buf;
+        double batch_speedup = 0.0;
+        if (mode == StepMode::kBatched && p.ns_per_epoch > 0.0) {
+          batch_speedup = fused_ns[ti] / p.ns_per_epoch;
+          std::snprintf(buf, sizeof(buf), ", \"batch_speedup\": %.2f",
+                        batch_speedup);
+          json += buf;
+        }
+        json += "}";
         std::printf(
             "processes=%zu threads=%zu (shards=%zu) %s: %.0f ns/epoch  "
-            "%.1f ns/proc/epoch  speedup %.2fx  %.1f dispatches/epoch\n",
+            "%.1f ns/proc/epoch  speedup %.2fx  %.1f dispatches/epoch",
             p.processes, p.threads, p.effective_shards, mode_name(mode),
             p.ns_per_epoch, p.ns_per_proc_epoch, speedup,
             p.dispatches_per_epoch);
+        if (mode == StepMode::kBatched) {
+          std::printf("  batch_speedup %.2fx", batch_speedup);
+        }
+        std::printf("\n");
       }
     }
   }
+  json += "\n  ],\n  \"batch_kernels\": [\n";
+
+  const std::vector<KernelRow> kernels = run_batch_kernels(smoke);
+  bool first_kernel = true;
+  for (const KernelRow& row : kernels) {
+    if (!first_kernel) json += ",\n";
+    first_kernel = false;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"detector\": \"%s\", \"batch\": %zu, "
+                  "\"scalar_ns_per_item\": %.1f, \"batch_ns_per_item\": %.1f, "
+                  "\"speedup\": %.2f}",
+                  row.detector, row.batch, row.scalar_ns, row.batch_ns,
+                  row.speedup);
+    json += buf;
+    std::printf("kernel %s batch=%zu: scalar %.1f ns/item  batch %.1f "
+                "ns/item  speedup %.2fx\n",
+                row.detector, row.batch, row.scalar_ns, row.batch_ns,
+                row.speedup);
+  }
   json += "\n  ]\n}\n";
+
+  if (!JsonChecker(json).valid()) {
+    std::fprintf(stderr, "emitted JSON failed well-formedness check\n");
+    return 1;
+  }
 
   std::FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {

@@ -18,6 +18,7 @@
 #include "ml/gbt.hpp"
 #include "ml/mlp.hpp"
 #include "ml/stat_detector.hpp"
+#include "ml/svm.hpp"
 #include "ml/window_accumulator.hpp"
 #include "sim/system.hpp"
 #include "util/rng.hpp"
@@ -136,6 +137,124 @@ void BM_WindowFeaturesStreaming(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WindowFeaturesStreaming)->Arg(16)->Arg(256)->Arg(4096);
+
+// --- Cross-slot batch detector kernels ---------------------------------------
+//
+// Scalar-vs-batch cost of one epoch's detector work over N live processes:
+// the scalar side walks the per-process streaming path (one WindowSummary /
+// one measurement vote per slot), the batch side issues the single
+// feature-plane sweep the batched engine schedule issues per shard. Both
+// produce bit-identical inferences (tests/test_batch_infer.cpp); the gap is
+// the cross-slot batching win per detector family.
+
+const ml::MlpDetector& cached_engine_detector();  // defined below
+
+const ml::StatisticalDetector& cached_stat_detector() {
+  static const ml::StatisticalDetector detector = [] {
+    ml::StatisticalDetector d;
+    d.fit(ml::flatten(bench::engine_bench_corpus(0x5ca1e)));
+    return d;
+  }();
+  return detector;
+}
+
+const ml::SvmDetector& cached_svm_detector() {
+  static const ml::SvmDetector detector =
+      ml::SvmDetector::make(bench::engine_bench_corpus(0x5ca1e), 3);
+  return detector;
+}
+
+const ml::GbtDetector& cached_gbt_detector() {
+  static const ml::GbtDetector detector =
+      ml::GbtDetector::make(bench::engine_bench_corpus(0x5ca1e));
+  return detector;
+}
+
+/// Scalar side of the vote pair: one measurement_vote per slot, exactly
+/// the StreamingInference per-epoch fold.
+void scalar_votes(benchmark::State& state, const ml::Detector& detector) {
+  const bench::BatchPlane bp = bench::make_batch_plane(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::size_t votes = 0;
+    for (std::size_t c = 0; c < bp.n; ++c) {
+      votes += detector.measurement_vote(bp.summaries[c].newest) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(votes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bp.n));
+}
+
+/// Batch side: the single plane sweep the batched engine issues per shard.
+void batch_votes(benchmark::State& state, const ml::Detector& detector) {
+  const bench::BatchPlane bp = bench::make_batch_plane(static_cast<std::size_t>(state.range(0)));
+  const ml::FeatureMatrixView newest = bp.view().newest_view();
+  std::vector<std::uint8_t> out(bp.n);
+  for (auto _ : state) {
+    detector.measurement_votes(newest, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bp.n));
+}
+
+// For the MLP (no per-measurement vote structure) the per-epoch "vote" is
+// its window inference: scalar streaming infer vs. the blocked batch GEMV.
+void BM_ScalarVotes_MLP(benchmark::State& state) {
+  const ml::MlpDetector& detector = cached_engine_detector();
+  const bench::BatchPlane bp = bench::make_batch_plane(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::size_t malicious = 0;
+    for (std::size_t c = 0; c < bp.n; ++c) {
+      malicious += detector.infer(bp.summaries[c]) == ml::Inference::kMalicious;
+    }
+    benchmark::DoNotOptimize(malicious);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bp.n));
+}
+BENCHMARK(BM_ScalarVotes_MLP)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_BatchVotes_MLP(benchmark::State& state) {
+  const ml::MlpDetector& detector = cached_engine_detector();
+  const bench::BatchPlane bp = bench::make_batch_plane(static_cast<std::size_t>(state.range(0)));
+  const ml::SummaryMatrixView view = bp.view();
+  std::vector<ml::Inference> out(bp.n);
+  for (auto _ : state) {
+    detector.infer_batch(view, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bp.n));
+}
+BENCHMARK(BM_BatchVotes_MLP)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_ScalarVotes_SVM(benchmark::State& state) {
+  scalar_votes(state, cached_svm_detector());
+}
+BENCHMARK(BM_ScalarVotes_SVM)->Arg(16)->Arg(256)->Arg(4096);
+void BM_BatchVotes_SVM(benchmark::State& state) {
+  batch_votes(state, cached_svm_detector());
+}
+BENCHMARK(BM_BatchVotes_SVM)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_ScalarVotes_GBT(benchmark::State& state) {
+  scalar_votes(state, cached_gbt_detector());
+}
+BENCHMARK(BM_ScalarVotes_GBT)->Arg(16)->Arg(256)->Arg(4096);
+void BM_BatchVotes_GBT(benchmark::State& state) {
+  batch_votes(state, cached_gbt_detector());
+}
+BENCHMARK(BM_BatchVotes_GBT)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_ScalarVotes_Stat(benchmark::State& state) {
+  scalar_votes(state, cached_stat_detector());
+}
+BENCHMARK(BM_ScalarVotes_Stat)->Arg(16)->Arg(256)->Arg(4096);
+void BM_BatchVotes_Stat(benchmark::State& state) {
+  batch_votes(state, cached_stat_detector());
+}
+BENCHMARK(BM_BatchVotes_Stat)->Arg(16)->Arg(256)->Arg(4096);
 
 // --- Full engine epochs at scale ---------------------------------------------
 //

@@ -95,6 +95,12 @@ ValkyrieEngine::ValkyrieEngine(sim::SimSystem& sys,
     pool_ = std::make_unique<util::ThreadPool>(worker_threads);
   }
   shard_commands_.resize(shard_count());
+  // The batched schedule reads the detector's declared sections straight
+  // off the system's feature plane; arm exactly that much per-slot
+  // maintenance now so the very first epoch already fills it.
+  if (mode_ == StepMode::kBatched) {
+    sys_.enable_feature_plane(detector_.plane_sections());
+  }
 }
 
 void ValkyrieEngine::reserve_shard_buffers(std::size_t per_shard) {
@@ -134,13 +140,25 @@ void ValkyrieEngine::infer_attachment(Attached& a,
   // feature extraction and statistics assembly happen exactly once.
   const ml::WindowSummary summary = sys_.window_summary(a.pid);
   const ml::Inference inference = a.stream.infer(detector_, summary);
+  finish_attachment(a, &summary, inference, commands);
+}
+
+void ValkyrieEngine::finish_attachment(Attached& a,
+                                       const ml::WindowSummary* summary,
+                                       ml::Inference inference,
+                                       std::vector<ActuatorCommand>& commands) {
   std::optional<ml::Inference> terminal;
   if (a.terminal_detector != nullptr &&
       a.monitor.measurements() >= a.monitor.config().required_measurements) {
     // StreamingInference catches up on any epochs it was not consulted
     // for, so the first terminable-state query pays one linear pass and
     // every subsequent epoch is O(1).
-    terminal = a.terminal_stream.infer(*a.terminal_detector, summary);
+    if (summary != nullptr) {
+      terminal = a.terminal_stream.infer(*a.terminal_detector, *summary);
+    } else {
+      const ml::WindowSummary assembled = sys_.window_summary(a.pid);
+      terminal = a.terminal_stream.infer(*a.terminal_detector, assembled);
+    }
   }
   const ValkyrieMonitor::PlannedAction planned =
       a.monitor.plan(a.pid, inference, terminal);
@@ -172,7 +190,15 @@ std::size_t ValkyrieEngine::live_attached_count() const {
 
 std::size_t ValkyrieEngine::step() {
   ++step_tag_;
-  return mode_ == StepMode::kFused ? step_fused() : step_split();
+  switch (mode_) {
+    case StepMode::kSplit:
+      return step_split();
+    case StepMode::kBatched:
+      return step_batched();
+    case StepMode::kFused:
+      break;
+  }
+  return step_fused();
 }
 
 std::size_t ValkyrieEngine::step_fused() {
@@ -220,10 +246,112 @@ std::size_t ValkyrieEngine::step_fused() {
   // system state diverge. abort_epoch still retires completed processes
   // but does not count the epoch.
   try {
-    if (pool_ != nullptr && live.size() > 1) {
+    if (pool_ != nullptr) {
+      // n <= 1 runs inline inside the pool, which counts it — so the
+      // schedule-run statistic stays exact for degenerate epochs too.
       pool_->parallel_for_shards(live.size(), fused_range);
     } else if (!live.empty()) {
+      ++inline_runs_;
       fused_range(0, 0, live.size());
+    }
+  } catch (...) {
+    sys_.abort_epoch();
+    commit_shard_commands();
+    throw;
+  }
+  sys_.end_epoch();
+  commit_shard_commands();
+
+  return live_attached_count();
+}
+
+std::size_t ValkyrieEngine::step_batched() {
+  // Re-arm the plane sections every step: a detector whose declared needs
+  // widened since construction (e.g. StatisticalDetector::set_vote_window
+  // switching it onto the raw-window default adapter) must find its
+  // sections maintained, not silently read never-written rows. Widening
+  // an armed plane is three flag ORs; narrowing never happens.
+  sys_.enable_feature_plane(detector_.plane_sections());
+  // Serial open phase, exactly as fused: CFS share snapshot; slot layout
+  // frozen for the whole dispatch.
+  sys_.begin_epoch();
+  const std::span<const sim::ProcessId> live = sys_.live_processes();
+
+  for (std::vector<ActuatorCommand>& buf : shard_commands_) buf.clear();
+  if (!attached_.empty() && !live.empty()) {
+    reserve_shard_buffers(
+        std::min(shard_quota(live.size()), attached_.size()));
+  }
+  // Per-slot scratch (finished flags + batch outputs), sized to the live
+  // list; capacity only grows, so the steady-state epoch allocates nothing.
+  if (batch_finished_.size() < live.size()) {
+    batch_finished_.resize(live.size());
+    batch_votes_.resize(live.size());
+    batch_infer_.resize(live.size(), ml::Inference::kBenign);
+  }
+  const std::optional<double> fraction = detector_.vote_fraction();
+
+  // One shard dispatch, three phases per shard over its contiguous slot
+  // range: (A) simulate every slot — step_slot fills the shard's feature-
+  // plane segment as a side effect; (B) ONE batch detector call over that
+  // segment instead of one virtual call per process; (C) fold the batch
+  // results into the per-attachment running counts and plan the responses.
+  const auto batched_range = [&](std::size_t shard, std::size_t begin,
+                                 std::size_t end) {
+    std::vector<ActuatorCommand>& commands = shard_commands_[shard];
+    for (std::size_t slot = begin; slot < end; ++slot) {
+      batch_finished_[slot] = sys_.step_slot(slot) ? 1 : 0;
+    }
+
+    const std::size_t width = end - begin;
+    const ml::SummaryMatrixView plane = sys_.feature_plane();
+    const ml::SummaryMatrixView segment = plane.slice(begin, end);
+    if (fraction) {
+      detector_.measurement_votes(
+          segment.newest_view(),
+          std::span<std::uint8_t>(batch_votes_).subspan(begin, width));
+    } else {
+      detector_.infer_batch(
+          segment, std::span<ml::Inference>(batch_infer_).subspan(begin, width));
+    }
+
+    for (std::size_t slot = begin; slot < end; ++slot) {
+      const sim::ProcessId pid = live[slot];
+      if (pid >= attached_index_.size()) continue;
+      const std::int32_t idx = attached_index_[pid];
+      if (idx < 0) continue;
+      Attached& a = attached_[static_cast<std::size_t>(idx)];
+      a.last_action = ValkyrieMonitor::Action::kNone;
+      a.last_action_step = step_tag_;
+      // A process that completed this epoch gets no inference — exactly as
+      // the fused and split schedules see it.
+      if (batch_finished_[slot] != 0) continue;
+      ml::Inference inference;
+      if (fraction) {
+        // The plane's dense count row, not the accumulator array: phase C
+        // must not re-stream 300-byte accumulator strides per slot.
+        const std::size_t count = plane.counts[slot];
+        if (a.stream.can_fold(count)) {
+          inference =
+              a.stream.fold_vote(batch_votes_[slot] != 0, count, *fraction);
+        } else {
+          // Mid-run attach catch-up or episode shrink: the scalar
+          // streaming path handles it (one-time cost per attachment).
+          inference = a.stream.infer(detector_, sys_.window_summary(a.pid));
+        }
+      } else {
+        inference = batch_infer_[slot];
+      }
+      finish_attachment(a, nullptr, inference, commands);
+    }
+  };
+
+  try {
+    if (pool_ != nullptr) {
+      pool_->parallel_for_shards(live.size(), batched_range);
+    } else if (!live.empty()) {
+      ++inline_runs_;
+      batched_range(0, 0, live.size());
     }
   } catch (...) {
     sys_.abort_epoch();
@@ -238,7 +366,10 @@ std::size_t ValkyrieEngine::step_fused() {
 
 std::size_t ValkyrieEngine::step_split() {
   // Shard phase 1: simulate the epoch (workloads, HPC capture, window
-  // statistics) across the pool.
+  // statistics) across the pool. Without a pool the phase runs inline on
+  // this thread — counted here so schedule_run_count() reports the split
+  // schedule's two phases per epoch regardless of worker count.
+  if (pool_ == nullptr && !sys_.live_processes().empty()) ++inline_runs_;
   sys_.run_epoch(pool_.get());
 
   for (std::vector<ActuatorCommand>& buf : shard_commands_) buf.clear();
@@ -258,9 +389,10 @@ std::size_t ValkyrieEngine::step_split() {
     }
   };
   try {
-    if (pool_ != nullptr && attached_.size() > 1) {
+    if (pool_ != nullptr) {
       pool_->parallel_for_shards(attached_.size(), infer_range);
     } else if (!attached_.empty()) {
+      ++inline_runs_;
       infer_range(0, 0, attached_.size());
     }
   } catch (...) {

@@ -117,6 +117,19 @@ class ValkyrieMonitor {
 ///     register/L1-hot instead of being re-fetched by a second pass.
 ///   * StepMode::kSplit — the two-dispatch schedule (sim pass, then
 ///     inference pass), kept for A/B benchmarking of the fused schedule.
+///   * StepMode::kBatched — the fused schedule with detector inference
+///     batched across slots: the system maintains a feature-major plane
+///     over the live slots (SimSystem::feature_plane), each shard first
+///     simulates its contiguous slot range (filling its plane segment),
+///     then issues ONE batch detector call for the whole segment — a
+///     measurement_votes sweep for vote-based detectors, an infer_batch
+///     call otherwise — and finally folds the batch results into the
+///     per-attachment StreamingInference running counts and plans the
+///     monitor decisions. Still exactly one pool dispatch per epoch, and
+///     bit-identical to the other schedules: the batch kernels preserve
+///     the scalar accumulation order, and any attachment the fast fold
+///     cannot serve (mid-run attach catch-up, episode shrink) drops to the
+///     scalar streaming path for that epoch.
 ///
 /// Both schedules bracket the dispatch with the same serial phases: the CFS
 /// share snapshot before (SimSystem::begin_epoch) and the command commit
@@ -131,9 +144,11 @@ class ValkyrieEngine {
  public:
   using ActuatorFactory = std::unique_ptr<Actuator> (*)();
 
-  /// Epoch schedule: fused single-dispatch (default) or the split
-  /// two-dispatch schedule it replaced (kept for benchmarking).
-  enum class StepMode : std::uint8_t { kFused, kSplit };
+  /// Epoch schedule: fused single-dispatch (default), the split
+  /// two-dispatch schedule it replaced (kept for benchmarking), or the
+  /// fused schedule with cross-slot batched detector inference over the
+  /// system's feature plane.
+  enum class StepMode : std::uint8_t { kFused, kSplit, kBatched };
 
   /// `worker_threads` <= 1 runs fully sequential (no pool, no threads).
   /// Requests beyond std::thread::hardware_concurrency() are clamped to it
@@ -175,9 +190,24 @@ class ValkyrieEngine {
   [[nodiscard]] StepMode step_mode() const noexcept { return mode_; }
 
   /// Shard dispatches issued to the pool so far (0 when sequential). The
-  /// fused schedule costs exactly one per epoch; the split schedule two.
+  /// fused and batched schedules cost exactly one per epoch; the split
+  /// schedule two.
   [[nodiscard]] std::uint64_t pool_dispatch_count() const noexcept {
     return pool_ != nullptr ? pool_->dispatch_count() : 0;
+  }
+
+  /// Schedule phases actually executed: pool dispatches + pool-inline runs
+  /// + the engine's own sequential-phase executions. Unlike
+  /// pool_dispatch_count() this does not read zero for single-shard runs,
+  /// so it is the statistic the scaling bench records as
+  /// dispatches-per-epoch: fused/batched = 1 per epoch, split = 2,
+  /// independent of worker count.
+  [[nodiscard]] std::uint64_t schedule_run_count() const noexcept {
+    const std::uint64_t pool_runs =
+        pool_ != nullptr
+            ? pool_->dispatch_count() + pool_->inline_run_count()
+            : 0;
+    return pool_runs + inline_runs_;
   }
 
  private:
@@ -198,11 +228,21 @@ class ValkyrieEngine {
 
   std::size_t step_fused();
   std::size_t step_split();
+  std::size_t step_batched();
 
   /// Runs one attachment's streaming inference + monitor decision for the
   /// current step, appending any resulting command to `commands`. Shared by
-  /// both schedules so they cannot drift.
+  /// the scalar schedules so they cannot drift.
   void infer_attachment(Attached& a, std::vector<ActuatorCommand>& commands);
+
+  /// The decision tail shared by every schedule: terminal-detector
+  /// consultation (when armed), monitor plan, action bookkeeping, command
+  /// emission. `summary` may be null — the terminal path then assembles
+  /// one on demand, so the batched schedule only pays for summaries on the
+  /// rare terminable epochs.
+  void finish_attachment(Attached& a, const ml::WindowSummary* summary,
+                         ml::Inference inference,
+                         std::vector<ActuatorCommand>& commands);
 
   /// Serially applies the per-shard command buffers, in shard order.
   void commit_shard_commands();
@@ -230,7 +270,16 @@ class ValkyrieEngine {
   std::unique_ptr<util::ThreadPool> pool_;  // null when sequential
   // One pre-reserved command buffer per shard, reused every epoch.
   std::vector<std::vector<ActuatorCommand>> shard_commands_;
+  // Per-slot scratch for the batched schedule, indexed like the live list;
+  // each shard writes only its own slot range. Capacity grows
+  // monotonically, so the steady-state epoch allocates nothing.
+  std::vector<std::uint8_t> batch_finished_;
+  std::vector<std::uint8_t> batch_votes_;
+  std::vector<ml::Inference> batch_infer_;
   std::uint64_t step_tag_ = 0;  // bumped at the start of every step()
+  // Sequential-phase executions when no pool exists (see
+  // schedule_run_count); pool-inline runs are counted by the pool itself.
+  std::uint64_t inline_runs_ = 0;
 };
 
 }  // namespace valkyrie::core

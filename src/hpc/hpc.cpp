@@ -112,4 +112,14 @@ void to_features(const HpcSample& sample, std::span<double> out) noexcept {
   }
 }
 
+void to_features(const HpcSample& sample, double* out,
+                 std::size_t stride) noexcept {
+  const double cycles = std::max(sample[Event::kCycles], 1.0);
+  for (std::size_t i = 0; i < kNumEvents; ++i) {
+    out[i * stride] = static_cast<Event>(i) == Event::kCycles
+                          ? 0.0
+                          : std::log1p(sample.counts[i] * 1e6 / cycles);
+  }
+}
+
 }  // namespace valkyrie::hpc

@@ -102,4 +102,11 @@ using FeatureVec = std::array<double, kFeatureDim>;
 /// exactly kFeatureDim elements.
 void to_features(const HpcSample& sample, std::span<double> out) noexcept;
 
+/// Write-into-plane variant: feature f lands at out[f * stride], i.e. `out`
+/// is one column of a feature-major matrix whose rows are `stride` doubles
+/// apart (SimSystem's cross-slot feature plane). Bit-identical features to
+/// the dense variants.
+void to_features(const HpcSample& sample, double* out,
+                 std::size_t stride) noexcept;
+
 }  // namespace valkyrie::hpc

@@ -47,6 +47,40 @@ std::vector<double> FeatureScaler::transform(
   return out;
 }
 
+WindowSummary SummaryMatrixView::gather(std::size_t c) const noexcept {
+  WindowSummary out;
+  out.count = counts[c];
+  for (std::size_t f = 0; f < hpc::kFeatureDim; ++f) {
+    out.newest[f] = newest[f * stride + c];
+    out.mean[f] = mean[f * stride + c];
+    out.stddev[f] = stddev[f * stride + c];
+  }
+  if (windows != nullptr) out.window = windows[c];
+  return out;
+}
+
+// Default batch adapters: column-by-column loops over the scalar paths.
+// They exist so the batch entry points are universally callable — any
+// detector, including one written before the batch API existed, produces
+// bit-identical results through them; overriding with a blocked kernel is
+// purely a performance decision.
+
+void Detector::measurement_votes(const FeatureMatrixView& batch,
+                                 std::span<std::uint8_t> out) const {
+  hpc::FeatureVec f;
+  for (std::size_t c = 0; c < batch.count; ++c) {
+    batch.gather(c, f);
+    out[c] = measurement_vote(f) ? 1 : 0;
+  }
+}
+
+void Detector::infer_batch(const SummaryMatrixView& batch,
+                           std::span<Inference> out) const {
+  for (std::size_t c = 0; c < batch.count; ++c) {
+    out[c] = infer(batch.gather(c));
+  }
+}
+
 Inference StreamingInference::infer(const Detector& detector,
                                     const WindowSummary& summary) {
   const std::optional<double> fraction = detector.vote_fraction();

@@ -36,6 +36,76 @@ namespace valkyrie::ml {
 
 enum class Inference : std::uint8_t { kBenign, kMalicious };
 
+/// Feature-major matrix view over a batch of measurement feature vectors:
+/// row f holds feature f of every batch item, consecutive items sit in
+/// consecutive doubles (unit stride), and consecutive feature rows are
+/// `stride` doubles apart. This is the layout SimSystem's feature plane
+/// maintains across live slots, and the layout every batch kernel sweeps
+/// with SIMD-friendly unit-stride inner loops.
+struct FeatureMatrixView {
+  const double* features = nullptr;  ///< hpc::kFeatureDim rows x stride
+  std::size_t count = 0;             ///< batch items (columns)
+  std::size_t stride = 0;            ///< doubles between feature rows
+
+  [[nodiscard]] const double* row(std::size_t f) const noexcept {
+    return features + f * stride;
+  }
+
+  /// Copies column `c` into a dense feature vector (the scalar adapters'
+  /// bridge back to span-of-double detectors).
+  void gather(std::size_t c, std::span<double> out) const noexcept {
+    for (std::size_t f = 0; f < hpc::kFeatureDim; ++f) {
+      out[f] = features[f * stride + c];
+    }
+  }
+
+  /// Columns [begin, end) as a view (shard slicing).
+  [[nodiscard]] FeatureMatrixView slice(std::size_t begin,
+                                        std::size_t end) const noexcept {
+    return {features + begin, end - begin, stride};
+  }
+};
+
+/// Feature-major view over a batch of window summaries: per-feature rows of
+/// the newest measurement's features, the running window mean and the
+/// running window standard deviation (each hpc::kFeatureDim rows x stride),
+/// plus per-column measurement counts and (optionally) the raw accumulated
+/// windows for detectors that still need them. Column c is exactly the
+/// WindowSummary of batch item c; gather(c) materialises it.
+struct SummaryMatrixView {
+  const double* newest = nullptr;  ///< features of the newest measurement
+  const double* mean = nullptr;    ///< running window mean
+  const double* stddev = nullptr;  ///< running window stddev
+  const std::size_t* counts = nullptr;  ///< measurements accumulated
+  /// Raw accumulated windows, oldest first; null when callers only stream
+  /// (the default adapter then hands detectors an empty window, exactly as
+  /// WindowAccumulator::summary() with no window argument does).
+  const std::span<const hpc::HpcSample>* windows = nullptr;
+  std::size_t count = 0;   ///< batch items (columns)
+  std::size_t stride = 0;  ///< doubles between feature rows
+
+  /// The newest-measurement rows as a vote-kernel input matrix.
+  [[nodiscard]] FeatureMatrixView newest_view() const noexcept {
+    return {newest, count, stride};
+  }
+
+  /// Materialises column `c` as a scalar WindowSummary (defined after
+  /// WindowSummary below; see detector.cpp).
+  [[nodiscard]] WindowSummary gather(std::size_t c) const noexcept;
+
+  /// Columns [begin, end) as a view (shard slicing).
+  [[nodiscard]] SummaryMatrixView slice(std::size_t begin,
+                                        std::size_t end) const noexcept {
+    return {newest + begin,
+            mean + begin,
+            stddev + begin,
+            counts + begin,
+            windows != nullptr ? windows + begin : nullptr,
+            end - begin,
+            stride};
+  }
+};
+
 class Detector {
  public:
   virtual ~Detector() = default;
@@ -71,6 +141,46 @@ class Detector {
       std::span<const double> /*features*/) const {
     return false;
   }
+
+  // --- Batch entry points ----------------------------------------------------
+  //
+  // One virtual call classifies a whole batch of processes from the
+  // feature-major plane instead of one process at a time. The default
+  // adapters loop the scalar paths column by column, so every detector —
+  // including out-of-tree ones — keeps working unmodified and, critically,
+  // BIT-IDENTICALLY: a batch call must produce exactly the bits the scalar
+  // loop would. Shipped detectors override them with blocked kernels whose
+  // per-column accumulation order matches the scalar path exactly, keeping
+  // that promise while the inner loops vectorize across columns.
+
+  /// Batch measurement_vote: out[c] = measurement_vote(column c) as 0/1.
+  /// `out.size()` must be >= batch.count. Only meaningful when
+  /// vote_fraction() returns a value.
+  virtual void measurement_votes(const FeatureMatrixView& batch,
+                                 std::span<std::uint8_t> out) const;
+
+  /// Batch infer(WindowSummary): out[c] = infer(batch.gather(c)).
+  /// `out.size()` must be >= batch.count.
+  virtual void infer_batch(const SummaryMatrixView& batch,
+                           std::span<Inference> out) const;
+
+  /// Which feature-plane sections a batched driver must maintain for this
+  /// detector, assuming the driver routes like StreamingInference does:
+  /// measurement_votes when vote_fraction() returns a value, infer_batch
+  /// otherwise (per-column counts are always maintained). Drivers skip
+  /// filling the rest — e.g. a pure vote detector never reads the running
+  /// mean/stddev rows, so the driver skips 2*kFeatureDim strided stores
+  /// AND the kFeatureDim stddev square roots per slot per epoch. The
+  /// default (kFull) is what the scalar-looping default adapters may
+  /// gather; detectors with narrower batch kernels override it.
+  enum class PlaneSections : std::uint8_t {
+    kNewestOnly,  // newest-measurement feature rows
+    kStatsOnly,   // running mean + stddev rows
+    kFull,        // everything, including the raw-window spans
+  };
+  [[nodiscard]] virtual PlaneSections plane_sections() const {
+    return PlaneSections::kFull;
+  }
 };
 
 /// Per-(process, detector) incremental inference state. Routes each epoch's
@@ -93,6 +203,27 @@ class StreamingInference {
  public:
   [[nodiscard]] Inference infer(const Detector& detector,
                                 const WindowSummary& summary);
+
+  /// True when the instance is exactly one measurement behind `count` —
+  /// the common per-epoch step, where a batch-computed vote for the newest
+  /// measurement can be folded directly via fold_vote(). Any other
+  /// progression (catch-up, shrink, empty window) must go through infer().
+  [[nodiscard]] bool can_fold(std::size_t count) const noexcept {
+    return counted_ + 1 == count;
+  }
+
+  /// Folds one externally-computed vote for the newest measurement (the
+  /// batched path's entry point; bit-identical to infer() taking its
+  /// one-new-measurement branch with the same vote). Pre: can_fold(count).
+  [[nodiscard]] Inference fold_vote(bool malicious_vote, std::size_t count,
+                                    double fraction) noexcept {
+    if (malicious_vote) ++malicious_;
+    counted_ = count;
+    return static_cast<double>(malicious_) >
+                   fraction * static_cast<double>(counted_)
+               ? Inference::kMalicious
+               : Inference::kBenign;
+  }
 
   void reset() noexcept {
     malicious_ = 0;
@@ -134,6 +265,16 @@ class FeatureScaler {
 
   [[nodiscard]] bool fitted() const noexcept { return !mean_.empty(); }
   [[nodiscard]] std::size_t dim() const noexcept { return mean_.size(); }
+
+  /// Fitted parameters, for batch kernels that fuse the standardisation
+  /// into their own blocked loops (same (x - mean) * inv_std arithmetic,
+  /// so fused scaling stays bit-identical to transform()).
+  [[nodiscard]] std::span<const double> means() const noexcept {
+    return mean_;
+  }
+  [[nodiscard]] std::span<const double> inv_stddevs() const noexcept {
+    return inv_std_;
+  }
 
  private:
   std::vector<double> mean_;

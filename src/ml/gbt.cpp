@@ -48,6 +48,16 @@ void GradientBoostedTrees::train(const std::vector<Example>& examples) {
     }
     trees_.push_back(std::move(tree));
   }
+
+  // Fix the plane-tile eligibility once per model: models trained on
+  // wider-than-per-measurement features can't use the fixed-height gather
+  // tile in predict_logit_plane.
+  plane_tile_ok_ = true;
+  for (const Tree& tree : trees_) {
+    for (const Node& node : tree) {
+      plane_tile_ok_ &= node.feature < static_cast<int>(hpc::kFeatureDim);
+    }
+  }
 }
 
 int GradientBoostedTrees::build_node(Tree& tree,
@@ -166,6 +176,74 @@ double GradientBoostedTrees::predict_logit(
 
 double GradientBoostedTrees::predict(std::span<const double> features) const {
   return sigmoid(predict_logit(features));
+}
+
+void GradientBoostedTrees::predict_logit_plane(const double* features,
+                                               std::size_t stride,
+                                               std::size_t n,
+                                               double* out) const {
+  if (!trained()) throw std::logic_error("GradientBoostedTrees: not trained");
+  // Models trained on wider features than the per-measurement vector
+  // can't use the fixed-height gather tile below; walk the strided rows
+  // directly (correct for any dimensionality, just not cache-blocked).
+  if (!plane_tile_ok_) {
+    for (std::size_t c = 0; c < n; ++c) out[c] = base_score_;
+    for (const Tree& tree : trees_) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::size_t node = 0;
+        while (tree[node].feature >= 0) {
+          const std::size_t f = static_cast<std::size_t>(tree[node].feature);
+          node = static_cast<std::size_t>(
+              features[f * stride + c] < tree[node].threshold
+                  ? tree[node].left
+                  : tree[node].right);
+        }
+        out[c] += config_.learning_rate * tree[node].leaf_value;
+      }
+    }
+    return;
+  }
+  // Column blocks: one unit-stride gather per feature row pulls the block
+  // into a dense L1-resident tile, then the tree loop (outermost, so each
+  // tree's nodes stay hot across the block) traverses against the tile —
+  // without this, every tree would re-walk the strided plane rows and the
+  // sweep turns memory-bound once the plane outgrows L2.
+  constexpr std::size_t kCols = 128;
+  double tile[hpc::kFeatureDim * kCols];
+  for (std::size_t base = 0; base < n; base += kCols) {
+    const std::size_t bw = std::min(kCols, n - base);
+    for (std::size_t f = 0; f < hpc::kFeatureDim; ++f) {
+      const double* row = features + f * stride + base;
+      double* tile_row = tile + f * kCols;
+      for (std::size_t c = 0; c < bw; ++c) tile_row[c] = row[c];
+    }
+    double* out_block = out + base;
+    for (std::size_t c = 0; c < bw; ++c) out_block[c] = base_score_;
+    for (const Tree& tree : trees_) {
+      for (std::size_t c = 0; c < bw; ++c) {
+        std::size_t node = 0;
+        while (tree[node].feature >= 0) {
+          const std::size_t f = static_cast<std::size_t>(tree[node].feature);
+          node = static_cast<std::size_t>(
+              tile[f * kCols + c] < tree[node].threshold ? tree[node].left
+                                                         : tree[node].right);
+        }
+        out_block[c] += config_.learning_rate * tree[node].leaf_value;
+      }
+    }
+  }
+}
+
+void GbtDetector::measurement_votes(const FeatureMatrixView& batch,
+                                    std::span<std::uint8_t> out) const {
+  constexpr std::size_t kCols = 256;
+  double logits[kCols];
+  for (std::size_t base = 0; base < batch.count; base += kCols) {
+    const std::size_t bw = std::min(kCols, batch.count - base);
+    model_.predict_logit_plane(batch.features + base, batch.stride, bw,
+                               logits);
+    for (std::size_t c = 0; c < bw; ++c) out[base + c] = logits[c] > 0.0;
+  }
 }
 
 Inference GbtDetector::infer(std::span<const hpc::HpcSample> window) const {

@@ -40,6 +40,15 @@ class GradientBoostedTrees {
   /// Raw additive score (log-odds); positive = malicious.
   [[nodiscard]] double predict_logit(std::span<const double> features) const;
 
+  /// Batch logit over a feature-major matrix (feature f of item c at
+  /// features[f * stride + c]): out[c] = predict_logit(column c),
+  /// bit-identically (per-column tree sums run in the same tree order).
+  /// The tree loop runs outermost so each tree's node array stays L1-hot
+  /// across the whole batch; the shipped ensembles are shallow (depth <=
+  /// 2), so per-column traversal inside that loop is branch-cheap.
+  void predict_logit_plane(const double* features, std::size_t stride,
+                           std::size_t n, double* out) const;
+
   /// Probability of malicious via sigmoid.
   [[nodiscard]] double predict(std::span<const double> features) const;
 
@@ -70,6 +79,10 @@ class GradientBoostedTrees {
   GbtConfig config_;
   std::vector<Tree> trees_;
   double base_score_ = 0.0;
+  /// True when every split feature fits the per-measurement feature
+  /// vector, i.e. predict_logit_plane may use its gather tile. Fixed at
+  /// train() time so the hot path never re-scans the ensemble.
+  bool plane_tile_ok_ = false;
 };
 
 class GbtDetector final : public Detector {
@@ -90,6 +103,15 @@ class GbtDetector final : public Detector {
   [[nodiscard]] bool measurement_vote(
       std::span<const double> features) const override {
     return model_.predict_logit(features) > 0.0;
+  }
+  /// Batch votes via predict_logit_plane (tree-outer traversal over the
+  /// column block), thresholded at 0 exactly like the scalar vote.
+  void measurement_votes(const FeatureMatrixView& batch,
+                         std::span<std::uint8_t> out) const override;
+  /// Vote-based: a batched driver only ever feeds this detector the
+  /// newest-measurement rows.
+  [[nodiscard]] PlaneSections plane_sections() const override {
+    return PlaneSections::kNewestOnly;
   }
 
   [[nodiscard]] const GradientBoostedTrees& model() const noexcept {

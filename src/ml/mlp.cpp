@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/simd.hpp"
+
 namespace valkyrie::ml {
 namespace {
 
@@ -122,6 +124,124 @@ double Mlp::predict(std::span<const double> input) const {
   return prev[0];
 }
 
+VALKYRIE_TARGET_CLONES
+void Mlp::predict_batch(const double* input, std::size_t stride, std::size_t n,
+                        double* out, const double* scale_mean,
+                        const double* scale_inv) const {
+  constexpr std::size_t kStackWidth = 64;
+  for (const std::size_t s : sizes_) {
+    if (s > kStackWidth) {
+      // Wider than the scratch buffers: gather (and standardise) each
+      // column and take the scalar path (which itself falls back to the
+      // allocating forward()).
+      std::vector<double> column(sizes_.front());
+      for (std::size_t c = 0; c < n; ++c) {
+        for (std::size_t f = 0; f < column.size(); ++f) {
+          const double x = input[f * stride + c];
+          column[f] =
+              scale_mean != nullptr ? (x - scale_mean[f]) * scale_inv[f] : x;
+        }
+        out[c] = predict(column);
+      }
+      return;
+    }
+  }
+
+  // Column blocks of 8 with 4-neuron register tiles: the c loops below are
+  // unit-stride over a fixed-width block, so they vectorize, while each
+  // (neuron, column) sum still accumulates in the exact ascending-i order
+  // of the scalar path — the batch is a layout change, not a math change.
+  // Layer 0 reads the input matrix in place (src_stride = the caller's row
+  // stride); deeper layers ping-pong between two L1-resident blocks.
+  constexpr std::size_t kBlock = 8;
+  double buf_a[kStackWidth * kBlock];
+  double buf_b[kStackWidth * kBlock];
+  for (std::size_t base = 0; base < n; base += kBlock) {
+    const std::size_t bw = std::min(kBlock, n - base);
+    const double* src = input + base;
+    std::size_t src_stride = stride;
+    double* next = buf_a;
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      const Layer& layer = layers_[l];
+      const bool is_output = (l + 1 == layers_.size());
+      // Standardisation is fused into the layer-0 read: the scaled value
+      // is computed exactly as FeatureScaler::transform would and then
+      // consumed, so the plane rows are swept once with no scratch
+      // round-trip and the bits still match transform-then-predict.
+      const bool fuse_scale = l == 0 && scale_mean != nullptr;
+      std::size_t o = 0;
+      for (; o + 4 <= layer.out; o += 4) {
+        double acc[4][kBlock];
+        for (std::size_t j = 0; j < 4; ++j) {
+          for (std::size_t c = 0; c < bw; ++c) acc[j][c] = layer.bias[o + j];
+        }
+        const double* w0 = layer.weights.data() + o * layer.in;
+        const double* w1 = w0 + layer.in;
+        const double* w2 = w1 + layer.in;
+        const double* w3 = w2 + layer.in;
+        for (std::size_t i = 0; i < layer.in; ++i) {
+          const double* p = src + i * src_stride;
+          const double c0 = w0[i];
+          const double c1 = w1[i];
+          const double c2 = w2[i];
+          const double c3 = w3[i];
+          if (fuse_scale) {
+            const double m = scale_mean[i];
+            const double v = scale_inv[i];
+            for (std::size_t c = 0; c < bw; ++c) {
+              const double pc = (p[c] - m) * v;
+              acc[0][c] += c0 * pc;
+              acc[1][c] += c1 * pc;
+              acc[2][c] += c2 * pc;
+              acc[3][c] += c3 * pc;
+            }
+          } else {
+            for (std::size_t c = 0; c < bw; ++c) {
+              const double pc = p[c];
+              acc[0][c] += c0 * pc;
+              acc[1][c] += c1 * pc;
+              acc[2][c] += c2 * pc;
+              acc[3][c] += c3 * pc;
+            }
+          }
+        }
+        for (std::size_t j = 0; j < 4; ++j) {
+          double* row = next + (o + j) * kBlock;
+          for (std::size_t c = 0; c < bw; ++c) {
+            row[c] = is_output ? sigmoid(acc[j][c]) : std::tanh(acc[j][c]);
+          }
+        }
+      }
+      for (; o < layer.out; ++o) {
+        double acc[kBlock];
+        for (std::size_t c = 0; c < bw; ++c) acc[c] = layer.bias[o];
+        const double* w_row = layer.weights.data() + o * layer.in;
+        for (std::size_t i = 0; i < layer.in; ++i) {
+          const double* p = src + i * src_stride;
+          const double w = w_row[i];
+          if (fuse_scale) {
+            const double m = scale_mean[i];
+            const double v = scale_inv[i];
+            for (std::size_t c = 0; c < bw; ++c) {
+              acc[c] += w * ((p[c] - m) * v);
+            }
+          } else {
+            for (std::size_t c = 0; c < bw; ++c) acc[c] += w * p[c];
+          }
+        }
+        double* row = next + o * kBlock;
+        for (std::size_t c = 0; c < bw; ++c) {
+          row[c] = is_output ? sigmoid(acc[c]) : std::tanh(acc[c]);
+        }
+      }
+      src = next;
+      src_stride = kBlock;
+      next = next == buf_a ? buf_b : buf_a;
+    }
+    for (std::size_t c = 0; c < bw; ++c) out[base + c] = src[c];
+  }
+}
+
 void Mlp::train(std::vector<Example> examples, const MlpTrainOptions& options) {
   if (examples.empty()) {
     throw std::invalid_argument("Mlp::train: empty dataset");
@@ -201,6 +321,49 @@ Inference MlpDetector::infer(const WindowSummary& summary) const {
   scaler_.transform(features, features);  // standardise in place
   return mlp_.predict(features) > 0.5 ? Inference::kMalicious
                                       : Inference::kBenign;
+}
+
+namespace {
+
+/// Classify loop behind MlpDetector::infer_batch, as a free function
+/// because GCC cannot multiversion virtual members. The mean and stddev
+/// row groups of the plane are contiguous ([mean rows][stddev rows], the
+/// layout SimSystem maintains), so the concatenated kWindowFeatureDim x
+/// stride matrix feeds predict_batch directly with the standardisation
+/// fused into its layer-0 sweep — no per-process features() copy, no
+/// scaling scratch, one pass over the plane rows.
+VALKYRIE_TARGET_CLONES
+void mlp_infer_batch_kernel(const Mlp& mlp, const double* s_mean,
+                            const double* s_inv,
+                            const SummaryMatrixView& batch, Inference* out) {
+  constexpr std::size_t kCols = 256;
+  double prob[kCols];
+  for (std::size_t base = 0; base < batch.count; base += kCols) {
+    const std::size_t bw = std::min(kCols, batch.count - base);
+    mlp.predict_batch(batch.mean + base, batch.stride, bw, prob, s_mean,
+                      s_inv);
+    for (std::size_t c = 0; c < bw; ++c) {
+      out[base + c] = batch.counts[base + c] != 0 && prob[c] > 0.5
+                          ? Inference::kMalicious
+                          : Inference::kBenign;
+    }
+  }
+}
+
+}  // namespace
+
+void MlpDetector::infer_batch(const SummaryMatrixView& batch,
+                              std::span<Inference> out) const {
+  if (mlp_.layer_sizes().front() != kWindowFeatureDim ||
+      scaler_.dim() != kWindowFeatureDim ||
+      batch.stddev != batch.mean + hpc::kFeatureDim * batch.stride) {
+    // Unusual geometry or non-adjacent mean/stddev row groups: the scalar
+    // loop keeps the bit-equality promise without the fused kernel.
+    Detector::infer_batch(batch, out);
+    return;
+  }
+  mlp_infer_batch_kernel(mlp_, scaler_.means().data(),
+                         scaler_.inv_stddevs().data(), batch, out.data());
 }
 
 std::vector<Example> make_window_examples(const TraceSet& set, util::Rng& rng,

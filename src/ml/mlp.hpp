@@ -35,6 +35,25 @@ class Mlp {
   /// paper's architectures do).
   [[nodiscard]] double predict(std::span<const double> input) const;
 
+  /// Batch predict over a feature-major input matrix: input feature f of
+  /// batch item c sits at input[f * stride + c]; writes out[c] =
+  /// predict(column c) for c in [0, n), bit-identically (each (neuron,
+  /// column) sum accumulates in the same ascending-input order as the
+  /// scalar path). Blocked GEMV kernel: columns are processed in blocks
+  /// with 4-neuron register tiles, so the inner loops run unit-stride
+  /// across columns and vectorize. Allocation-free under the same
+  /// widest-layer condition as predict(); wider networks fall back to
+  /// per-column predict().
+  ///
+  /// When scale_mean/scale_inv are given (length = input dim), each input
+  /// is standardised on the fly as (x - scale_mean[f]) * scale_inv[f]
+  /// while the layer-0 tiles read it — the FeatureScaler transform fused
+  /// into the GEMV, so the input matrix is swept exactly once and the
+  /// arithmetic (and therefore every bit) matches transform-then-predict.
+  void predict_batch(const double* input, std::size_t stride, std::size_t n,
+                     double* out, const double* scale_mean = nullptr,
+                     const double* scale_inv = nullptr) const;
+
   /// SGD training on shuffled examples with class re-weighting so an
   /// imbalanced trace mix still trains both classes.
   void train(std::vector<Example> examples, const MlpTrainOptions& options);
@@ -77,6 +96,22 @@ class MlpDetector final : public Detector {
   /// O(kWindowFeatureDim) per epoch, no allocations, never touches the raw
   /// window.
   [[nodiscard]] Inference infer(const WindowSummary& summary) const override;
+  /// Batch path: reads the mean/stddev rows straight off the feature plane
+  /// (no per-process WindowSummary assembly, no features() stack copy),
+  /// fuses the standardisation into the column blocks and runs the blocked
+  /// batch GEMV. Bit-identical to looping the streaming path.
+  void infer_batch(const SummaryMatrixView& batch,
+                   std::span<Inference> out) const override;
+  /// The batch kernel consumes only the mean/stddev rows (and counts), so
+  /// batched drivers skip the newest-feature stores and the raw-window
+  /// spans — unless the geometry forces the full-gathering default
+  /// adapter.
+  [[nodiscard]] PlaneSections plane_sections() const override {
+    return mlp_.layer_sizes().front() == kWindowFeatureDim &&
+                   scaler_.dim() == kWindowFeatureDim
+               ? PlaneSections::kStatsOnly
+               : PlaneSections::kFull;
+  }
 
   [[nodiscard]] const Mlp& model() const noexcept { return mlp_; }
 

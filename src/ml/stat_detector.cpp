@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/simd.hpp"
+
 namespace valkyrie::ml {
 
 StatisticalDetector::StatisticalDetector(StatDetectorConfig config)
@@ -165,6 +167,115 @@ double StatisticalDetector::score(std::span<const double> features) const {
     worst = std::max(worst, std::abs(features[i] - mean_[i]) / stddev_[i]);
   }
   return worst;
+}
+
+namespace {
+
+/// Batch avg_nll for one Gaussian over a column block: total[c] accumulates
+/// 0.5*z^2 + log(sigma) in the scalar path's ascending-feature order (the
+/// log(sigma) term is the same double every column, hoisted per feature).
+VALKYRIE_TARGET_CLONES
+void avg_nll_block(const double* features, std::size_t stride, std::size_t bw,
+                   const std::vector<double>& mean,
+                   const std::vector<double>& stddev, double* out) {
+  for (std::size_t c = 0; c < bw; ++c) out[c] = 0.0;
+  for (std::size_t f = 0; f < mean.size(); ++f) {
+    const double* row = features + f * stride;
+    const double m = mean[f];
+    const double s = stddev[f];
+    const double log_s = std::log(s);
+    for (std::size_t c = 0; c < bw; ++c) {
+      const double z = std::min(8.0, std::abs(row[c] - m) / s);
+      out[c] += 0.5 * z * z + log_s;
+    }
+  }
+  const double dim = static_cast<double>(mean.size());
+  for (std::size_t c = 0; c < bw; ++c) out[c] /= dim;
+}
+
+}  // namespace
+
+void StatisticalDetector::scores_plane(const double* features,
+                                       std::size_t stride, std::size_t n,
+                                       double* out) const {
+  if (!trained()) {
+    throw std::logic_error("StatisticalDetector: not trained");
+  }
+  if (mean_.size() != hpc::kFeatureDim) {
+    throw std::invalid_argument("StatisticalDetector: feature dim mismatch");
+  }
+  constexpr std::size_t kCols = 128;
+  double nearest[kCols];
+  double tmp[kCols];
+  for (std::size_t base = 0; base < n; base += kCols) {
+    const std::size_t bw = std::min(kCols, n - base);
+    const double* block = features + base;
+    double* out_block = out + base;
+    if (has_attack_model()) {
+      for (std::size_t c = 0; c < bw; ++c) {
+        nearest[c] = std::numeric_limits<double>::infinity();
+      }
+      for (const Gaussian& g : attack_models_) {
+        avg_nll_block(block, stride, bw, g.mean, g.stddev, tmp);
+        for (std::size_t c = 0; c < bw; ++c) {
+          nearest[c] = std::min(nearest[c], tmp[c]);
+        }
+      }
+      avg_nll_block(block, stride, bw, mean_, stddev_, out_block);
+      for (const Gaussian& g : benign_models_) {
+        avg_nll_block(block, stride, bw, g.mean, g.stddev, tmp);
+        for (std::size_t c = 0; c < bw; ++c) {
+          out_block[c] = std::min(out_block[c], tmp[c]);
+        }
+      }
+      for (std::size_t c = 0; c < bw; ++c) out_block[c] -= nearest[c];
+    } else {
+      for (std::size_t c = 0; c < bw; ++c) out_block[c] = 0.0;
+      for (std::size_t f = 0; f < mean_.size(); ++f) {
+        const double* row = block + f * stride;
+        const double m = mean_[f];
+        const double s = stddev_[f];
+        for (std::size_t c = 0; c < bw; ++c) {
+          out_block[c] = std::max(out_block[c], std::abs(row[c] - m) / s);
+        }
+      }
+    }
+  }
+}
+
+void StatisticalDetector::measurement_votes(const FeatureMatrixView& batch,
+                                            std::span<std::uint8_t> out) const {
+  constexpr std::size_t kCols = 128;
+  double scores[kCols];
+  for (std::size_t base = 0; base < batch.count; base += kCols) {
+    const std::size_t bw = std::min(kCols, batch.count - base);
+    scores_plane(batch.features + base, batch.stride, bw, scores);
+    for (std::size_t c = 0; c < bw; ++c) {
+      out[base + c] = scores[c] > config_.threshold;
+    }
+  }
+}
+
+void StatisticalDetector::infer_batch(const SummaryMatrixView& batch,
+                                      std::span<Inference> out) const {
+  if (config_.vote_window != 1) {
+    Detector::infer_batch(batch, out);  // scalar loop (raw-window voting)
+    return;
+  }
+  // Newest-only vote: one sweep over the newest-measurement rows, exactly
+  // the scalar streaming path per column (count == 0 stays benign).
+  constexpr std::size_t kCols = 128;
+  double scores[kCols];
+  const bool fraction_allows = config_.vote_fraction < 1.0;
+  for (std::size_t base = 0; base < batch.count; base += kCols) {
+    const std::size_t bw = std::min(kCols, batch.count - base);
+    scores_plane(batch.newest + base, batch.stride, bw, scores);
+    for (std::size_t c = 0; c < bw; ++c) {
+      const bool malicious = batch.counts[base + c] != 0 && fraction_allows &&
+                             scores[c] > config_.threshold;
+      out[base + c] = malicious ? Inference::kMalicious : Inference::kBenign;
+    }
+  }
 }
 
 Inference StatisticalDetector::infer(

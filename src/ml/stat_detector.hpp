@@ -75,11 +75,34 @@ class StatisticalDetector final : public Detector {
       std::span<const double> features) const override {
     return score(features) > config_.threshold;
   }
+  /// Batch votes: scores_plane() thresholded exactly like the scalar vote.
+  void measurement_votes(const FeatureMatrixView& batch,
+                         std::span<std::uint8_t> out) const override;
+  /// Batch path for the default newest-only vote (vote_window == 1): one
+  /// scores_plane() sweep over the newest-measurement rows. Other window
+  /// configurations take the scalar loop through the default adapter.
+  void infer_batch(const SummaryMatrixView& batch,
+                   std::span<Inference> out) const override;
+  /// Newest-only voting (the default) and the whole-window vote structure
+  /// both consume only the newest-measurement rows on the batched path;
+  /// any other vote_window falls back to the raw-window default adapter.
+  [[nodiscard]] PlaneSections plane_sections() const override {
+    return config_.vote_window == 1 || config_.vote_window == kWholeWindow
+               ? PlaneSections::kNewestOnly
+               : PlaneSections::kFull;
+  }
 
   /// Detection score (exposed for calibration and tests). With an attack
   /// model: benign-z minus attack-z, so positive means closer to the
   /// attack signatures. Without one: worst per-counter benign z-distance.
   [[nodiscard]] double score(std::span<const double> features) const;
+
+  /// Batch score over a feature-major matrix (feature f of item c at
+  /// features[f * stride + c]): out[c] = score(column c) bit-identically.
+  /// Cluster loops run outermost so each Gaussian's parameters stay hot
+  /// while the per-feature inner loops stream unit-stride across columns.
+  void scores_plane(const double* features, std::size_t stride, std::size_t n,
+                    double* out) const;
 
   [[nodiscard]] bool has_attack_model() const noexcept {
     return !attack_models_.empty();

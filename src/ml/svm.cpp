@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace valkyrie::ml {
 
@@ -62,6 +63,39 @@ void LinearSvm::train(std::vector<Example> examples,
       ++t;
     }
   }
+}
+
+namespace {
+
+/// The weights-row-by-matrix sweep behind SvmDetector::measurement_votes,
+/// as a free function because GCC cannot multiversion virtual members.
+VALKYRIE_TARGET_CLONES
+void svm_votes_kernel(const double* w, double bias,
+                      const FeatureMatrixView& batch, std::uint8_t* out) {
+  constexpr std::size_t kCols = 128;
+  double acc[kCols];
+  for (std::size_t base = 0; base < batch.count; base += kCols) {
+    const std::size_t bw = std::min(kCols, batch.count - base);
+    for (std::size_t c = 0; c < bw; ++c) acc[c] = bias;
+    for (std::size_t f = 0; f < hpc::kFeatureDim; ++f) {
+      const double* row = batch.row(f) + base;
+      const double wf = w[f];
+      for (std::size_t c = 0; c < bw; ++c) acc[c] += wf * row[c];
+    }
+    for (std::size_t c = 0; c < bw; ++c) out[base + c] = acc[c] > 0.0 ? 1 : 0;
+  }
+}
+
+}  // namespace
+
+void SvmDetector::measurement_votes(const FeatureMatrixView& batch,
+                                    std::span<std::uint8_t> out) const {
+  const std::vector<double>& w = svm_.weights();
+  if (w.size() != hpc::kFeatureDim) {
+    Detector::measurement_votes(batch, out);  // mirrors the scalar throw
+    return;
+  }
+  svm_votes_kernel(w.data(), svm_.bias(), batch, out.data());
 }
 
 Inference SvmDetector::infer(std::span<const hpc::HpcSample> window) const {

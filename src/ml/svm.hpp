@@ -65,6 +65,17 @@ class SvmDetector final : public Detector {
       std::span<const double> features) const override {
     return svm_.decision(features) > 0.0;
   }
+  /// Batch votes: one weights-row-by-matrix sweep — acc[c] starts at the
+  /// bias and each feature row is folded with a unit-stride pass across the
+  /// columns, preserving the scalar decision()'s ascending-feature
+  /// accumulation order bit-for-bit.
+  void measurement_votes(const FeatureMatrixView& batch,
+                         std::span<std::uint8_t> out) const override;
+  /// Vote-based: a batched driver only ever feeds this detector the
+  /// newest-measurement rows.
+  [[nodiscard]] PlaneSections plane_sections() const override {
+    return PlaneSections::kNewestOnly;
+  }
 
   [[nodiscard]] const LinearSvm& model() const noexcept { return svm_; }
 

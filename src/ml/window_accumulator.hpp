@@ -97,6 +97,37 @@ class WindowAccumulator {
     return newest_;
   }
 
+  /// Writes the newest-measurement features into one column of a
+  /// feature-major plane: feature f lands `f * stride` doubles past the
+  /// base pointer.
+  void store_newest_column(double* newest_col,
+                           std::size_t stride) const noexcept {
+    for (std::size_t i = 0; i < hpc::kFeatureDim; ++i) {
+      newest_col[i * stride] = newest_[i];
+    }
+  }
+
+  /// Writes the running mean/stddev into two plane columns. The stddev
+  /// uses exactly summary()'s formula, so the columns carry the same bits
+  /// a freshly assembled WindowSummary would. Pre: count() > 0.
+  void store_stats_columns(double* mean_col, double* stddev_col,
+                           std::size_t stride) const noexcept {
+    const double inv_n = 1.0 / static_cast<double>(count_);
+    for (std::size_t i = 0; i < hpc::kFeatureDim; ++i) {
+      mean_col[i * stride] = mean_[i];
+      const double var = m2_[i] * inv_n;
+      stddev_col[i * stride] = var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+  }
+
+  /// All three column groups at once (full-plane drivers and tests).
+  void store_plane_column(double* newest_col, double* mean_col,
+                          double* stddev_col,
+                          std::size_t stride) const noexcept {
+    store_newest_column(newest_col, stride);
+    store_stats_columns(mean_col, stddev_col, stride);
+  }
+
   /// Assembles the streaming summary; `window` is attached verbatim for
   /// detectors that fall back to the raw measurements.
   [[nodiscard]] WindowSummary summary(

@@ -46,8 +46,59 @@ ProcessId SimSystem::spawn(std::unique_ptr<Workload> workload) {
   epochs_run_s_.push_back(0);
   exit_s_.push_back(ExitReason::kRunning);
 
+  if (plane_enabled_) {
+    plane_count_.push_back(0);
+    plane_window_.push_back({});
+    reserve_plane();
+  }
+
   scheduler_.add_process(pid);
   return pid;
+}
+
+void SimSystem::enable_feature_plane(ml::Detector::PlaneSections sections) {
+  if (epoch_open_) {
+    throw std::logic_error("SimSystem::enable_feature_plane: epoch open");
+  }
+  // Re-enabling widens the maintained section set (two drivers with
+  // different needs compose); it never narrows under an existing driver.
+  plane_newest_ |= sections != ml::Detector::PlaneSections::kStatsOnly;
+  plane_stats_ |= sections != ml::Detector::PlaneSections::kNewestOnly;
+  plane_windows_ |= sections == ml::Detector::PlaneSections::kFull;
+  if (plane_enabled_) return;
+  plane_enabled_ = true;
+  plane_count_.assign(slot_pid_.size(), 0);
+  plane_window_.assign(slot_pid_.size(), {});
+  reserve_plane();
+}
+
+void SimSystem::reserve_plane() {
+  if (!plane_enabled_) return;
+  // Pad the stride to a full cache line of doubles so feature rows keep a
+  // fixed 64-byte-aligned distance and a grown plane is only reallocated
+  // when the capacity line is actually crossed.
+  constexpr std::size_t kPad = 8;
+  const std::size_t stride = (slot_pid_.size() + kPad - 1) / kPad * kPad;
+  if (stride > plane_stride_) {
+    plane_stride_ = stride;
+    // Old columns need no migration: every live column is rewritten by the
+    // next epoch's per-slot phase before any batch kernel reads it.
+    plane_.assign(kPlaneRows * stride, 0.0);
+  }
+}
+
+ml::SummaryMatrixView SimSystem::feature_plane() const noexcept {
+  ml::SummaryMatrixView view;
+  view.newest = plane_.data();
+  view.mean = plane_.data() + hpc::kFeatureDim * plane_stride_;
+  view.stddev = plane_.data() + 2 * hpc::kFeatureDim * plane_stride_;
+  view.counts = plane_count_.data();
+  // Absent spans read as empty windows; a detector that declared a
+  // narrower section set promised not to need them.
+  view.windows = plane_windows_ ? plane_window_.data() : nullptr;
+  view.count = slot_pid_.size();
+  view.stride = plane_stride_;
+  return view;
 }
 
 std::uint32_t SimSystem::slot_checked(ProcessId pid) const {
@@ -102,6 +153,26 @@ bool SimSystem::step_slot(std::size_t slot) {
   accum_s_[slot].add(step.hpc);
   last_progress_s_[slot] = step.progress;
   ++epochs_run_s_[slot];
+  if (plane_enabled_) {
+    // The slot's plane column — the same bits window_summary() would
+    // assemble, written while the accumulator state is register/L1-hot,
+    // and only the sections the batch driver's detector actually reads
+    // (a vote detector skips the mean/stddev stores and their stddev
+    // square roots entirely). Distinct slots write distinct columns, so
+    // the plane fill shards with the rest of the per-slot phase.
+    double* col = plane_.data() + slot;
+    const ml::WindowAccumulator& acc = accum_s_[slot];
+    if (plane_newest_) acc.store_newest_column(col, plane_stride_);
+    if (plane_stats_) {
+      acc.store_stats_columns(col + hpc::kFeatureDim * plane_stride_,
+                              col + 2 * hpc::kFeatureDim * plane_stride_,
+                              plane_stride_);
+    }
+    plane_count_[slot] = acc.count();
+    if (plane_windows_) {
+      plane_window_[slot] = {cold.history.data(), cold.history.size()};
+    }
+  }
   if (step.finished) {
     exit_s_[slot] = ExitReason::kCompleted;
     epoch_any_exited_.store(true, std::memory_order_relaxed);
@@ -138,7 +209,9 @@ void SimSystem::run_epoch(util::ThreadPool* pool) {
   // cold row, and reads the serial share snapshot, so sharding is safe and
   // bit-identical to the sequential loop.
   try {
-    if (pool != nullptr && live > 1) {
+    if (pool != nullptr) {
+      // Degenerate sizes run inline inside the pool, which counts them in
+      // inline_run_count() — keeping schedule statistics exact.
       pool->parallel_for(live, run_range);
     } else {
       run_range(0, live);
@@ -180,6 +253,15 @@ void SimSystem::retire_dead_slots() {
         last_progress_s_[w] = last_progress_s_[s];
         epochs_run_s_[w] = epochs_run_s_[s];
         exit_s_[w] = exit_s_[s];
+        if (plane_enabled_) {
+          // The plane follows the same stable remap as every hot array, so
+          // column i always belongs to live_processes()[i].
+          for (std::size_t r = 0; r < kPlaneRows; ++r) {
+            plane_[r * plane_stride_ + w] = plane_[r * plane_stride_ + s];
+          }
+          plane_count_[w] = plane_count_[s];
+          plane_window_[w] = plane_window_[s];
+        }
       }
       ++w;
     } else {
@@ -204,6 +286,10 @@ void SimSystem::retire_dead_slots() {
   last_progress_s_.resize(w);
   epochs_run_s_.resize(w);
   exit_s_.resize(w);
+  if (plane_enabled_) {
+    plane_count_.resize(w);
+    plane_window_.resize(w);
+  }
 }
 
 void SimSystem::set_cgroup_caps(ProcessId pid, std::optional<double> cpu,

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "hpc/hpc.hpp"
+#include "ml/detector.hpp"
 #include "ml/window_accumulator.hpp"
 #include "sim/platform.hpp"
 #include "sim/scheduler.hpp"
@@ -108,6 +109,47 @@ class SimSystem {
   /// Epoch-close for an aborted dispatch (a workload threw): retires
   /// finished slots but leaves the epoch count untouched.
   void abort_epoch();
+
+  // --- Cross-slot feature plane --------------------------------------------
+  //
+  // A feature-major matrix over the live slots, maintained as part of the
+  // SoA hot core when enabled: row f of each group (newest features, window
+  // mean, window stddev) holds that feature for every live slot, rows are
+  // `stride` doubles apart (stride = slot capacity padded to a full cache
+  // line of doubles), and slot columns follow the same compaction/remap as
+  // every other hot array. step_slot() writes its slot's column right after
+  // the window fold, so after an epoch's per-slot phase the plane carries
+  // exactly the bits window_summary() would assemble per process — batch
+  // detector kernels sweep it with unit-stride inner loops instead of
+  // gathering one WindowSummary at a time.
+
+  /// Arms per-slot plane maintenance (StepMode::kBatched drivers) for the
+  /// given sections — what the driver's detector declares it reads
+  /// (Detector::plane_sections); re-enabling widens the maintained set.
+  /// A full plane costs ~3*kFeatureDim strided stores per slot per epoch,
+  /// a newest-only plane a third of that and no stddev square roots;
+  /// disabled by default so scalar drivers pay nothing. Must not be
+  /// called mid-epoch.
+  void enable_feature_plane(
+      ml::Detector::PlaneSections sections = ml::Detector::PlaneSections::kFull);
+
+  [[nodiscard]] bool feature_plane_enabled() const noexcept {
+    return plane_enabled_;
+  }
+
+  /// The plane over all live slots (column i = live_processes()[i]). Valid
+  /// after the epoch's per-slot phase has filled it and until the next
+  /// process-set mutation; the per-column raw-window spans additionally
+  /// follow sample_history() reallocation, so consume the view inside the
+  /// epoch that filled it.
+  [[nodiscard]] ml::SummaryMatrixView feature_plane() const noexcept;
+
+  /// A live slot's window accumulator (batch drivers that already hold the
+  /// slot index; the pid-addressed window_accumulator() re-derives it).
+  [[nodiscard]] const ml::WindowAccumulator& slot_accumulator(
+      std::size_t slot) const noexcept {
+    return accum_s_[slot];
+  }
 
   // --- Actuator-facing controls -------------------------------------------
 
@@ -217,6 +259,10 @@ class SimSystem {
   /// dead processes' hot fields into their cold entries.
   void retire_dead_slots();
 
+  /// Grows the plane (and its per-slot side arrays) to the current slot
+  /// count; never shrinks capacity. No-op when the plane is disabled.
+  void reserve_plane();
+
   PlatformProfile platform_;
   util::Rng rng_;
   CfsScheduler scheduler_;
@@ -235,6 +281,18 @@ class SimSystem {
   std::vector<ExitReason> exit_s_;
 
   std::vector<ColdProc> cold_;  // pid-indexed
+
+  // --- Feature plane (enabled on demand; see feature_plane()) --------------
+  static constexpr std::size_t kPlaneRows =
+      hpc::kFeatureDim + ml::kWindowFeatureDim;  // newest + mean + stddev
+  bool plane_enabled_ = false;
+  bool plane_newest_ = false;   // maintain the newest-feature rows
+  bool plane_stats_ = false;    // maintain the mean/stddev rows
+  bool plane_windows_ = false;  // maintain the raw-window spans
+  std::size_t plane_stride_ = 0;  // slot capacity padded to 8 doubles
+  std::vector<double> plane_;     // kPlaneRows x plane_stride_, feature-major
+  std::vector<std::size_t> plane_count_;  // per-slot measurement count
+  std::vector<std::span<const hpc::HpcSample>> plane_window_;  // raw windows
 
   // --- Open-epoch state -----------------------------------------------------
   double epoch_total_weight_ = 0.0;

@@ -1,0 +1,26 @@
+// Function multiversioning for the batch detector kernels.
+//
+// The kernels' inner loops run unit-stride across feature-plane columns
+// with independent per-column accumulation chains, so wider vectors help
+// and cannot change results: every multiply and add is still rounded
+// individually. VALKYRIE_TARGET_CLONES compiles such a function twice —
+// baseline and AVX2 — and lets the dynamic linker pick per machine.
+//
+// The clone list deliberately names "avx2" WITHOUT "fma": enabling the FMA
+// ISA would let the compiler contract a*b+c into one fused rounding and
+// break the batch-equals-scalar bit-identity contract. AVX2 alone only
+// widens the independent lanes.
+//
+// Disabled under sanitizers (ifunc resolvers run before their runtimes
+// initialize) and on non-GCC/non-x86 toolchains, where the plain build is
+// used unchanged.
+#pragma once
+
+#if defined(__GNUC__) && !defined(__clang__) && defined(__x86_64__) &&     \
+    !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__) &&     \
+    !defined(__SANITIZE_UNDEFINED__)
+#define VALKYRIE_TARGET_CLONES \
+  __attribute__((target_clones("avx2", "default")))
+#else
+#define VALKYRIE_TARGET_CLONES
+#endif

@@ -62,7 +62,10 @@ void ThreadPool::chunk(std::size_t n, std::size_t shards, std::size_t shard,
 
 void ThreadPool::run_job(std::size_t n, JobFn fn, void* ctx) {
   if (workers_.empty() || n <= 1) {
-    if (n != 0) fn(ctx, 0, 0, n);
+    if (n != 0) {
+      ++inline_run_count_;
+      fn(ctx, 0, 0, n);
+    }
     return;
   }
 

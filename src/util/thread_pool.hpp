@@ -41,10 +41,20 @@ class ThreadPool {
 
   /// Jobs dispatched to the worker shards since construction. Degenerate
   /// runs that stay inline on the caller (no workers, or n <= 1) are not
-  /// counted. This is the observability hook behind the fused-step
-  /// contract: one engine epoch must cost exactly one dispatch.
+  /// counted here — they land in inline_run_count(). This is the
+  /// observability hook behind the fused-step contract: one engine epoch
+  /// must cost exactly one dispatch.
   [[nodiscard]] std::uint64_t dispatch_count() const noexcept {
     return dispatch_count_;
+  }
+
+  /// Non-empty jobs that ran inline on the caller (no workers, or n <= 1)
+  /// instead of being dispatched to the shards. dispatch_count() +
+  /// inline_run_count() is therefore the number of jobs the pool actually
+  /// executed — the schedule cost benches must report, where counting
+  /// dispatches alone under-reports single-shard runs as zero.
+  [[nodiscard]] std::uint64_t inline_run_count() const noexcept {
+    return inline_run_count_;
   }
 
   /// Runs body(begin, end) over a partition of [0, n). Blocks until every
@@ -88,9 +98,10 @@ class ThreadPool {
   void worker_loop(std::size_t index);
 
   std::vector<std::thread> workers_;
-  // Dispatches to the workers; written only by the (single) dispatching
-  // thread, so a plain counter suffices.
+  // Dispatches to the workers / inline runs on the caller; written only by
+  // the (single) dispatching thread, so plain counters suffice.
   std::uint64_t dispatch_count_ = 0;
+  std::uint64_t inline_run_count_ = 0;
   // Spin budget for waiters: positive when the pool fits the machine,
   // zero (block immediately) when oversubscribed — spinning workers would
   // steal the cores the actual work needs.

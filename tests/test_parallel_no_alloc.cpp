@@ -161,5 +161,18 @@ TEST(ParallelNoAlloc, ShardedSplitStepIsAllocationFreeAfterWarmup) {
                                              ValkyrieEngine::StepMode::kSplit);
 }
 
+// The batched schedule adds the feature-plane fill and the per-shard batch
+// detector calls to the hot path; plane, scratch and batch outputs are all
+// pre-sized, so the guarantee must hold unchanged.
+TEST(ParallelNoAlloc, SequentialBatchedStepIsAllocationFreeAfterWarmup) {
+  expect_steady_state_step_does_not_allocate(
+      1, ValkyrieEngine::StepMode::kBatched);
+}
+
+TEST(ParallelNoAlloc, ShardedBatchedStepIsAllocationFreeAfterWarmup) {
+  expect_steady_state_step_does_not_allocate(
+      4, ValkyrieEngine::StepMode::kBatched);
+}
+
 }  // namespace
 }  // namespace valkyrie::core

@@ -117,6 +117,33 @@ TEST(ThreadPool, SingleThreadPoolRunsInline) {
   EXPECT_EQ(executed_on, std::this_thread::get_id());
 }
 
+TEST(ThreadPool, CountsInlineRunsAndDispatchesSeparately) {
+  // The corrected schedule contract: every non-empty job is counted, either
+  // as a worker dispatch or as an inline run — counting dispatches alone
+  // under-reported single-shard schedules as zero (the
+  // dispatches_per_epoch: 0.0 rows the scaling bench used to emit for
+  // threads: 1).
+  const auto noop = [](std::size_t, std::size_t) {};
+
+  ThreadPool single(1);
+  single.parallel_for(100, noop);
+  single.parallel_for(1, noop);
+  single.parallel_for(0, noop);  // empty jobs never run, never count
+  EXPECT_EQ(single.dispatch_count(), 0u);
+  EXPECT_EQ(single.inline_run_count(), 2u);
+
+  ThreadPool pool(4);
+  pool.parallel_for(100, noop);  // sharded: a dispatch
+  pool.parallel_for(1, noop);    // degenerate: inline on the caller
+  pool.parallel_for(0, noop);
+  EXPECT_EQ(pool.dispatch_count(), 1u);
+  EXPECT_EQ(pool.inline_run_count(), 1u);
+  pool.parallel_for_shards(
+      50, [](std::size_t, std::size_t, std::size_t) {});
+  EXPECT_EQ(pool.dispatch_count(), 2u);
+  EXPECT_EQ(pool.inline_run_count(), 1u);
+}
+
 TEST(ThreadPool, ShardExceptionPropagatesToDispatcher) {
   ThreadPool pool(4);
   // Exceptions from worker-owned shards and from the caller-owned (last)
