@@ -17,11 +17,15 @@
 
 namespace valkyrie::bench {
 
-/// Endless synthetic workload: emits samples from a fixed HPC signature.
-/// Never finishes, so process counts stay constant across the whole run.
+/// Synthetic workload: emits samples from a fixed HPC signature. With the
+/// default lifetime 0 it never finishes, so closed-population sweeps keep
+/// constant process counts; churn points pass a finite lifetime (epochs of
+/// work at full share) so arrivals depart by natural completion on the
+/// exact same per-epoch execution the closed-population rows measure.
 class SignatureWorkload final : public sim::Workload {
  public:
-  explicit SignatureWorkload(hpc::HpcSignature sig) : sig_(sig) {}
+  explicit SignatureWorkload(hpc::HpcSignature sig, std::uint64_t lifetime = 0)
+      : sig_(sig), lifetime_(lifetime) {}
 
   [[nodiscard]] std::string_view name() const override { return "signature"; }
   [[nodiscard]] bool is_attack() const override { return false; }
@@ -34,12 +38,15 @@ class SignatureWorkload final : public sim::Workload {
     out.progress = shares.cpu;
     progress_ += out.progress;
     out.hpc = sig_.sample(*ctx.rng, shares.cpu, ctx.hpc_noise);
+    out.finished =
+        lifetime_ != 0 && progress_ >= static_cast<double>(lifetime_);
     return out;
   }
   [[nodiscard]] double total_progress() const override { return progress_; }
 
  private:
   hpc::HpcSignature sig_;
+  std::uint64_t lifetime_ = 0;
   double progress_ = 0.0;
 };
 

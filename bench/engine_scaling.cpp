@@ -20,6 +20,11 @@
 //      detector kernels (MLP window inference, SVM/GBT/stat measurement
 //      votes) over a feature plane at batch sizes 16/256/4096, recording
 //      the speedup the cross-slot batching buys per detector family.
+//   4. Churn: ScenarioDriver-fed open-population runs — Poisson arrivals,
+//      geometric lifetimes, kill/completion departures — at 1024-4096
+//      steady-state live processes, sweeping the arrival/exit rate.
+//      Records ns/proc/epoch (the epoch-open lifecycle must not tax the
+//      closed-population hot path) plus admissions/exits per epoch.
 //
 //   ./engine_scaling [out.json] [max_threads] [--smoke]
 //
@@ -44,6 +49,7 @@
 #include "ml/gbt.hpp"
 #include "ml/stat_detector.hpp"
 #include "ml/svm.hpp"
+#include "sim/scenario.hpp"
 #include "sim/system.hpp"
 
 namespace {
@@ -163,6 +169,112 @@ SweepPoint run_sweep_point(const ml::Detector& detector, std::size_t processes,
           best_ns,
           best_ns / static_cast<double>(processes),
           dispatches};
+}
+
+// --- Churn measurements ------------------------------------------------------
+//
+// An open population at steady state: `target_live` processes, Poisson
+// arrivals at `arrival_rate` per epoch, geometric lifetimes with mean
+// target_live / arrival_rate (so departures balance arrivals), half the
+// departures by scheduled kill and half by natural completion. The
+// system/engine/driver tables are all reserved up front, so the engine's
+// own lifecycle machinery (admission queue, scheduler batch deltas,
+// compaction, attachment table) adds no allocator traffic — that contract
+// is pinned by test_parallel_no_alloc's churn suites. What the measured
+// epochs DO include is the cost of materialising each arrival (workload +
+// actuator construction, early history growth until the retirement pool
+// warms): that is the workload of churn itself, and exactly what a
+// production monitor pays per admission.
+
+struct ChurnPoint {
+  std::size_t target_live;
+  double arrival_rate;
+  std::size_t threads;
+  StepMode mode;
+  double ns_per_epoch;
+  double ns_per_proc_epoch;
+  double mean_live;
+  double admissions_per_epoch;
+  double exits_per_epoch;
+};
+
+ChurnPoint run_churn_point(const ml::Detector& detector,
+                           std::size_t target_live, double arrival_rate,
+                           std::size_t threads, StepMode mode, bool smoke) {
+  sim::SimSystem sys;
+  core::ValkyrieEngine engine(sys, detector, threads, mode);
+
+  sim::ScenarioScript script;
+  script.seed = 0xcafe + target_live;
+  script.initial_processes = target_live;
+  script.arrival_rate = arrival_rate;
+  script.mean_lifetime = static_cast<double>(target_live) / arrival_rate;
+  script.kill_exit_fraction = 0.5;
+  script.recycle_histories = true;  // bounded memory at bench scale
+  // The shared bench signature keeps the bench MLP quiet (the population
+  // holds its steady state — the experiment measures lifecycle cost, not
+  // detector FP dynamics) and makes churn rows directly comparable to the
+  // closed-population sweep rows.
+  sim::ScenarioDriver driver(
+      engine, script, nullptr, [](std::uint64_t lifetime) {
+        return std::make_unique<bench::SignatureWorkload>(
+            bench::engine_bench_benign_signature(), lifetime);
+      });
+
+  const std::uint64_t warmup = smoke ? 10 : 20;
+  const std::uint64_t probe = std::clamp<std::uint64_t>(
+      40960 / static_cast<std::uint64_t>(target_live), 10, 2000);
+  const std::uint64_t repeats = smoke ? 2 : 5;
+  const std::size_t total_epochs =
+      static_cast<std::size_t>(warmup + repeats * probe + 1);
+  const std::size_t expected = driver.expected_processes(total_epochs);
+  sys.reserve(expected);
+  engine.reserve(expected);
+  driver.reserve(expected);
+  sys.reserve_history(total_epochs);
+
+  for (std::uint64_t i = 0; i < warmup; ++i) driver.step();
+
+  const sim::ScenarioDriver::Stats before = driver.stats();
+  double best_ns = 0.0;
+  double best_mean_live = 0.0;
+  for (std::uint64_t r = 0; r < repeats; ++r) {
+    const sim::ScenarioDriver::Stats repeat_before = driver.stats();
+    const auto start = Clock::now();
+    for (std::uint64_t i = 0; i < probe; ++i) driver.step();
+    const auto stop = Clock::now();
+    const double ns =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+                .count()) /
+        static_cast<double>(probe);
+    // The per-process figure divides this repeat's timing by this
+    // repeat's own live population — the windows must match, or drift
+    // across repeats skews the ratio.
+    const double repeat_mean_live =
+        (driver.stats().live_epoch_sum - repeat_before.live_epoch_sum) /
+        static_cast<double>(probe);
+    if (r == 0 || ns < best_ns) {
+      best_ns = ns;
+      best_mean_live = repeat_mean_live;
+    }
+  }
+  const sim::ScenarioDriver::Stats after = driver.stats();
+  const double measured =
+      static_cast<double>(after.epochs - before.epochs);
+  const double mean_live =
+      (after.live_epoch_sum - before.live_epoch_sum) / measured;
+  const double admissions =
+      static_cast<double>(after.spawned - before.spawned) / measured;
+  const double exits =
+      static_cast<double>((after.driver_kills + after.completed +
+                           after.policy_kills) -
+                          (before.driver_kills + before.completed +
+                           before.policy_kills)) /
+      measured;
+  return {target_live, arrival_rate, threads,
+          mode,        best_ns,      best_ns / best_mean_live,
+          mean_live,   admissions,   exits};
 }
 
 // --- Batch-kernel micro-measurements -----------------------------------------
@@ -520,6 +632,54 @@ int main(int argc, char** argv) {
           std::printf("  batch_speedup %.2fx", batch_speedup);
         }
         std::printf("\n");
+      }
+    }
+  }
+  json += "\n  ],\n  \"churn\": [\n";
+
+  // Churn sweep: open population, arrivals/exits balanced at the target
+  // live count. The batched schedule is the production default; the fused
+  // rows isolate what the lifecycle costs without batch inference.
+  std::vector<std::size_t> churn_live = {1024, 4096};
+  std::vector<double> churn_rate_div = {128.0, 32.0};  // rate = live / div
+  std::vector<StepMode> churn_modes = {StepMode::kFused, StepMode::kBatched};
+  std::vector<std::size_t> churn_threads = {1};
+  if (max_threads > 1) churn_threads.push_back(max_threads);
+  if (smoke) {
+    churn_live = {1024};
+    churn_rate_div = {64.0};
+    churn_modes = {StepMode::kBatched};
+    churn_threads = {max_threads};
+  }
+  bool first_churn = true;
+  for (const std::size_t live : churn_live) {
+    for (const double div : churn_rate_div) {
+      const double rate = static_cast<double>(live) / div;
+      for (const StepMode mode : churn_modes) {
+        for (const std::size_t threads : churn_threads) {
+          const ChurnPoint p =
+              run_churn_point(detector, live, rate, threads, mode, smoke);
+          if (!first_churn) json += ",\n";
+          first_churn = false;
+          char buf[384];
+          std::snprintf(
+              buf, sizeof(buf),
+              "    {\"target_live\": %zu, \"arrival_rate\": %.1f, "
+              "\"threads\": %zu, \"mode\": \"%s\", \"ns_per_epoch\": %.1f, "
+              "\"ns_per_proc_epoch\": %.1f, \"mean_live\": %.1f, "
+              "\"admissions_per_epoch\": %.2f, \"exits_per_epoch\": %.2f}",
+              p.target_live, p.arrival_rate, p.threads, mode_name(p.mode),
+              p.ns_per_epoch, p.ns_per_proc_epoch, p.mean_live,
+              p.admissions_per_epoch, p.exits_per_epoch);
+          json += buf;
+          std::printf(
+              "churn live=%zu rate=%.1f/epoch threads=%zu %s: %.0f ns/epoch  "
+              "%.1f ns/proc/epoch  mean_live %.0f  %.2f admissions/epoch  "
+              "%.2f exits/epoch\n",
+              p.target_live, p.arrival_rate, p.threads, mode_name(p.mode),
+              p.ns_per_epoch, p.ns_per_proc_epoch, p.mean_live,
+              p.admissions_per_epoch, p.exits_per_epoch);
+        }
       }
     }
   }

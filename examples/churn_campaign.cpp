@@ -1,0 +1,114 @@
+// Scenario: a busy shared box under process churn, attacked mid-run.
+//
+// The population is open — benign programs arrive under Poisson churn,
+// run for a while and leave — and at epoch 60 a staged cryptominer campaign
+// starts dropping miners onto the machine, one every 4 epochs. Every
+// arrival is attached to the Valkyrie engine the moment it is admitted
+// (mid-run attach is an epoch-boundary lifecycle op), so the response
+// policy throttles each miner as its threat index climbs and terminates it
+// once the measurement budget is spent — while the churning benign
+// population keeps (almost all of) its throughput.
+//
+//   ./build/churn_campaign
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "attacks/cryptominer.hpp"
+#include "core/traces.hpp"
+#include "core/valkyrie.hpp"
+#include "ml/svm.hpp"
+#include "sim/scenario.hpp"
+#include "sim/system.hpp"
+#include "util/table.hpp"
+#include "workloads/benchmarks.hpp"
+
+using namespace valkyrie;
+
+int main() {
+  // Offline phase: train a linear SVM on cryptominer vs. benign traces.
+  std::printf("collecting traces (miners + SPEC-2006 benign)...\n");
+  std::vector<core::WorkloadFactory> corpus;
+  for (const attacks::CryptominerConfig& cfg : attacks::cryptominer_corpus()) {
+    corpus.push_back(
+        [cfg] { return std::make_unique<attacks::CryptominerAttack>(cfg); });
+  }
+  for (const auto& spec : workloads::spec2006()) {
+    corpus.push_back([spec] {
+      return std::make_unique<workloads::BenchmarkWorkload>(spec);
+    });
+  }
+  const ml::TraceSet traces = core::collect_traces(corpus, 30);
+  const ml::SvmDetector detector = ml::SvmDetector::make(traces, 3);
+
+  // Online phase: an open population fed by a declarative script.
+  sim::SimSystem sys;
+  core::ValkyrieEngine engine(sys, detector, /*worker_threads=*/2);
+
+  sim::ScenarioScript script;
+  script.seed = 0xc0de;
+  script.initial_processes = 48;   // the standing benign population
+  script.arrival_rate = 1.5;       // Poisson churn, arrivals per epoch
+  script.attack_fraction = 0.0;    // the stream itself is clean...
+  script.mean_lifetime = 80;       // ...and programs live ~8 s (100 ms epochs)
+  script.kill_exit_fraction = 0.4; // some leave by kill, most run to completion
+  script.campaigns.push_back({
+      .start_epoch = 60, .count = 6, .stagger = 4,
+      .family = sim::AttackFamily::kCryptominer});
+  script.monitor_config.required_measurements = 12;
+  script.recycle_histories = false;  // keep post-mortems for the census below
+
+  sim::ScenarioDriver driver(engine, script);
+
+  constexpr std::size_t kEpochs = 240;
+  util::TextTable timeline({"epoch", "live", "spawned", "attacks", "policy kills"});
+  const std::size_t expected = driver.expected_processes(kEpochs);
+  sys.reserve(expected);
+  engine.reserve(expected);
+  sys.reserve_history(kEpochs);
+  for (std::size_t epoch = 0; epoch < kEpochs; ++epoch) {
+    const std::size_t live = driver.step();
+    if ((epoch + 1) % 30 == 0) {
+      const auto& s = driver.stats();
+      timeline.add_row({std::to_string(epoch + 1), std::to_string(live),
+                        std::to_string(s.spawned),
+                        std::to_string(s.attack_spawned),
+                        std::to_string(s.policy_kills)});
+    }
+  }
+  std::printf("%s\n", timeline.render().c_str());
+
+  // Census over every process the run ever admitted.
+  std::size_t miners_terminated = 0;
+  std::size_t miners_alive = 0;
+  std::size_t benign_killed = 0;
+  double miner_hashes = 0.0;
+  for (sim::ProcessId pid = 0; pid < sys.total_spawned(); ++pid) {
+    const bool attack = sys.workload(pid).is_attack();
+    const sim::ExitReason exit = sys.exit_reason(pid);
+    if (attack) {
+      miner_hashes += sys.workload(pid).total_progress();
+      if (exit == sim::ExitReason::kKilled) ++miners_terminated;
+      if (exit == sim::ExitReason::kRunning) ++miners_alive;
+    } else if (exit == sim::ExitReason::kKilled) {
+      ++benign_killed;
+    }
+  }
+  const auto& s = driver.stats();
+  // Scheduled departures leave as kills too; the difference is what the
+  // response itself terminated.
+  const std::size_t benign_policy_kills = benign_killed - s.driver_kills;
+
+  std::printf(
+      "churn: %zu processes over %llu epochs (mean live %.0f, peak %zu), "
+      "%zu scheduled departures, %zu natural completions\n",
+      s.spawned, static_cast<unsigned long long>(s.epochs), s.mean_live(),
+      s.peak_live, s.driver_kills, s.completed);
+  std::printf(
+      "campaign: %zu miners injected mid-run -> %zu terminated by the "
+      "policy, %zu still alive (total %.2e hashes before termination)\n",
+      s.attack_spawned, miners_terminated, miners_alive, miner_hashes);
+  std::printf("benign processes terminated by the policy: %zu\n",
+              benign_policy_kills);
+  return miners_terminated == s.attack_spawned ? 0 : 1;
+}

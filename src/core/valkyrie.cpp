@@ -109,6 +109,18 @@ void ValkyrieEngine::reserve_shard_buffers(std::size_t per_shard) {
   }
 }
 
+void ValkyrieEngine::reserve(std::size_t max_processes) {
+  attached_.reserve(max_processes);
+  attached_index_.reserve(max_processes);
+  // The batched schedule's per-slot scratch follows the live count, which
+  // never exceeds the processes ever spawned.
+  batch_finished_.reserve(max_processes);
+  batch_votes_.reserve(max_processes);
+  batch_infer_.reserve(max_processes);
+  reserve_shard_buffers(
+      std::min(shard_quota(max_processes), max_processes));
+}
+
 void ValkyrieEngine::attach(sim::ProcessId pid, ValkyrieConfig config,
                             std::unique_ptr<Actuator> actuator,
                             const ml::Detector* terminal_detector) {
@@ -132,6 +144,38 @@ void ValkyrieEngine::attach(sim::ProcessId pid, ValkyrieConfig config,
   // shard_count-fold overcommit. (The fused schedule re-checks per step
   // against its live-slot ranges, which may cluster attachments.)
   reserve_shard_buffers(shard_quota(attached_.size()));
+}
+
+void ValkyrieEngine::detach(sim::ProcessId pid) {
+  if (pid >= attached_index_.size() || attached_index_[pid] < 0) {
+    throw std::out_of_range("ValkyrieEngine: process not attached");
+  }
+  // Tombstone, don't erase: k detaches between steps cost one stable
+  // compaction pass (prune_detached) instead of k ordered erases — the
+  // same mark-then-compact pattern SimSystem uses for slot retirement.
+  // Stability keeps attachment order, so runs that mix detaches stay
+  // bit-comparable across schedules by construction.
+  const auto idx = static_cast<std::size_t>(attached_index_[pid]);
+  attached_index_[pid] = -1;
+  attached_[idx].detached = true;
+  ++detached_count_;
+}
+
+void ValkyrieEngine::prune_detached() {
+  detached_count_ = 0;
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < attached_.size(); ++i) {
+    if (attached_[i].detached) continue;
+    if (w != i) {
+      attached_[w] = std::move(attached_[i]);
+      attached_index_[attached_[w].pid] = static_cast<std::int32_t>(w);
+    }
+    ++w;
+  }
+  // Range erase, not resize: Attached has no default constructor (resize
+  // would demand one for its growth path even though this only shrinks).
+  attached_.erase(attached_.begin() + static_cast<std::ptrdiff_t>(w),
+                  attached_.end());
 }
 
 void ValkyrieEngine::infer_attachment(Attached& a,
@@ -181,15 +225,21 @@ void ValkyrieEngine::commit_shard_commands() {
 }
 
 std::size_t ValkyrieEngine::live_attached_count() const {
+  // Walk the live list, not the attachment table: under churn the table
+  // accumulates one entry per process ever attached, while the live list
+  // stays at the live population. (Reading live_processes here also folds
+  // any kill marked by this epoch's commands into the compaction before
+  // the caller sees the count.)
   std::size_t live = 0;
-  for (const Attached& a : attached_) {
-    if (sys_.is_live(a.pid)) ++live;
+  for (const sim::ProcessId pid : sys_.live_processes()) {
+    if (is_attached(pid)) ++live;
   }
   return live;
 }
 
 std::size_t ValkyrieEngine::step() {
   ++step_tag_;
+  if (detached_count_ != 0) prune_detached();
   switch (mode_) {
     case StepMode::kSplit:
       return step_split();

@@ -158,13 +158,38 @@ class ValkyrieEngine {
                  std::size_t worker_threads = 1,
                  StepMode mode = StepMode::kFused);
 
-  /// Attaches a process with its own config and actuator. Each process can
-  /// be attached at most once. If `terminal_detector` is non-null it
-  /// provides the accumulated-window decision once N* measurements have
-  /// been gathered (see ValkyrieMonitor::plan); it must outlive the engine.
+  /// Attaches a process with its own config and actuator. A process can be
+  /// attached at most once at a time (re-attach after detach() starts a
+  /// fresh monitor; its streaming state catches up from the accumulated
+  /// window). Legal at any point of a run, including for a process whose
+  /// mid-epoch admission is still pending — the monitor simply starts
+  /// deciding from the process's first executed epoch on. If
+  /// `terminal_detector` is non-null it provides the accumulated-window
+  /// decision once N* measurements have been gathered (see
+  /// ValkyrieMonitor::plan); it must outlive the engine.
   void attach(sim::ProcessId pid, ValkyrieConfig config,
               std::unique_ptr<Actuator> actuator,
               const ml::Detector* terminal_detector = nullptr);
+
+  /// Detaches a process mid-run: its monitor (and any pending restrictions
+  /// the monitor tracked) is discarded and the process keeps running
+  /// unmonitored. Restrictions already applied to the system are NOT
+  /// lifted — call the actuator's reset through the monitor beforehand if
+  /// that is wanted. The process may be re-attached later with fresh
+  /// state. The call itself is O(1) (the entry is tombstoned and the
+  /// attachment table compacted in one stable pass at the next step, the
+  /// same mark-then-compact pattern the system's slot retirement uses), so
+  /// churn drivers detaching every departure stay O(attached) per epoch.
+  /// Throws std::out_of_range if the pid is not attached.
+  void detach(sim::ProcessId pid);
+
+  /// Pre-sizes the engine's per-process tables (attachments, the pid ->
+  /// attachment index, per-shard command buffers and the batched
+  /// schedule's scratch) for up to `max_processes` processes over the
+  /// run's lifetime, mirroring SimSystem::reserve: after both, a
+  /// steady-state churn epoch — spawn, attach, step, retire — performs no
+  /// heap allocation.
+  void reserve(std::size_t max_processes);
 
   /// One epoch: simulate, infer, respond. Returns the number of attached
   /// processes still live.
@@ -175,6 +200,10 @@ class ValkyrieEngine {
   void run(std::size_t epochs);
 
   [[nodiscard]] const ValkyrieMonitor& monitor(sim::ProcessId pid) const;
+
+  [[nodiscard]] bool is_attached(sim::ProcessId pid) const noexcept {
+    return pid < attached_index_.size() && attached_index_[pid] >= 0;
+  }
 
   /// The action the process's monitor took in the most recent step()
   /// (kNone if the process was not live that epoch).
@@ -222,9 +251,18 @@ class ValkyrieEngine {
     // attachments whose process is already dead, so staleness is detected
     // by tag instead of by eagerly clearing every attachment.
     std::uint64_t last_action_step = 0;
+    // Tombstone set by detach(); the entry is skipped by every schedule
+    // (its index entry is already -1) and reclaimed by prune_detached().
+    bool detached = false;
   };
 
   [[nodiscard]] const Attached& attachment(sim::ProcessId pid) const;
+
+  /// Live attached processes, counted over the system's live list (O(live))
+  /// rather than over every attachment ever made — under sustained churn
+  /// the attachment table grows without bound while the live set stays
+  /// small.
+  [[nodiscard]] std::size_t live_attached_count() const;
 
   std::size_t step_fused();
   std::size_t step_split();
@@ -247,6 +285,10 @@ class ValkyrieEngine {
   /// Serially applies the per-shard command buffers, in shard order.
   void commit_shard_commands();
 
+  /// One stable compaction pass over the attachment table, reclaiming
+  /// tombstoned entries and re-deriving the pid index for survivors.
+  void prune_detached();
+
   /// Commands one shard can emit for `items` work items: each item yields
   /// at most one command and a shard owns at most one ceil-chunk of items.
   [[nodiscard]] std::size_t shard_quota(std::size_t items) const noexcept {
@@ -257,8 +299,6 @@ class ValkyrieEngine {
   /// Grows every shard buffer's capacity to `per_shard` (no-op, and
   /// allocation-free, once steady state is reached).
   void reserve_shard_buffers(std::size_t per_shard);
-
-  [[nodiscard]] std::size_t live_attached_count() const;
 
   sim::SimSystem& sys_;
   const ml::Detector& detector_;
@@ -277,6 +317,7 @@ class ValkyrieEngine {
   std::vector<std::uint8_t> batch_votes_;
   std::vector<ml::Inference> batch_infer_;
   std::uint64_t step_tag_ = 0;  // bumped at the start of every step()
+  std::size_t detached_count_ = 0;  // tombstones awaiting prune_detached()
   // Sequential-phase executions when no pool exists (see
   // schedule_run_count); pool-inline runs are counted by the pool itself.
   std::uint64_t inline_runs_ = 0;

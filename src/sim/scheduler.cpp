@@ -20,28 +20,55 @@ CfsScheduler::CfsScheduler(const SchedulerConfig& config) : config_(config) {
   }
 }
 
+void CfsScheduler::reserve(std::size_t max_pids) { factor_.reserve(max_pids); }
+
 void CfsScheduler::add_process(ProcessId pid) {
-  if (pid >= factor_.size()) factor_.resize(static_cast<std::size_t>(pid) + 1, 0.0);
-  if (factor_[pid] == 0.0) factor_[pid] = 1.0;  // emplace semantics: no overwrite
+  add_processes({&pid, 1});
 }
 
 void CfsScheduler::remove_process(ProcessId pid) {
-  if (pid < factor_.size()) factor_[pid] = 0.0;
+  remove_processes({&pid, 1});
+}
+
+void CfsScheduler::add_processes(std::span<const ProcessId> pids) {
+  // One capacity pass for the whole admission batch, then plain stores.
+  ProcessId max_pid = 0;
+  for (const ProcessId pid : pids) max_pid = std::max(max_pid, pid);
+  if (!pids.empty() && max_pid >= factor_.size()) {
+    factor_.resize(static_cast<std::size_t>(max_pid) + 1, 0.0);
+  }
+  // Emplace semantics for a pid that is already runnable (no overwrite of
+  // an actuator-demoted weight); a parked pid re-enters at default weight.
+  for (const ProcessId pid : pids) {
+    if (factor_[pid] <= 0.0) factor_[pid] = 1.0;
+  }
+}
+
+void CfsScheduler::remove_processes(std::span<const ProcessId> pids) {
+  // Park rather than erase: the magnitude stays readable as the last
+  // weight the process held, the sign takes it out of every total.
+  for (const ProcessId pid : pids) {
+    if (pid < factor_.size() && factor_[pid] > 0.0) {
+      factor_[pid] = -factor_[pid];
+    }
+  }
 }
 
 bool CfsScheduler::has_process(ProcessId pid) const {
-  return pid < factor_.size() && factor_[pid] != 0.0;
+  return pid < factor_.size() && factor_[pid] > 0.0;
 }
 
 double CfsScheduler::weight_factor(ProcessId pid) const {
-  if (!has_process(pid)) {
+  if (pid >= factor_.size() || factor_[pid] == 0.0) {
     throw std::out_of_range("CfsScheduler: unknown process id");
   }
-  return factor_[pid];
+  // std::abs: a parked (removed) pid answers with its final weight.
+  return std::abs(factor_[pid]);
 }
 
 void CfsScheduler::apply_threat_delta(ProcessId pid, double delta_threat) {
   double s = weight_factor(pid);
+  if (factor_[pid] < 0.0) return;  // parked: never resurrect a dead weight
   // Eq. 8: s_i = s_{i-1} -/+ gamma * s_{i-1} * |dT| for rising/falling
   // threat. A drop of gamma per unit of threat change, multiplicative.
   s *= (1.0 - config_.gamma * delta_threat);
@@ -49,15 +76,28 @@ void CfsScheduler::apply_threat_delta(ProcessId pid, double delta_threat) {
 }
 
 void CfsScheduler::reset_weight(ProcessId pid) {
-  if (!has_process(pid)) {
+  if (pid >= factor_.size() || factor_[pid] == 0.0) {
     throw std::out_of_range("CfsScheduler: unknown process id");
   }
+  if (factor_[pid] < 0.0) return;  // parked: see apply_threat_delta
   factor_[pid] = 1.0;
 }
 
 double CfsScheduler::total_weight() const {
   double total = config_.background_weight_units;
-  for (const double factor : factor_) total += factor;
+  // max(f, 0) keeps the pass branchless: never-added pids contribute their
+  // 0.0 sentinel, parked pids contribute 0 instead of their magnitude.
+  for (const double factor : factor_) total += std::max(factor, 0.0);
+  return total;
+}
+
+double CfsScheduler::total_weight(std::span<const ProcessId> live) const {
+  double total = config_.background_weight_units;
+  // Same max(f, 0) guard as the whole-table pass: a live factor is always
+  // positive (identity under max), and a pid a caller removed behind the
+  // system's back contributes 0 rather than silently shrinking the total
+  // with its parked negative.
+  for (const ProcessId pid : live) total += std::max(factor_[pid], 0.0);
   return total;
 }
 

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace valkyrie::sim {
@@ -44,20 +45,38 @@ class CfsScheduler {
  public:
   explicit CfsScheduler(const SchedulerConfig& config = {});
 
+  /// Pre-sizes the dense weight table for pids < max_pids, so admissions
+  /// and retirements under steady-state churn never reallocate it.
+  void reserve(std::size_t max_pids);
+
   void add_process(ProcessId pid);
   void remove_process(ProcessId pid);
+
+  /// Batch admission/retirement: one capacity check for the whole delta
+  /// instead of a per-call resize probe. SimSystem retires through the
+  /// batch form (one compaction pass removes the epoch's dead pids
+  /// together); the single-pid calls above are wrappers over these.
+  void add_processes(std::span<const ProcessId> pids);
+  void remove_processes(std::span<const ProcessId> pids);
+
   [[nodiscard]] bool has_process(ProcessId pid) const;
 
   /// Relative weight factor of the process vs. its default weight, in
-  /// (0, 1]: 1 = untouched, lower = demoted by the actuator.
+  /// (0, 1]: 1 = untouched, lower = demoted by the actuator. For a removed
+  /// (retired) process this keeps answering with the last weight it held —
+  /// the same retired-observability contract SimSystem's pid-addressed
+  /// accessors keep — while the weight itself no longer competes for CPU.
   [[nodiscard]] double weight_factor(ProcessId pid) const;
 
   /// Applies Eq. 8 with the configured gamma for a threat-index change of
   /// `delta_threat` (positive = demote, negative = promote). The factor is
-  /// clamped to [min_share_fraction, 1].
+  /// clamped to [min_share_fraction, 1]. A no-op for removed processes
+  /// (a late command against an already-retired pid must not resurrect
+  /// its weight).
   void apply_threat_delta(ProcessId pid, double delta_threat);
 
-  /// Restores the default weight (Areset on the CPU resource).
+  /// Restores the default weight (Areset on the CPU resource). No-op for
+  /// removed processes, like apply_threat_delta.
   void reset_weight(ProcessId pid);
 
   /// The CPU share this process receives, as a fraction of the share an
@@ -71,9 +90,19 @@ class CfsScheduler {
   /// above as long as `total` is this scheduler's current total_weight().
   [[nodiscard]] double normalized_share(ProcessId pid, double total) const;
 
-  /// Sum of every process's weight factor plus the background weight. One
-  /// pass over all processes; pair with the normalized_share overload above.
+  /// Sum of every runnable process's weight factor plus the background
+  /// weight. One pass over the whole pid-indexed table; pair with the
+  /// normalized_share overload above.
   [[nodiscard]] double total_weight() const;
+
+  /// Churn-proof variant: sums the factors of exactly the given live pids
+  /// (plus background). The pid-indexed table grows with every process
+  /// ever spawned, so under sustained churn the all-pids pass above is
+  /// O(total spawned) per epoch while this one stays O(live). Bit-identical
+  /// to total_weight() whenever `live` is every runnable pid in ascending
+  /// order — which SimSystem's slot list guarantees (stable compaction
+  /// keeps slot order ascending-pid, the same order the table pass visits).
+  [[nodiscard]] double total_weight(std::span<const ProcessId> live) const;
 
   /// Absolute share of machine CPU (Eq. 7's s_t), before normalisation.
   [[nodiscard]] double absolute_share(ProcessId pid) const;
@@ -89,10 +118,14 @@ class CfsScheduler {
   SchedulerConfig config_;
   // pid -> weight factor, dense. SimSystem allocates pids densely from 0, so
   // the per-epoch share lookups (one weight_factor per live process) are
-  // plain vector reads instead of hash probes. 0.0 marks an absent pid: a
-  // live factor is clamped to [min_share_fraction, 1] with
-  // min_share_fraction > 0, so 0 is never a valid weight — and the additive
-  // sentinel keeps total_weight() a single branchless pass.
+  // plain vector reads instead of hash probes. Three states share the one
+  // array: 0.0 marks a pid never added; a positive value is a runnable
+  // process's factor; a NEGATIVE value parks a removed (retired) process —
+  // the magnitude is the last factor it held, kept readable for
+  // post-mortem observers while total_weight() no longer counts it. The
+  // encoding is airtight because a runnable factor is clamped to
+  // [min_share_fraction, 1] with min_share_fraction > 0, so neither 0 nor
+  // a negative ever collides with a live weight.
   std::vector<double> factor_;
 };
 

@@ -23,22 +23,47 @@ ProcessId SimSystem::spawn(std::unique_ptr<Workload> workload) {
   if (workload == nullptr) {
     throw std::invalid_argument("SimSystem::spawn: null workload");
   }
-  if (epoch_open_) {
-    throw std::logic_error("SimSystem::spawn: epoch in progress");
-  }
   const auto pid = static_cast<ProcessId>(cold_.size());
-  const auto slot = static_cast<std::uint32_t>(slot_pid_.size());
 
   ColdProc cold;
   cold.workload = std::move(workload);
+  if (!history_pool_.empty()) {
+    // Retirement pool: inherit a retired process's history buffer,
+    // capacity and all, so steady-state churn appends without allocating.
+    cold.history = std::move(history_pool_.back());
+    history_pool_.pop_back();
+  }
   cold_.push_back(std::move(cold));
-  pid_slot_.push_back(slot);
 
+  // The scheduler weight registers at spawn either way: totals are
+  // live-list sums, so a pending pid's factor competes for nothing until
+  // its admission commits — but weight state configured while pending
+  // (apply_sched_threat_delta) survives the boundary like cgroup caps do.
+  scheduler_.add_process(pid);
+  if (epoch_open_) {
+    // The hot arrays are frozen under the running dispatch: queue the
+    // admission; it commits at the epoch boundary, in spawn order.
+    pid_slot_.push_back(kPendingSlot);
+    pending_admit_.push_back(pid);
+    return pid;
+  }
+  pid_slot_.push_back(kNoSlot);  // admit_slot writes the real slot
+  admit_slot(pid);
+  return pid;
+}
+
+void SimSystem::admit_slot(ProcessId pid) {
   // New pids are maximal, so appending keeps the slot order ascending in
   // pid — the invariant the stable compaction preserves.
+  const auto slot = static_cast<std::uint32_t>(slot_pid_.size());
+  pid_slot_[pid] = slot;
   slot_pid_.push_back(pid);
   rng_s_.push_back(rng_.fork());
-  cgroup_s_.emplace_back();
+  // Seeded from the retired snapshot, not default-constructed: caps set
+  // while the admission was pending were routed there, and must apply
+  // from the process's first epoch. A fresh pid's snapshot is all
+  // defaults, so the common path is unchanged.
+  cgroup_s_.push_back(cold_[pid].retired.cgroup);
   effective_s_.emplace_back();
   last_sample_s_.emplace_back();
   accum_s_.emplace_back();
@@ -51,9 +76,36 @@ ProcessId SimSystem::spawn(std::unique_ptr<Workload> workload) {
     plane_window_.push_back({});
     reserve_plane();
   }
+}
 
-  scheduler_.add_process(pid);
-  return pid;
+void SimSystem::reserve(std::size_t max_processes) {
+  if (epoch_open_) {
+    throw std::logic_error("SimSystem::reserve: epoch in progress");
+  }
+  cold_.reserve(max_processes);
+  pid_slot_.reserve(max_processes);
+  slot_pid_.reserve(max_processes);
+  rng_s_.reserve(max_processes);
+  cgroup_s_.reserve(max_processes);
+  effective_s_.reserve(max_processes);
+  last_sample_s_.reserve(max_processes);
+  accum_s_.reserve(max_processes);
+  last_progress_s_.reserve(max_processes);
+  epochs_run_s_.reserve(max_processes);
+  exit_s_.reserve(max_processes);
+  pending_admit_.reserve(max_processes);
+  pending_kill_.reserve(max_processes);
+  lifecycle_scratch_.reserve(max_processes);
+  history_pool_.reserve(max_processes);
+  scheduler_.reserve(max_processes);
+  if (max_processes > reserved_capacity_) {
+    reserved_capacity_ = max_processes;
+    if (plane_enabled_) {
+      plane_count_.reserve(max_processes);
+      plane_window_.reserve(max_processes);
+      reserve_plane();
+    }
+  }
 }
 
 void SimSystem::enable_feature_plane(ml::Detector::PlaneSections sections) {
@@ -67,6 +119,8 @@ void SimSystem::enable_feature_plane(ml::Detector::PlaneSections sections) {
   plane_windows_ |= sections == ml::Detector::PlaneSections::kFull;
   if (plane_enabled_) return;
   plane_enabled_ = true;
+  plane_count_.reserve(reserved_capacity_);
+  plane_window_.reserve(reserved_capacity_);
   plane_count_.assign(slot_pid_.size(), 0);
   plane_window_.assign(slot_pid_.size(), {});
   reserve_plane();
@@ -76,9 +130,12 @@ void SimSystem::reserve_plane() {
   if (!plane_enabled_) return;
   // Pad the stride to a full cache line of doubles so feature rows keep a
   // fixed 64-byte-aligned distance and a grown plane is only reallocated
-  // when the capacity line is actually crossed.
+  // when the capacity line is actually crossed. reserve() floors the
+  // stride at the reserved capacity, so churn admissions after a reserve
+  // never regrow the plane.
   constexpr std::size_t kPad = 8;
-  const std::size_t stride = (slot_pid_.size() + kPad - 1) / kPad * kPad;
+  const std::size_t want = std::max(slot_pid_.size(), reserved_capacity_);
+  const std::size_t stride = (want + kPad - 1) / kPad * kPad;
   if (stride > plane_stride_) {
     plane_stride_ = stride;
     // Old columns need no migration: every live column is rewritten by the
@@ -115,10 +172,12 @@ void SimSystem::begin_epoch() {
   // Slots killed since the last epoch retire now, in one pass — a
   // step_slot on a stale slot would re-execute a dead process.
   if (retire_pending_) retire_dead_slots();
-  // Serial global phase: one pass over the scheduler's weights. Every
+  // Serial global phase: one pass over the live list's weights. Every
   // per-slot share below is then O(1), where re-summing inside
-  // normalized_share(pid) would make the epoch O(P^2).
-  epoch_total_weight_ = scheduler_.total_weight();
+  // normalized_share(pid) would make the epoch O(P^2). The live-list
+  // overload (not the whole-table pass) keeps this O(live) when churn has
+  // grown the pid space far past the live population.
+  epoch_total_weight_ = scheduler_.total_weight(slot_pid_);
   epoch_any_exited_.store(false, std::memory_order_relaxed);
   epoch_open_ = true;
 }
@@ -187,15 +246,40 @@ void SimSystem::end_epoch() {
   }
   epoch_open_ = false;
   ++epoch_;
-  if (epoch_any_exited_.load(std::memory_order_relaxed)) retire_dead_slots();
+  commit_lifecycle();
 }
 
 void SimSystem::abort_epoch() {
   // The epoch did not complete (epoch_ stays), but shards may have marked
-  // completions — those slots must still retire, or a retry would
-  // re-execute finished workloads.
+  // completions and callers may have queued lifecycle deltas — both must
+  // still commit, or a retry would re-execute finished workloads or lose
+  // an admission.
   epoch_open_ = false;
+  commit_lifecycle();
+}
+
+void SimSystem::commit_lifecycle() {
+  // (1) Deferred kills mark their slots. A slot that completed naturally
+  // during the epoch keeps kCompleted: the process finished before the
+  // kill could land.
+  for (const ProcessId pid : pending_kill_) {
+    const std::uint32_t slot = pid_slot_[pid];
+    if (is_hot_slot(slot) && exit_s_[slot] == ExitReason::kRunning) {
+      exit_s_[slot] = ExitReason::kKilled;
+      epoch_any_exited_.store(true, std::memory_order_relaxed);
+    }
+  }
+  pending_kill_.clear();
+  // (2) One stable compaction pass retires completions and kills together.
   if (epoch_any_exited_.load(std::memory_order_relaxed)) retire_dead_slots();
+  // (3) Admissions append in spawn order, after compaction, so the slot
+  // order stays ascending-pid. Cancelled admissions (killed while
+  // pending) were already diverted to the retired table by kill().
+  for (const ProcessId pid : pending_admit_) {
+    if (pid_slot_[pid] != kPendingSlot) continue;  // cancelled
+    admit_slot(pid);
+  }
+  pending_admit_.clear();
 }
 
 void SimSystem::run_epoch(util::ThreadPool* pool) {
@@ -235,8 +319,25 @@ void SimSystem::reserve_history(std::size_t epochs) {
   }
 }
 
+void SimSystem::reclaim_cold(ProcessId pid) {
+  // Retirement pool: the history buffer (capacity intact) feeds the next
+  // admission; the workload is destroyed. The scalar retirement snapshot
+  // stays, so the cheap post-mortem observers keep answering.
+  ColdProc& cold = cold_[pid];
+  // A capacity-less buffer (a cancelled admission that never inherited
+  // one) is not worth pooling: popping it later would hand a fresh
+  // process an empty buffer in place of a real donation.
+  if (cold.history.capacity() != 0) {
+    cold.history.clear();
+    history_pool_.push_back(std::move(cold.history));
+    cold.history = {};
+  }
+  cold.workload.reset();
+}
+
 void SimSystem::retire_dead_slots() {
   retire_pending_ = false;
+  lifecycle_scratch_.clear();
   const std::size_t n = slot_pid_.size();
   std::size_t w = 0;
   for (std::size_t s = 0; s < n; ++s) {
@@ -274,8 +375,14 @@ void SimSystem::retire_dead_slots() {
       retired.epochs_run = epochs_run_s_[s];
       retired.exit = exit_s_[s];
       pid_slot_[pid] = kNoSlot;
+      lifecycle_scratch_.push_back(pid);
+      if (recycle_histories_) reclaim_cold(pid);
     }
   }
+  // One batch call takes the retired pids' weights out of the CFS pool —
+  // a dead process must stop competing for CPU from the next epoch on.
+  scheduler_.remove_processes(lifecycle_scratch_);
+  lifecycle_scratch_.clear();
   // Shrinking never releases capacity, so later spawns reuse it.
   slot_pid_.resize(w);
   rng_s_.resize(w);
@@ -298,7 +405,7 @@ void SimSystem::set_cgroup_caps(ProcessId pid, std::optional<double> cpu,
                                 std::optional<double> fs) {
   const std::uint32_t slot = slot_checked(pid);
   ResourceShares& cg =
-      slot != kNoSlot ? cgroup_s_[slot] : cold_[pid].retired.cgroup;
+      is_hot_slot(slot) ? cgroup_s_[slot] : cold_[pid].retired.cgroup;
   const auto clamp01 = [](double v) { return std::clamp(v, 0.0, 1.0); };
   if (cpu) cg.cpu = clamp01(*cpu);
   if (mem) cg.mem = clamp01(*mem);
@@ -308,7 +415,7 @@ void SimSystem::set_cgroup_caps(ProcessId pid, std::optional<double> cpu,
 
 void SimSystem::clear_cgroup_caps(ProcessId pid) {
   const std::uint32_t slot = slot_checked(pid);
-  (slot != kNoSlot ? cgroup_s_[slot] : cold_[pid].retired.cgroup) =
+  (is_hot_slot(slot) ? cgroup_s_[slot] : cold_[pid].retired.cgroup) =
       ResourceShares{};
 }
 
@@ -323,11 +430,25 @@ void SimSystem::reset_sched_weight(ProcessId pid) {
 }
 
 void SimSystem::kill(ProcessId pid) {
-  if (epoch_open_) {
-    throw std::logic_error("SimSystem::kill: epoch in progress");
-  }
   const std::uint32_t slot = slot_checked(pid);
+  if (slot == kPendingSlot) {
+    // Killed before its admission committed: cancel the admission. The
+    // process never runs; it exits straight into the retired table, and
+    // its spawn-registered scheduler weight parks like any retirement's.
+    pid_slot_[pid] = kNoSlot;
+    cold_[pid].retired.exit = ExitReason::kKilled;
+    scheduler_.remove_process(pid);
+    if (recycle_histories_) reclaim_cold(pid);
+    return;
+  }
   if (slot == kNoSlot || exit_s_[slot] != ExitReason::kRunning) return;
+  if (epoch_open_) {
+    // The dispatch may be mid-flight over this slot: defer to the epoch
+    // boundary so the process runs the open epoch in full and results
+    // cannot depend on where in the epoch the kill landed.
+    pending_kill_.push_back(pid);
+    return;
+  }
   // Mark now, compact later (next live_processes() or begin_epoch): every
   // pid-addressed observer already answers correctly for a marked slot,
   // and deferring keeps a mass-termination commit — k kills applied
@@ -338,38 +459,44 @@ void SimSystem::kill(ProcessId pid) {
 
 bool SimSystem::is_live(ProcessId pid) const {
   const std::uint32_t slot = slot_checked(pid);
-  return slot != kNoSlot && exit_s_[slot] == ExitReason::kRunning;
+  return is_hot_slot(slot) && exit_s_[slot] == ExitReason::kRunning;
 }
 
 ExitReason SimSystem::exit_reason(ProcessId pid) const {
   const std::uint32_t slot = slot_checked(pid);
-  return slot != kNoSlot ? exit_s_[slot] : cold_[pid].retired.exit;
+  return is_hot_slot(slot) ? exit_s_[slot] : cold_[pid].retired.exit;
 }
 
 const Workload& SimSystem::workload(ProcessId pid) const {
   (void)slot_checked(pid);
+  if (cold_[pid].workload == nullptr) {
+    throw std::logic_error("SimSystem::workload: reclaimed by retirement pool");
+  }
   return *cold_[pid].workload;
 }
 
 Workload& SimSystem::workload(ProcessId pid) {
   (void)slot_checked(pid);
+  if (cold_[pid].workload == nullptr) {
+    throw std::logic_error("SimSystem::workload: reclaimed by retirement pool");
+  }
   return *cold_[pid].workload;
 }
 
 const ResourceShares& SimSystem::effective_shares(ProcessId pid) const {
   const std::uint32_t slot = slot_checked(pid);
-  return slot != kNoSlot ? effective_s_[slot] : cold_[pid].retired.effective;
+  return is_hot_slot(slot) ? effective_s_[slot] : cold_[pid].retired.effective;
 }
 
 const ResourceShares& SimSystem::cgroup_caps(ProcessId pid) const {
   const std::uint32_t slot = slot_checked(pid);
-  return slot != kNoSlot ? cgroup_s_[slot] : cold_[pid].retired.cgroup;
+  return is_hot_slot(slot) ? cgroup_s_[slot] : cold_[pid].retired.cgroup;
 }
 
 const hpc::HpcSample& SimSystem::last_sample(ProcessId pid) const {
   const std::uint32_t slot = slot_checked(pid);
-  return slot != kNoSlot ? last_sample_s_[slot]
-                         : cold_[pid].retired.last_sample;
+  return is_hot_slot(slot) ? last_sample_s_[slot]
+                           : cold_[pid].retired.last_sample;
 }
 
 const std::vector<hpc::HpcSample>& SimSystem::sample_history(
@@ -387,19 +514,19 @@ ml::WindowSummary SimSystem::window_summary(ProcessId pid) const {
 const ml::WindowAccumulator& SimSystem::window_accumulator(
     ProcessId pid) const {
   const std::uint32_t slot = slot_checked(pid);
-  return slot != kNoSlot ? accum_s_[slot] : cold_[pid].retired.accumulator;
+  return is_hot_slot(slot) ? accum_s_[slot] : cold_[pid].retired.accumulator;
 }
 
 double SimSystem::last_progress(ProcessId pid) const {
   const std::uint32_t slot = slot_checked(pid);
-  return slot != kNoSlot ? last_progress_s_[slot]
-                         : cold_[pid].retired.last_progress;
+  return is_hot_slot(slot) ? last_progress_s_[slot]
+                           : cold_[pid].retired.last_progress;
 }
 
 std::uint64_t SimSystem::epochs_run(ProcessId pid) const {
   const std::uint32_t slot = slot_checked(pid);
-  return slot != kNoSlot ? epochs_run_s_[slot]
-                         : cold_[pid].retired.epochs_run;
+  return is_hot_slot(slot) ? epochs_run_s_[slot]
+                           : cold_[pid].retired.epochs_run;
 }
 
 std::span<const ProcessId> SimSystem::live_processes() const {

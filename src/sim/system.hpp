@@ -15,14 +15,23 @@
 // with unit stride.
 //
 // An epoch splits into a serial global phase (begin_epoch: one CFS
-// total-weight pass, so each share lookup is O(1)), a per-slot phase
-// (step_slot: workload execution, HPC capture, window-statistics fold) that
-// is embarrassingly parallel for distinct slots, and a serial close
-// (end_epoch: epoch count + retirement of finished slots). run_epoch()
-// drives the three phases itself; ValkyrieEngine's fused path interleaves
-// its own per-process inference with step_slot inside a single shard
-// dispatch. Either way results are bit-identical to the sequential path for
-// any shard count.
+// total-weight pass over the live list, so each share lookup is O(1)), a
+// per-slot phase (step_slot: workload execution, HPC capture,
+// window-statistics fold) that is embarrassingly parallel for distinct
+// slots, and a serial close (end_epoch: epoch count + boundary commit of
+// every lifecycle delta — completions and deferred kills retire, deferred
+// admissions append). run_epoch() drives the three phases itself;
+// ValkyrieEngine's fused path interleaves its own per-process inference
+// with step_slot inside a single shard dispatch. Either way results are
+// bit-identical to the sequential path for any shard count.
+//
+// The process set is OPEN: spawn() and kill() are legal at any point of a
+// run, including while an epoch is open. Mid-epoch calls do not mutate the
+// hot arrays under the running shards — they enqueue, and the deltas commit
+// at the epoch boundary (see spawn/kill below), so the frozen slot layout
+// the dispatch relies on survives and every StepMode stays bit-identical at
+// any worker count. reserve() pre-grows every table so steady-state churn
+// (spawn + retire every epoch) performs no heap allocation at all.
 #pragma once
 
 #include <atomic>
@@ -56,9 +65,39 @@ class SimSystem {
                      std::uint64_t seed = 0x5a1f);
 
   /// Adds a process; returns its id. The process starts unthrottled.
-  /// Must not be called while an epoch is open (spawn would reallocate the
-  /// hot arrays under the feet of running shards).
+  /// Between epochs the admission is immediate (the process is live right
+  /// away and first runs in the next epoch). While an epoch is open the
+  /// admission is DEFERRED: the pid is assigned and the cold row created
+  /// now, but the hot-array slot, scheduler weight and liveness commit at
+  /// the epoch boundary (end_epoch/abort_epoch), in spawn order, after
+  /// retirement compaction — so slot order stays ascending-pid and the
+  /// open epoch's frozen slot layout is never disturbed. Either way the
+  /// process first executes in the epoch after the one it was admitted
+  /// into (Eq. 3 next-epoch timing). Not thread-safe: call from the serial
+  /// phases only, never from inside a shard.
   ProcessId spawn(std::unique_ptr<Workload> workload);
+
+  /// Pre-grows every per-process table — the SoA hot arrays, the cold
+  /// table, the pid -> slot remap, the scheduler's weight table, the
+  /// lifecycle queues, the retirement pool and (when enabled) the feature
+  /// plane — for up to `max_processes` processes spawned over the system's
+  /// lifetime. After this, steady-state churn (spawn + exit every epoch)
+  /// allocates nothing until the reservation is exhausted; pair with
+  /// reserve_history() and enable_history_recycling() to make the whole
+  /// churn loop allocation-free. Must not be called while an epoch is open.
+  void reserve(std::size_t max_processes);
+
+  /// Arms the retirement pool: when a process retires, its sample-history
+  /// buffer is recycled into the next admission (capacity and all) and its
+  /// workload is destroyed, instead of both being kept forever. This is
+  /// what makes multi-thousand-process churn runs bounded in memory AND
+  /// allocation-free in steady state — at the cost of narrowing the
+  /// retired-observability contract: for a recycled pid, sample_history()
+  /// answers empty and workload() throws, while the scalar retirement
+  /// snapshot (exit reason, last sample, window statistics, progress,
+  /// epochs run) keeps answering as before. Off by default so fixed-
+  /// population drivers keep full post-mortem access.
+  void enable_history_recycling() { recycle_histories_ = true; }
 
   /// Runs one measurement epoch for every live process. With a pool the
   /// per-slot phase is sharded across its workers; results are
@@ -84,13 +123,16 @@ class SimSystem {
   //   begin_epoch();                  // serial: share snapshot
   //   for slot in shards of [0, live_processes().size()):
   //     step_slot(slot);              // parallel-safe for distinct slots
-  //   end_epoch();                    // serial: ++epoch, retire finished
+  //   end_epoch();                    // serial: ++epoch, lifecycle commit
   //
   // Between begin_epoch and end_epoch the live list and the pid -> slot
   // remap are frozen: slot i corresponds to live_processes()[i] for the
-  // whole dispatch. On an exception out of the dispatch call abort_epoch()
-  // instead of end_epoch(): finished slots still retire (a retry must not
-  // re-execute completed workloads) but the epoch does not count.
+  // whole dispatch — spawn() and kill() during that window enqueue instead
+  // of mutating (see the boundary-commit order under end_epoch). On an
+  // exception out of the dispatch call abort_epoch() instead of
+  // end_epoch(): lifecycle deltas still commit (a retry must not
+  // re-execute completed workloads or lose an admission) but the epoch
+  // does not count.
 
   /// Serial epoch-open phase: snapshots the CFS total weight and arms the
   /// per-slot phase. Throws std::logic_error if an epoch is already open.
@@ -102,12 +144,20 @@ class SimSystem {
   /// to natural completion this epoch.
   bool step_slot(std::size_t slot);
 
-  /// Serial epoch-close phase: advances the epoch count and retires any
-  /// slot whose process finished during the dispatch.
+  /// Serial epoch-close phase: advances the epoch count, then commits
+  /// every lifecycle delta gathered while the epoch was open, in a fixed
+  /// boundary order: (1) deferred kills mark their slots (a natural
+  /// completion in the same epoch wins — the process finished before the
+  /// kill could land), (2) one stable compaction pass retires every
+  /// finished/killed slot and batch-removes the retired pids from the
+  /// scheduler, (3) deferred admissions append in spawn order — new pids
+  /// are maximal, so slot order stays ascending-pid.
   void end_epoch();
 
-  /// Epoch-close for an aborted dispatch (a workload threw): retires
-  /// finished slots but leaves the epoch count untouched.
+  /// Epoch-close for an aborted dispatch (a workload threw): commits the
+  /// same lifecycle deltas as end_epoch (a retry must not re-execute
+  /// completed workloads or lose an admission) but leaves the epoch count
+  /// untouched.
   void abort_epoch();
 
   // --- Cross-slot feature plane --------------------------------------------
@@ -168,16 +218,27 @@ class SimSystem {
   /// Restores the default scheduler weight.
   void reset_sched_weight(ProcessId pid);
 
-  /// Kills the process (termination response). The slot is marked dead
-  /// immediately (is_live/exit_reason answer right away) and retires in
-  /// one batched compaction pass at the next live_processes() or
-  /// begin_epoch; the pid-addressed observers keep returning the state
-  /// the process died with throughout.
+  /// Kills the process (termination response). Between epochs the slot is
+  /// marked dead immediately (is_live/exit_reason answer right away) and
+  /// retires in one batched compaction pass at the next live_processes()
+  /// or begin_epoch; the pid-addressed observers keep returning the state
+  /// the process died with throughout. While an epoch is open the kill is
+  /// DEFERRED to the boundary: the process still runs the open epoch in
+  /// full (so results don't depend on where in the dispatch the call
+  /// landed), then retires at end_epoch — unless it completed naturally in
+  /// that same epoch, in which case the completion wins. Killing a
+  /// process whose admission is still pending cancels the admission: it
+  /// never runs, and exits as kKilled.
   void kill(ProcessId pid);
 
   // --- Observers -----------------------------------------------------------
 
   [[nodiscard]] std::uint64_t current_epoch() const noexcept { return epoch_; }
+  /// Processes ever spawned; pids are dense in [0, total_spawned()), so
+  /// this bounds post-run censuses over live and retired processes alike.
+  [[nodiscard]] std::size_t total_spawned() const noexcept {
+    return cold_.size();
+  }
   [[nodiscard]] double elapsed_ms() const noexcept {
     return static_cast<double>(epoch_) * platform_.epoch_ms;
   }
@@ -186,8 +247,12 @@ class SimSystem {
   }
   [[nodiscard]] CfsScheduler& scheduler() noexcept { return scheduler_; }
 
+  /// False for retired processes AND for processes whose mid-epoch
+  /// admission has not committed yet (they become live at the boundary).
   [[nodiscard]] bool is_live(ProcessId pid) const;
   [[nodiscard]] ExitReason exit_reason(ProcessId pid) const;
+  /// Throws std::logic_error for a retired pid whose workload was
+  /// reclaimed by the retirement pool (enable_history_recycling()).
   [[nodiscard]] const Workload& workload(ProcessId pid) const;
   [[nodiscard]] Workload& workload(ProcessId pid);
 
@@ -200,7 +265,8 @@ class SimSystem {
   /// Most recent HPC sample (empty sample before the first epoch).
   [[nodiscard]] const hpc::HpcSample& last_sample(ProcessId pid) const;
 
-  /// All samples captured so far, oldest first.
+  /// All samples captured so far, oldest first. Empty for a retired pid
+  /// whose buffer was reclaimed by the retirement pool.
   [[nodiscard]] const std::vector<hpc::HpcSample>& sample_history(
       ProcessId pid) const;
 
@@ -228,7 +294,14 @@ class SimSystem {
   [[nodiscard]] std::span<const ProcessId> live_processes() const;
 
  private:
-  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  // pid_slot_ sentinels. Real slots are < kPendingSlot, so is_hot_slot()
+  // is a single compare.
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;      // retired
+  static constexpr std::uint32_t kPendingSlot = 0xfffffffeu; // admission queued
+
+  [[nodiscard]] static constexpr bool is_hot_slot(std::uint32_t slot) noexcept {
+    return slot < kPendingSlot;
+  }
 
   /// Snapshot of the hot fields a process died with, so pid-addressed
   /// observers keep working after the slot is recycled.
@@ -251,12 +324,30 @@ class SimSystem {
     RetiredState retired{};
   };
 
-  /// pid -> slot, throwing on unknown pid; kNoSlot marks a retired process.
+  /// pid -> slot, throwing on unknown pid; kNoSlot marks a retired
+  /// process, kPendingSlot one whose admission is queued.
   [[nodiscard]] std::uint32_t slot_checked(ProcessId pid) const;
 
+  /// Appends the hot-array slot for an already-created cold row: forks the
+  /// master RNG, hot fields (cgroup caps seeded from the retired snapshot,
+  /// where pending-state mutators land), plane side arrays. The
+  /// immediate-spawn path and the boundary admission commit share it, so
+  /// the two cannot drift.
+  void admit_slot(ProcessId pid);
+
+  /// Boundary commit of the lifecycle queues (end_epoch/abort_epoch):
+  /// deferred kills -> retirement compaction -> admissions in spawn order.
+  void commit_lifecycle();
+
+  /// Retirement-pool reclaim of one retired pid's cold row: donates the
+  /// history buffer (capacity intact), destroys the workload.
+  void reclaim_cold(ProcessId pid);
+
   /// Stable compaction: retires every slot whose exit flag is set, shifting
-  /// survivors down (preserving ascending pid order) and snapshotting the
-  /// dead processes' hot fields into their cold entries.
+  /// survivors down (preserving ascending pid order), snapshotting the
+  /// dead processes' hot fields into their cold entries, batch-removing
+  /// the retired pids from the scheduler, and (when recycling is armed)
+  /// returning their history buffers to the retirement pool.
   void retire_dead_slots();
 
   /// Grows the plane (and its per-slot side arrays) to the current slot
@@ -289,7 +380,8 @@ class SimSystem {
   bool plane_newest_ = false;   // maintain the newest-feature rows
   bool plane_stats_ = false;    // maintain the mean/stddev rows
   bool plane_windows_ = false;  // maintain the raw-window spans
-  std::size_t plane_stride_ = 0;  // slot capacity padded to 8 doubles
+  std::size_t plane_stride_ = 0;  // slot capacity padded to 8 doubles,
+                                  // floored at the reserve() capacity
   std::vector<double> plane_;     // kPlaneRows x plane_stride_, feature-major
   std::vector<std::size_t> plane_count_;  // per-slot measurement count
   std::vector<std::span<const hpc::HpcSample>> plane_window_;  // raw windows
@@ -305,6 +397,25 @@ class SimSystem {
   // Set by step_slot when a workload completes; read serially at epoch
   // close. Relaxed is enough: the pool's join orders it before end_epoch.
   std::atomic<bool> epoch_any_exited_{false};
+
+  // --- Deferred lifecycle state ---------------------------------------------
+  // Pids spawned while the epoch was open, in spawn order; their cold rows
+  // exist, their hot slots commit at the boundary. A pid whose pid_slot_
+  // entry is no longer kPendingSlot by then was cancelled by kill().
+  std::vector<ProcessId> pending_admit_;
+  // Live pids killed while the epoch was open; marked at the boundary.
+  std::vector<ProcessId> pending_kill_;
+  // Scratch for one compaction pass's retired pids (batch scheduler
+  // removal without reallocating).
+  std::vector<ProcessId> lifecycle_scratch_;
+  // Retirement pool: history buffers donated by retired processes, handed
+  // (capacity intact) to the next admissions. Only fed while
+  // recycle_histories_ is set.
+  std::vector<std::vector<hpc::HpcSample>> history_pool_;
+  bool recycle_histories_ = false;
+  // Floor for hot-array/plane capacity set by reserve(), so plane growth
+  // under churn never reallocates once reserved.
+  std::size_t reserved_capacity_ = 0;
 };
 
 }  // namespace valkyrie::sim

@@ -174,5 +174,94 @@ TEST(ParallelNoAlloc, ShardedBatchedStepIsAllocationFreeAfterWarmup) {
       4, ValkyrieEngine::StepMode::kBatched);
 }
 
+// Steady-state CHURN: with SimSystem::reserve + ValkyrieEngine::reserve +
+// history recycling armed, a full churn epoch — kill one process, spawn a
+// replacement (workload pre-built outside the loop, exactly like a real
+// driver materialising arrivals), attach it, detach/re-attach another,
+// step — performs zero heap allocations: the admission queue, scheduler
+// batch ops, retirement pool, attachment table and feature plane are all
+// pre-sized.
+void expect_steady_state_churn_does_not_allocate(
+    std::size_t worker_threads, ValkyrieEngine::StepMode mode) {
+  const FlappingDetector detector;
+  sim::SimSystem sys;
+  ValkyrieEngine engine(sys, detector, worker_threads, mode);
+
+  constexpr std::size_t kProcs = 24;
+  // The warmup must outlive the pool-priming transient: the very first
+  // cold-pool arrival doubles its history until it first donates (it lives
+  // kProcs epochs, so its last regrowth lands before epoch kProcs).
+  constexpr std::size_t kWarmup = 32;
+  constexpr std::size_t kMeasured = 48;
+  sys.reserve(kProcs + kWarmup + kMeasured + 8);
+  engine.reserve(kProcs + kWarmup + kMeasured + 8);
+  sys.enable_history_recycling();
+
+  std::vector<sim::ProcessId> fifo;  // oldest-first churn order
+  fifo.reserve(kProcs + kWarmup + kMeasured);
+  for (std::size_t i = 0; i < kProcs; ++i) {
+    const sim::ProcessId pid =
+        sys.spawn(std::make_unique<SigWorkload>(benign_signature()));
+    engine.attach(pid, ValkyrieConfig{},
+                  std::make_unique<SchedulerWeightActuator>());
+    fifo.push_back(pid);
+  }
+
+  // Arrivals materialised outside the churn loop: workload/actuator
+  // construction is the caller's allocation, not the engine's.
+  std::vector<std::unique_ptr<sim::Workload>> workload_stash;
+  std::vector<std::unique_ptr<Actuator>> actuator_stash;
+  for (std::size_t i = 0; i < kWarmup + kMeasured; ++i) {
+    workload_stash.push_back(
+        std::make_unique<SigWorkload>(benign_signature()));
+    actuator_stash.push_back(std::make_unique<SchedulerWeightActuator>());
+  }
+
+  sys.reserve_history(kWarmup + kMeasured + 1);
+
+  // The warmup epochs churn too: the retirement pool only starts donating
+  // one epoch after the first death, so a cold pool's very first arrival
+  // grows its history from scratch — steady state begins once the
+  // kill -> donate -> inherit chain is primed.
+  std::size_t before = 0;
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < kWarmup + kMeasured; ++i) {
+    if (i == kWarmup) {
+      before = g_allocations.load(std::memory_order_relaxed);
+    }
+    // 1-in-1-out churn: the oldest process leaves, a fresh one arrives.
+    sys.kill(fifo[next]);
+    const sim::ProcessId fresh = sys.spawn(std::move(workload_stash[next]));
+    engine.attach(fresh, ValkyrieConfig{}, std::move(actuator_stash[next]));
+    fifo.push_back(fresh);
+    // The dead process's attachment is detached rather than left to
+    // accumulate — epoch-boundary lifecycle ops must be allocation-free
+    // too.
+    engine.detach(fifo[next]);
+    ++next;
+    const std::size_t live = engine.step();
+    ASSERT_EQ(live, kProcs) << "churn must hold the live population";
+  }
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after, before)
+      << "churn epoch allocated with " << worker_threads << " workers";
+}
+
+TEST(ParallelNoAlloc, SequentialChurnIsAllocationFreeUnderReserve) {
+  expect_steady_state_churn_does_not_allocate(
+      1, ValkyrieEngine::StepMode::kFused);
+}
+
+TEST(ParallelNoAlloc, ShardedChurnIsAllocationFreeUnderReserve) {
+  expect_steady_state_churn_does_not_allocate(
+      4, ValkyrieEngine::StepMode::kFused);
+}
+
+TEST(ParallelNoAlloc, BatchedChurnIsAllocationFreeUnderReserve) {
+  expect_steady_state_churn_does_not_allocate(
+      4, ValkyrieEngine::StepMode::kBatched);
+}
+
 }  // namespace
 }  // namespace valkyrie::core

@@ -392,17 +392,147 @@ TEST(System, FusedEpochApiMatchesRunEpoch) {
   }
 }
 
-TEST(System, OpenEpochRejectsStructuralMutation) {
+TEST(System, OpenEpochDefersLifecycleToTheBoundary) {
+  SimSystem sys;
+  const ProcessId first = sys.spawn(std::make_unique<StubWorkload>());
+  sys.begin_epoch();
+  EXPECT_THROW(sys.begin_epoch(), std::logic_error);
+
+  // Mid-epoch spawn: pid assigned now, liveness committed at the boundary.
+  const ProcessId mid = sys.spawn(std::make_unique<StubWorkload>());
+  EXPECT_FALSE(sys.is_live(mid));
+  EXPECT_EQ(sys.exit_reason(mid), ExitReason::kRunning);
+  EXPECT_EQ(sys.live_processes().size(), 1u);  // slot layout frozen
+
+  // Mid-epoch kill of a live slot: the open epoch still runs it in full.
+  sys.kill(first);
+  EXPECT_TRUE(sys.is_live(first));
+  sys.step_slot(0);
+
+  sys.abort_epoch();  // close without counting: deltas commit anyway
+  EXPECT_EQ(sys.current_epoch(), 0u);
+  EXPECT_FALSE(sys.is_live(first));
+  EXPECT_EQ(sys.exit_reason(first), ExitReason::kKilled);
+  EXPECT_EQ(sys.epochs_run(first), 1u);  // the aborted epoch's slot ran
+  EXPECT_TRUE(sys.is_live(mid));
+  ASSERT_EQ(sys.live_processes().size(), 1u);
+  EXPECT_EQ(sys.live_processes()[0], mid);
+  sys.run_epoch();
+  EXPECT_EQ(sys.current_epoch(), 1u);
+  EXPECT_EQ(sys.epochs_run(mid), 1u);
+}
+
+TEST(System, MidEpochSpawnFirstRunsInTheNextEpoch) {
+  // Eq. 3 next-epoch timing for admissions: a process spawned during epoch
+  // E commits at E's boundary and first executes in epoch E+1.
   SimSystem sys;
   sys.spawn(std::make_unique<StubWorkload>());
   sys.begin_epoch();
-  EXPECT_THROW(sys.begin_epoch(), std::logic_error);
-  EXPECT_THROW(sys.spawn(std::make_unique<StubWorkload>()), std::logic_error);
-  EXPECT_THROW(sys.kill(0), std::logic_error);
-  sys.abort_epoch();  // close without counting
-  EXPECT_EQ(sys.current_epoch(), 0u);
+  const ProcessId mid = sys.spawn(std::make_unique<StubWorkload>());
+  sys.step_slot(0);
+  sys.end_epoch();
+  EXPECT_EQ(sys.epochs_run(mid), 0u);
+  EXPECT_TRUE(sys.is_live(mid));
+  EXPECT_TRUE(sys.scheduler().has_process(mid));
   sys.run_epoch();
-  EXPECT_EQ(sys.current_epoch(), 1u);
+  EXPECT_EQ(sys.epochs_run(mid), 1u);
+  EXPECT_EQ(sys.sample_history(mid).size(), 1u);
+}
+
+TEST(System, StateConfiguredWhilePendingSurvivesTheAdmission) {
+  // Caps and scheduler weights set between a mid-epoch spawn and its
+  // boundary commit must apply from the process's first epoch — not be
+  // silently reset by the admission.
+  SimSystem sys;
+  sys.spawn(std::make_unique<StubWorkload>());
+  sys.begin_epoch();
+  const ProcessId mid = sys.spawn(std::make_unique<StubWorkload>());
+  sys.set_cgroup_caps(mid, 0.25, std::nullopt, std::nullopt, std::nullopt);
+  sys.apply_sched_threat_delta(mid, 5.0);  // factor 0.5 under default gamma
+  EXPECT_DOUBLE_EQ(sys.cgroup_caps(mid).cpu, 0.25);
+  sys.step_slot(0);
+  sys.end_epoch();
+  EXPECT_DOUBLE_EQ(sys.cgroup_caps(mid).cpu, 0.25);
+  EXPECT_NEAR(sys.scheduler().weight_factor(mid), 0.5, 1e-12);
+  sys.run_epoch();
+  // The first executed epoch already ran under both restrictions.
+  EXPECT_LE(sys.effective_shares(mid).cpu, 0.25);
+}
+
+TEST(System, MidEpochKillOfPendingAdmissionCancelsIt) {
+  SimSystem sys;
+  sys.spawn(std::make_unique<StubWorkload>());
+  sys.begin_epoch();
+  const ProcessId mid = sys.spawn(std::make_unique<StubWorkload>());
+  sys.kill(mid);  // cancelled before it ever ran
+  sys.step_slot(0);
+  sys.end_epoch();
+  EXPECT_FALSE(sys.is_live(mid));
+  EXPECT_EQ(sys.exit_reason(mid), ExitReason::kKilled);
+  EXPECT_EQ(sys.epochs_run(mid), 0u);
+  EXPECT_EQ(sys.live_processes().size(), 1u);
+  EXPECT_FALSE(sys.scheduler().has_process(mid));
+}
+
+TEST(System, MidEpochCompletionBeatsDeferredKill) {
+  SimSystem sys;
+  const ProcessId pid = sys.spawn(std::make_unique<StubWorkload>(1.0));
+  sys.begin_epoch();
+  sys.kill(pid);
+  sys.step_slot(0);  // runs to natural completion this very epoch
+  sys.end_epoch();
+  EXPECT_EQ(sys.exit_reason(pid), ExitReason::kCompleted)
+      << "a natural completion in the same epoch outranks the deferred kill";
+}
+
+TEST(System, RetiredProcessesLeaveTheCfsPool) {
+  // A dead process must stop competing for CPU: after its retirement the
+  // survivors' shares are computed as if it never existed, while its own
+  // last weight stays readable post-mortem.
+  SimSystem sys;
+  const ProcessId a = sys.spawn(std::make_unique<StubWorkload>());
+  const ProcessId b = sys.spawn(std::make_unique<StubWorkload>());
+  sys.run_epoch();
+  sys.apply_sched_threat_delta(b, 5.0);  // demote b, then kill it
+  const double demoted = sys.scheduler().weight_factor(b);
+  EXPECT_LT(demoted, 1.0);
+  sys.kill(b);
+  sys.run_epoch();
+  EXPECT_FALSE(sys.scheduler().has_process(b));
+  EXPECT_DOUBLE_EQ(sys.scheduler().weight_factor(b), demoted)
+      << "the parked weight keeps answering with the final factor";
+  // Late commands against the dead pid must not resurrect its weight.
+  sys.apply_sched_threat_delta(b, 1.0);
+  sys.reset_sched_weight(b);
+  EXPECT_FALSE(sys.scheduler().has_process(b));
+  EXPECT_DOUBLE_EQ(sys.scheduler().weight_factor(b), demoted);
+  // With only `a` live (weight 1.0), its normalized share is exactly 1.
+  sys.run_epoch();
+  EXPECT_DOUBLE_EQ(sys.effective_shares(a).cpu, 1.0);
+}
+
+TEST(System, ReserveAndRecyclingKeepChurnBounded) {
+  SimSystem sys;
+  sys.reserve(64);
+  sys.enable_history_recycling();
+  std::vector<ProcessId> pids;
+  for (int i = 0; i < 4; ++i) {
+    pids.push_back(sys.spawn(std::make_unique<StubWorkload>()));
+  }
+  sys.run_epochs(3);
+  sys.kill(pids[1]);
+  sys.run_epoch();
+  // The recycled pid keeps its scalar snapshot but loses the heavy state.
+  EXPECT_EQ(sys.exit_reason(pids[1]), ExitReason::kKilled);
+  EXPECT_EQ(sys.epochs_run(pids[1]), 3u);
+  EXPECT_TRUE(sys.sample_history(pids[1]).empty());
+  EXPECT_THROW((void)sys.workload(pids[1]), std::logic_error);
+  EXPECT_DOUBLE_EQ(sys.last_progress(pids[1]), 1.0);
+  // A fresh spawn inherits the donated history buffer's capacity.
+  const ProcessId fresh = sys.spawn(std::make_unique<StubWorkload>());
+  sys.run_epoch();
+  EXPECT_EQ(sys.sample_history(fresh).size(), 1u);
+  EXPECT_TRUE(sys.is_live(fresh));
 }
 
 TEST(Platform, ProfilesDiffer) {
