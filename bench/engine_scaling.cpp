@@ -25,6 +25,10 @@
 //      steady-state live processes, sweeping the arrival/exit rate.
 //      Records ns/proc/epoch (the epoch-open lifecycle must not tax the
 //      closed-population hot path) plus admissions/exits per epoch.
+//   5. Snapshot: the operational-recovery cost model at 1024/4096 live
+//      processes — capture latency (synchronous on the engine thread),
+//      off-thread encode latency, artifact bytes, and parse+restore
+//      latency into a fresh engine.
 //
 //   ./engine_scaling [out.json] [max_threads] [--smoke]
 //
@@ -51,6 +55,8 @@
 #include "ml/svm.hpp"
 #include "sim/scenario.hpp"
 #include "sim/system.hpp"
+#include "snapshot/snapshot.hpp"
+#include "workloads/benchmarks.hpp"
 
 namespace {
 
@@ -275,6 +281,71 @@ ChurnPoint run_churn_point(const ml::Detector& detector,
   return {target_live, arrival_rate, threads,
           mode,        best_ns,      best_ns / best_mean_live,
           mean_live,   admissions,   exits};
+}
+
+// --- Snapshot measurements ---------------------------------------------------
+//
+// The operational-recovery cost model: what a checkpoint actually charges
+// the engine thread (capture = structured copy, taken synchronously at the
+// epoch boundary), what it charges the Snapshotter worker (encode = byte
+// projection + CRC32), how big the artifact is, and what recovery costs
+// (parse + restore into a freshly constructed engine). Populations use the
+// registered BenchmarkWorkload — the bench-local SignatureWorkload has no
+// snapshot hook, and a production snapshot carries real workloads anyway.
+
+struct SnapshotPoint {
+  std::size_t processes;
+  double capture_us;
+  double encode_us;
+  double restore_us;  // parse + restore, fresh engine
+  std::size_t bytes;
+};
+
+SnapshotPoint run_snapshot_point(const ml::Detector& detector,
+                                 std::size_t processes, bool smoke) {
+  const std::vector<workloads::BenchmarkSpec> palette = workloads::spec2006();
+  sim::SimSystem sys;
+  core::ValkyrieEngine engine(sys, detector);
+  for (std::size_t p = 0; p < processes; ++p) {
+    workloads::BenchmarkSpec spec = palette[p % palette.size()];
+    spec.epochs_of_work = 1e12;  // keep the population fully live
+    const sim::ProcessId pid =
+        sys.spawn(std::make_unique<workloads::BenchmarkWorkload>(spec));
+    engine.attach(pid, core::ValkyrieConfig{},
+                  std::make_unique<core::SchedulerWeightActuator>());
+  }
+  const std::uint64_t warm = smoke ? 32 : 128;  // history the snapshot carries
+  sys.reserve_history(warm + 1);
+  for (std::uint64_t i = 0; i < warm; ++i) engine.step();
+
+  const int repeats = smoke ? 3 : 7;
+  double capture_us = 0.0, encode_us = 0.0, restore_us = 0.0;
+  std::vector<std::uint8_t> bytes;
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = Clock::now();
+    const snapshot::SnapshotImage image = snapshot::capture(engine);
+    const auto t1 = Clock::now();
+    bytes = snapshot::encode(image);
+    const auto t2 = Clock::now();
+
+    sim::SimSystem sys2;
+    core::ValkyrieEngine engine2(sys2, detector);
+    const auto t3 = Clock::now();
+    const snapshot::SnapshotImage reparsed = snapshot::parse(bytes);
+    snapshot::restore(reparsed, engine2, snapshot::RestoreContext{});
+    const auto t4 = Clock::now();
+
+    const auto us = [](Clock::time_point a, Clock::time_point b) {
+      return static_cast<double>(
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+                     .count()) /
+             1e3;
+    };
+    if (r == 0 || us(t0, t1) < capture_us) capture_us = us(t0, t1);
+    if (r == 0 || us(t1, t2) < encode_us) encode_us = us(t1, t2);
+    if (r == 0 || us(t3, t4) < restore_us) restore_us = us(t3, t4);
+  }
+  return {processes, capture_us, encode_us, restore_us, bytes.size()};
 }
 
 // --- Batch-kernel micro-measurements -----------------------------------------
@@ -683,6 +754,31 @@ int main(int argc, char** argv) {
       }
     }
   }
+  json += "\n  ],\n  \"snapshot\": [\n";
+
+  // Snapshot cost model: capture (engine-thread, synchronous), encode
+  // (Snapshotter worker), artifact size, restore (parse + rebuild).
+  std::vector<std::size_t> snapshot_live = {1024, 4096};
+  if (smoke) snapshot_live = {1024};
+  bool first_snap = true;
+  for (const std::size_t live : snapshot_live) {
+    const SnapshotPoint p = run_snapshot_point(detector, live, smoke);
+    if (!first_snap) json += ",\n";
+    first_snap = false;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"processes\": %zu, \"capture_us\": %.1f, "
+                  "\"encode_us\": %.1f, \"restore_us\": %.1f, "
+                  "\"bytes\": %zu}",
+                  p.processes, p.capture_us, p.encode_us, p.restore_us,
+                  p.bytes);
+    json += buf;
+    std::printf(
+        "snapshot %4zu live: capture %.1f us  encode %.1f us  "
+        "restore %.1f us  %zu bytes\n",
+        p.processes, p.capture_us, p.encode_us, p.restore_us, p.bytes);
+  }
+
   json += "\n  ],\n  \"batch_kernels\": [\n";
 
   const std::vector<KernelRow> kernels = run_batch_kernels(smoke);

@@ -6,6 +6,7 @@
 #include "attacks/signatures.hpp"
 #include "sim/resources.hpp"
 #include "util/rng.hpp"
+#include "util/serial.hpp"
 
 namespace valkyrie::attacks {
 
@@ -73,5 +74,37 @@ std::vector<CryptominerConfig> cryptominer_corpus(std::uint64_t seed) {
   (void)idx;
   return corpus;
 }
+
+
+
+void CryptominerAttack::snapshot_save(util::ByteWriter& out) const {
+  out.str(config_.name);
+  out.f64(config_.hashes_per_second);
+  out.i64(config_.real_hashes_per_epoch);
+  out.i64(config_.difficulty_bits);
+  out.f64(config_.family_jitter);
+  out.u64(config_.seed);
+  out.f64(hashes_);
+  out.u64(shares_found_);
+  out.u64(nonce_);
+}
+
+std::unique_ptr<sim::Workload> CryptominerAttack::snapshot_load(
+    util::ByteReader& in) {
+  CryptominerConfig config;
+  config.name = in.str();
+  config.hashes_per_second = in.f64();
+  config.real_hashes_per_epoch = static_cast<int>(in.i64());
+  config.difficulty_bits = static_cast<int>(in.i64());
+  config.family_jitter = in.f64();
+  config.seed = in.u64();
+  auto out = std::make_unique<CryptominerAttack>(std::move(config));
+  out->hashes_ = in.f64();
+  out->shares_found_ = in.u64();
+  out->nonce_ = in.u64();
+  return out;
+}
+
+
 
 }  // namespace valkyrie::attacks

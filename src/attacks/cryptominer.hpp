@@ -5,6 +5,7 @@
 // the suspicious state).
 #pragma once
 
+#include <memory>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -43,6 +44,12 @@ class CryptominerAttack final : public sim::Workload {
   [[nodiscard]] std::uint64_t shares_found() const noexcept {
     return shares_found_;
   }
+
+  [[nodiscard]] std::string_view snapshot_type() const override {
+    return "attack.cryptominer";
+  }
+  void snapshot_save(util::ByteWriter& out) const override;
+  static std::unique_ptr<sim::Workload> snapshot_load(util::ByteReader& in);
 
  private:
   CryptominerConfig config_;

@@ -4,6 +4,7 @@
 
 #include "attacks/signatures.hpp"
 #include "sim/resources.hpp"
+#include "util/serial.hpp"
 
 namespace valkyrie::attacks {
 
@@ -54,6 +55,33 @@ sim::StepResult ExfiltratorAttack::run_epoch(const sim::ResourceShares& shares,
       bytes / (config_.files_per_second * epoch_s * config_.mean_file_bytes);
   out.hpc = signature_.sample(*ctx.rng, std::clamp(activity, 0.0, 1.0),
                               ctx.hpc_noise);
+  return out;
+}
+
+void ExfiltratorAttack::snapshot_save(util::ByteWriter& out) const {
+  out.f64(config_.files_per_second);
+  out.f64(config_.mean_file_bytes);
+  out.f64(config_.cpu_hash_bytes_per_second);
+  out.u64(config_.max_real_hash_bytes_per_epoch);
+  out.f64(bytes_transmitted_);
+  out.u64(files_processed_);
+  out.u64(hashes_computed_);
+  out.bytes(last_digest_);
+}
+
+std::unique_ptr<sim::Workload> ExfiltratorAttack::snapshot_load(
+    util::ByteReader& in) {
+  ExfiltratorConfig config;
+  config.files_per_second = in.f64();
+  config.mean_file_bytes = in.f64();
+  config.cpu_hash_bytes_per_second = in.f64();
+  config.max_real_hash_bytes_per_epoch = static_cast<std::size_t>(in.u64());
+  auto out = std::make_unique<ExfiltratorAttack>(config);
+  out->bytes_transmitted_ = in.f64();
+  out->files_processed_ = in.u64();
+  out->hashes_computed_ = in.u64();
+  const std::span<const std::uint8_t> digest = in.bytes(out->last_digest_.size());
+  std::copy(digest.begin(), digest.end(), out->last_digest_.begin());
   return out;
 }
 

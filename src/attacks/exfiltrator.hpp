@@ -9,6 +9,7 @@
 // so each Table II row falls out of throttling a single knob.
 #pragma once
 
+#include <memory>
 #include <cstdint>
 #include <vector>
 
@@ -52,6 +53,12 @@ class ExfiltratorAttack final : public sim::Workload {
   [[nodiscard]] std::uint64_t hashes_computed() const noexcept {
     return hashes_computed_;
   }
+
+  [[nodiscard]] std::string_view snapshot_type() const override {
+    return "attack.exfiltrator";
+  }
+  void snapshot_save(util::ByteWriter& out) const override;
+  static std::unique_ptr<sim::Workload> snapshot_load(util::ByteReader& in);
 
  private:
   ExfiltratorConfig config_;

@@ -6,6 +6,7 @@
 #include "attacks/signatures.hpp"
 #include "sim/resources.hpp"
 #include "util/rng.hpp"
+#include "util/serial.hpp"
 
 namespace valkyrie::attacks {
 namespace {
@@ -100,6 +101,39 @@ std::vector<RansomwareConfig> ransomware_corpus(std::uint64_t seed) {
     }
   }
   return corpus;
+}
+
+void RansomwareAttack::snapshot_save(util::ByteWriter& out) const {
+  out.str(config_.name);
+  out.f64(config_.cpu_bytes_per_second);
+  out.f64(config_.files_per_epoch);
+  out.f64(config_.mean_file_bytes);
+  out.u64(config_.max_real_crypt_bytes);
+  out.f64(config_.family_jitter);
+  out.f64(config_.scan_phase_prob);
+  out.u64(config_.seed);
+  out.f64(bytes_encrypted_);
+  out.f64(files_encrypted_);
+  out.u64(nonce_counter_);
+}
+
+std::unique_ptr<sim::Workload> RansomwareAttack::snapshot_load(
+    util::ByteReader& in) {
+  RansomwareConfig config;
+  config.name = in.str();
+  config.cpu_bytes_per_second = in.f64();
+  config.files_per_epoch = in.f64();
+  config.mean_file_bytes = in.f64();
+  config.max_real_crypt_bytes = static_cast<std::size_t>(in.u64());
+  config.family_jitter = in.f64();
+  config.scan_phase_prob = in.f64();
+  config.seed = in.u64();
+  // The cipher is a pure function of the seed; the constructor rebuilds it.
+  auto out = std::make_unique<RansomwareAttack>(std::move(config));
+  out->bytes_encrypted_ = in.f64();
+  out->files_encrypted_ = in.f64();
+  out->nonce_counter_ = in.u64();
+  return out;
 }
 
 }  // namespace valkyrie::attacks

@@ -9,6 +9,7 @@
 // (CPU: 11.67 MB/s -> ~152 KB/s; file rate 7 -> 1 files/epoch: -> 1.5 MB/s).
 #pragma once
 
+#include <memory>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -57,6 +58,12 @@ class RansomwareAttack final : public sim::Workload {
   [[nodiscard]] double files_encrypted() const noexcept {
     return files_encrypted_;
   }
+
+  [[nodiscard]] std::string_view snapshot_type() const override {
+    return "attack.ransomware";
+  }
+  void snapshot_save(util::ByteWriter& out) const override;
+  static std::unique_ptr<sim::Workload> snapshot_load(util::ByteReader& in);
 
  private:
   RansomwareConfig config_;

@@ -5,6 +5,7 @@
 
 #include "attacks/signatures.hpp"
 #include "sim/resources.hpp"
+#include "util/serial.hpp"
 
 namespace valkyrie::attacks {
 
@@ -47,6 +48,40 @@ sim::StepResult RowhammerAttack::run_epoch(const sim::ResourceShares& shares,
   sim::StepResult out;
   out.progress = static_cast<double>(dram_.total_bit_flips() - flips_before);
   out.hpc = signature_.sample(*ctx.rng, std::max(s, 0.0), ctx.hpc_noise);
+  return out;
+}
+
+void RowhammerAttack::snapshot_save(util::ByteWriter& out) const {
+  out.u32(config_.dram.banks);
+  out.u32(config_.dram.rows_per_bank);
+  out.f64(config_.dram.t_rc_ns);
+  out.f64(config_.dram.refresh_interval_ms);
+  out.u64(config_.dram.disturbance_threshold);
+  out.f64(config_.dram.flip_prob_per_excess);
+  out.u32(config_.victim_row);
+  out.u32(config_.bank);
+  out.f64(config_.slice_ms);
+  out.u64(config_.dram_seed);
+  out.u64(iterations_);
+  dram_.snapshot_save(out);
+}
+
+std::unique_ptr<sim::Workload> RowhammerAttack::snapshot_load(
+    util::ByteReader& in) {
+  RowhammerConfig config;
+  config.dram.banks = in.u32();
+  config.dram.rows_per_bank = in.u32();
+  config.dram.t_rc_ns = in.f64();
+  config.dram.refresh_interval_ms = in.f64();
+  config.dram.disturbance_threshold = in.u64();
+  config.dram.flip_prob_per_excess = in.f64();
+  config.victim_row = in.u32();
+  config.bank = in.u32();
+  config.slice_ms = in.f64();
+  config.dram_seed = in.u64();
+  auto out = std::make_unique<RowhammerAttack>(config);
+  out->iterations_ = in.u64();
+  out->dram_.snapshot_restore(in);
   return out;
 }
 

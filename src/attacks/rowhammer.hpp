@@ -11,6 +11,7 @@
 // slowdown, which is how Valkyrie defeats the attack outright.
 #pragma once
 
+#include <memory>
 #include <cstdint>
 
 #include "dram/dram.hpp"
@@ -47,6 +48,12 @@ class RowhammerAttack final : public sim::Workload {
   [[nodiscard]] std::uint64_t hammer_iterations() const noexcept {
     return iterations_;
   }
+
+  [[nodiscard]] std::string_view snapshot_type() const override {
+    return "attack.rowhammer";
+  }
+  void snapshot_save(util::ByteWriter& out) const override;
+  static std::unique_ptr<sim::Workload> snapshot_load(util::ByteReader& in);
 
  private:
   RowhammerConfig config_;

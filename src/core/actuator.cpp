@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "snapshot/registry.hpp"
+#include "util/serial.hpp"
+
 namespace valkyrie::core {
 
 void ActuatorCommand::apply(sim::SimSystem& sys) const {
@@ -93,6 +96,93 @@ void CompositeActuator::reset(sim::SimSystem& sys, sim::ProcessId pid) {
   for (const std::unique_ptr<Actuator>& part : parts_) {
     part->reset(sys, pid);
   }
+}
+
+// --- Snapshot save/load ------------------------------------------------------
+
+void SchedulerWeightActuator::snapshot_save(util::ByteWriter& /*out*/) const {}
+
+std::unique_ptr<Actuator> SchedulerWeightActuator::snapshot_load(
+    util::ByteReader& /*in*/, const snapshot::ActuatorRegistry& /*registry*/) {
+  return std::make_unique<SchedulerWeightActuator>();
+}
+
+void CgroupCpuActuator::snapshot_save(util::ByteWriter& out) const {
+  out.f64(step_);
+  out.f64(floor_);
+}
+
+std::unique_ptr<Actuator> CgroupCpuActuator::snapshot_load(
+    util::ByteReader& in, const snapshot::ActuatorRegistry& /*registry*/) {
+  const double step = in.f64();
+  const double floor = in.f64();
+  return std::make_unique<CgroupCpuActuator>(step, floor);
+}
+
+void CgroupFsActuator::snapshot_save(util::ByteWriter& out) const {
+  out.f64(factor_);
+  out.f64(floor_);
+}
+
+std::unique_ptr<Actuator> CgroupFsActuator::snapshot_load(
+    util::ByteReader& in, const snapshot::ActuatorRegistry& /*registry*/) {
+  const double factor = in.f64();
+  const double floor = in.f64();
+  return std::make_unique<CgroupFsActuator>(factor, floor);
+}
+
+void CgroupMemActuator::snapshot_save(util::ByteWriter& out) const {
+  out.f64(step_);
+  out.f64(floor_);
+}
+
+std::unique_ptr<Actuator> CgroupMemActuator::snapshot_load(
+    util::ByteReader& in, const snapshot::ActuatorRegistry& /*registry*/) {
+  const double step = in.f64();
+  const double floor = in.f64();
+  return std::make_unique<CgroupMemActuator>(step, floor);
+}
+
+void CgroupNetActuator::snapshot_save(util::ByteWriter& out) const {
+  out.f64(factor_);
+  out.f64(floor_);
+}
+
+std::unique_ptr<Actuator> CgroupNetActuator::snapshot_load(
+    util::ByteReader& in, const snapshot::ActuatorRegistry& /*registry*/) {
+  const double factor = in.f64();
+  const double floor = in.f64();
+  return std::make_unique<CgroupNetActuator>(factor, floor);
+}
+
+std::string_view CompositeActuator::snapshot_type() const {
+  for (const std::unique_ptr<Actuator>& part : parts_) {
+    if (part->snapshot_type().empty()) return {};
+  }
+  return "act.composite";
+}
+
+void CompositeActuator::snapshot_save(util::ByteWriter& out) const {
+  out.u64(parts_.size());
+  for (const std::unique_ptr<Actuator>& part : parts_) {
+    out.str(part->snapshot_type());
+    std::vector<std::uint8_t> payload;
+    util::ByteWriter nested(payload);
+    part->snapshot_save(nested);
+    out.u64(payload.size());
+    out.bytes(payload);
+  }
+}
+
+std::unique_ptr<Actuator> CompositeActuator::snapshot_load(
+    util::ByteReader& in, const snapshot::ActuatorRegistry& registry) {
+  const std::size_t count = in.length();
+  std::vector<std::unique_ptr<Actuator>> parts;
+  parts.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    parts.push_back(registry.load_nested(in));
+  }
+  return std::make_unique<CompositeActuator>(std::move(parts));
 }
 
 }  // namespace valkyrie::core

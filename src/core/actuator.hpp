@@ -11,9 +11,19 @@
 #pragma once
 
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "sim/system.hpp"
+
+namespace valkyrie::util {
+class ByteWriter;
+class ByteReader;
+}  // namespace valkyrie::util
+
+namespace valkyrie::snapshot {
+class ActuatorRegistry;
+}  // namespace valkyrie::snapshot
 
 namespace valkyrie::core {
 
@@ -29,6 +39,15 @@ class Actuator {
 
   /// Areset: removes every restriction this actuator imposed.
   virtual void reset(sim::SimSystem& sys, sim::ProcessId pid) = 0;
+
+  // --- Snapshot hooks --------------------------------------------------------
+  // Same contract as sim::Workload's hooks: a stable type tag plus a
+  // parameter dump, with reconstruction via a static snapshot_load on the
+  // concrete class dispatched through a snapshot::ActuatorRegistry. Empty
+  // tag = snapshot unsupported (capture fails with a typed error).
+
+  [[nodiscard]] virtual std::string_view snapshot_type() const { return {}; }
+  virtual void snapshot_save(util::ByteWriter& /*out*/) const {}
 };
 
 /// A deferred actuator invocation. Monitors running inside parallel engine
@@ -65,6 +84,13 @@ class SchedulerWeightActuator final : public Actuator {
   void apply(sim::SimSystem& sys, sim::ProcessId pid,
              double delta_threat) override;
   void reset(sim::SimSystem& sys, sim::ProcessId pid) override;
+
+  [[nodiscard]] std::string_view snapshot_type() const override {
+    return "act.sched_weight";
+  }
+  void snapshot_save(util::ByteWriter& out) const override;
+  static std::unique_ptr<Actuator> snapshot_load(
+      util::ByteReader& in, const snapshot::ActuatorRegistry& registry);
 };
 
 /// cgroup cpu.max-style quota: the cap drops by `step` (percentage points
@@ -80,6 +106,13 @@ class CgroupCpuActuator final : public Actuator {
   void apply(sim::SimSystem& sys, sim::ProcessId pid,
              double delta_threat) override;
   void reset(sim::SimSystem& sys, sim::ProcessId pid) override;
+
+  [[nodiscard]] std::string_view snapshot_type() const override {
+    return "act.cgroup_cpu";
+  }
+  void snapshot_save(util::ByteWriter& out) const override;
+  static std::unique_ptr<Actuator> snapshot_load(
+      util::ByteReader& in, const snapshot::ActuatorRegistry& registry);
 
  private:
   double step_;
@@ -99,6 +132,13 @@ class CgroupFsActuator final : public Actuator {
              double delta_threat) override;
   void reset(sim::SimSystem& sys, sim::ProcessId pid) override;
 
+  [[nodiscard]] std::string_view snapshot_type() const override {
+    return "act.cgroup_fs";
+  }
+  void snapshot_save(util::ByteWriter& out) const override;
+  static std::unique_ptr<Actuator> snapshot_load(
+      util::ByteReader& in, const snapshot::ActuatorRegistry& registry);
+
  private:
   double factor_;
   double floor_;
@@ -116,6 +156,13 @@ class CgroupMemActuator final : public Actuator {
              double delta_threat) override;
   void reset(sim::SimSystem& sys, sim::ProcessId pid) override;
 
+  [[nodiscard]] std::string_view snapshot_type() const override {
+    return "act.cgroup_mem";
+  }
+  void snapshot_save(util::ByteWriter& out) const override;
+  static std::unique_ptr<Actuator> snapshot_load(
+      util::ByteReader& in, const snapshot::ActuatorRegistry& registry);
+
  private:
   double step_;
   double floor_;
@@ -132,6 +179,13 @@ class CgroupNetActuator final : public Actuator {
              double delta_threat) override;
   void reset(sim::SimSystem& sys, sim::ProcessId pid) override;
 
+  [[nodiscard]] std::string_view snapshot_type() const override {
+    return "act.cgroup_net";
+  }
+  void snapshot_save(util::ByteWriter& out) const override;
+  static std::unique_ptr<Actuator> snapshot_load(
+      util::ByteReader& in, const snapshot::ActuatorRegistry& registry);
+
  private:
   double factor_;
   double floor_;
@@ -146,6 +200,13 @@ class CompositeActuator final : public Actuator {
   void apply(sim::SimSystem& sys, sim::ProcessId pid,
              double delta_threat) override;
   void reset(sim::SimSystem& sys, sim::ProcessId pid) override;
+
+  /// Supported iff every part is; the tag is empty otherwise so capture
+  /// fails loudly rather than dropping a part.
+  [[nodiscard]] std::string_view snapshot_type() const override;
+  void snapshot_save(util::ByteWriter& out) const override;
+  static std::unique_ptr<Actuator> snapshot_load(
+      util::ByteReader& in, const snapshot::ActuatorRegistry& registry);
 
  private:
   std::vector<std::unique_ptr<Actuator>> parts_;

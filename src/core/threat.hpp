@@ -60,6 +60,17 @@ class ThreatIndex {
     state_ = ProcessState::kNormal;
   }
 
+  /// Reinstates the scalar metrics from a snapshot. The AssessmentFns in
+  /// config_ are code, not data — they come from the constructor-supplied
+  /// ThreatConfig, which the restore context must provide unchanged.
+  void restore(double threat, double penalty, double compensation,
+               ProcessState state) noexcept {
+    threat_ = threat;
+    penalty_ = penalty;
+    compensation_ = compensation;
+    state_ = state;
+  }
+
  private:
   ThreatConfig config_;
   double threat_ = 0.0;

@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "snapshot/snapshot.hpp"
+#include "util/serial.hpp"
+
 namespace valkyrie::core {
 
 ValkyrieMonitor::ValkyrieMonitor(ValkyrieConfig config,
@@ -477,6 +480,139 @@ ValkyrieMonitor::Action ValkyrieEngine::last_action(sim::ProcessId pid) const {
   // so an action from an older step reads as "nothing happened this epoch".
   return a.last_action_step == step_tag_ ? a.last_action
                                          : ValkyrieMonitor::Action::kNone;
+}
+
+// --- Snapshot/restore --------------------------------------------------------
+
+snapshot::MonitorImage ValkyrieMonitor::snapshot_state() const {
+  snapshot::MonitorImage image;
+  image.required_measurements = config_.required_measurements;
+  image.episode_scoped = config_.episode_scoped_measurements;
+  image.reset_metrics_on_normal = config_.threat.reset_metrics_on_normal;
+  image.actuator = snapshot::poly_image(*actuator_);
+  image.threat = threat_.threat();
+  image.penalty = threat_.penalty();
+  image.compensation = threat_.compensation();
+  image.threat_state = static_cast<std::uint8_t>(threat_.state());
+  image.measurements = measurements_;
+  image.state = static_cast<std::uint8_t>(state_);
+  return image;
+}
+
+ValkyrieMonitor ValkyrieMonitor::restore_from(
+    const snapshot::MonitorImage& image, const ValkyrieConfig& base,
+    const snapshot::ActuatorRegistry& registry) {
+  ValkyrieConfig config = base;
+  config.required_measurements =
+      static_cast<std::size_t>(image.required_measurements);
+  config.episode_scoped_measurements = image.episode_scoped;
+  config.threat.reset_metrics_on_normal = image.reset_metrics_on_normal;
+  ValkyrieMonitor monitor(config, registry.load(image.actuator));
+  monitor.threat_.restore(image.threat, image.penalty, image.compensation,
+                          static_cast<ProcessState>(image.threat_state));
+  monitor.measurements_ = static_cast<std::size_t>(image.measurements);
+  monitor.state_ = static_cast<ProcessState>(image.state);
+  return monitor;
+}
+
+snapshot::EngineImage ValkyrieEngine::snapshot_state() const {
+  snapshot::EngineImage image;
+  image.detector_hash = detector_.state_hash();
+  image.step_tag = step_tag_;
+  image.attachments.reserve(attached_.size() - detached_count_);
+  for (const Attached& a : attached_) {
+    // Tombstones are skipped: the captured table equals the post-prune
+    // table the uninterrupted run converges to at its next step, which is
+    // exactly what a restored engine's first step must start from.
+    if (a.detached) continue;
+    snapshot::AttachmentImage att;
+    att.pid = a.pid;
+    att.monitor = a.monitor.snapshot_state();
+    att.has_terminal = a.terminal_detector != nullptr;
+    att.terminal_hash =
+        att.has_terminal ? a.terminal_detector->state_hash() : 0;
+    att.stream_malicious = a.stream.malicious_count();
+    att.stream_counted = a.stream.counted();
+    att.terminal_malicious = a.terminal_stream.malicious_count();
+    att.terminal_counted = a.terminal_stream.counted();
+    // Canonicalize to the observable view (see AttachmentImage): schedules
+    // differ in whether they record kNone actions, so only a real action
+    // from THIS step survives into the snapshot.
+    const bool acted = a.last_action_step == step_tag_ &&
+                       a.last_action != ValkyrieMonitor::Action::kNone;
+    att.last_action = static_cast<std::uint8_t>(
+        acted ? a.last_action : ValkyrieMonitor::Action::kNone);
+    att.last_action_step = acted ? a.last_action_step : 0;
+    image.attachments.push_back(std::move(att));
+  }
+  return image;
+}
+
+void ValkyrieEngine::restore_from(const snapshot::EngineImage& image,
+                                  const snapshot::RestoreContext& ctx) {
+  using util::SerialError;
+  if (image.detector_hash != detector_.state_hash()) {
+    throw SerialError(SerialError::Code::kIncompatible,
+                      "restore: detector fingerprint mismatch");
+  }
+
+  // Stage the whole attachment table (monitor reconstruction loads
+  // actuators and can throw) before committing anything.
+  std::vector<Attached> staged;
+  staged.reserve(image.attachments.size());
+  sim::ProcessId max_pid = 0;
+  for (const snapshot::AttachmentImage& att : image.attachments) {
+    if (att.monitor.state >
+            static_cast<std::uint8_t>(ProcessState::kTerminated) ||
+        att.monitor.threat_state >
+            static_cast<std::uint8_t>(ProcessState::kTerminated) ||
+        att.last_action >
+            static_cast<std::uint8_t>(ValkyrieMonitor::Action::kTerminated) ||
+        att.monitor.required_measurements == 0) {
+      throw SerialError(SerialError::Code::kMalformed,
+                        "restore: attachment fields out of range");
+    }
+    const ml::Detector* terminal = nullptr;
+    if (att.has_terminal) {
+      if (ctx.terminal_detector == nullptr ||
+          ctx.terminal_detector->state_hash() != att.terminal_hash) {
+        throw SerialError(SerialError::Code::kIncompatible,
+                          "restore: terminal detector fingerprint mismatch");
+      }
+      terminal = ctx.terminal_detector;
+    }
+    Attached a{att.pid,
+               ValkyrieMonitor::restore_from(att.monitor, ctx.base_config,
+                                             ctx.actuators),
+               terminal,
+               {},
+               {},
+               static_cast<ValkyrieMonitor::Action>(att.last_action),
+               att.last_action_step};
+    a.stream.restore(static_cast<std::size_t>(att.stream_malicious),
+                     static_cast<std::size_t>(att.stream_counted));
+    a.terminal_stream.restore(
+        static_cast<std::size_t>(att.terminal_malicious),
+        static_cast<std::size_t>(att.terminal_counted));
+    staged.push_back(std::move(a));
+    max_pid = std::max(max_pid, att.pid);
+  }
+  std::vector<std::int32_t> index(
+      staged.empty() ? 0 : static_cast<std::size_t>(max_pid) + 1, -1);
+  for (std::size_t i = 0; i < staged.size(); ++i) {
+    if (index[staged[i].pid] >= 0) {
+      throw SerialError(SerialError::Code::kMalformed,
+                        "restore: duplicate attachment pid");
+    }
+    index[staged[i].pid] = static_cast<std::int32_t>(i);
+  }
+
+  // Commit.
+  attached_ = std::move(staged);
+  attached_index_ = std::move(index);
+  step_tag_ = image.step_tag;
+  detached_count_ = 0;
+  reserve_shard_buffers(shard_quota(attached_.size()));
 }
 
 }  // namespace valkyrie::core

@@ -15,6 +15,13 @@
 #include "sim/system.hpp"
 #include "util/thread_pool.hpp"
 
+namespace valkyrie::snapshot {
+struct MonitorImage;
+struct EngineImage;
+class ActuatorRegistry;
+struct RestoreContext;
+}  // namespace valkyrie::snapshot
+
 namespace valkyrie::core {
 
 struct ValkyrieConfig {
@@ -85,6 +92,19 @@ class ValkyrieMonitor {
   [[nodiscard]] const ValkyrieConfig& config() const noexcept {
     return config_;
   }
+
+  /// Captures the monitor's full response state (threat index metrics,
+  /// measurement budget, lifecycle state, the actuator object) for an
+  /// engine snapshot. The AssessmentFns in the config are code and are
+  /// fingerprinted upstream, not serialized.
+  [[nodiscard]] snapshot::MonitorImage snapshot_state() const;
+
+  /// Rebuilds a monitor from its image: the scalar config fields come from
+  /// the image, the code-level pieces (assessment functions) from `base`,
+  /// and the actuator is reconstructed through `registry`.
+  [[nodiscard]] static ValkyrieMonitor restore_from(
+      const snapshot::MonitorImage& image, const ValkyrieConfig& base,
+      const snapshot::ActuatorRegistry& registry);
 
  private:
   ValkyrieConfig config_;
@@ -210,6 +230,25 @@ class ValkyrieEngine {
   [[nodiscard]] ValkyrieMonitor::Action last_action(sim::ProcessId pid) const;
 
   [[nodiscard]] sim::SimSystem& system() noexcept { return sys_; }
+  [[nodiscard]] const sim::SimSystem& system() const noexcept { return sys_; }
+  [[nodiscard]] const ml::Detector& detector() const noexcept {
+    return detector_;
+  }
+
+  /// Captures the engine's response state (attachment table, streaming
+  /// inference counts, step tag) plus the detector's compatibility
+  /// fingerprint. Detach tombstones are skipped — the captured table equals
+  /// the post-prune table the uninterrupted run reaches at its next step.
+  [[nodiscard]] snapshot::EngineImage snapshot_state() const;
+
+  /// Rebuilds the attachment table from an image. Validates the detector
+  /// fingerprint (and, per attachment, the terminal detector's) against
+  /// this engine before committing — a mismatch throws
+  /// SerialError(kIncompatible) and leaves the engine untouched. The
+  /// engine's own step mode and worker count are kept: bit-identity holds
+  /// across both, so they are run-configuration, not state.
+  void restore_from(const snapshot::EngineImage& image,
+                    const snapshot::RestoreContext& ctx);
 
   /// Shards a step runs in: worker threads + the caller (1 = sequential).
   [[nodiscard]] std::size_t shard_count() const noexcept {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include "util/serial.hpp"
 
 namespace valkyrie::dram {
 
@@ -44,5 +45,58 @@ void Dram::activate(std::uint32_t bank, std::uint32_t row) {
 }
 
 void Dram::idle_ns(double ns) noexcept { advance(ns); }
+
+void Dram::snapshot_save(util::ByteWriter& out) const {
+  for (const std::uint64_t word : rng_.state()) out.u64(word);
+  out.f64(now_ns_);
+  out.u64(window_);
+  out.u64(activations_);
+  // The disturbance table is banks x rows but only rows touched in the
+  // current refresh window are nonzero — store those as (index, count).
+  std::uint64_t nonzero = 0;
+  for (const std::uint64_t v : disturbance_) nonzero += v != 0 ? 1 : 0;
+  out.u64(nonzero);
+  for (std::size_t i = 0; i < disturbance_.size(); ++i) {
+    if (disturbance_[i] != 0) {
+      out.u64(i);
+      out.u64(disturbance_[i]);
+    }
+  }
+  out.u64(flips_.size());
+  for (const FlipRecord& flip : flips_) {
+    out.u32(flip.bank);
+    out.u32(flip.row);
+    out.u64(flip.window);
+  }
+}
+
+void Dram::snapshot_restore(util::ByteReader& in) {
+  std::array<std::uint64_t, 4> rng_state{};
+  for (std::uint64_t& word : rng_state) word = in.u64();
+  rng_.set_state(rng_state);
+  now_ns_ = in.f64();
+  window_ = in.u64();
+  activations_ = in.u64();
+  std::fill(disturbance_.begin(), disturbance_.end(), 0);
+  const std::size_t nonzero = in.length(16);
+  for (std::size_t i = 0; i < nonzero; ++i) {
+    const std::uint64_t index = in.u64();
+    if (index >= disturbance_.size()) {
+      throw util::SerialError(util::SerialError::Code::kMalformed,
+                              "dram: disturbance index out of range");
+    }
+    disturbance_[index] = in.u64();
+  }
+  const std::size_t flips = in.length(16);
+  flips_.clear();
+  flips_.reserve(flips);
+  for (std::size_t i = 0; i < flips; ++i) {
+    FlipRecord flip{};
+    flip.bank = in.u32();
+    flip.row = in.u32();
+    flip.window = in.u64();
+    flips_.push_back(flip);
+  }
+}
 
 }  // namespace valkyrie::dram

@@ -19,6 +19,11 @@
 
 #include "util/rng.hpp"
 
+namespace valkyrie::util {
+class ByteWriter;
+class ByteReader;
+}  // namespace valkyrie::util
+
 namespace valkyrie::dram {
 
 struct DramConfig {
@@ -69,6 +74,13 @@ class Dram {
     return window_;
   }
   [[nodiscard]] const DramConfig& config() const noexcept { return config_; }
+
+  /// Serializes the mutable model state (RNG, clock, per-window disturbance
+  /// counters — sparsely, the table is banks x rows — and the flip log);
+  /// the config is the owner's to persist. snapshot_restore overwrites the
+  /// state of a Dram constructed with the same config.
+  void snapshot_save(util::ByteWriter& out) const;
+  void snapshot_restore(util::ByteReader& in);
 
  private:
   void advance(double ns) noexcept;

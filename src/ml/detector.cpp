@@ -3,7 +3,11 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/serial.hpp"
+
 namespace valkyrie::ml {
+
+std::uint64_t Detector::state_hash() const { return util::fnv1a(name()); }
 
 void FeatureScaler::fit(std::span<const std::vector<double>> features) {
   if (features.empty()) {

@@ -181,6 +181,15 @@ class Detector {
   [[nodiscard]] virtual PlaneSections plane_sections() const {
     return PlaneSections::kFull;
   }
+
+  /// Compatibility fingerprint recorded in snapshots. A restore is refused
+  /// (typed kIncompatible error) when the hash recorded at capture time
+  /// differs from the target engine's detector — a detector swapped or
+  /// retrained between capture and restore would silently break the
+  /// bit-replay contract otherwise. The default hashes the name; detectors
+  /// with mutable or trained parameters (e.g. the LSTM) override it to
+  /// fold in their parameter bits.
+  [[nodiscard]] virtual std::uint64_t state_hash() const;
 };
 
 /// Per-(process, detector) incremental inference state. Routes each epoch's
@@ -230,6 +239,16 @@ class StreamingInference {
     counted_ = 0;
   }
 
+  /// Running vote counts, for snapshot/restore.
+  [[nodiscard]] std::size_t malicious_count() const noexcept {
+    return malicious_;
+  }
+  [[nodiscard]] std::size_t counted() const noexcept { return counted_; }
+  void restore(std::size_t malicious, std::size_t counted) noexcept {
+    malicious_ = malicious;
+    counted_ = counted;
+  }
+
  private:
   std::size_t malicious_ = 0;
   std::size_t counted_ = 0;
@@ -274,6 +293,13 @@ class FeatureScaler {
   }
   [[nodiscard]] std::span<const double> inv_stddevs() const noexcept {
     return inv_std_;
+  }
+
+  /// Reinstates fitted parameters from a snapshot (bit-exact: the vectors
+  /// are the same bits means() / inv_stddevs() exposed at capture time).
+  void restore(std::vector<double> mean, std::vector<double> inv_std) {
+    mean_ = std::move(mean);
+    inv_std_ = std::move(inv_std);
   }
 
  private:

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/serial.hpp"
+
 namespace valkyrie::ml {
 namespace {
 
@@ -40,42 +42,60 @@ std::size_t Lstm::param_count() const noexcept {
   return 4 * h * (d + h) + 4 * h + h + 1;
 }
 
-double Lstm::forward(std::span<const std::vector<double>> sequence,
-                     ForwardState* record) const {
+void Lstm::advance_cell(std::span<const double> x, std::vector<double>& h,
+                        std::vector<double>& c, std::vector<double>& gates,
+                        std::vector<double>& gi, std::vector<double>& gf,
+                        std::vector<double>& gg,
+                        std::vector<double>& go) const {
   const std::size_t d = config_.input_dim;
   const std::size_t hdim = config_.hidden_dim;
   const std::size_t w_size = 4 * hdim * (d + hdim);
   const double* w = params_.data();
   const double* b = params_.data() + w_size;
-  const double* w_out = b + 4 * hdim;
-  const double b_out = *(w_out + hdim);
+  // gates = W [x; h_prev] + b, rows ordered i, f, g, o per hidden unit
+  // block: row r of W has (d + hdim) columns.
+  for (std::size_t r = 0; r < 4 * hdim; ++r) {
+    const double* row = w + r * (d + hdim);
+    double sum = b[r];
+    for (std::size_t k = 0; k < d; ++k) sum += row[k] * x[k];
+    for (std::size_t k = 0; k < hdim; ++k) sum += row[d + k] * h[k];
+    gates[r] = sum;
+  }
+  for (std::size_t j = 0; j < hdim; ++j) {
+    gi[j] = sigmoid(gates[j]);
+    gf[j] = sigmoid(gates[hdim + j]);
+    gg[j] = std::tanh(gates[2 * hdim + j]);
+    go[j] = sigmoid(gates[3 * hdim + j]);
+  }
+  for (std::size_t j = 0; j < hdim; ++j) {
+    c[j] = gf[j] * c[j] + gi[j] * gg[j];
+    h[j] = go[j] * std::tanh(c[j]);
+  }
+}
+
+double Lstm::output_prob(std::span<const double> h) const {
+  const std::size_t d = config_.input_dim;
+  const std::size_t hdim = config_.hidden_dim;
+  const std::size_t w_size = 4 * hdim * (d + hdim);
+  const double* w_out = params_.data() + w_size + 4 * hdim;
+  double logit = *(w_out + hdim);  // b_out
+  for (std::size_t j = 0; j < hdim; ++j) logit += w_out[j] * h[j];
+  return sigmoid(logit);
+}
+
+double Lstm::forward(std::span<const std::vector<double>> sequence,
+                     ForwardState* record) const {
+  const std::size_t d = config_.input_dim;
+  const std::size_t hdim = config_.hidden_dim;
 
   std::vector<double> h(hdim, 0.0);
   std::vector<double> c(hdim, 0.0);
   std::vector<double> gates(4 * hdim);
+  std::vector<double> gi(hdim), gf(hdim), gg(hdim), go(hdim);
 
   for (const std::vector<double>& x : sequence) {
     if (x.size() != d) throw std::invalid_argument("Lstm: input dim mismatch");
-    // gates = W [x; h_prev] + b, rows ordered i, f, g, o per hidden unit
-    // block: row r of W has (d + hdim) columns.
-    for (std::size_t r = 0; r < 4 * hdim; ++r) {
-      const double* row = w + r * (d + hdim);
-      double sum = b[r];
-      for (std::size_t k = 0; k < d; ++k) sum += row[k] * x[k];
-      for (std::size_t k = 0; k < hdim; ++k) sum += row[d + k] * h[k];
-      gates[r] = sum;
-    }
-    std::vector<double> gi(hdim), gf(hdim), gg(hdim), go(hdim);
-    for (std::size_t j = 0; j < hdim; ++j) {
-      gi[j] = sigmoid(gates[j]);
-      gf[j] = sigmoid(gates[hdim + j]);
-      gg[j] = std::tanh(gates[2 * hdim + j]);
-      go[j] = sigmoid(gates[3 * hdim + j]);
-    }
-    for (std::size_t j = 0; j < hdim; ++j) {
-      c[j] = gf[j] * c[j] + gi[j] * gg[j];
-      h[j] = go[j] * std::tanh(c[j]);
-    }
+    advance_cell(x, h, c, gates, gi, gf, gg, go);
     if (record != nullptr) {
       record->x.push_back(x);
       record->gi.push_back(gi);
@@ -87,11 +107,112 @@ double Lstm::forward(std::span<const std::vector<double>> sequence,
     }
   }
 
-  double logit = b_out;
-  for (std::size_t j = 0; j < hdim; ++j) logit += w_out[j] * h[j];
-  const double p = sigmoid(logit);
+  const double p = output_prob(h);
   if (record != nullptr) record->output = p;
   return p;
+}
+
+Lstm::StreamState Lstm::stream_begin() const {
+  return {std::vector<double>(config_.hidden_dim, 0.0),
+          std::vector<double>(config_.hidden_dim, 0.0), 0};
+}
+
+void Lstm::stream_step(StreamState& state,
+                       std::span<const double> features) const {
+  if (features.size() != config_.input_dim ||
+      state.h.size() != config_.hidden_dim ||
+      state.c.size() != config_.hidden_dim) {
+    throw std::invalid_argument("Lstm::stream_step: dimension mismatch");
+  }
+  std::vector<double> x =
+      scaler_.fitted() ? scaler_.transform(features)
+                       : std::vector<double>(features.begin(), features.end());
+  const std::size_t hdim = config_.hidden_dim;
+  std::vector<double> gates(4 * hdim);
+  std::vector<double> gi(hdim), gf(hdim), gg(hdim), go(hdim);
+  advance_cell(x, state.h, state.c, gates, gi, gf, gg, go);
+  ++state.steps;
+}
+
+double Lstm::stream_prob(const StreamState& state) const {
+  if (state.h.size() != config_.hidden_dim) {
+    throw std::invalid_argument("Lstm::stream_prob: state size mismatch");
+  }
+  if (state.steps == 0) return 0.0;  // predict() on an empty sequence
+  return output_prob(state.h);
+}
+
+void Lstm::stream_save(const StreamState& state, util::ByteWriter& out) {
+  out.f64_span(state.h);
+  out.f64_span(state.c);
+  out.u64(state.steps);
+}
+
+Lstm::StreamState Lstm::stream_load(util::ByteReader& in) {
+  StreamState state;
+  state.h = in.f64_vec();
+  state.c = in.f64_vec();
+  state.steps = in.u64();
+  if (state.h.size() != state.c.size()) {
+    throw util::SerialError(util::SerialError::Code::kMalformed,
+                            "Lstm stream state: h/c size mismatch");
+  }
+  return state;
+}
+
+void Lstm::snapshot_save(util::ByteWriter& out) const {
+  out.u64(config_.input_dim);
+  out.u64(config_.hidden_dim);
+  out.f64_span(scaler_.means());
+  out.f64_span(scaler_.inv_stddevs());
+  out.f64_span(params_);
+  out.f64_span(adam_m_);
+  out.f64_span(adam_v_);
+  out.u64(adam_t_);
+}
+
+Lstm Lstm::snapshot_load(util::ByteReader& in) {
+  using util::SerialError;
+  LstmConfig config;
+  config.input_dim = static_cast<std::size_t>(in.u64());
+  config.hidden_dim = static_cast<std::size_t>(in.u64());
+  // Keep the dimensions sane before the constructor sizes the parameter
+  // vector from their product (a corrupt image must not drive a huge
+  // allocation; real models are orders of magnitude smaller).
+  constexpr std::size_t kMaxDim = 1 << 16;
+  if (config.input_dim == 0 || config.hidden_dim == 0 ||
+      config.input_dim > kMaxDim || config.hidden_dim > kMaxDim) {
+    throw SerialError(SerialError::Code::kMalformed,
+                      "Lstm snapshot: implausible dimensions");
+  }
+  Lstm model(config, 0);
+  std::vector<double> mean = in.f64_vec();
+  std::vector<double> inv_std = in.f64_vec();
+  if (mean.size() != inv_std.size() ||
+      (!mean.empty() && mean.size() != config.input_dim)) {
+    throw SerialError(SerialError::Code::kMalformed,
+                      "Lstm snapshot: scaler dimension mismatch");
+  }
+  if (!mean.empty()) model.scaler_.restore(std::move(mean), std::move(inv_std));
+  model.params_ = in.f64_vec();
+  model.adam_m_ = in.f64_vec();
+  model.adam_v_ = in.f64_vec();
+  if (model.params_.size() != model.param_count() ||
+      model.adam_m_.size() != model.params_.size() ||
+      model.adam_v_.size() != model.params_.size()) {
+    throw SerialError(SerialError::Code::kMalformed,
+                      "Lstm snapshot: parameter count mismatch");
+  }
+  model.adam_t_ = in.u64();
+  return model;
+}
+
+std::uint64_t Lstm::param_hash() const noexcept {
+  std::uint64_t h = util::fnv1a(std::string_view("lstm"));
+  h = util::fnv1a(std::span<const double>(params_), h);
+  h = util::fnv1a(scaler_.means(), h);
+  h = util::fnv1a(scaler_.inv_stddevs(), h);
+  return h;
 }
 
 double Lstm::predict(std::span<const std::vector<double>> sequence) const {
@@ -291,6 +412,8 @@ Inference LstmDetector::infer(std::span<const hpc::HpcSample> window) const {
   return model_.predict(seq) > 0.5 ? Inference::kMalicious
                                    : Inference::kBenign;
 }
+
+std::uint64_t LstmDetector::state_hash() const { return model_.param_hash(); }
 
 LstmDetector LstmDetector::make(const TraceSet& train, std::uint64_t seed,
                                 LstmTrainOptions options) {

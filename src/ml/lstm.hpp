@@ -13,6 +13,11 @@
 #include "ml/detector.hpp"
 #include "util/rng.hpp"
 
+namespace valkyrie::util {
+class ByteWriter;
+class ByteReader;
+}  // namespace valkyrie::util
+
 namespace valkyrie::ml {
 
 struct LstmConfig {
@@ -44,8 +49,55 @@ class Lstm {
 
   [[nodiscard]] const LstmConfig& config() const noexcept { return config_; }
 
+  /// The recurrence's carried state (hidden + cell vectors), exposed so a
+  /// snapshot can freeze an inference mid-sequence and resume it
+  /// bit-identically. Advancing a StreamState through stream_step() runs
+  /// exactly the arithmetic predict() runs internally (one shared cell
+  /// routine), so batch and streaming evaluation agree to the last bit.
+  struct StreamState {
+    std::vector<double> h;
+    std::vector<double> c;
+    std::uint64_t steps = 0;
+  };
+
+  [[nodiscard]] StreamState stream_begin() const;
+
+  /// Feeds one RAW feature vector (the fitted scaler is applied inside,
+  /// mirroring predict()). Throws std::invalid_argument on a dimension or
+  /// state-size mismatch.
+  void stream_step(StreamState& state, std::span<const double> features) const;
+
+  /// Probability under the current carried state; 0.0 before any step,
+  /// matching predict() on an empty sequence.
+  [[nodiscard]] double stream_prob(const StreamState& state) const;
+
+  /// Serializes a carried recurrence state (h, c, step count) bit-exactly.
+  static void stream_save(const StreamState& state, util::ByteWriter& out);
+  [[nodiscard]] static StreamState stream_load(util::ByteReader& in);
+
+  /// Full model serialization: dims, fitted scaler, parameters and Adam
+  /// state — a loaded model trains on and infers bit-identically.
+  void snapshot_save(util::ByteWriter& out) const;
+  [[nodiscard]] static Lstm snapshot_load(util::ByteReader& in);
+
+  /// FNV-1a over the parameter and scaler bits — the compatibility
+  /// fingerprint LstmDetector::state_hash() records in snapshots.
+  [[nodiscard]] std::uint64_t param_hash() const noexcept;
+
  private:
   struct ForwardState;
+
+  /// One LSTM cell step shared by forward() and stream_step(): gate
+  /// pre-activations into `gates`, activations into gi/gf/gg/go, then the
+  /// c/h update — one code path, so the two evaluation styles cannot
+  /// drift apart numerically.
+  void advance_cell(std::span<const double> x, std::vector<double>& h,
+                    std::vector<double>& c, std::vector<double>& gates,
+                    std::vector<double>& gi, std::vector<double>& gf,
+                    std::vector<double>& gg, std::vector<double>& go) const;
+
+  /// Dense sigmoid head over a hidden state.
+  [[nodiscard]] double output_prob(std::span<const double> h) const;
 
   /// Runs the recurrence, optionally recording per-step state for BPTT.
   double forward(std::span<const std::vector<double>> sequence,
@@ -81,6 +133,10 @@ class LstmDetector final : public Detector {
       std::span<const hpc::HpcSample> window) const override;
 
   [[nodiscard]] const Lstm& model() const noexcept { return model_; }
+
+  /// Folds the trained parameter bits into the snapshot fingerprint: a
+  /// retrained model refuses to resume another model's snapshot.
+  [[nodiscard]] std::uint64_t state_hash() const override;
 
   [[nodiscard]] static LstmDetector make(const TraceSet& train,
                                          std::uint64_t seed,

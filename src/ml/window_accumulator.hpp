@@ -128,6 +128,26 @@ class WindowAccumulator {
     store_stats_columns(mean_col, stddev_col, stride);
   }
 
+  /// Raw Welford state, for snapshot/restore. Restoring and continuing to
+  /// add() produces bit-identical statistics to the uninterrupted stream.
+  struct State {
+    std::size_t count = 0;
+    hpc::FeatureVec mean{};
+    hpc::FeatureVec m2{};
+    hpc::FeatureVec newest{};
+  };
+
+  [[nodiscard]] State state() const noexcept {
+    return {count_, mean_, m2_, newest_};
+  }
+
+  void restore(const State& s) noexcept {
+    count_ = s.count;
+    mean_ = s.mean;
+    m2_ = s.m2;
+    newest_ = s.newest;
+  }
+
   /// Assembles the streaming summary; `window` is attached verbatim for
   /// detectors that fall back to the raw measurements.
   [[nodiscard]] WindowSummary summary(

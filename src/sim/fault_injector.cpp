@@ -1,0 +1,65 @@
+#include "sim/fault_injector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace valkyrie::sim {
+
+FaultInjector::FaultInjector(RunFactory factory, std::uint64_t seed)
+    : factory_(std::move(factory)), rng_(seed) {
+  if (factory_ == nullptr) {
+    throw std::invalid_argument("FaultInjector: null factory");
+  }
+}
+
+FaultInjector::Report FaultInjector::run(std::size_t epochs,
+                                         std::size_t crashes) {
+  // Distinct crash points strictly inside the run (a crash before the
+  // first step or after the last would degenerate to a plain round-trip).
+  std::vector<std::size_t> points;
+  if (epochs > 1) {
+    crashes = std::min(crashes, epochs - 1);
+    while (points.size() < crashes) {
+      const std::size_t p = 1 + rng_.below(epochs - 1);
+      if (std::find(points.begin(), points.end(), p) == points.end()) {
+        points.push_back(p);
+      }
+    }
+    std::sort(points.begin(), points.end());
+  }
+
+  Report report;
+  Run run = factory_(nullptr);
+  std::size_t next_crash = 0;
+  for (std::size_t step = 0; step < epochs; ++step) {
+    if (next_crash < points.size() && step == points[next_crash]) {
+      // Capture the epoch-consistent state, round it through the byte
+      // format (what the post-crash process would read back), then kill
+      // the whole world and rebuild from the parsed image.
+      const snapshot::SnapshotImage image =
+          run.driver != nullptr ? snapshot::capture(*run.driver)
+                                : snapshot::capture(*run.engine);
+      report.crash_epochs.push_back(image.system.epoch);
+      const std::vector<std::uint8_t> bytes = snapshot::encode(image);
+      const snapshot::SnapshotImage reparsed = snapshot::parse(bytes);
+      run = Run{};  // the crash: destroy engine, system and driver
+      run = factory_(&reparsed);
+      ++report.crashes;
+      ++next_crash;
+    }
+    if (run.driver != nullptr) {
+      run.driver->step();
+    } else {
+      run.engine->step();
+    }
+  }
+
+  const snapshot::SnapshotImage final_image =
+      run.driver != nullptr ? snapshot::capture(*run.driver)
+                            : snapshot::capture(*run.engine);
+  report.final_snapshot = snapshot::encode(final_image);
+  return report;
+}
+
+}  // namespace valkyrie::sim

@@ -10,6 +10,7 @@
 #include "attacks/ransomware.hpp"
 #include "attacks/rowhammer.hpp"
 #include "core/actuator.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace valkyrie::sim {
 
@@ -43,6 +44,89 @@ ScenarioDriver::ScenarioDriver(core::ValkyrieEngine& engine,
   for (std::size_t i = 0; i < script_.initial_processes; ++i) {
     admit(sys_.current_epoch(), nullptr);
   }
+}
+
+ScenarioDriver::ScenarioDriver(core::ValkyrieEngine& engine,
+                               ScenarioScript script,
+                               const snapshot::DriverImage& image,
+                               ActuatorFactory actuators, BenignFactory benign)
+    : engine_(engine),
+      sys_(engine.system()),
+      script_(std::move(script)),
+      actuators_(std::move(actuators)),
+      benign_factory_(std::move(benign)),
+      rng_(script_.seed),
+      benign_palette_(benign_factory_ == nullptr
+                          ? workloads::all_single_threaded()
+                          : std::vector<workloads::BenchmarkSpec>{}) {
+  using util::SerialError;
+  if (script_.arrival_rate < 0.0 || script_.mean_lifetime < 0.0 ||
+      script_.attack_fraction < 0.0 || script_.attack_fraction > 1.0 ||
+      script_.kill_exit_fraction < 0.0 || script_.kill_exit_fraction > 1.0) {
+    throw std::invalid_argument("ScenarioDriver: malformed script");
+  }
+  if (script_.attack_families.empty()) {
+    script_.attack_families = {AttackFamily::kCryptominer};
+  }
+  if (snapshot::script_fingerprint(script_) != image.script_fingerprint) {
+    throw SerialError(SerialError::Code::kIncompatible,
+                      "driver restore: script fingerprint mismatch");
+  }
+  if (image.campaign_progress.size() != script_.campaigns.size()) {
+    throw SerialError(SerialError::Code::kMalformed,
+                      "driver restore: campaign progress count mismatch");
+  }
+  if (script_.recycle_histories) sys_.enable_history_recycling();
+  // No admissions: the standing population is already live in the restored
+  // system. Everything below resumes the recorded progress verbatim.
+  rng_.set_state(image.rng);
+  stats_.spawned = static_cast<std::size_t>(image.spawned);
+  stats_.attack_spawned = static_cast<std::size_t>(image.attack_spawned);
+  stats_.driver_kills = static_cast<std::size_t>(image.driver_kills);
+  stats_.completed = static_cast<std::size_t>(image.completed);
+  stats_.policy_kills = static_cast<std::size_t>(image.policy_kills);
+  stats_.rejected = static_cast<std::size_t>(image.rejected);
+  stats_.peak_live = static_cast<std::size_t>(image.peak_live);
+  stats_.epochs = image.epochs;
+  stats_.live_epoch_sum = image.live_epoch_sum;
+  departures_.clear();
+  departures_.reserve(image.departures.size());
+  for (const auto& [epoch, pid] : image.departures) {
+    departures_.push_back({epoch, pid});  // heap array verbatim, no make_heap
+  }
+  campaign_progress_.clear();
+  campaign_progress_.reserve(image.campaign_progress.size());
+  for (const std::uint64_t progress : image.campaign_progress) {
+    campaign_progress_.push_back(static_cast<std::size_t>(progress));
+  }
+  benign_palette_cursor_ = static_cast<std::size_t>(image.benign_palette_cursor);
+  prev_live_ = image.prev_live;
+  live_ = static_cast<std::size_t>(image.live);
+}
+
+snapshot::DriverImage ScenarioDriver::snapshot_state() const {
+  snapshot::DriverImage image;
+  image.script_fingerprint = snapshot::script_fingerprint(script_);
+  image.rng = rng_.state();
+  image.spawned = stats_.spawned;
+  image.attack_spawned = stats_.attack_spawned;
+  image.driver_kills = stats_.driver_kills;
+  image.completed = stats_.completed;
+  image.policy_kills = stats_.policy_kills;
+  image.rejected = stats_.rejected;
+  image.peak_live = stats_.peak_live;
+  image.epochs = stats_.epochs;
+  image.live_epoch_sum = stats_.live_epoch_sum;
+  image.departures.reserve(departures_.size());
+  for (const Departure& d : departures_) {
+    image.departures.emplace_back(d.epoch, d.pid);
+  }
+  image.campaign_progress.assign(campaign_progress_.begin(),
+                                 campaign_progress_.end());
+  image.benign_palette_cursor = benign_palette_cursor_;
+  image.prev_live = prev_live_;
+  image.live = live_;
+  return image;
 }
 
 std::size_t ScenarioDriver::expected_processes(std::size_t epochs,

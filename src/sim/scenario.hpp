@@ -35,6 +35,10 @@
 #include "util/rng.hpp"
 #include "workloads/benchmarks.hpp"
 
+namespace valkyrie::snapshot {
+struct DriverImage;
+}  // namespace valkyrie::snapshot
+
 namespace valkyrie::sim {
 
 /// The shipped attack families a scenario can inject (reusing the
@@ -140,6 +144,22 @@ class ScenarioDriver {
                  ActuatorFactory actuators = nullptr,
                  BenignFactory benign = nullptr);
 
+  /// Restore constructor: resumes a driver from a snapshot's driver
+  /// section over an engine that was itself just restored from the same
+  /// snapshot. The script (and factories) are code and must be supplied
+  /// again; the recorded fingerprint of the script's data fields is
+  /// verified (SnapshotError kIncompatible on mismatch). Admits nothing —
+  /// the standing population is already live in the restored system.
+  ScenarioDriver(core::ValkyrieEngine& engine, ScenarioScript script,
+                 const snapshot::DriverImage& image,
+                 ActuatorFactory actuators = nullptr,
+                 BenignFactory benign = nullptr);
+
+  /// Captures the driver's full progress state (RNG, stats, scheduled
+  /// departures, campaign progress, palette cursor) for the snapshot's
+  /// driver section.
+  [[nodiscard]] snapshot::DriverImage snapshot_state() const;
+
   /// One epoch: boundary departures, then boundary arrivals (admitted so
   /// they first run in this epoch... see the header timing note), then
   /// engine.step(). Departed processes are detached from the engine as
@@ -164,6 +184,9 @@ class ScenarioDriver {
     return script_;
   }
   [[nodiscard]] core::ValkyrieEngine& engine() noexcept { return engine_; }
+  [[nodiscard]] const core::ValkyrieEngine& engine() const noexcept {
+    return engine_;
+  }
 
   /// Expected admissions over `epochs` (initial + Poisson mean + bursts +
   /// campaigns) with `slack` headroom — what run() passes to

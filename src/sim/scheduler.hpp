@@ -114,6 +114,19 @@ class CfsScheduler {
     return config_;
   }
 
+  /// The raw pid-indexed factor table (including 0 never-added markers and
+  /// negative parked weights), for snapshot capture.
+  [[nodiscard]] std::span<const double> factor_table() const noexcept {
+    return factor_;
+  }
+
+  /// Replaces the whole factor table from a snapshot. The encoding
+  /// (0 / positive / negative) is restored verbatim, so parked retired
+  /// weights stay observable exactly as at capture time.
+  void restore_factor_table(std::vector<double> table) {
+    factor_ = std::move(table);
+  }
+
  private:
   SchedulerConfig config_;
   // pid -> weight factor, dense. SimSystem allocates pids densely from 0, so

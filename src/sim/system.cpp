@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <type_traits>
 
+#include "snapshot/image.hpp"
+#include "snapshot/registry.hpp"
+#include "util/serial.hpp"
 #include "util/thread_pool.hpp"
 
 namespace valkyrie::sim {
@@ -536,6 +539,194 @@ std::span<const ProcessId> SimSystem::live_processes() const {
   // layout tightens), hence the cast.
   if (retire_pending_) const_cast<SimSystem*>(this)->retire_dead_slots();
   return slot_pid_;
+}
+
+snapshot::SystemImage SimSystem::snapshot_state() const {
+  if (epoch_open_) {
+    throw std::logic_error("SimSystem::snapshot_state: epoch in progress");
+  }
+  // Closed-boundary invariant: the lifecycle queues drain at every
+  // end_epoch/abort_epoch, so nothing can be pending here.
+  if (!pending_admit_.empty() || !pending_kill_.empty()) {
+    throw std::logic_error(
+        "SimSystem::snapshot_state: lifecycle queues not drained");
+  }
+
+  snapshot::SystemImage image;
+  image.epoch_ms = platform_.epoch_ms;
+  image.hpc_noise = platform_.hpc_noise;
+  image.scheduler = scheduler_.config();
+  image.rng = rng_.state();
+  image.epoch = epoch_;
+  image.retire_pending = retire_pending_;
+  image.recycle_histories = recycle_histories_;
+
+  image.slots.reserve(slot_pid_.size());
+  for (std::size_t s = 0; s < slot_pid_.size(); ++s) {
+    snapshot::SlotImage slot;
+    slot.pid = slot_pid_[s];
+    slot.rng = rng_s_[s].state();
+    slot.cgroup = cgroup_s_[s];
+    slot.effective = effective_s_[s];
+    slot.last_sample = last_sample_s_[s];
+    slot.accum = accum_s_[s].state();
+    slot.last_progress = last_progress_s_[s];
+    slot.epochs_run = epochs_run_s_[s];
+    slot.exit = static_cast<std::uint8_t>(exit_s_[s]);
+    image.slots.push_back(std::move(slot));
+  }
+
+  image.procs.reserve(cold_.size());
+  for (std::size_t pid = 0; pid < cold_.size(); ++pid) {
+    const ColdProc& cold = cold_[pid];
+    snapshot::ProcImage proc;
+    proc.slot = pid_slot_[pid];
+    if (cold.workload != nullptr) {
+      proc.workload = snapshot::poly_image(*cold.workload);
+    }
+    proc.history = cold.history;
+    proc.retired_cgroup = cold.retired.cgroup;
+    proc.retired_effective = cold.retired.effective;
+    proc.retired_last_sample = cold.retired.last_sample;
+    proc.retired_accum = cold.retired.accumulator.state();
+    proc.retired_last_progress = cold.retired.last_progress;
+    proc.retired_epochs_run = cold.retired.epochs_run;
+    proc.retired_exit = static_cast<std::uint8_t>(cold.retired.exit);
+    image.procs.push_back(std::move(proc));
+  }
+
+  const std::span<const double> factors = scheduler_.factor_table();
+  image.sched_factors.assign(factors.begin(), factors.end());
+  return image;
+}
+
+void SimSystem::restore_from(const snapshot::SystemImage& image,
+                             const snapshot::WorkloadRegistry& registry) {
+  using util::SerialError;
+  if (epoch_open_) {
+    throw std::logic_error("SimSystem::restore_from: epoch in progress");
+  }
+
+  // Compatibility: the platform/scheduler configuration is code-level (set
+  // at construction); the image only records its numbers for this check.
+  const SchedulerConfig& sc = scheduler_.config();
+  const SchedulerConfig& ic = image.scheduler;
+  if (platform_.epoch_ms != image.epoch_ms ||
+      platform_.hpc_noise != image.hpc_noise ||
+      sc.targeted_latency_ms != ic.targeted_latency_ms ||
+      sc.gamma != ic.gamma || sc.weight_levels != ic.weight_levels ||
+      sc.default_level != ic.default_level ||
+      sc.background_weight_units != ic.background_weight_units ||
+      sc.min_share_fraction != ic.min_share_fraction) {
+    throw SerialError(SerialError::Code::kIncompatible,
+                      "restore: platform/scheduler configuration mismatch");
+  }
+
+  // Structural validation — everything throws before any mutation.
+  const std::size_t procs = image.procs.size();
+  if (image.sched_factors.size() != procs) {
+    throw SerialError(SerialError::Code::kMalformed,
+                      "restore: scheduler factor table size mismatch");
+  }
+  ProcessId prev_pid = 0;
+  for (std::size_t s = 0; s < image.slots.size(); ++s) {
+    const snapshot::SlotImage& slot = image.slots[s];
+    if (slot.pid >= procs || (s != 0 && slot.pid <= prev_pid) ||
+        image.procs[slot.pid].slot != s || slot.exit > 2) {
+      throw SerialError(SerialError::Code::kMalformed,
+                        "restore: hot slot table inconsistent");
+    }
+    prev_pid = slot.pid;
+  }
+  for (std::size_t pid = 0; pid < procs; ++pid) {
+    const snapshot::ProcImage& proc = image.procs[pid];
+    const bool hot = is_hot_slot(proc.slot);
+    if ((proc.slot != kNoSlot && !hot) ||
+        (hot && (proc.slot >= image.slots.size() ||
+                 image.slots[proc.slot].pid != pid)) ||
+        proc.retired_exit > 2) {
+      throw SerialError(SerialError::Code::kMalformed,
+                        "restore: pid -> slot table inconsistent");
+    }
+    if (hot && !proc.workload.present()) {
+      throw SerialError(SerialError::Code::kMalformed,
+                        "restore: live slot without a workload");
+    }
+  }
+
+  // Stage the workloads: loader failures (unknown type, malformed payload)
+  // must leave the target untouched.
+  std::vector<std::unique_ptr<Workload>> staged(procs);
+  for (std::size_t pid = 0; pid < procs; ++pid) {
+    if (image.procs[pid].workload.present()) {
+      staged[pid] = registry.load(image.procs[pid].workload);
+    }
+  }
+
+  // Commit.
+  rng_.set_state(image.rng);
+  epoch_ = image.epoch;
+  retire_pending_ = image.retire_pending;
+  recycle_histories_ = image.recycle_histories;
+  epoch_any_exited_.store(false, std::memory_order_relaxed);
+  pending_admit_.clear();
+  pending_kill_.clear();
+  history_pool_.clear();
+
+  cold_.clear();
+  cold_.resize(procs);
+  pid_slot_.resize(procs);
+  for (std::size_t pid = 0; pid < procs; ++pid) {
+    const snapshot::ProcImage& proc = image.procs[pid];
+    ColdProc& cold = cold_[pid];
+    cold.workload = std::move(staged[pid]);
+    cold.history = proc.history;
+    cold.retired.cgroup = proc.retired_cgroup;
+    cold.retired.effective = proc.retired_effective;
+    cold.retired.last_sample = proc.retired_last_sample;
+    cold.retired.accumulator.restore(proc.retired_accum);
+    cold.retired.last_progress = proc.retired_last_progress;
+    cold.retired.epochs_run = proc.retired_epochs_run;
+    cold.retired.exit = static_cast<ExitReason>(proc.retired_exit);
+    pid_slot_[pid] = proc.slot;
+  }
+
+  const std::size_t live = image.slots.size();
+  slot_pid_.resize(live);
+  rng_s_.resize(live);
+  cgroup_s_.resize(live);
+  effective_s_.resize(live);
+  last_sample_s_.resize(live);
+  accum_s_.resize(live);
+  last_progress_s_.resize(live);
+  epochs_run_s_.resize(live);
+  exit_s_.resize(live);
+  for (std::size_t s = 0; s < live; ++s) {
+    const snapshot::SlotImage& slot = image.slots[s];
+    slot_pid_[s] = slot.pid;
+    rng_s_[s].set_state(slot.rng);
+    cgroup_s_[s] = slot.cgroup;
+    effective_s_[s] = slot.effective;
+    last_sample_s_[s] = slot.last_sample;
+    accum_s_[s].restore(slot.accum);
+    last_progress_s_[s] = slot.last_progress;
+    epochs_run_s_[s] = slot.epochs_run;
+    exit_s_[s] = static_cast<ExitReason>(slot.exit);
+  }
+
+  scheduler_.restore_factor_table(
+      {image.sched_factors.begin(), image.sched_factors.end()});
+
+  // The feature-plane arming flags are run config, not snapshot state
+  // (the image carries none): the target keeps whatever sections its own
+  // engine armed at construction. Plane CONTENTS are derived — step_slot
+  // rewrites every live column before the next batch kernel reads it, so
+  // size (not bits) is all restore must provide.
+  if (plane_enabled_) {
+    plane_count_.assign(live, 0);
+    plane_window_.assign(live, {});
+    reserve_plane();
+  }
 }
 
 }  // namespace valkyrie::sim

@@ -54,6 +54,11 @@ namespace valkyrie::util {
 class ThreadPool;
 }
 
+namespace valkyrie::snapshot {
+struct SystemImage;
+class WorkloadRegistry;
+}  // namespace valkyrie::snapshot
+
 namespace valkyrie::sim {
 
 /// Why a process is no longer runnable.
@@ -292,6 +297,33 @@ class SimSystem {
   /// ascending pid order). The span is valid until the next mutation of the
   /// process set (spawn, kill, or an epoch with completions).
   [[nodiscard]] std::span<const ProcessId> live_processes() const;
+
+  // --- Snapshot/restore ------------------------------------------------------
+
+  /// Captures the full simulator state at a closed epoch boundary: the SoA
+  /// hot arrays exactly as they stand (including slots marked dead but not
+  /// yet compacted), the cold per-pid table with workloads serialized
+  /// through their snapshot hooks, the master RNG, and the scheduler's raw
+  /// factor table. Reads raw members — never live_processes(), whose
+  /// logically-const compaction would change the state being captured.
+  /// Throws std::logic_error while an epoch is open (snapshots are
+  /// epoch-consistent by construction) and
+  /// SerialError(kUnsupportedWorkload) if a live workload lacks snapshot
+  /// support.
+  [[nodiscard]] snapshot::SystemImage snapshot_state() const;
+
+  /// Rebuilds this system from a captured image, bit-identically: a run
+  /// continued from the restored state produces exactly the bytes the
+  /// uninterrupted run would, for every StepMode and worker count. The
+  /// existing process population is discarded wholesale. Throws
+  /// std::logic_error if an epoch is open (the same guard family as
+  /// reserve/spawn-while-open), SerialError(kIncompatible) when the
+  /// image's platform/scheduler numeric configuration does not match this
+  /// system's, and SerialError(kMalformed) on structural violations — all
+  /// before any state is mutated, so a failed restore leaves the target
+  /// untouched.
+  void restore_from(const snapshot::SystemImage& image,
+                    const snapshot::WorkloadRegistry& registry);
 
  private:
   // pid_slot_ sentinels. Real slots are < kPendingSlot, so is_hot_slot()

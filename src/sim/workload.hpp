@@ -9,6 +9,11 @@
 #include "sim/resources.hpp"
 #include "util/rng.hpp"
 
+namespace valkyrie::util {
+class ByteWriter;
+class ByteReader;
+}  // namespace valkyrie::util
+
 namespace valkyrie::sim {
 
 /// Per-epoch environment handed to a workload by the system.
@@ -52,6 +57,25 @@ class Workload {
 
   /// Cumulative progress across all epochs so far.
   [[nodiscard]] virtual double total_progress() const = 0;
+
+  // --- Snapshot hooks --------------------------------------------------------
+  //
+  // A workload that supports snapshot/restore advertises a stable type tag
+  // and writes its full mutable state (plus whatever constructor parameters
+  // reconstruction needs) through snapshot_save. Reconstruction is a static
+  // `snapshot_load(util::ByteReader&)` member on the concrete class,
+  // dispatched by type tag through a snapshot::WorkloadRegistry. The
+  // default empty tag marks the workload unsupported: capturing a system
+  // that hosts one fails with a typed error instead of silently dropping
+  // state.
+
+  /// Stable registry tag (e.g. "benchmark", "attack.cryptominer"); empty =
+  /// snapshot unsupported.
+  [[nodiscard]] virtual std::string_view snapshot_type() const { return {}; }
+
+  /// Serializes constructor parameters + mutable state. Only called when
+  /// snapshot_type() is non-empty.
+  virtual void snapshot_save(util::ByteWriter& /*out*/) const {}
 };
 
 }  // namespace valkyrie::sim

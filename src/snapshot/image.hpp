@@ -1,0 +1,183 @@
+// Structured snapshot images: the decoded, in-memory form of an
+// epoch-consistent engine snapshot.
+//
+// The byte format (snapshot.hpp encode/parse) exists ONLY as a projection
+// of these structs — capture produces an image, encode serializes it,
+// parse validates framing + CRC and decodes back into an image, restore
+// commits an image into live objects. Keeping every field structured here
+// (rather than decoding lazily) is what makes parse() registry-free:
+// polymorphic objects (workloads, actuators) stay as {type tag, raw
+// payload} until restore dispatches them, so snapshot_diff and the
+// corruption tests can inspect snapshots without being able to (or needing
+// to) construct the objects inside.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hpc/hpc.hpp"
+#include "ml/window_accumulator.hpp"
+#include "sim/resources.hpp"
+#include "sim/scheduler.hpp"
+
+namespace valkyrie::snapshot {
+
+/// A serialized polymorphic object (workload or actuator): registry type
+/// tag plus the opaque payload its snapshot_save produced. Empty type =
+/// object absent (e.g. a reclaimed workload).
+struct PolyImage {
+  std::string type;
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] bool present() const noexcept { return !type.empty(); }
+};
+
+/// One live hot-array slot of SimSystem, exactly as the SoA core holds it —
+/// including slots already marked dead but not yet compacted (a mid-churn
+/// capture at a boundary where kills are pending).
+struct SlotImage {
+  sim::ProcessId pid = 0;
+  std::array<std::uint64_t, 4> rng{};  // per-slot workload RNG stream
+  sim::ResourceShares cgroup{};
+  sim::ResourceShares effective{};
+  hpc::HpcSample last_sample{};
+  ml::WindowAccumulator::State accum{};
+  double last_progress = 0.0;
+  std::uint64_t epochs_run = 0;
+  std::uint8_t exit = 0;  // sim::ExitReason
+};
+
+/// One pid's cold row: the workload object, the accumulated sample history,
+/// and the retirement snapshot the pid-addressed observers answer from
+/// after the slot is recycled.
+struct ProcImage {
+  /// Raw pid -> slot entry, sentinels included (0xffffffff = retired;
+  /// the pending sentinel never appears — snapshots are taken at closed
+  /// epoch boundaries where the admission queues are provably empty).
+  std::uint32_t slot = 0;
+  PolyImage workload;  // absent when reclaimed by the retirement pool
+  std::vector<hpc::HpcSample> history;
+  // RetiredState, verbatim.
+  sim::ResourceShares retired_cgroup{};
+  sim::ResourceShares retired_effective{};
+  hpc::HpcSample retired_last_sample{};
+  ml::WindowAccumulator::State retired_accum{};
+  double retired_last_progress = 0.0;
+  std::uint64_t retired_epochs_run = 0;
+  std::uint8_t retired_exit = 0;
+};
+
+/// Full SimSystem state at a closed epoch boundary, plus the numeric
+/// platform/scheduler configuration used to verify the restore target was
+/// built against the same code-level config (the configs themselves are
+/// code, not data — they are never restored, only checked).
+struct SystemImage {
+  double epoch_ms = 100.0;
+  double hpc_noise = 1.0;
+  sim::SchedulerConfig scheduler{};
+
+  std::array<std::uint64_t, 4> rng{};  // master RNG (spawn stream forks)
+  std::uint64_t epoch = 0;
+  /// Feature-plane arming flags are deliberately ABSENT: which plane
+  /// sections a system maintains is run configuration (the batched engine
+  /// arms its detector's declared sections at construction), and plane
+  /// contents are derived — every live column is rewritten before the next
+  /// batch kernel reads it. Restore sizes the target's own plane instead.
+  bool retire_pending = false;  // dead-marked slots awaiting compaction
+  bool recycle_histories = false;
+
+  std::vector<SlotImage> slots;  // hot arrays, slot order (ascending pid)
+  std::vector<ProcImage> procs;  // cold table, pid order
+  /// The scheduler's raw pid-indexed factor table: 0 = never added,
+  /// positive = runnable, negative = parked (retired) weight.
+  std::vector<double> sched_factors;
+};
+
+/// One ValkyrieMonitor: scalar config (for validation + reconstruction),
+/// the actuator object, and the threat/lifecycle metrics.
+struct MonitorImage {
+  std::uint64_t required_measurements = 0;
+  bool episode_scoped = true;
+  bool reset_metrics_on_normal = false;
+  PolyImage actuator;
+  double threat = 0.0;
+  double penalty = 0.0;
+  double compensation = 0.0;
+  std::uint8_t threat_state = 0;  // core::ProcessState of the ThreatIndex
+  std::uint64_t measurements = 0;
+  std::uint8_t state = 0;  // core::ProcessState of the monitor
+};
+
+/// One live engine attachment (detach tombstones are skipped at capture —
+/// a restored table equals the post-prune table the clean run converges to
+/// at its next step).
+struct AttachmentImage {
+  sim::ProcessId pid = 0;
+  MonitorImage monitor;
+  bool has_terminal = false;
+  std::uint64_t terminal_hash = 0;  // terminal detector fingerprint
+  std::uint64_t stream_malicious = 0;
+  std::uint64_t stream_counted = 0;
+  std::uint64_t terminal_malicious = 0;
+  std::uint64_t terminal_counted = 0;
+  /// The OBSERVABLE action view, canonicalized at capture: the raw
+  /// (last_action, last_action_step) pair differs across StepModes for
+  /// epochs where nothing happened (some schedules record kNone, others
+  /// skip the write), so capture stores what last_action() answers —
+  /// (kNone, 0) unless a real action landed this very step. This keeps
+  /// snapshots of bit-identical runs byte-identical across run configs.
+  std::uint8_t last_action = 0;  // ValkyrieMonitor::Action
+  std::uint64_t last_action_step = 0;
+};
+
+/// ValkyrieEngine state. The detector itself is code — only its
+/// compatibility fingerprint is recorded; restore refuses an engine whose
+/// detector hashes differently. The step mode and worker count are run
+/// configuration, not state (bit-identity holds across all of them), so
+/// the restored engine keeps its own.
+struct EngineImage {
+  std::uint64_t detector_hash = 0;
+  std::uint64_t step_tag = 0;
+  std::vector<AttachmentImage> attachments;
+};
+
+/// ScenarioDriver state: RNG, stats, scheduled departures, campaign
+/// progress and census bookkeeping. The script is code-adjacent (it holds
+/// monitor configs with assessment functions), so like the detector it is
+/// fingerprinted, not serialized — the restore constructor takes the script
+/// again and verifies the fingerprint.
+struct DriverImage {
+  std::uint64_t script_fingerprint = 0;
+  std::array<std::uint64_t, 4> rng{};
+  // Stats, verbatim.
+  std::uint64_t spawned = 0;
+  std::uint64_t attack_spawned = 0;
+  std::uint64_t driver_kills = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t policy_kills = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t peak_live = 0;
+  std::uint64_t epochs = 0;
+  double live_epoch_sum = 0.0;
+  /// The departure min-heap's backing array, verbatim (heap order is a
+  /// deterministic function of the push sequence, so restoring the array
+  /// bit-for-bit reproduces every future pop).
+  std::vector<std::pair<std::uint64_t, sim::ProcessId>> departures;
+  std::vector<std::uint64_t> campaign_progress;
+  std::uint64_t benign_palette_cursor = 0;
+  std::vector<sim::ProcessId> prev_live;
+  std::uint64_t live = 0;
+};
+
+/// A complete decoded snapshot.
+struct SnapshotImage {
+  std::uint32_t version = 1;
+  SystemImage system;
+  EngineImage engine;
+  bool has_driver = false;
+  DriverImage driver;
+};
+
+}  // namespace valkyrie::snapshot

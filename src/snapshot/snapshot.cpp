@@ -1,0 +1,779 @@
+#include "snapshot/snapshot.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "sim/scenario.hpp"
+
+namespace valkyrie::snapshot {
+namespace {
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::SerialError;
+
+// Framing: magic, format version, then fourcc/length/payload/CRC sections.
+constexpr std::array<std::uint8_t, 8> kMagic = {'V', 'L', 'K', 'Y',
+                                                'S', 'N', 'P', '1'};
+constexpr std::uint32_t kVersion = 1;
+
+constexpr std::uint32_t fourcc(char a, char b, char c, char d) noexcept {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(a)) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(b)) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(c)) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(d)) << 24;
+}
+
+constexpr std::uint32_t kSysSection = fourcc('S', 'Y', 'S', ' ');
+constexpr std::uint32_t kEngSection = fourcc('E', 'N', 'G', ' ');
+constexpr std::uint32_t kDrvSection = fourcc('D', 'R', 'V', ' ');
+
+// --- Field-group helpers -----------------------------------------------------
+
+void put_rng(ByteWriter& out, const std::array<std::uint64_t, 4>& state) {
+  for (const std::uint64_t word : state) out.u64(word);
+}
+
+std::array<std::uint64_t, 4> get_rng(ByteReader& in) {
+  std::array<std::uint64_t, 4> state{};
+  for (std::uint64_t& word : state) word = in.u64();
+  return state;
+}
+
+void put_shares(ByteWriter& out, const sim::ResourceShares& s) {
+  out.f64(s.cpu);
+  out.f64(s.mem);
+  out.f64(s.net);
+  out.f64(s.fs);
+}
+
+sim::ResourceShares get_shares(ByteReader& in) {
+  sim::ResourceShares s;
+  s.cpu = in.f64();
+  s.mem = in.f64();
+  s.net = in.f64();
+  s.fs = in.f64();
+  return s;
+}
+
+void put_sample(ByteWriter& out, const hpc::HpcSample& sample) {
+  for (const double v : sample.counts) out.f64(v);
+}
+
+hpc::HpcSample get_sample(ByteReader& in) {
+  hpc::HpcSample sample;
+  for (double& v : sample.counts) v = in.f64();
+  return sample;
+}
+
+void put_features(ByteWriter& out, const hpc::FeatureVec& vec) {
+  for (const double v : vec) out.f64(v);
+}
+
+hpc::FeatureVec get_features(ByteReader& in) {
+  hpc::FeatureVec vec{};
+  for (double& v : vec) v = in.f64();
+  return vec;
+}
+
+void put_accum(ByteWriter& out, const ml::WindowAccumulator::State& s) {
+  out.u64(s.count);
+  put_features(out, s.mean);
+  put_features(out, s.m2);
+  put_features(out, s.newest);
+}
+
+ml::WindowAccumulator::State get_accum(ByteReader& in) {
+  ml::WindowAccumulator::State s;
+  s.count = static_cast<std::size_t>(in.u64());
+  s.mean = get_features(in);
+  s.m2 = get_features(in);
+  s.newest = get_features(in);
+  return s;
+}
+
+void put_poly(ByteWriter& out, const PolyImage& poly) {
+  out.str(poly.type);
+  out.u64(poly.payload.size());
+  out.bytes(poly.payload);
+}
+
+PolyImage get_poly(ByteReader& in) {
+  PolyImage poly;
+  poly.type = in.str();
+  const std::size_t n = in.length(1);
+  const std::span<const std::uint8_t> payload = in.bytes(n);
+  poly.payload.assign(payload.begin(), payload.end());
+  return poly;
+}
+
+// --- System section ----------------------------------------------------------
+
+void encode_system(ByteWriter& out, const SystemImage& sys) {
+  out.f64(sys.epoch_ms);
+  out.f64(sys.hpc_noise);
+  out.f64(sys.scheduler.targeted_latency_ms);
+  out.f64(sys.scheduler.gamma);
+  out.i64(sys.scheduler.weight_levels);
+  out.i64(sys.scheduler.default_level);
+  out.f64(sys.scheduler.background_weight_units);
+  out.f64(sys.scheduler.min_share_fraction);
+  put_rng(out, sys.rng);
+  out.u64(sys.epoch);
+  out.boolean(sys.retire_pending);
+  out.boolean(sys.recycle_histories);
+
+  out.u64(sys.slots.size());
+  for (const SlotImage& slot : sys.slots) {
+    out.u32(slot.pid);
+    put_rng(out, slot.rng);
+    put_shares(out, slot.cgroup);
+    put_shares(out, slot.effective);
+    put_sample(out, slot.last_sample);
+    put_accum(out, slot.accum);
+    out.f64(slot.last_progress);
+    out.u64(slot.epochs_run);
+    out.u8(slot.exit);
+  }
+
+  out.u64(sys.procs.size());
+  for (const ProcImage& proc : sys.procs) {
+    out.u32(proc.slot);
+    put_poly(out, proc.workload);
+    out.u64(proc.history.size());
+    for (const hpc::HpcSample& sample : proc.history) put_sample(out, sample);
+    put_shares(out, proc.retired_cgroup);
+    put_shares(out, proc.retired_effective);
+    put_sample(out, proc.retired_last_sample);
+    put_accum(out, proc.retired_accum);
+    out.f64(proc.retired_last_progress);
+    out.u64(proc.retired_epochs_run);
+    out.u8(proc.retired_exit);
+  }
+
+  out.u64(sys.sched_factors.size());
+  for (const double factor : sys.sched_factors) out.f64(factor);
+}
+
+SystemImage decode_system(ByteReader& in) {
+  SystemImage sys;
+  sys.epoch_ms = in.f64();
+  sys.hpc_noise = in.f64();
+  sys.scheduler.targeted_latency_ms = in.f64();
+  sys.scheduler.gamma = in.f64();
+  sys.scheduler.weight_levels = static_cast<int>(in.i64());
+  sys.scheduler.default_level = static_cast<int>(in.i64());
+  sys.scheduler.background_weight_units = in.f64();
+  sys.scheduler.min_share_fraction = in.f64();
+  sys.rng = get_rng(in);
+  sys.epoch = in.u64();
+  sys.retire_pending = in.boolean();
+  sys.recycle_histories = in.boolean();
+
+  const std::size_t slot_count = in.length(sizeof(std::uint32_t));
+  sys.slots.reserve(slot_count);
+  for (std::size_t s = 0; s < slot_count; ++s) {
+    SlotImage slot;
+    slot.pid = in.u32();
+    slot.rng = get_rng(in);
+    slot.cgroup = get_shares(in);
+    slot.effective = get_shares(in);
+    slot.last_sample = get_sample(in);
+    slot.accum = get_accum(in);
+    slot.last_progress = in.f64();
+    slot.epochs_run = in.u64();
+    slot.exit = in.u8();
+    sys.slots.push_back(slot);
+  }
+
+  const std::size_t proc_count = in.length(sizeof(std::uint32_t));
+  sys.procs.reserve(proc_count);
+  for (std::size_t p = 0; p < proc_count; ++p) {
+    ProcImage proc;
+    proc.slot = in.u32();
+    proc.workload = get_poly(in);
+    const std::size_t history =
+        in.length(hpc::kNumEvents * sizeof(double));
+    proc.history.reserve(history);
+    for (std::size_t h = 0; h < history; ++h) {
+      proc.history.push_back(get_sample(in));
+    }
+    proc.retired_cgroup = get_shares(in);
+    proc.retired_effective = get_shares(in);
+    proc.retired_last_sample = get_sample(in);
+    proc.retired_accum = get_accum(in);
+    proc.retired_last_progress = in.f64();
+    proc.retired_epochs_run = in.u64();
+    proc.retired_exit = in.u8();
+    sys.procs.push_back(std::move(proc));
+  }
+
+  sys.sched_factors = in.f64_vec();
+  return sys;
+}
+
+// --- Engine section ----------------------------------------------------------
+
+void encode_engine(ByteWriter& out, const EngineImage& engine) {
+  out.u64(engine.detector_hash);
+  out.u64(engine.step_tag);
+  out.u64(engine.attachments.size());
+  for (const AttachmentImage& att : engine.attachments) {
+    out.u32(att.pid);
+    out.u64(att.monitor.required_measurements);
+    out.boolean(att.monitor.episode_scoped);
+    out.boolean(att.monitor.reset_metrics_on_normal);
+    put_poly(out, att.monitor.actuator);
+    out.f64(att.monitor.threat);
+    out.f64(att.monitor.penalty);
+    out.f64(att.monitor.compensation);
+    out.u8(att.monitor.threat_state);
+    out.u64(att.monitor.measurements);
+    out.u8(att.monitor.state);
+    out.boolean(att.has_terminal);
+    out.u64(att.terminal_hash);
+    out.u64(att.stream_malicious);
+    out.u64(att.stream_counted);
+    out.u64(att.terminal_malicious);
+    out.u64(att.terminal_counted);
+    out.u8(att.last_action);
+    out.u64(att.last_action_step);
+  }
+}
+
+EngineImage decode_engine(ByteReader& in) {
+  EngineImage engine;
+  engine.detector_hash = in.u64();
+  engine.step_tag = in.u64();
+  const std::size_t count = in.length(sizeof(std::uint32_t));
+  engine.attachments.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    AttachmentImage att;
+    att.pid = in.u32();
+    att.monitor.required_measurements = in.u64();
+    att.monitor.episode_scoped = in.boolean();
+    att.monitor.reset_metrics_on_normal = in.boolean();
+    att.monitor.actuator = get_poly(in);
+    att.monitor.threat = in.f64();
+    att.monitor.penalty = in.f64();
+    att.monitor.compensation = in.f64();
+    att.monitor.threat_state = in.u8();
+    att.monitor.measurements = in.u64();
+    att.monitor.state = in.u8();
+    att.has_terminal = in.boolean();
+    att.terminal_hash = in.u64();
+    att.stream_malicious = in.u64();
+    att.stream_counted = in.u64();
+    att.terminal_malicious = in.u64();
+    att.terminal_counted = in.u64();
+    att.last_action = in.u8();
+    att.last_action_step = in.u64();
+    engine.attachments.push_back(std::move(att));
+  }
+  return engine;
+}
+
+// --- Driver section ----------------------------------------------------------
+
+void encode_driver(ByteWriter& out, const DriverImage& driver) {
+  out.u64(driver.script_fingerprint);
+  put_rng(out, driver.rng);
+  out.u64(driver.spawned);
+  out.u64(driver.attack_spawned);
+  out.u64(driver.driver_kills);
+  out.u64(driver.completed);
+  out.u64(driver.policy_kills);
+  out.u64(driver.rejected);
+  out.u64(driver.peak_live);
+  out.u64(driver.epochs);
+  out.f64(driver.live_epoch_sum);
+  out.u64(driver.departures.size());
+  for (const auto& [epoch, pid] : driver.departures) {
+    out.u64(epoch);
+    out.u32(pid);
+  }
+  out.u64_span(driver.campaign_progress);
+  out.u64(driver.benign_palette_cursor);
+  out.u64(driver.prev_live.size());
+  for (const sim::ProcessId pid : driver.prev_live) out.u32(pid);
+  out.u64(driver.live);
+}
+
+DriverImage decode_driver(ByteReader& in) {
+  DriverImage driver;
+  driver.script_fingerprint = in.u64();
+  driver.rng = get_rng(in);
+  driver.spawned = in.u64();
+  driver.attack_spawned = in.u64();
+  driver.driver_kills = in.u64();
+  driver.completed = in.u64();
+  driver.policy_kills = in.u64();
+  driver.rejected = in.u64();
+  driver.peak_live = in.u64();
+  driver.epochs = in.u64();
+  driver.live_epoch_sum = in.f64();
+  const std::size_t departures =
+      in.length(sizeof(std::uint64_t) + sizeof(std::uint32_t));
+  driver.departures.reserve(departures);
+  for (std::size_t i = 0; i < departures; ++i) {
+    const std::uint64_t epoch = in.u64();
+    const sim::ProcessId pid = in.u32();
+    driver.departures.emplace_back(epoch, pid);
+  }
+  driver.campaign_progress = in.u64_vec();
+  driver.benign_palette_cursor = in.u64();
+  const std::size_t prev = in.length(sizeof(std::uint32_t));
+  driver.prev_live.reserve(prev);
+  for (std::size_t i = 0; i < prev; ++i) driver.prev_live.push_back(in.u32());
+  driver.live = in.u64();
+  return driver;
+}
+
+// Appends one fourcc/length/payload/CRC section, fixing up the length once
+// the payload size is known.
+void append_section(std::vector<std::uint8_t>& bytes, std::uint32_t tag,
+                    const SnapshotImage& image) {
+  ByteWriter out(bytes);
+  out.u32(tag);
+  const std::size_t length_at = bytes.size();
+  out.u64(0);  // placeholder, patched once the payload size is known
+  const std::size_t payload_start = bytes.size();
+  switch (tag) {
+    case kSysSection:
+      encode_system(out, image.system);
+      break;
+    case kEngSection:
+      encode_engine(out, image.engine);
+      break;
+    case kDrvSection:
+      encode_driver(out, image.driver);
+      break;
+    default:
+      break;
+  }
+  const std::size_t payload_size = bytes.size() - payload_start;
+  out.patch_u64(length_at, payload_size);
+  out.u32(util::crc32({bytes.data() + payload_start, payload_size}));
+}
+
+// --- diff helpers ------------------------------------------------------------
+
+struct DiffSink {
+  std::vector<FieldDiff>& out;
+
+  static std::string fmt_f64(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+  }
+  static std::string fmt_u64(std::uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    return buf;
+  }
+
+  void u64(const std::string& path, std::uint64_t a, std::uint64_t b) {
+    if (a != b) out.push_back({path, fmt_u64(a), fmt_u64(b)});
+  }
+  // Doubles compare by bit pattern: the contract is bit-identity, and a
+  // tolerance would hide exactly the drift the diff exists to expose.
+  void f64(const std::string& path, double a, double b) {
+    if (std::bit_cast<std::uint64_t>(a) != std::bit_cast<std::uint64_t>(b)) {
+      out.push_back({path, fmt_f64(a), fmt_f64(b)});
+    }
+  }
+  void str(const std::string& path, const std::string& a,
+           const std::string& b) {
+    if (a != b) out.push_back({path, a, b});
+  }
+  void blob(const std::string& path, const std::vector<std::uint8_t>& a,
+            const std::vector<std::uint8_t>& b) {
+    if (a != b) {
+      out.push_back({path, fmt_u64(a.size()) + " bytes",
+                     fmt_u64(b.size()) + " bytes (contents differ)"});
+    }
+  }
+  void shares(const std::string& path, const sim::ResourceShares& a,
+              const sim::ResourceShares& b) {
+    f64(path + ".cpu", a.cpu, b.cpu);
+    f64(path + ".mem", a.mem, b.mem);
+    f64(path + ".net", a.net, b.net);
+    f64(path + ".fs", a.fs, b.fs);
+  }
+  void sample(const std::string& path, const hpc::HpcSample& a,
+              const hpc::HpcSample& b) {
+    for (std::size_t e = 0; e < hpc::kNumEvents; ++e) {
+      f64(path + "[" + std::to_string(e) + "]", a.counts[e], b.counts[e]);
+    }
+  }
+  void features(const std::string& path, const hpc::FeatureVec& a,
+                const hpc::FeatureVec& b) {
+    for (std::size_t f = 0; f < hpc::kFeatureDim; ++f) {
+      f64(path + "[" + std::to_string(f) + "]", a[f], b[f]);
+    }
+  }
+  void accum(const std::string& path, const ml::WindowAccumulator::State& a,
+             const ml::WindowAccumulator::State& b) {
+    u64(path + ".count", a.count, b.count);
+    features(path + ".mean", a.mean, b.mean);
+    features(path + ".m2", a.m2, b.m2);
+    features(path + ".newest", a.newest, b.newest);
+  }
+  void rng(const std::string& path, const std::array<std::uint64_t, 4>& a,
+           const std::array<std::uint64_t, 4>& b) {
+    for (std::size_t w = 0; w < 4; ++w) {
+      u64(path + "[" + std::to_string(w) + "]", a[w], b[w]);
+    }
+  }
+  void poly(const std::string& path, const PolyImage& a, const PolyImage& b) {
+    str(path + ".type", a.type, b.type);
+    blob(path + ".payload", a.payload, b.payload);
+  }
+  void monitor(const std::string& path, const MonitorImage& a,
+               const MonitorImage& b) {
+    u64(path + ".required_measurements", a.required_measurements,
+        b.required_measurements);
+    u64(path + ".episode_scoped", a.episode_scoped, b.episode_scoped);
+    u64(path + ".reset_metrics_on_normal", a.reset_metrics_on_normal,
+        b.reset_metrics_on_normal);
+    poly(path + ".actuator", a.actuator, b.actuator);
+    f64(path + ".threat", a.threat, b.threat);
+    f64(path + ".penalty", a.penalty, b.penalty);
+    f64(path + ".compensation", a.compensation, b.compensation);
+    u64(path + ".threat_state", a.threat_state, b.threat_state);
+    u64(path + ".measurements", a.measurements, b.measurements);
+    u64(path + ".state", a.state, b.state);
+  }
+};
+
+}  // namespace
+
+SnapshotImage capture(const core::ValkyrieEngine& engine) {
+  SnapshotImage image;
+  image.system = engine.system().snapshot_state();
+  image.engine = engine.snapshot_state();
+  return image;
+}
+
+SnapshotImage capture(const sim::ScenarioDriver& driver) {
+  SnapshotImage image = capture(driver.engine());
+  image.has_driver = true;
+  image.driver = driver.snapshot_state();
+  return image;
+}
+
+std::vector<std::uint8_t> encode(const SnapshotImage& image) {
+  std::vector<std::uint8_t> bytes;
+  {
+    ByteWriter out(bytes);
+    out.bytes(kMagic);
+    out.u32(kVersion);
+  }
+  append_section(bytes, kSysSection, image);
+  append_section(bytes, kEngSection, image);
+  if (image.has_driver) append_section(bytes, kDrvSection, image);
+  return bytes;
+}
+
+SnapshotImage parse(std::span<const std::uint8_t> bytes) {
+  ByteReader in(bytes);
+  const std::span<const std::uint8_t> magic = in.bytes(kMagic.size());
+  if (!std::equal(magic.begin(), magic.end(), kMagic.begin())) {
+    throw SerialError(SerialError::Code::kBadMagic,
+                      "snapshot: bad magic (not a Valkyrie snapshot)");
+  }
+  const std::uint32_t version = in.u32();
+  if (version != kVersion) {
+    throw SerialError(SerialError::Code::kBadVersion,
+                      "snapshot: unsupported format version " +
+                          std::to_string(version));
+  }
+
+  SnapshotImage image;
+  image.version = version;
+  bool have_sys = false;
+  bool have_eng = false;
+  while (!in.done()) {
+    const std::uint32_t tag = in.u32();
+    const std::size_t length = in.length(1);
+    const std::span<const std::uint8_t> payload = in.bytes(length);
+    const std::uint32_t stored_crc = in.u32();
+    if (util::crc32(payload) != stored_crc) {
+      throw SerialError(SerialError::Code::kBadChecksum,
+                        "snapshot: section checksum mismatch");
+    }
+    ByteReader section(payload);
+    switch (tag) {
+      case kSysSection:
+        if (have_sys) {
+          throw SerialError(SerialError::Code::kBadSection,
+                            "snapshot: duplicate system section");
+        }
+        image.system = decode_system(section);
+        have_sys = true;
+        break;
+      case kEngSection:
+        if (have_eng) {
+          throw SerialError(SerialError::Code::kBadSection,
+                            "snapshot: duplicate engine section");
+        }
+        image.engine = decode_engine(section);
+        have_eng = true;
+        break;
+      case kDrvSection:
+        if (image.has_driver) {
+          throw SerialError(SerialError::Code::kBadSection,
+                            "snapshot: duplicate driver section");
+        }
+        image.driver = decode_driver(section);
+        image.has_driver = true;
+        break;
+      default:
+        throw SerialError(SerialError::Code::kBadSection,
+                          "snapshot: unknown section tag");
+    }
+    if (!section.done()) {
+      throw SerialError(SerialError::Code::kMalformed,
+                        "snapshot: trailing bytes in section");
+    }
+  }
+  if (!have_sys || !have_eng) {
+    throw SerialError(SerialError::Code::kBadSection,
+                      "snapshot: missing system or engine section");
+  }
+  return image;
+}
+
+void restore(const SnapshotImage& image, core::ValkyrieEngine& engine,
+             const RestoreContext& ctx) {
+  // Phase 1: engine-level compatibility checks that mutate nothing, so a
+  // doomed restore fails before the system commit below. (The system's own
+  // restore_from validates everything it needs internally, also before
+  // mutating.) Byte-level corruption never reaches here — parse() already
+  // rejected it — so the residual risk is handcrafted in-memory images.
+  if (image.engine.detector_hash != engine.detector().state_hash()) {
+    throw SerialError(SerialError::Code::kIncompatible,
+                      "restore: detector fingerprint mismatch");
+  }
+  for (const AttachmentImage& att : image.engine.attachments) {
+    if (att.monitor.required_measurements == 0 ||
+        att.monitor.state >
+            static_cast<std::uint8_t>(core::ProcessState::kTerminated) ||
+        att.monitor.threat_state >
+            static_cast<std::uint8_t>(core::ProcessState::kTerminated) ||
+        att.last_action > static_cast<std::uint8_t>(
+                              core::ValkyrieMonitor::Action::kTerminated)) {
+      throw SerialError(SerialError::Code::kMalformed,
+                        "restore: attachment fields out of range");
+    }
+    if (!att.monitor.actuator.present() ||
+        !ctx.actuators.contains(att.monitor.actuator.type)) {
+      throw SerialError(SerialError::Code::kUnsupportedWorkload,
+                        "restore: unknown actuator type '" +
+                            att.monitor.actuator.type + "'");
+    }
+    if (att.has_terminal &&
+        (ctx.terminal_detector == nullptr ||
+         ctx.terminal_detector->state_hash() != att.terminal_hash)) {
+      throw SerialError(SerialError::Code::kIncompatible,
+                        "restore: terminal detector fingerprint mismatch");
+    }
+  }
+
+  engine.system().restore_from(image.system, ctx.workloads);
+  engine.restore_from(image.engine, ctx);
+}
+
+std::vector<FieldDiff> diff(const SnapshotImage& a, const SnapshotImage& b) {
+  std::vector<FieldDiff> diffs;
+  DiffSink d{diffs};
+
+  const SystemImage& sa = a.system;
+  const SystemImage& sb = b.system;
+  d.f64("system.epoch_ms", sa.epoch_ms, sb.epoch_ms);
+  d.f64("system.hpc_noise", sa.hpc_noise, sb.hpc_noise);
+  d.f64("system.scheduler.targeted_latency_ms",
+        sa.scheduler.targeted_latency_ms, sb.scheduler.targeted_latency_ms);
+  d.f64("system.scheduler.gamma", sa.scheduler.gamma, sb.scheduler.gamma);
+  d.u64("system.scheduler.weight_levels",
+        static_cast<std::uint64_t>(sa.scheduler.weight_levels),
+        static_cast<std::uint64_t>(sb.scheduler.weight_levels));
+  d.u64("system.scheduler.default_level",
+        static_cast<std::uint64_t>(sa.scheduler.default_level),
+        static_cast<std::uint64_t>(sb.scheduler.default_level));
+  d.f64("system.scheduler.background_weight_units",
+        sa.scheduler.background_weight_units,
+        sb.scheduler.background_weight_units);
+  d.f64("system.scheduler.min_share_fraction", sa.scheduler.min_share_fraction,
+        sb.scheduler.min_share_fraction);
+  d.rng("system.rng", sa.rng, sb.rng);
+  d.u64("system.epoch", sa.epoch, sb.epoch);
+  d.u64("system.retire_pending", sa.retire_pending, sb.retire_pending);
+  d.u64("system.recycle_histories", sa.recycle_histories,
+        sb.recycle_histories);
+
+  d.u64("system.slots.size", sa.slots.size(), sb.slots.size());
+  const std::size_t slots = std::min(sa.slots.size(), sb.slots.size());
+  for (std::size_t s = 0; s < slots; ++s) {
+    const std::string path = "system.slots[" + std::to_string(s) + "]";
+    const SlotImage& la = sa.slots[s];
+    const SlotImage& lb = sb.slots[s];
+    d.u64(path + ".pid", la.pid, lb.pid);
+    d.rng(path + ".rng", la.rng, lb.rng);
+    d.shares(path + ".cgroup", la.cgroup, lb.cgroup);
+    d.shares(path + ".effective", la.effective, lb.effective);
+    d.sample(path + ".last_sample", la.last_sample, lb.last_sample);
+    d.accum(path + ".accum", la.accum, lb.accum);
+    d.f64(path + ".last_progress", la.last_progress, lb.last_progress);
+    d.u64(path + ".epochs_run", la.epochs_run, lb.epochs_run);
+    d.u64(path + ".exit", la.exit, lb.exit);
+  }
+
+  d.u64("system.procs.size", sa.procs.size(), sb.procs.size());
+  const std::size_t procs = std::min(sa.procs.size(), sb.procs.size());
+  for (std::size_t p = 0; p < procs; ++p) {
+    const std::string path = "system.procs[" + std::to_string(p) + "]";
+    const ProcImage& pa = sa.procs[p];
+    const ProcImage& pb = sb.procs[p];
+    d.u64(path + ".slot", pa.slot, pb.slot);
+    d.poly(path + ".workload", pa.workload, pb.workload);
+    d.u64(path + ".history.size", pa.history.size(), pb.history.size());
+    const std::size_t history = std::min(pa.history.size(), pb.history.size());
+    for (std::size_t h = 0; h < history; ++h) {
+      d.sample(path + ".history[" + std::to_string(h) + "]", pa.history[h],
+               pb.history[h]);
+    }
+    d.shares(path + ".retired_cgroup", pa.retired_cgroup, pb.retired_cgroup);
+    d.shares(path + ".retired_effective", pa.retired_effective,
+             pb.retired_effective);
+    d.sample(path + ".retired_last_sample", pa.retired_last_sample,
+             pb.retired_last_sample);
+    d.accum(path + ".retired_accum", pa.retired_accum, pb.retired_accum);
+    d.f64(path + ".retired_last_progress", pa.retired_last_progress,
+          pb.retired_last_progress);
+    d.u64(path + ".retired_epochs_run", pa.retired_epochs_run,
+          pb.retired_epochs_run);
+    d.u64(path + ".retired_exit", pa.retired_exit, pb.retired_exit);
+  }
+
+  d.u64("system.sched_factors.size", sa.sched_factors.size(),
+        sb.sched_factors.size());
+  const std::size_t factors =
+      std::min(sa.sched_factors.size(), sb.sched_factors.size());
+  for (std::size_t f = 0; f < factors; ++f) {
+    d.f64("system.sched_factors[" + std::to_string(f) + "]",
+          sa.sched_factors[f], sb.sched_factors[f]);
+  }
+
+  const EngineImage& ea = a.engine;
+  const EngineImage& eb = b.engine;
+  d.u64("engine.detector_hash", ea.detector_hash, eb.detector_hash);
+  d.u64("engine.step_tag", ea.step_tag, eb.step_tag);
+  d.u64("engine.attachments.size", ea.attachments.size(),
+        eb.attachments.size());
+  const std::size_t atts =
+      std::min(ea.attachments.size(), eb.attachments.size());
+  for (std::size_t i = 0; i < atts; ++i) {
+    const std::string path = "engine.attachments[" + std::to_string(i) + "]";
+    const AttachmentImage& aa = ea.attachments[i];
+    const AttachmentImage& ab = eb.attachments[i];
+    d.u64(path + ".pid", aa.pid, ab.pid);
+    d.monitor(path + ".monitor", aa.monitor, ab.monitor);
+    d.u64(path + ".has_terminal", aa.has_terminal, ab.has_terminal);
+    d.u64(path + ".terminal_hash", aa.terminal_hash, ab.terminal_hash);
+    d.u64(path + ".stream_malicious", aa.stream_malicious,
+          ab.stream_malicious);
+    d.u64(path + ".stream_counted", aa.stream_counted, ab.stream_counted);
+    d.u64(path + ".terminal_malicious", aa.terminal_malicious,
+          ab.terminal_malicious);
+    d.u64(path + ".terminal_counted", aa.terminal_counted,
+          ab.terminal_counted);
+    d.u64(path + ".last_action", aa.last_action, ab.last_action);
+    d.u64(path + ".last_action_step", aa.last_action_step,
+          ab.last_action_step);
+  }
+
+  d.u64("has_driver", a.has_driver, b.has_driver);
+  if (a.has_driver && b.has_driver) {
+    const DriverImage& da = a.driver;
+    const DriverImage& db = b.driver;
+    d.u64("driver.script_fingerprint", da.script_fingerprint,
+          db.script_fingerprint);
+    d.rng("driver.rng", da.rng, db.rng);
+    d.u64("driver.spawned", da.spawned, db.spawned);
+    d.u64("driver.attack_spawned", da.attack_spawned, db.attack_spawned);
+    d.u64("driver.driver_kills", da.driver_kills, db.driver_kills);
+    d.u64("driver.completed", da.completed, db.completed);
+    d.u64("driver.policy_kills", da.policy_kills, db.policy_kills);
+    d.u64("driver.rejected", da.rejected, db.rejected);
+    d.u64("driver.peak_live", da.peak_live, db.peak_live);
+    d.u64("driver.epochs", da.epochs, db.epochs);
+    d.f64("driver.live_epoch_sum", da.live_epoch_sum, db.live_epoch_sum);
+    d.u64("driver.departures.size", da.departures.size(),
+          db.departures.size());
+    const std::size_t deps =
+        std::min(da.departures.size(), db.departures.size());
+    for (std::size_t i = 0; i < deps; ++i) {
+      const std::string path = "driver.departures[" + std::to_string(i) + "]";
+      d.u64(path + ".epoch", da.departures[i].first, db.departures[i].first);
+      d.u64(path + ".pid", da.departures[i].second, db.departures[i].second);
+    }
+    d.u64("driver.campaign_progress.size", da.campaign_progress.size(),
+          db.campaign_progress.size());
+    const std::size_t camps =
+        std::min(da.campaign_progress.size(), db.campaign_progress.size());
+    for (std::size_t c = 0; c < camps; ++c) {
+      d.u64("driver.campaign_progress[" + std::to_string(c) + "]",
+            da.campaign_progress[c], db.campaign_progress[c]);
+    }
+    d.u64("driver.benign_palette_cursor", da.benign_palette_cursor,
+          db.benign_palette_cursor);
+    d.u64("driver.prev_live.size", da.prev_live.size(), db.prev_live.size());
+    const std::size_t prev =
+        std::min(da.prev_live.size(), db.prev_live.size());
+    for (std::size_t i = 0; i < prev; ++i) {
+      d.u64("driver.prev_live[" + std::to_string(i) + "]", da.prev_live[i],
+            db.prev_live[i]);
+    }
+    d.u64("driver.live", da.live, db.live);
+  }
+  return diffs;
+}
+
+std::uint64_t script_fingerprint(const sim::ScenarioScript& script) {
+  std::vector<std::uint8_t> bytes;
+  ByteWriter out(bytes);
+  out.u64(script.seed);
+  out.u64(script.initial_processes);
+  out.f64(script.arrival_rate);
+  out.f64(script.attack_fraction);
+  out.u64(script.attack_families.size());
+  for (const sim::AttackFamily family : script.attack_families) {
+    out.u8(static_cast<std::uint8_t>(family));
+  }
+  out.f64(script.mean_lifetime);
+  out.f64(script.kill_exit_fraction);
+  out.u64(script.max_live);
+  out.u64(script.monitor_config.required_measurements);
+  out.boolean(script.monitor_config.episode_scoped_measurements);
+  out.boolean(script.monitor_config.threat.reset_metrics_on_normal);
+  out.u64(script.bursts.size());
+  for (const sim::ArrivalBurst& burst : script.bursts) {
+    out.u64(burst.epoch);
+    out.u64(burst.count);
+  }
+  out.u64(script.campaigns.size());
+  for (const sim::AttackCampaign& campaign : script.campaigns) {
+    out.u64(campaign.start_epoch);
+    out.u64(campaign.count);
+    out.u64(campaign.stagger);
+    out.u8(static_cast<std::uint8_t>(campaign.family));
+  }
+  out.boolean(script.recycle_histories);
+  return util::fnv1a(bytes);
+}
+
+}  // namespace valkyrie::snapshot

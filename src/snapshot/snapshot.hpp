@@ -1,0 +1,115 @@
+// Epoch-consistent snapshot/restore for the full engine stack (the PR's
+// operational-recovery subsystem).
+//
+// Lifecycle:
+//
+//   capture(engine | driver)  -> SnapshotImage   (structured, in-memory)
+//   encode(image)             -> bytes           (versioned + CRC framing)
+//   parse(bytes)              -> SnapshotImage   (validates framing + CRC;
+//                                                 registry-free)
+//   restore(image, engine, ctx)                  (rebuilds live objects)
+//
+// The restore determinism contract: an engine restored from a snapshot
+// taken at epoch E and run to epoch E+k produces BIT-IDENTICAL histories,
+// actions and threat indices to the uninterrupted run, for every StepMode
+// and worker count — including snapshots taken mid-churn with dead-marked
+// slots awaiting compaction.
+//
+// Corruption robustness: every parse failure is a typed SnapshotError
+// (truncation -> kTruncated, any flipped payload bit -> kBadChecksum, a
+// foreign file -> kBadMagic, an unknown format revision -> kBadVersion,
+// broken framing -> kBadSection), and restore() validates compatibility
+// (detector fingerprint, platform numbers) before mutating the target —
+// a failed restore leaves the engine untouched.
+//
+// Byte encoding lives ONLY in snapshot.cpp; the classes themselves expose
+// structured snapshot_state()/restore_from() members over the image types.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/valkyrie.hpp"
+#include "snapshot/image.hpp"
+#include "snapshot/registry.hpp"
+#include "util/serial.hpp"
+
+namespace valkyrie::sim {
+class ScenarioDriver;
+struct ScenarioScript;
+}  // namespace valkyrie::sim
+
+namespace valkyrie::snapshot {
+
+/// All snapshot failures are util::SerialError with a typed code; the alias
+/// names the contract at the subsystem boundary.
+using SnapshotError = util::SerialError;
+
+/// Everything restore() needs that a snapshot deliberately does not carry
+/// because it is code, not data: the assessment functions (inside the base
+/// monitor config), the terminal detector, and the registries that turn
+/// type tags back into live workloads/actuators.
+struct RestoreContext {
+  /// Supplies the code-level monitor config pieces (assessment functions);
+  /// the scalar fields are overwritten per attachment from the image.
+  core::ValkyrieConfig base_config{};
+  /// Target for attachments captured with a terminal detector; validated
+  /// against the recorded fingerprint. May stay null when no attachment
+  /// used one.
+  const ml::Detector* terminal_detector = nullptr;
+  WorkloadRegistry workloads = WorkloadRegistry::bundled();
+  ActuatorRegistry actuators = ActuatorRegistry::bundled();
+};
+
+/// Captures engine + system state at a closed epoch boundary. Throws
+/// std::logic_error while an epoch is open and SnapshotError
+/// (kUnsupportedWorkload) if a live workload/actuator lacks snapshot
+/// support. The capture itself is a structured copy — cheap enough for the
+/// engine thread; encoding/CRC belong on a Snapshotter worker.
+[[nodiscard]] SnapshotImage capture(const core::ValkyrieEngine& engine);
+
+/// As above, plus the scenario driver's section (RNG, stats, scheduled
+/// departures, campaign progress) so a churn campaign can resume mid-run.
+[[nodiscard]] SnapshotImage capture(const sim::ScenarioDriver& driver);
+
+/// Serializes an image: magic "VLKYSNP1", format version, then one
+/// length-prefixed + CRC32-checksummed section per subsystem.
+[[nodiscard]] std::vector<std::uint8_t> encode(const SnapshotImage& image);
+
+/// Decodes and validates a snapshot byte stream. Registry-free: workloads
+/// and actuators stay {type, payload}. Throws typed SnapshotError on any
+/// framing/CRC/structure violation; never invokes undefined behaviour on
+/// arbitrary input bytes.
+[[nodiscard]] SnapshotImage parse(std::span<const std::uint8_t> bytes);
+
+/// Rebuilds the engine (and its system) from an image. Compatibility is
+/// validated first — detector fingerprint, terminal fingerprints, platform
+/// numbers, structural invariants — so an incompatible or malformed image
+/// throws before the target is mutated. The driver section is NOT applied
+/// here: construct a ScenarioDriver with its restore constructor after
+/// this call.
+void restore(const SnapshotImage& image, core::ValkyrieEngine& engine,
+             const RestoreContext& ctx);
+
+/// One field-level difference between two snapshots (see diff()).
+struct FieldDiff {
+  std::string path;  // e.g. "system.slots[3].rng[0]"
+  std::string lhs;
+  std::string rhs;
+};
+
+/// Field-by-field comparison of two snapshots (the snapshot_diff example's
+/// engine). Empty result = bit-identical state.
+[[nodiscard]] std::vector<FieldDiff> diff(const SnapshotImage& a,
+                                          const SnapshotImage& b);
+
+/// Deterministic fingerprint of a scenario script's data fields (the
+/// script itself — monitor configs with assessment functions — is code and
+/// is never serialized; the restore constructor takes it again and
+/// verifies this fingerprint).
+[[nodiscard]] std::uint64_t script_fingerprint(
+    const sim::ScenarioScript& script);
+
+}  // namespace valkyrie::snapshot

@@ -1,0 +1,96 @@
+#include "snapshot/snapshotter.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/scenario.hpp"
+
+namespace valkyrie::snapshot {
+
+Snapshotter::Snapshotter(Sink sink) : sink_(std::move(sink)) {
+  if (sink_ == nullptr) {
+    throw std::invalid_argument("Snapshotter: null sink");
+  }
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+Snapshotter::~Snapshotter() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  worker_.join();
+}
+
+void Snapshotter::request(const core::ValkyrieEngine& engine) {
+  enqueue(capture(engine));
+}
+
+void Snapshotter::request(const sim::ScenarioDriver& driver) {
+  enqueue(capture(driver));
+}
+
+void Snapshotter::enqueue(SnapshotImage image) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  space_cv_.wait(lock, [this] {
+    return queue_.size() + (encoding_ ? 1 : 0) < kMaxInFlight;
+  });
+  queue_.push_back(std::move(image));
+  work_cv_.notify_one();
+}
+
+void Snapshotter::flush() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  space_cv_.wait(lock, [this] { return queue_.empty() && !encoding_; });
+}
+
+std::uint64_t Snapshotter::completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+void Snapshotter::worker_loop() {
+  for (;;) {
+    SnapshotImage image;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and drained
+      image = std::move(queue_.front());
+      queue_.pop_front();
+      encoding_ = true;
+      // The popped slot is not free yet (the image is being encoded), but
+      // a producer blocked on the queue bound may now hold the other slot.
+      space_cv_.notify_all();
+    }
+    std::vector<std::uint8_t> bytes = encode(image);
+    sink_(std::move(bytes));
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      encoding_ = false;
+      ++completed_;
+    }
+    space_cv_.notify_all();
+  }
+}
+
+Snapshotter::Sink file_sink(std::string path) {
+  return [path = std::move(path)](std::vector<std::uint8_t> bytes) {
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+      throw std::runtime_error("file_sink: cannot open " + tmp);
+    }
+    const std::size_t written =
+        bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+    const bool ok = (std::fclose(f) == 0) && written == bytes.size();
+    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("file_sink: write failed for " + path);
+    }
+  };
+}
+
+}  // namespace valkyrie::snapshot

@@ -1,0 +1,78 @@
+// Snapshotter: takes the expensive half of snapshotting off the engine
+// thread.
+//
+// capture() is a structured copy — O(state) but allocation-light and cheap
+// enough for an epoch boundary. encode() (byte packing + CRC32 over every
+// section) is the part worth hiding, so the Snapshotter runs it on its own
+// worker thread: the engine thread calls request(), which captures the
+// image synchronously (the engine must not advance mid-copy — that is what
+// epoch consistency means) and hands it to the worker, which encodes and
+// delivers the bytes to the sink. A bounded two-image queue keeps memory
+// flat; request() blocks only when BOTH buffers are still in flight, i.e.
+// snapshots are being requested faster than they encode.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "snapshot/snapshot.hpp"
+
+namespace valkyrie::snapshot {
+
+class Snapshotter {
+ public:
+  /// Receives the encoded snapshot bytes on the worker thread. Must be
+  /// thread-safe with respect to the caller's world; the Snapshotter
+  /// serializes its own invocations (one at a time, request order).
+  using Sink = std::function<void(std::vector<std::uint8_t>)>;
+
+  explicit Snapshotter(Sink sink);
+  ~Snapshotter();
+
+  Snapshotter(const Snapshotter&) = delete;
+  Snapshotter& operator=(const Snapshotter&) = delete;
+
+  /// Captures the engine (epoch-consistent, synchronous) and queues the
+  /// image for background encoding. Blocks while two images are already
+  /// in flight. Throws what capture() throws (open epoch, unsupported
+  /// workload) — nothing is queued on failure.
+  void request(const core::ValkyrieEngine& engine);
+
+  /// As above, with the scenario driver's section included.
+  void request(const sim::ScenarioDriver& driver);
+
+  /// Blocks until every queued image has been encoded and delivered.
+  void flush();
+
+  /// Snapshots delivered to the sink so far.
+  [[nodiscard]] std::uint64_t completed() const;
+
+ private:
+  void enqueue(SnapshotImage image);
+  void worker_loop();
+
+  Sink sink_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   // signals the worker: queue non-empty
+  std::condition_variable space_cv_;  // signals producers: slot free / idle
+  std::deque<SnapshotImage> queue_;   // bounded at kMaxInFlight
+  std::uint64_t completed_ = 0;
+  bool encoding_ = false;  // worker is between pop and sink delivery
+  bool stop_ = false;
+  std::thread worker_;
+
+  static constexpr std::size_t kMaxInFlight = 2;
+};
+
+/// Convenience sink that atomically replaces `path` with each snapshot
+/// (write to `path`.tmp, then rename) — a crash mid-write leaves the
+/// previous snapshot intact, which is the whole point of taking one.
+[[nodiscard]] Snapshotter::Sink file_sink(std::string path);
+
+}  // namespace valkyrie::snapshot

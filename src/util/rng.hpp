@@ -108,6 +108,15 @@ class Rng {
   /// process its own stream without coupling their consumption patterns.
   Rng fork() noexcept { return Rng((*this)()); }
 
+  /// Raw xoshiro256** state, for snapshot/restore. A generator rebuilt via
+  /// set_state() continues the exact stream the original would have produced.
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const noexcept {
+    return state_;
+  }
+  void set_state(const std::array<std::uint64_t, 4>& state) noexcept {
+    state_ = state;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

@@ -1,0 +1,274 @@
+// Binary serialization primitives for the snapshot subsystem: a growing
+// little-endian byte writer, a bounds-checked reader, and CRC32.
+//
+// The encoding is deliberately dumb — fixed-width little-endian integers,
+// IEEE-754 doubles by bit pattern, length-prefixed strings — because the
+// snapshot contract is bit-exactness: a restored engine must continue a run
+// producing exactly the bytes the uninterrupted run would. No varints, no
+// text formats, no locale anywhere near a double.
+//
+// Every reader operation validates against the remaining byte count before
+// touching memory and throws a typed SerialError on violation, so a
+// truncated or bit-flipped snapshot fails decode loudly instead of invoking
+// undefined behaviour. Length prefixes are additionally validated against
+// the remaining bytes before any allocation, so a corrupt length cannot
+// trigger a multi-gigabyte reserve.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace valkyrie::util {
+
+/// Typed decode/validation failure. The snapshot layer surfaces these
+/// unchanged, so callers can switch on code() — e.g. the corruption tests
+/// assert that truncation yields kTruncated, a flipped payload bit
+/// kBadChecksum, a foreign file kBadMagic.
+class SerialError : public std::runtime_error {
+ public:
+  enum class Code : std::uint8_t {
+    kTruncated,           // read past the end of the buffer
+    kBadMagic,            // not a snapshot file
+    kBadVersion,          // snapshot format version not understood
+    kBadChecksum,         // section CRC32 mismatch (bit rot / flip)
+    kBadSection,          // framing broken: unknown/duplicate/missing section
+    kMalformed,           // field-level inconsistency inside a section
+    kIncompatible,        // decodes fine but does not match the target
+                          // engine (detector hash, platform, script)
+    kUnsupportedWorkload, // a live workload has no snapshot support
+  };
+
+  SerialError(Code code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  [[nodiscard]] Code code() const noexcept { return code_; }
+
+ private:
+  Code code_;
+};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte span.
+[[nodiscard]] inline std::uint32_t crc32(
+    std::span<const std::uint8_t> bytes) noexcept {
+  static constexpr auto kTable = [] {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  std::uint32_t crc = 0xffffffffu;
+  for (const std::uint8_t b : bytes) {
+    crc = kTable[(crc ^ b) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+/// Appends little-endian primitives to a growing byte buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::vector<std::uint8_t>& sink) : out_(&sink) {}
+
+  [[nodiscard]] std::vector<std::uint8_t>& buffer() noexcept { return *out_; }
+  [[nodiscard]] std::size_t size() const noexcept { return out_->size(); }
+
+  void u8(std::uint8_t v) { out_->push_back(v); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  /// IEEE-754 bit pattern, so -0.0, NaN payloads and every denormal round
+  /// trip exactly.
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    out_->insert(out_->end(), data.begin(), data.end());
+  }
+
+  /// Length-prefixed string (u64 length + raw bytes).
+  void str(std::string_view s) {
+    u64(s.size());
+    out_->insert(out_->end(), s.begin(), s.end());
+  }
+
+  void f64_span(std::span<const double> values) {
+    u64(values.size());
+    for (const double v : values) f64(v);
+  }
+
+  void u64_span(std::span<const std::uint64_t> values) {
+    u64(values.size());
+    for (const std::uint64_t v : values) u64(v);
+  }
+
+  /// Patches a previously written u64 at `offset` (section length fixup
+  /// after the payload is known).
+  void patch_u64(std::size_t offset, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      (*out_)[offset + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  }
+
+ private:
+  std::vector<std::uint8_t>* out_ = nullptr;
+};
+
+/// Bounds-checked little-endian reader over a fixed byte span. Every read
+/// throws SerialError(kTruncated) rather than walking off the buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  bool boolean() { return u8() != 0; }
+
+  /// A length that must fit in the remaining bytes, with each element
+  /// occupying at least `element_size` bytes — validated BEFORE the caller
+  /// allocates, so a corrupt length cannot drive a huge reserve.
+  std::size_t length(std::size_t element_size = 1) {
+    const std::uint64_t n = u64();
+    if (element_size != 0 && n > remaining() / element_size) {
+      throw SerialError(SerialError::Code::kTruncated,
+                        "serial: length prefix exceeds remaining bytes");
+    }
+    return static_cast<std::size_t>(n);
+  }
+
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    need(n);
+    const std::span<const std::uint8_t> out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::string str() {
+    const std::size_t n = length();
+    const std::span<const std::uint8_t> raw = bytes(n);
+    return {reinterpret_cast<const char*>(raw.data()), raw.size()};
+  }
+
+  std::vector<double> f64_vec() {
+    const std::size_t n = length(8);
+    std::vector<double> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(f64());
+    return out;
+  }
+
+  std::vector<std::uint64_t> u64_vec() {
+    const std::size_t n = length(8);
+    std::vector<std::uint64_t> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(u64());
+    return out;
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (remaining() < n) {
+      throw SerialError(SerialError::Code::kTruncated,
+                        "serial: read past end of snapshot buffer");
+    }
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// FNV-1a over raw bytes — the compatibility-hash primitive detectors use
+/// to fingerprint their configuration/parameters in a snapshot.
+[[nodiscard]] inline std::uint64_t fnv1a(std::span<const std::uint8_t> bytes,
+                                         std::uint64_t seed =
+                                             0xcbf29ce484222325ULL) noexcept {
+  std::uint64_t h = seed;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+[[nodiscard]] inline std::uint64_t fnv1a(std::string_view s,
+                                         std::uint64_t seed =
+                                             0xcbf29ce484222325ULL) noexcept {
+  return fnv1a(
+      {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()}, seed);
+}
+
+[[nodiscard]] inline std::uint64_t fnv1a(std::span<const double> values,
+                                         std::uint64_t seed =
+                                             0xcbf29ce484222325ULL) noexcept {
+  std::uint64_t h = seed;
+  for (const double v : values) {
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<std::uint8_t>(bits >> (8 * i));
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+}  // namespace valkyrie::util

@@ -5,6 +5,7 @@
 
 #include "sim/resources.hpp"
 #include "util/rng.hpp"
+#include "util/serial.hpp"
 
 namespace valkyrie::workloads {
 namespace {
@@ -338,6 +339,38 @@ std::vector<BenchmarkSpec> all_single_threaded() {
     all.insert(all.end(), suite.begin(), suite.end());
   }
   return all;
+}
+
+void BenchmarkWorkload::snapshot_save(util::ByteWriter& out) const {
+  out.str(spec_.name);
+  out.str(spec_.suite);
+  out.u8(static_cast<std::uint8_t>(spec_.program_class));
+  out.f64(spec_.epochs_of_work);
+  out.i64(spec_.threads);
+  out.f64(spec_.sync_penalty);
+  out.f64(spec_.signature_jitter);
+  out.f64(spec_.attack_likeness);
+  out.f64(spec_.io_phase_prob);
+  out.f64(progress_);
+}
+
+std::unique_ptr<sim::Workload> BenchmarkWorkload::snapshot_load(
+    util::ByteReader& in) {
+  BenchmarkSpec spec;
+  spec.name = in.str();
+  spec.suite = in.str();
+  spec.program_class = static_cast<ProgramClass>(in.u8());
+  spec.epochs_of_work = in.f64();
+  spec.threads = static_cast<int>(in.i64());
+  spec.sync_penalty = in.f64();
+  spec.signature_jitter = in.f64();
+  spec.attack_likeness = in.f64();
+  spec.io_phase_prob = in.f64();
+  // The signatures are pure functions of the spec; the constructor
+  // rebuilds them bit-identically.
+  auto out = std::make_unique<BenchmarkWorkload>(std::move(spec));
+  out->progress_ = in.f64();
+  return out;
 }
 
 }  // namespace valkyrie::workloads

@@ -12,6 +12,7 @@
 // blender_r is the paper's worst case at ~30% FP epochs.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,12 @@ class BenchmarkWorkload final : public sim::Workload {
   [[nodiscard]] double remaining_work() const noexcept {
     return spec_.epochs_of_work - progress_;
   }
+
+  [[nodiscard]] std::string_view snapshot_type() const override {
+    return "benchmark";
+  }
+  void snapshot_save(util::ByteWriter& out) const override;
+  static std::unique_ptr<sim::Workload> snapshot_load(util::ByteReader& in);
 
  private:
   BenchmarkSpec spec_;

@@ -1,0 +1,132 @@
+// LSTM snapshot satellite: the recurrence's hidden/cell state serializes,
+// restores, and continues BIT-IDENTICALLY — a stream frozen mid-sequence
+// and thawed elsewhere produces the same probability as the uninterrupted
+// stream, and both match batch predict() on the full sequence (one shared
+// cell routine). Also pins full-model round-trips and the parameter-bit
+// fingerprint the snapshot subsystem records.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/lstm.hpp"
+#include "util/rng.hpp"
+#include "util/serial.hpp"
+
+namespace valkyrie::ml {
+namespace {
+
+ml::TraceSet training_corpus() {
+  util::Rng rng(0xc0ffee);
+  hpc::HpcSignature benign;
+  benign.at(hpc::Event::kInstructions) = 3e8;
+  benign.at(hpc::Event::kCycles) = 3.5e8;
+  hpc::HpcSignature attack;
+  attack.at(hpc::Event::kInstructions) = 4e7;
+  attack.at(hpc::Event::kLlcMisses) = 4e7;
+  attack.at(hpc::Event::kMemBandwidth) = 2e9;
+  ml::TraceSet set;
+  for (int label = 0; label < 2; ++label) {
+    for (int t = 0; t < 4; ++t) {
+      ml::LabeledTrace trace;
+      trace.malicious = label == 1;
+      trace.name = std::to_string(label) + "-" + std::to_string(t);
+      for (int i = 0; i < 20; ++i) {
+        trace.samples.push_back((label == 1 ? attack : benign).sample(rng));
+      }
+      set.traces.push_back(std::move(trace));
+    }
+  }
+  return set;
+}
+
+LstmTrainOptions quick_options() {
+  LstmTrainOptions options;
+  options.epochs = 4;  // enough to move every parameter off its init
+  options.prefixes_per_trace = 2;
+  return options;
+}
+
+std::vector<std::vector<double>> feature_sequence(std::size_t steps,
+                                                  std::uint64_t seed) {
+  util::Rng rng(seed);
+  hpc::HpcSignature sig;
+  sig.at(hpc::Event::kInstructions) = 2e8;
+  sig.at(hpc::Event::kLlcMisses) = 1e7;
+  std::vector<std::vector<double>> seq;
+  seq.reserve(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const hpc::FeatureVec f = hpc::to_features(sig.sample(rng));
+    seq.emplace_back(f.begin(), f.end());
+  }
+  return seq;
+}
+
+TEST(LstmStream, FrozenHiddenStateResumesBitIdentically) {
+  const LstmDetector detector =
+      LstmDetector::make(training_corpus(), 0x5eed, quick_options());
+  const Lstm& model = detector.model();
+  const std::vector<std::vector<double>> seq = feature_sequence(24, 0xabc);
+
+  // Stream the first half, freeze, thaw, stream the rest.
+  Lstm::StreamState live = model.stream_begin();
+  for (std::size_t i = 0; i < 12; ++i) model.stream_step(live, seq[i]);
+
+  std::vector<std::uint8_t> bytes;
+  util::ByteWriter out(bytes);
+  Lstm::stream_save(live, out);
+  util::ByteReader in(bytes);
+  Lstm::StreamState thawed = Lstm::stream_load(in);
+  EXPECT_TRUE(in.done());
+  ASSERT_EQ(thawed.h, live.h);  // bit-equal doubles
+  ASSERT_EQ(thawed.c, live.c);
+  EXPECT_EQ(thawed.steps, live.steps);
+
+  for (std::size_t i = 12; i < seq.size(); ++i) {
+    model.stream_step(live, seq[i]);
+    model.stream_step(thawed, seq[i]);
+  }
+  EXPECT_EQ(live.h, thawed.h);
+  EXPECT_EQ(live.c, thawed.c);
+  EXPECT_EQ(model.stream_prob(live), model.stream_prob(thawed));
+
+  // Both equal batch inference over the full sequence: stream_step and
+  // predict() share one cell routine, so there is nothing to drift.
+  EXPECT_EQ(model.stream_prob(live), model.predict(seq));
+}
+
+TEST(LstmStream, ModelSnapshotRoundTripsBitIdentically) {
+  const LstmDetector detector =
+      LstmDetector::make(training_corpus(), 0x5eed, quick_options());
+  const Lstm& model = detector.model();
+
+  std::vector<std::uint8_t> bytes;
+  util::ByteWriter out(bytes);
+  model.snapshot_save(out);
+  util::ByteReader in(bytes);
+  const Lstm loaded = Lstm::snapshot_load(in);
+  EXPECT_TRUE(in.done());
+
+  EXPECT_EQ(loaded.param_hash(), model.param_hash());
+  const std::vector<std::vector<double>> seq = feature_sequence(17, 0x123);
+  EXPECT_EQ(loaded.predict(seq), model.predict(seq));
+
+  // Corrupt model payloads are refused with a typed error.
+  std::vector<std::uint8_t> truncated(bytes.begin(),
+                                      bytes.begin() + 24);
+  util::ByteReader cut(truncated);
+  EXPECT_THROW((void)Lstm::snapshot_load(cut), util::SerialError);
+}
+
+TEST(LstmStream, StateHashSeparatesRetrainedModels) {
+  const LstmDetector a =
+      LstmDetector::make(training_corpus(), 0x5eed, quick_options());
+  const LstmDetector b =
+      LstmDetector::make(training_corpus(), 0x7777, quick_options());
+  EXPECT_NE(a.state_hash(), b.state_hash());
+  EXPECT_EQ(a.state_hash(), a.state_hash());
+}
+
+}  // namespace
+}  // namespace valkyrie::ml
