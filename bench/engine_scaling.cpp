@@ -29,6 +29,14 @@
 //      processes — capture latency (synchronous on the engine thread),
 //      off-thread encode latency, artifact bytes, and parse+restore
 //      latency into a fresh engine.
+//   6. Faults: what graceful degradation costs (PR 7). Closed-population
+//      rows measure the hardened step against the fault-free baseline —
+//      an armed-but-idle plane (the overhead contract: ~0), then 1% and
+//      10% sensor-fault rates (quarantine + coast/blind accounting). A
+//      faulted churn row runs the full chaos configuration (all three
+//      fault planes) through the open-population driver — this row also
+//      runs under --smoke, as CI's chaos smoke point. A recovery row
+//      times one SupervisedEngine crash-restore-replay cycle end to end.
 //
 //   ./engine_scaling [out.json] [max_threads] [--smoke]
 //
@@ -47,8 +55,10 @@
 #include <vector>
 
 #include "core/responses.hpp"
+#include "core/supervisor.hpp"
 #include "core/valkyrie.hpp"
 #include "engine_bench_common.hpp"
+#include "fault/fault_plane.hpp"
 #include "hpc/hpc.hpp"
 #include "ml/gbt.hpp"
 #include "ml/stat_detector.hpp"
@@ -206,9 +216,11 @@ struct ChurnPoint {
 
 ChurnPoint run_churn_point(const ml::Detector& detector,
                            std::size_t target_live, double arrival_rate,
-                           std::size_t threads, StepMode mode, bool smoke) {
+                           std::size_t threads, StepMode mode, bool smoke,
+                           const fault::FaultPlane* plane = nullptr) {
   sim::SimSystem sys;
   core::ValkyrieEngine engine(sys, detector, threads, mode);
+  if (plane != nullptr) engine.arm_faults(plane);
 
   sim::ScenarioScript script;
   script.seed = 0xcafe + target_live;
@@ -441,6 +453,116 @@ std::vector<KernelRow> run_batch_kernels(bool smoke) {
     vote_pair("stat", stat);
   }
   return rows;
+}
+
+// --- Fault-plane overhead + recovery latency ---------------------------------
+//
+// The graceful-degradation cost model. Overhead rows run the closed-
+// population step with a fault plane armed: the armed-but-idle row prices
+// the hardened paths themselves (per-(epoch, pid) sensor draws, sample
+// validation, guarded inference, retry-aware commit) and must sit at ~0%
+// over baseline — that contract is pinned allocation-wise by
+// test_parallel_no_alloc and priced here. The sensor rows price real
+// quarantine traffic at production-plausible (1%) and pathological (10%)
+// loss rates. The recovery row times one full SupervisedEngine
+// crash-restore-replay cycle: snapshotter flush + parse + world rebuild +
+// deterministic replay to the present.
+
+double run_fault_ns(const ml::Detector& detector,
+                    const fault::FaultPlane* plane, std::size_t processes,
+                    std::size_t threads, StepMode mode, bool smoke,
+                    core::ValkyrieEngine::FaultHealth* health) {
+  sim::SimSystem sys;
+  core::ValkyrieEngine engine(sys, detector, threads, mode);
+  if (plane != nullptr) engine.arm_faults(plane);
+  for (std::size_t p = 0; p < processes; ++p) {
+    const sim::ProcessId pid =
+        sys.spawn(std::make_unique<bench::SignatureWorkload>(
+            bench::engine_bench_benign_signature()));
+    engine.attach(pid, core::ValkyrieConfig{},
+                  std::make_unique<core::SchedulerWeightActuator>());
+  }
+
+  const std::uint64_t warmup = 20;
+  const std::uint64_t probe = std::clamp<std::uint64_t>(
+      40960 / static_cast<std::uint64_t>(processes), 10, 2000);
+  const std::uint64_t repeats = smoke ? 2 : 5;
+  sys.reserve_history(warmup + repeats * probe + 1);
+  for (std::uint64_t i = 0; i < warmup; ++i) engine.step();
+
+  double best_ns = 0.0;
+  for (std::uint64_t r = 0; r < repeats; ++r) {
+    const auto start = Clock::now();
+    for (std::uint64_t i = 0; i < probe; ++i) engine.step();
+    const auto stop = Clock::now();
+    const double ns =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+                .count()) /
+        static_cast<double>(probe);
+    if (r == 0 || ns < best_ns) best_ns = ns;
+  }
+  if (health != nullptr) *health = engine.fault_health();
+  return best_ns;
+}
+
+struct RecoveryPoint {
+  std::size_t processes;
+  std::uint64_t replay_epochs;
+  double step_us;      // one steady-state supervised step, for reference
+  double recovery_us;  // the crash step: epoch + flush/parse/rebuild/replay
+};
+
+RecoveryPoint run_recovery_point(const ml::Detector& detector,
+                                 std::size_t processes, bool smoke) {
+  const std::uint64_t crash_at = smoke ? 24 : 40;
+  const auto factory =
+      [&detector,
+       processes](const snapshot::SnapshotImage* image) -> core::SupervisedWorld {
+    core::SupervisedWorld world;
+    world.system = std::make_unique<sim::SimSystem>();
+    world.engine =
+        std::make_unique<core::ValkyrieEngine>(*world.system, detector);
+    if (image == nullptr) {
+      const std::vector<workloads::BenchmarkSpec> palette =
+          workloads::spec2006();
+      // An unreachable measurement budget keeps the monitors out of the
+      // terminable phase: the bench MLP flags benchmark workloads, and a
+      // policy-killed population would make the recovery replay trivial.
+      core::ValkyrieConfig monitor_config;
+      monitor_config.required_measurements = 1'000'000'000;
+      for (std::size_t p = 0; p < processes; ++p) {
+        workloads::BenchmarkSpec spec = palette[p % palette.size()];
+        spec.epochs_of_work = 1e12;  // keep the population fully live
+        const sim::ProcessId pid = world.system->spawn(
+            std::make_unique<workloads::BenchmarkWorkload>(spec));
+        world.engine->attach(pid, monitor_config,
+                             std::make_unique<core::SchedulerWeightActuator>());
+      }
+    } else {
+      snapshot::restore(*image, *world.engine, snapshot::RestoreContext{});
+    }
+    return world;
+  };
+  core::SupervisedEngine::Config config;
+  config.checkpoint_interval = 16;  // crash mid-interval: replay 8 epochs
+  config.crash_epochs = {crash_at};
+  core::SupervisedEngine supervisor(factory, config);
+  supervisor.run(crash_at - 2);
+
+  const auto us_since = [](Clock::time_point a) {
+    return static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now() - a)
+                                   .count()) /
+           1e3;
+  };
+  const auto t0 = Clock::now();
+  supervisor.step();  // steady-state reference step
+  const double step_us = us_since(t0);
+  const auto t1 = Clock::now();
+  supervisor.step();  // completes epoch `crash_at`, then crash + recovery
+  const double recovery_us = us_since(t1);
+  return {processes, supervisor.health().epochs_replayed, step_us, recovery_us};
 }
 
 // --- Minimal JSON well-formedness check --------------------------------------
@@ -798,6 +920,111 @@ int main(int argc, char** argv) {
                 "ns/item  speedup %.2fx\n",
                 row.detector, row.batch, row.scalar_ns, row.batch_ns,
                 row.speedup);
+  }
+  json += "\n  ],\n  \"faults\": [\n";
+
+  // Fault-plane cost model: hardened-path overhead against baseline, then
+  // real sensor-fault traffic, the chaos churn point, and one timed
+  // crash-recovery cycle.
+  {
+    const std::size_t fault_procs = smoke ? 256 : 1024;
+    const std::size_t fault_threads = max_threads;
+    const StepMode fault_mode = StepMode::kBatched;
+
+    fault::FaultPlane idle(0xbe9c);
+    fault::FaultPlane sensor1(0xbe9c);
+    sensor1.sensor = {.dropout_rate = 0.004,
+                      .stuck_rate = 0.002,
+                      .nan_rate = 0.002,
+                      .saturate_rate = 0.002};
+    fault::FaultPlane sensor10(0xbe9c);
+    sensor10.sensor = {.dropout_rate = 0.04,
+                       .stuck_rate = 0.02,
+                       .nan_rate = 0.02,
+                       .saturate_rate = 0.02};
+    struct OverheadRow {
+      const char* scenario;
+      const fault::FaultPlane* plane;
+    };
+    const OverheadRow overhead_rows[] = {{"baseline", nullptr},
+                                         {"armed_idle", &idle},
+                                         {"sensor_1pct", &sensor1},
+                                         {"sensor_10pct", &sensor10}};
+    double baseline_ns = 0.0;
+    bool first_fault = true;
+    for (const OverheadRow& row : overhead_rows) {
+      core::ValkyrieEngine::FaultHealth health{};
+      const double ns =
+          run_fault_ns(detector, row.plane, fault_procs, fault_threads,
+                       fault_mode, smoke, &health);
+      if (row.plane == nullptr) baseline_ns = ns;
+      const double overhead =
+          baseline_ns > 0.0 ? ns / baseline_ns - 1.0 : 0.0;
+      if (!first_fault) json += ",\n";
+      first_fault = false;
+      char buf[384];
+      std::snprintf(
+          buf, sizeof(buf),
+          "    {\"scenario\": \"%s\", \"processes\": %zu, \"threads\": %zu, "
+          "\"mode\": \"%s\", \"ns_per_proc_epoch\": %.1f, "
+          "\"overhead_pct\": %.1f, \"coasted\": %llu, \"blind\": %llu}",
+          row.scenario, fault_procs, fault_threads, mode_name(fault_mode),
+          ns / static_cast<double>(fault_procs), overhead * 100.0,
+          static_cast<unsigned long long>(health.coasted),
+          static_cast<unsigned long long>(health.blind));
+      json += buf;
+      std::printf(
+          "faults %-12s procs=%zu threads=%zu %s: %.1f ns/proc/epoch  "
+          "overhead %+.1f%%  coasted %llu  blind %llu\n",
+          row.scenario, fault_procs, fault_threads, mode_name(fault_mode),
+          ns / static_cast<double>(fault_procs), overhead * 100.0,
+          static_cast<unsigned long long>(health.coasted),
+          static_cast<unsigned long long>(health.blind));
+    }
+
+    // Chaos churn: all three fault planes armed over the open-population
+    // driver, detector faults injected through the FaultyDetector wrapper.
+    // Runs under --smoke too — CI's chaos smoke point.
+    fault::FaultPlane chaos(0xc4a05);
+    chaos.sensor = {.dropout_rate = 0.005,
+                    .stuck_rate = 0.003,
+                    .nan_rate = 0.002,
+                    .saturate_rate = 0.002};
+    chaos.detector = {.throw_rate = 0.005, .garbage_rate = 0.005};
+    chaos.actuator = {.transient_rate = 0.02, .permanent_rate = 0.01};
+    const fault::FaultyDetector faulty(detector, chaos);
+    const ChurnPoint cp = run_churn_point(faulty, 1024, 16.0, max_threads,
+                                          fault_mode, smoke, &chaos);
+    char buf[384];
+    std::snprintf(
+        buf, sizeof(buf),
+        ",\n    {\"scenario\": \"faulted_churn\", \"target_live\": %zu, "
+        "\"arrival_rate\": %.1f, \"threads\": %zu, \"mode\": \"%s\", "
+        "\"ns_per_epoch\": %.1f, \"ns_per_proc_epoch\": %.1f, "
+        "\"mean_live\": %.1f}",
+        cp.target_live, cp.arrival_rate, cp.threads, mode_name(cp.mode),
+        cp.ns_per_epoch, cp.ns_per_proc_epoch, cp.mean_live);
+    json += buf;
+    std::printf(
+        "faults faulted_churn live=%zu threads=%zu %s: %.0f ns/epoch  "
+        "%.1f ns/proc/epoch  mean_live %.0f\n",
+        cp.target_live, cp.threads, mode_name(cp.mode), cp.ns_per_epoch,
+        cp.ns_per_proc_epoch, cp.mean_live);
+
+    const RecoveryPoint rp =
+        run_recovery_point(detector, smoke ? 256 : 1024, smoke);
+    std::snprintf(
+        buf, sizeof(buf),
+        ",\n    {\"scenario\": \"recovery\", \"processes\": %zu, "
+        "\"replay_epochs\": %llu, \"step_us\": %.1f, \"recovery_us\": %.1f}",
+        rp.processes, static_cast<unsigned long long>(rp.replay_epochs),
+        rp.step_us, rp.recovery_us);
+    json += buf;
+    std::printf(
+        "faults recovery procs=%zu: replay %llu epochs  step %.1f us  "
+        "recovery %.1f us\n",
+        rp.processes, static_cast<unsigned long long>(rp.replay_epochs),
+        rp.step_us, rp.recovery_us);
   }
   json += "\n  ]\n}\n";
 

@@ -1,0 +1,132 @@
+#include "core/supervisor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace valkyrie::core {
+
+SupervisedEngine::SupervisedEngine(WorldFactory factory, Config config)
+    : factory_(std::move(factory)),
+      config_(std::move(config)),
+      snapshotter_([this](std::vector<std::uint8_t> bytes) {
+        std::lock_guard<std::mutex> lock(latest_mutex_);
+        latest_ = std::move(bytes);
+      }) {
+  if (factory_ == nullptr) {
+    throw std::invalid_argument("SupervisedEngine: null world factory");
+  }
+  if (config_.checkpoint_interval == 0) {
+    throw std::invalid_argument(
+        "SupervisedEngine: checkpoint_interval must be positive");
+  }
+  world_ = factory_(nullptr);
+  if (world_.system == nullptr || world_.engine == nullptr) {
+    throw std::invalid_argument(
+        "SupervisedEngine: factory returned an incomplete world");
+  }
+  // Baseline checkpoint: recovery must always have something to restore,
+  // even if the first crash lands before the first interval boundary.
+  take_checkpoint();
+}
+
+std::size_t SupervisedEngine::step_world() {
+  return world_.driver != nullptr ? world_.driver->step()
+                                  : world_.engine->step();
+}
+
+std::size_t SupervisedEngine::step() {
+  std::size_t recoveries_this_step = 0;
+  for (;;) {
+    try {
+      last_live_ = step_world();
+    } catch (...) {
+      // The epoch aborted (the engine's containment already rolled back the
+      // epoch-boundary commits, but the world has diverged from the clean
+      // timeline). Discard it and retry the step from the last checkpoint.
+      // A deterministic fault will fail identically on every retry, so the
+      // cap turns "retry forever" into a clean rethrow to the caller.
+      if (recoveries_this_step >= config_.max_recoveries_per_step) {
+        throw;
+      }
+      ++recoveries_this_step;
+      recover();
+      continue;
+    }
+    ++completed_steps_;
+    ++health_.steps;
+    break;
+  }
+
+  const bool crash =
+      std::find(config_.crash_epochs.begin(), config_.crash_epochs.end(),
+                completed_steps_) != config_.crash_epochs.end();
+  if (crash) {
+    // The crash fires after the epoch completed but before any checkpoint
+    // of it could be taken — the worst-ordered loss. Recovery replays the
+    // epoch we just watched complete, and determinism makes the replayed
+    // world bit-identical to the one we lost.
+    ++health_.injected_crashes;
+    recover();
+  } else if (completed_steps_ % config_.checkpoint_interval == 0) {
+    take_checkpoint();
+  }
+  return last_live_;
+}
+
+void SupervisedEngine::run(std::size_t epochs) {
+  for (std::size_t i = 0; i < epochs; ++i) {
+    step();
+  }
+}
+
+void SupervisedEngine::take_checkpoint() {
+  if (world_.driver != nullptr) {
+    snapshotter_.request(*world_.driver);
+  } else {
+    snapshotter_.request(*world_.engine);
+  }
+  checkpoint_steps_ = completed_steps_;
+  ++health_.checkpoints;
+}
+
+void SupervisedEngine::recover() {
+  // The checkpoint may still be in the encoder; recovery is the moment we
+  // need it delivered. flush() also surfaces any parked sink failure — a
+  // supervisor whose checkpoints were silently failing must not pretend to
+  // recover from them.
+  snapshotter_.flush();
+  std::vector<std::uint8_t> bytes;
+  {
+    std::lock_guard<std::mutex> lock(latest_mutex_);
+    bytes = latest_;
+  }
+  const snapshot::SnapshotImage image = snapshot::parse(bytes);
+
+  // Tear the dead world down before building its replacement: the driver
+  // holds references into the engine, the engine into the system.
+  world_ = SupervisedWorld{};
+  world_ = factory_(&image);
+  if (world_.system == nullptr || world_.engine == nullptr) {
+    throw std::invalid_argument(
+        "SupervisedEngine: factory returned an incomplete world");
+  }
+  ++health_.recoveries;
+
+  // Replay to the present. Checkpoints are suppressed: the checkpoint
+  // cadence (and therefore the bytes any later recovery restores from)
+  // must match the crash-free run's.
+  const std::uint64_t replay = completed_steps_ - checkpoint_steps_;
+  for (std::uint64_t i = 0; i < replay; ++i) {
+    last_live_ = step_world();
+    ++health_.epochs_replayed;
+  }
+}
+
+std::vector<std::uint8_t> SupervisedEngine::latest_checkpoint() {
+  snapshotter_.flush();
+  std::lock_guard<std::mutex> lock(latest_mutex_);
+  return latest_;
+}
+
+}  // namespace valkyrie::core

@@ -1,0 +1,133 @@
+// SupervisedEngine: the self-healing loop that closes the fault plane.
+//
+// The engine's own hardening (quarantine, containment, retry ladders)
+// degrades gracefully around *partial* faults; the supervisor handles the
+// failures that take the whole world down — an injected crash, a shard
+// exception that aborted the epoch, an unrecoverable command backlog. It
+// owns the world (system + engine + optional scenario driver) through a
+// caller-supplied factory, checkpoints it periodically through PR 6's
+// off-thread Snapshotter into an in-memory latest-bytes slot, and on any
+// step failure or injected crash destroys the world, rebuilds it from the
+// last checkpoint and replays forward to the present epoch.
+//
+// Because every run in this codebase is bit-deterministic — including
+// chaos runs, whose fault schedules are pure hashes — replay reproduces
+// the lost epochs exactly, so a supervised run's final state is
+// byte-identical to the same run without any crash. That is the property
+// the supervisor tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/valkyrie.hpp"
+#include "sim/scenario.hpp"
+#include "snapshot/snapshot.hpp"
+#include "snapshot/snapshotter.hpp"
+
+namespace valkyrie::core {
+
+/// One self-contained world under supervision. Declaration order is the
+/// dependency order (driver references engine references system), so the
+/// reverse-order member destruction tears it down safely.
+struct SupervisedWorld {
+  std::unique_ptr<sim::SimSystem> system;
+  std::unique_ptr<ValkyrieEngine> engine;
+  std::unique_ptr<sim::ScenarioDriver> driver;  // optional
+};
+
+class SupervisedEngine {
+ public:
+  /// Builds a world. Called with nullptr for the initial (fresh) world and
+  /// with a parsed checkpoint image on every recovery; the factory must
+  /// then restore system + engine from the image (snapshot::restore) and,
+  /// when it runs a driver, construct it with the restore constructor over
+  /// image->driver. Run configuration that is code — detector, fault
+  /// plane, step mode, worker count, tolerance knobs — is the factory's to
+  /// re-establish identically each time; that is what makes replay
+  /// deterministic.
+  using WorldFactory =
+      std::function<SupervisedWorld(const snapshot::SnapshotImage*)>;
+
+  struct Config {
+    /// Checkpoint every N completed steps (a baseline checkpoint is always
+    /// taken at construction). Must be positive.
+    std::uint64_t checkpoint_interval = 16;
+    /// Injected crash schedule, in completed-step counts: after the world
+    /// completes its crash_epochs[i]-th supervised step, the in-memory
+    /// world is destroyed (as a process crash would) and recovered from
+    /// the last checkpoint. Each entry fires at most once.
+    std::vector<std::uint64_t> crash_epochs;
+    /// Step-exception recoveries tolerated for ONE step before the
+    /// exception is rethrown to the caller: a deterministic fault replays
+    /// identically, and retrying it forever would hang the run.
+    std::size_t max_recoveries_per_step = 3;
+  };
+
+  struct Health {
+    std::uint64_t steps = 0;             // supervised steps completed
+    std::uint64_t checkpoints = 0;       // checkpoints taken (incl. baseline)
+    std::uint64_t recoveries = 0;        // worlds rebuilt from checkpoint
+    std::uint64_t injected_crashes = 0;  // ... of which from crash_epochs
+    std::uint64_t epochs_replayed = 0;   // steps re-run during recoveries
+  };
+
+  /// Builds the initial world and takes the baseline checkpoint. Throws
+  /// what the factory or capture throws.
+  SupervisedEngine(WorldFactory factory, Config config);
+
+  SupervisedEngine(const SupervisedEngine&) = delete;
+  SupervisedEngine& operator=(const SupervisedEngine&) = delete;
+
+  /// One supervised step: run the world one epoch, recovering from step
+  /// exceptions (up to max_recoveries_per_step), firing any injected crash
+  /// scheduled for the completed step, and checkpointing on the interval.
+  /// Returns what the world's own step returned (live attached processes).
+  std::size_t step();
+
+  /// Runs `epochs` supervised steps.
+  void run(std::size_t epochs);
+
+  [[nodiscard]] const Health& health() const noexcept { return health_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  /// The live world (replaced wholesale by recoveries — do not cache the
+  /// pointers across step() calls).
+  [[nodiscard]] sim::SimSystem& system() noexcept { return *world_.system; }
+  [[nodiscard]] ValkyrieEngine& engine() noexcept { return *world_.engine; }
+  [[nodiscard]] sim::ScenarioDriver* driver() noexcept {
+    return world_.driver.get();
+  }
+
+  /// A copy of the most recent checkpoint's encoded bytes (flushes the
+  /// encoder first, so the copy reflects every checkpoint requested).
+  [[nodiscard]] std::vector<std::uint8_t> latest_checkpoint();
+
+ private:
+  std::size_t step_world();
+  void take_checkpoint();
+  /// Destroys the world, rebuilds it from the latest checkpoint and
+  /// replays forward to `completed_steps_` (checkpoints suppressed during
+  /// replay — the run's checkpoint cadence must not depend on whether a
+  /// crash happened).
+  void recover();
+
+  WorldFactory factory_;
+  Config config_;
+  SupervisedWorld world_;
+  // latest_mutex_/latest_ must outlive snapshotter_: its worker thread
+  // writes latest_ through the sink until the Snapshotter destructor joins
+  // it, so they are declared first (destroyed last).
+  std::mutex latest_mutex_;
+  std::vector<std::uint8_t> latest_;  // last checkpoint's encoded bytes
+  snapshot::Snapshotter snapshotter_;  // encodes into latest_ off-thread
+  std::uint64_t completed_steps_ = 0;
+  std::uint64_t checkpoint_steps_ = 0;  // completed_steps_ at last checkpoint
+  std::size_t last_live_ = 0;
+  Health health_;
+};
+
+}  // namespace valkyrie::core

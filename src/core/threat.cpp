@@ -23,6 +23,18 @@ ThreatIndex::ThreatIndex(ThreatConfig config) : config_(std::move(config)) {}
 ThreatIndex::Update ThreatIndex::on_inference(ml::Inference inference) {
   const double previous_threat = threat_;
 
+  if (inference == ml::Inference::kInvalid) {
+    // No usable verdict this epoch (faulted detector, quarantined
+    // telemetry). The index holds: an invalid inference is not benign
+    // evidence, so it must not earn compensation while suspicious.
+    Update update;
+    update.threat = threat_;
+    update.delta = 0.0;
+    update.state = state_;
+    update.recovered = false;
+    return update;
+  }
+
   if (inference == ml::Inference::kMalicious) {
     // Lines 8-11: enter/stay suspicious, escalate the penalty, grow T.
     state_ = ProcessState::kSuspicious;

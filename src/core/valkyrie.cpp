@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "fault/fault_plane.hpp"
 #include "snapshot/snapshot.hpp"
 #include "util/serial.hpp"
 
@@ -32,6 +33,13 @@ ValkyrieMonitor::PlannedAction ValkyrieMonitor::plan(
   // scoping, counting starts with the epoch that opens a suspicious
   // episode; a benign epoch in the normal state accumulates nothing.
   if (measurements_ < config_.required_measurements) {
+    if (inference == ml::Inference::kInvalid) {
+      // No usable verdict this epoch: no measurement consumed, no threat
+      // change, no action. The process coasts under whatever restrictions
+      // it already has — a faulted detector must be able to neither clear
+      // nor escalate a process.
+      return out;
+    }
     const bool counting = !config_.episode_scoped_measurements ||
                           state_ != ProcessState::kNormal ||
                           inference == ml::Inference::kMalicious;
@@ -61,6 +69,11 @@ ValkyrieMonitor::PlannedAction ValkyrieMonitor::plan(
   // malicious -> terminate.
   state_ = ProcessState::kTerminable;
   const ml::Inference decision = terminal_inference.value_or(inference);
+  if (decision == ml::Inference::kInvalid) {
+    // No usable verdict at the decision point: stay terminable and let the
+    // next valid epoch decide restore-vs-terminate.
+    return out;
+  }
   if (decision == ml::Inference::kBenign) {
     if (config_.episode_scoped_measurements) {
       // The episode resolved benign at full evidence: back to normal with
@@ -120,6 +133,8 @@ void ValkyrieEngine::reserve(std::size_t max_processes) {
   batch_finished_.reserve(max_processes);
   batch_votes_.reserve(max_processes);
   batch_infer_.reserve(max_processes);
+  // At most one pending retry per attached process.
+  retry_.reserve(max_processes);
   reserve_shard_buffers(
       std::min(shard_quota(max_processes), max_processes));
 }
@@ -186,8 +201,49 @@ void ValkyrieEngine::infer_attachment(Attached& a,
   // One summary per process per epoch; both detectors share it, so
   // feature extraction and statistics assembly happen exactly once.
   const ml::WindowSummary summary = sys_.window_summary(a.pid);
-  const ml::Inference inference = a.stream.infer(detector_, summary);
+  const ml::Inference inference = fault_plane_ == nullptr
+                                      ? a.stream.infer(detector_, summary)
+                                      : guarded_infer(a, summary);
   finish_attachment(a, &summary, inference, commands);
+}
+
+ml::Inference ValkyrieEngine::sanitize(ml::Inference inference) noexcept {
+  if (inference != ml::Inference::kBenign &&
+      inference != ml::Inference::kMalicious &&
+      inference != ml::Inference::kInvalid) {
+    health_sanitized_.fetch_add(1, std::memory_order_relaxed);
+    return ml::Inference::kInvalid;
+  }
+  return inference;
+}
+
+ml::Inference ValkyrieEngine::guarded_infer(Attached& a,
+                                            const ml::WindowSummary& summary) {
+  const std::uint64_t streak = sys_.invalid_streak(a.pid);
+  if (streak > fault_cfg_.staleness_budget) {
+    // Telemetry has been invalid past the staleness budget: the engine
+    // goes blind on this slot — no detector call (the summary is stale
+    // anyway), an explicit kInvalid downstream.
+    health_blind_.fetch_add(1, std::memory_order_relaxed);
+    return ml::Inference::kInvalid;
+  }
+  if (streak > 0) {
+    // Coast: the summary is the last valid epoch's; the streaming verdict
+    // re-evaluates over the evidence it already has (vote detectors fold
+    // nothing new and compare thresholds, O(1)).
+    health_coasted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  try {
+    return sanitize(a.stream.infer(detector_, summary));
+  } catch (...) {
+    // Detector exception containment: this slot degrades to an explicit
+    // invalid inference instead of aborting the epoch. mark_observed keeps
+    // the faulted measurement(s) from being re-scored — and re-throwing,
+    // deterministically, forever — on every subsequent epoch.
+    health_detector_faults_.fetch_add(1, std::memory_order_relaxed);
+    a.stream.mark_observed(summary.count);
+    return ml::Inference::kInvalid;
+  }
 }
 
 void ValkyrieEngine::finish_attachment(Attached& a,
@@ -200,11 +256,25 @@ void ValkyrieEngine::finish_attachment(Attached& a,
     // StreamingInference catches up on any epochs it was not consulted
     // for, so the first terminable-state query pays one linear pass and
     // every subsequent epoch is O(1).
-    if (summary != nullptr) {
+    ml::WindowSummary assembled;
+    if (summary == nullptr) {
+      assembled = sys_.window_summary(a.pid);
+      summary = &assembled;
+    }
+    if (fault_plane_ == nullptr) {
       terminal = a.terminal_stream.infer(*a.terminal_detector, *summary);
     } else {
-      const ml::WindowSummary assembled = sys_.window_summary(a.pid);
-      terminal = a.terminal_stream.infer(*a.terminal_detector, assembled);
+      // The terminal detector gets the same containment as the per-epoch
+      // one: a throw yields kInvalid (the monitor stays terminable until a
+      // valid epoch decides).
+      try {
+        terminal = sanitize(
+            a.terminal_stream.infer(*a.terminal_detector, *summary));
+      } catch (...) {
+        health_detector_faults_.fetch_add(1, std::memory_order_relaxed);
+        a.terminal_stream.mark_observed(summary->count);
+        terminal = ml::Inference::kInvalid;
+      }
     }
   }
   const ValkyrieMonitor::PlannedAction planned =
@@ -222,9 +292,193 @@ void ValkyrieEngine::finish_attachment(Attached& a,
 // attachment order, and both land exactly where the sequential engine
 // does, before the next epoch's workload execution (Eq. 3 timing).
 void ValkyrieEngine::commit_shard_commands() {
-  for (const std::vector<ActuatorCommand>& buf : shard_commands_) {
-    for (const ActuatorCommand& cmd : buf) cmd.apply(sys_);
+  if (fault_plane_ == nullptr && retry_.empty()) {
+    // Fault-free fast path: exactly the seed behaviour, no plane draws, no
+    // retry bookkeeping, no allocation.
+    for (const std::vector<ActuatorCommand>& buf : shard_commands_) {
+      for (const ActuatorCommand& cmd : buf) cmd.apply(sys_);
+    }
+    return;
   }
+  // Hardened path. The epoch counter has already advanced (end_epoch ran),
+  // so every mode keys the plane's transient-failure schedule and the
+  // backoff deadlines on the same value. Each process plans at most one
+  // command per epoch, so per-pid outcomes are independent of the order
+  // the shards emitted them in.
+  const std::uint64_t epoch = sys_.current_epoch();
+  for (const std::vector<ActuatorCommand>& buf : shard_commands_) {
+    for (const ActuatorCommand& cmd : buf) commit_command(cmd, epoch);
+  }
+  process_retries(epoch);
+}
+
+std::size_t ValkyrieEngine::find_retry(sim::ProcessId pid) const noexcept {
+  const auto it = std::lower_bound(
+      retry_.begin(), retry_.end(), pid,
+      [](const PendingRetry& e, sim::ProcessId p) { return e.pid < p; });
+  if (it != retry_.end() && it->pid == pid) {
+    return static_cast<std::size_t>(it - retry_.begin());
+  }
+  return retry_.size();
+}
+
+bool ValkyrieEngine::attempt_command(ActuatorCommand::Kind kind,
+                                     sim::ProcessId pid, double delta,
+                                     std::uint64_t epoch) {
+  if (fault_plane_ != nullptr) {
+    // Transient faults drop any command kind this epoch; a permanently
+    // dead channel blocks only throttling — kills travel the process-
+    // termination channel, which is what gives escalation a way out.
+    if (fault_plane_->actuator_fails(epoch, pid) ||
+        (kind != ActuatorCommand::Kind::kKill &&
+         fault_plane_->actuator_dead(pid))) {
+      health_actuator_failures_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  try {
+    if (kind == ActuatorCommand::Kind::kKill) {
+      sys_.kill(pid);
+      return true;
+    }
+    // Resolve the actuator through the attachment at apply time: retry
+    // entries never hold pointers, so a snapshot-restored table re-binds
+    // to the restored actuator objects automatically.
+    Actuator* const act =
+        attached_[static_cast<std::size_t>(attached_index_[pid])]
+            .monitor.actuator();
+    if (kind == ActuatorCommand::Kind::kApply) {
+      act->apply(sys_, pid, delta);
+    } else {
+      act->reset(sys_, pid);
+    }
+    return true;
+  } catch (...) {
+    // A genuinely throwing actuator is contained exactly like an injected
+    // failure: the command enters the retry ladder instead of aborting.
+    health_actuator_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+}
+
+namespace {
+
+/// Exponential backoff, capped at 64 epochs: 1, 2, 4, ... after the n-th
+/// consecutive failure.
+[[nodiscard]] std::uint64_t backoff_epochs(std::uint32_t failures) noexcept {
+  return 1ull << std::min<std::uint32_t>(failures - 1, 6);
+}
+
+}  // namespace
+
+void ValkyrieEngine::commit_command(const ActuatorCommand& cmd,
+                                    std::uint64_t epoch) {
+  using Kind = ActuatorCommand::Kind;
+  if (cmd.kind == Kind::kNone) return;
+  const auto rank = [](Kind k) noexcept {
+    return k == Kind::kKill ? 3 : k == Kind::kReset ? 2 : 1;
+  };
+  const std::size_t idx = find_retry(cmd.pid);
+  if (idx < retry_.size()) {
+    // Coalesce with the pending command for this pid: kill supersedes
+    // everything, reset supersedes apply, apply deltas accumulate; a
+    // weaker fresh command folds into the stronger pending one. Fresh
+    // intent also overrides the backoff deadline — attempt now.
+    PendingRetry& entry = retry_[idx];
+    if (rank(cmd.kind) > rank(entry.kind)) {
+      entry.kind = cmd.kind;
+      entry.delta = cmd.kind == Kind::kApply ? cmd.delta : 0.0;
+    } else if (cmd.kind == Kind::kApply && entry.kind == Kind::kApply) {
+      entry.delta += cmd.delta;
+    }
+    health_retries_.fetch_add(1, std::memory_order_relaxed);
+    if (attempt_command(entry.kind, entry.pid, entry.delta, epoch)) {
+      retry_.erase(retry_.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      ++entry.failures;
+      entry.next_epoch = epoch + backoff_epochs(entry.failures);
+    }
+    return;
+  }
+  if (attempt_command(cmd.kind, cmd.pid, cmd.delta, epoch)) return;
+  // First failure: enter the ladder, next attempt at the next epoch.
+  PendingRetry entry;
+  entry.pid = cmd.pid;
+  entry.kind = cmd.kind;
+  entry.delta = cmd.kind == Kind::kApply ? cmd.delta : 0.0;
+  entry.failures = 1;
+  entry.next_epoch = epoch + backoff_epochs(1);
+  const auto pos = std::lower_bound(
+      retry_.begin(), retry_.end(), entry.pid,
+      [](const PendingRetry& e, sim::ProcessId p) { return e.pid < p; });
+  retry_.insert(pos, entry);
+}
+
+void ValkyrieEngine::process_retries(std::uint64_t epoch) {
+  using Kind = ActuatorCommand::Kind;
+  if (retry_.empty()) return;
+  // One stable in-place pass in pid order (deterministic across modes):
+  // purge, escalate, retry due entries, reschedule or drop.
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < retry_.size(); ++i) {
+    PendingRetry entry = retry_[i];
+    // Death settles the command; detach abandons it (matching detach()'s
+    // contract that pending restrictions are discarded).
+    if (!sys_.is_live(entry.pid) || !is_attached(entry.pid)) continue;
+    bool keep = true;
+    if (entry.next_epoch <= epoch) {
+      if (entry.kind != Kind::kKill &&
+          entry.failures >= fault_cfg_.escalate_after) {
+        // The throttle channel has failed often enough: escalate up the
+        // response hierarchy — terminate instead of keeping a possibly
+        // malicious process unrestrained.
+        entry.kind = Kind::kKill;
+        entry.delta = 0.0;
+        health_escalations_.fetch_add(1, std::memory_order_relaxed);
+      }
+      health_retries_.fetch_add(1, std::memory_order_relaxed);
+      if (attempt_command(entry.kind, entry.pid, entry.delta, epoch)) {
+        keep = false;
+      } else {
+        ++entry.failures;
+        if (entry.kind == Kind::kKill &&
+            entry.failures > fault_cfg_.max_kill_retries) {
+          // Even the kill channel won't take it: drop the command and
+          // count it — the caller can read fault_health().unrecoverable
+          // and decide (the supervisor treats a rising count as a reason
+          // to restore from checkpoint).
+          health_unrecoverable_.fetch_add(1, std::memory_order_relaxed);
+          keep = false;
+        } else {
+          entry.next_epoch = epoch + backoff_epochs(entry.failures);
+        }
+      }
+    }
+    if (keep) retry_[w++] = entry;
+  }
+  retry_.erase(retry_.begin() + static_cast<std::ptrdiff_t>(w), retry_.end());
+}
+
+void ValkyrieEngine::arm_faults(const fault::FaultPlane* plane) {
+  fault_plane_ = plane;
+  sys_.arm_sensor_faults(plane);
+}
+
+ValkyrieEngine::FaultHealth ValkyrieEngine::fault_health() const noexcept {
+  FaultHealth h;
+  h.coasted = health_coasted_.load(std::memory_order_relaxed);
+  h.blind = health_blind_.load(std::memory_order_relaxed);
+  h.detector_faults =
+      health_detector_faults_.load(std::memory_order_relaxed);
+  h.sanitized = health_sanitized_.load(std::memory_order_relaxed);
+  h.batch_fallbacks =
+      health_batch_fallbacks_.load(std::memory_order_relaxed);
+  h.actuator_failures =
+      health_actuator_failures_.load(std::memory_order_relaxed);
+  h.retries = health_retries_.load(std::memory_order_relaxed);
+  h.escalations = health_escalations_.load(std::memory_order_relaxed);
+  h.unrecoverable = health_unrecoverable_.load(std::memory_order_relaxed);
+  return h;
 }
 
 std::size_t ValkyrieEngine::live_attached_count() const {
@@ -359,13 +613,26 @@ std::size_t ValkyrieEngine::step_batched() {
     const std::size_t width = end - begin;
     const ml::SummaryMatrixView plane = sys_.feature_plane();
     const ml::SummaryMatrixView segment = plane.slice(begin, end);
-    if (fraction) {
-      detector_.measurement_votes(
-          segment.newest_view(),
-          std::span<std::uint8_t>(batch_votes_).subspan(begin, width));
-    } else {
-      detector_.infer_batch(
-          segment, std::span<ml::Inference>(batch_infer_).subspan(begin, width));
+    // With the fault plane armed the batch kernels can throw (a faulted
+    // detector rejects the whole segment): contain it and drop this
+    // shard's segment to the per-slot scalar path, which re-applies the
+    // per-column fault decisions deterministically — so the faulted run
+    // stays bit-identical to the fused schedule's.
+    bool batch_ok = true;
+    try {
+      if (fraction) {
+        detector_.measurement_votes(
+            segment.newest_view(),
+            std::span<std::uint8_t>(batch_votes_).subspan(begin, width));
+      } else {
+        detector_.infer_batch(
+            segment,
+            std::span<ml::Inference>(batch_infer_).subspan(begin, width));
+      }
+    } catch (...) {
+      if (fault_plane_ == nullptr) throw;
+      batch_ok = false;
+      health_batch_fallbacks_.fetch_add(1, std::memory_order_relaxed);
     }
 
     for (std::size_t slot = begin; slot < end; ++slot) {
@@ -380,13 +647,27 @@ std::size_t ValkyrieEngine::step_batched() {
       // the fused and split schedules see it.
       if (batch_finished_[slot] != 0) continue;
       ml::Inference inference;
-      if (fraction) {
+      if (!batch_ok) {
+        inference = guarded_infer(a, sys_.window_summary(a.pid));
+      } else if (fraction) {
         // The plane's dense count row, not the accumulator array: phase C
         // must not re-stream 300-byte accumulator strides per slot.
         const std::size_t count = plane.counts[slot];
-        if (a.stream.can_fold(count)) {
+        if (fault_plane_ != nullptr &&
+            sys_.invalid_streak(a.pid) > fault_cfg_.staleness_budget) {
+          // Past the staleness budget the fused path goes blind without
+          // touching the stream; mirror it exactly (the batch vote for
+          // this slot was computed over stale bits and is discarded).
+          health_blind_.fetch_add(1, std::memory_order_relaxed);
+          inference = ml::Inference::kInvalid;
+        } else if (a.stream.can_fold(count)) {
           inference =
               a.stream.fold_vote(batch_votes_[slot] != 0, count, *fraction);
+        } else if (fault_plane_ != nullptr) {
+          // Quarantined (stale count), mid-run catch-up or episode shrink
+          // under an armed plane: the guarded scalar path keeps coast
+          // accounting and containment identical to the fused schedule.
+          inference = guarded_infer(a, sys_.window_summary(a.pid));
         } else {
           // Mid-run attach catch-up or episode shrink: the scalar
           // streaming path handles it (one-time cost per attachment).
@@ -394,6 +675,18 @@ std::size_t ValkyrieEngine::step_batched() {
         }
       } else {
         inference = batch_infer_[slot];
+        if (fault_plane_ != nullptr) {
+          const std::uint64_t streak = sys_.invalid_streak(a.pid);
+          if (streak > fault_cfg_.staleness_budget) {
+            health_blind_.fetch_add(1, std::memory_order_relaxed);
+            inference = ml::Inference::kInvalid;
+          } else {
+            if (streak > 0) {
+              health_coasted_.fetch_add(1, std::memory_order_relaxed);
+            }
+            inference = sanitize(inference);
+          }
+        }
       }
       finish_attachment(a, nullptr, inference, commands);
     }
@@ -545,6 +838,19 @@ snapshot::EngineImage ValkyrieEngine::snapshot_state() const {
     att.last_action_step = acted ? a.last_action_step : 0;
     image.attachments.push_back(std::move(att));
   }
+  // The retry table is real state — a restored run must resume the same
+  // backoff schedule. Already pid-sorted (an invariant commit maintains
+  // precisely so snapshots are byte-identical across StepModes).
+  image.retries.reserve(retry_.size());
+  for (const PendingRetry& r : retry_) {
+    snapshot::RetryImage ri;
+    ri.pid = r.pid;
+    ri.kind = static_cast<std::uint8_t>(r.kind);
+    ri.delta = r.delta;
+    ri.failures = r.failures;
+    ri.next_epoch = r.next_epoch;
+    image.retries.push_back(ri);
+  }
   return image;
 }
 
@@ -607,9 +913,29 @@ void ValkyrieEngine::restore_from(const snapshot::EngineImage& image,
     index[staged[i].pid] = static_cast<std::int32_t>(i);
   }
 
+  std::vector<PendingRetry> staged_retries;
+  staged_retries.reserve(image.retries.size());
+  for (const snapshot::RetryImage& r : image.retries) {
+    if (r.kind == static_cast<std::uint8_t>(ActuatorCommand::Kind::kNone) ||
+        r.kind > static_cast<std::uint8_t>(ActuatorCommand::Kind::kKill) ||
+        r.failures == 0 ||
+        (!staged_retries.empty() && r.pid <= staged_retries.back().pid)) {
+      throw SerialError(SerialError::Code::kMalformed,
+                        "restore: retry table entry out of range or unsorted");
+    }
+    PendingRetry entry;
+    entry.pid = r.pid;
+    entry.kind = static_cast<ActuatorCommand::Kind>(r.kind);
+    entry.delta = r.delta;
+    entry.failures = r.failures;
+    entry.next_epoch = r.next_epoch;
+    staged_retries.push_back(entry);
+  }
+
   // Commit.
   attached_ = std::move(staged);
   attached_index_ = std::move(index);
+  retry_ = std::move(staged_retries);
   step_tag_ = image.step_tag;
   detached_count_ = 0;
   reserve_shard_buffers(shard_quota(attached_.size()));

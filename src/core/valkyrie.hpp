@@ -4,6 +4,7 @@
 // of each monitored process.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -21,6 +22,10 @@ struct EngineImage;
 class ActuatorRegistry;
 struct RestoreContext;
 }  // namespace valkyrie::snapshot
+
+namespace valkyrie::fault {
+class FaultPlane;
+}  // namespace valkyrie::fault
 
 namespace valkyrie::core {
 
@@ -92,6 +97,12 @@ class ValkyrieMonitor {
   [[nodiscard]] const ValkyrieConfig& config() const noexcept {
     return config_;
   }
+
+  /// The monitor's actuator object (non-owning). The engine's retry ladder
+  /// resolves actuators through this at apply time instead of holding raw
+  /// pointers in its retry table — a restored engine's table then re-binds
+  /// to the restored actuators for free.
+  [[nodiscard]] Actuator* actuator() noexcept { return actuator_.get(); }
 
   /// Captures the monitor's full response state (threat index metrics,
   /// measurement budget, lifecycle state, the actuator object) for an
@@ -169,6 +180,65 @@ class ValkyrieEngine {
   /// fused schedule with cross-slot batched detector inference over the
   /// system's feature plane.
   enum class StepMode : std::uint8_t { kFused, kSplit, kBatched };
+
+  /// Degraded-mode policy knobs, all in epochs/attempts.
+  struct FaultToleranceConfig {
+    /// Consecutive quarantined epochs a slot may coast on its last-known
+    /// streaming verdict before the engine goes blind on it (skips the
+    /// detector, emits kInvalid).
+    std::uint64_t staleness_budget = 3;
+    /// Failed attempts at a throttle command (apply/reset) before the
+    /// retry ladder escalates it to a kill — "throttle fails N epochs ->
+    /// escalate toward kill".
+    std::uint32_t escalate_after = 4;
+    /// Failed kill attempts before the command is dropped as unrecoverable
+    /// (counted in FaultHealth; the process stays live and unrestrained).
+    std::uint32_t max_kill_retries = 8;
+  };
+
+  /// Health/recovery counters for the degraded modes. Monotone over the
+  /// engine's lifetime; run statistics, not state — never serialized (a
+  /// restored engine starts its own tallies).
+  struct FaultHealth {
+    std::uint64_t coasted = 0;         // inferences served from stale state
+    std::uint64_t blind = 0;           // epochs skipped past the budget
+    std::uint64_t detector_faults = 0; // detector throws contained
+    std::uint64_t sanitized = 0;       // garbage inference bits scrubbed
+    std::uint64_t batch_fallbacks = 0; // batch kernels dropped to scalar
+    std::uint64_t actuator_failures = 0;  // failed command attempts
+    std::uint64_t retries = 0;         // retry attempts issued
+    std::uint64_t escalations = 0;     // throttle commands escalated to kill
+    std::uint64_t unrecoverable = 0;   // commands dropped after max retries
+  };
+
+  /// Arms (or, with nullptr, disarms) the runtime fault plane: sensor
+  /// faults route into the system's sample validation, detector faults are
+  /// contained per-slot, actuator commands consult the plane's failure
+  /// schedule at commit time. Also enables the engine's hardening even for
+  /// genuine (non-injected) detector/actuator exceptions. The plane is
+  /// borrowed and must outlive the engine; not legal while an epoch is
+  /// open. A plane with all-zero rates arms the machinery but keeps every
+  /// fast path allocation- and draw-free.
+  void arm_faults(const fault::FaultPlane* plane);
+
+  void set_fault_tolerance(const FaultToleranceConfig& config) noexcept {
+    fault_cfg_ = config;
+  }
+  [[nodiscard]] const FaultToleranceConfig& fault_tolerance() const noexcept {
+    return fault_cfg_;
+  }
+  [[nodiscard]] const fault::FaultPlane* fault_plane() const noexcept {
+    return fault_plane_;
+  }
+
+  /// A consistent copy of the health counters (relaxed loads — exact once
+  /// the epoch's shards have joined).
+  [[nodiscard]] FaultHealth fault_health() const noexcept;
+
+  /// Pending actuator retries (failed commands awaiting backoff expiry).
+  [[nodiscard]] std::size_t pending_retries() const noexcept {
+    return retry_.size();
+  }
 
   /// `worker_threads` <= 1 runs fully sequential (no pool, no threads).
   /// Requests beyond std::thread::hardware_concurrency() are clamped to it
@@ -295,6 +365,18 @@ class ValkyrieEngine {
     bool detached = false;
   };
 
+  /// One failed actuator command awaiting its backoff expiry. The table is
+  /// kept pid-sorted (each pid has at most one entry — commands coalesce),
+  /// so its contents are independent of the order schedules emit commands
+  /// in, which keeps snapshots byte-identical across StepModes.
+  struct PendingRetry {
+    sim::ProcessId pid = 0;
+    ActuatorCommand::Kind kind = ActuatorCommand::Kind::kNone;
+    double delta = 0.0;           // accumulated throttle delta (kApply)
+    std::uint32_t failures = 0;   // consecutive failed attempts
+    std::uint64_t next_epoch = 0; // exponential backoff deadline
+  };
+
   [[nodiscard]] const Attached& attachment(sim::ProcessId pid) const;
 
   /// Live attached processes, counted over the system's live list (O(live))
@@ -311,6 +393,38 @@ class ValkyrieEngine {
   /// current step, appending any resulting command to `commands`. Shared by
   /// the scalar schedules so they cannot drift.
   void infer_attachment(Attached& a, std::vector<ActuatorCommand>& commands);
+
+  /// The hardened per-attachment inference (fault plane armed): coasts on
+  /// stale streaming state while the slot's telemetry quarantine is within
+  /// the staleness budget, goes blind (kInvalid) beyond it, contains any
+  /// detector exception into kInvalid, and sanitizes out-of-range enum
+  /// bits. Shared by the fused scalar path and the batched schedule's
+  /// per-slot fallback so faulted runs stay bit-identical across modes.
+  [[nodiscard]] ml::Inference guarded_infer(Attached& a,
+                                            const ml::WindowSummary& summary);
+
+  /// Maps anything outside {kBenign, kMalicious, kInvalid} to kInvalid,
+  /// counting the scrub.
+  [[nodiscard]] ml::Inference sanitize(ml::Inference inference) noexcept;
+
+  /// Attempts one actuator command against the system, consulting the
+  /// fault plane's schedule first and containing genuine actuator throws.
+  /// Returns false on (injected or real) failure.
+  bool attempt_command(ActuatorCommand::Kind kind, sim::ProcessId pid,
+                       double delta, std::uint64_t epoch);
+
+  /// Commit-phase entry for one freshly planned command under the hardened
+  /// path: coalesces with any pending retry for the pid, attempts now, and
+  /// schedules/extends backoff on failure.
+  void commit_command(const ActuatorCommand& cmd, std::uint64_t epoch);
+
+  /// Walks the retry table once per commit: purges entries whose process is
+  /// gone, escalates throttle commands past the failure threshold, retries
+  /// due entries and reschedules or drops them.
+  void process_retries(std::uint64_t epoch);
+
+  /// Pid-sorted lookup into retry_ (retry_.size() when absent).
+  [[nodiscard]] std::size_t find_retry(sim::ProcessId pid) const noexcept;
 
   /// The decision tail shared by every schedule: terminal-detector
   /// consultation (when armed), monitor plan, action bookkeeping, command
@@ -357,6 +471,23 @@ class ValkyrieEngine {
   std::vector<ml::Inference> batch_infer_;
   std::uint64_t step_tag_ = 0;  // bumped at the start of every step()
   std::size_t detached_count_ = 0;  // tombstones awaiting prune_detached()
+  // --- Fault plane / degraded modes (null plane + empty retry table keeps
+  // every fault-free path untouched) ------------------------------------------
+  const fault::FaultPlane* fault_plane_ = nullptr;  // borrowed, may be null
+  FaultToleranceConfig fault_cfg_{};
+  std::vector<PendingRetry> retry_;  // pid-sorted; serialized in snapshots
+  // Health counters. Relaxed atomics: the inference-side counters are
+  // bumped from parallel shards; the commit-side ones only serially. Run
+  // statistics, never serialized.
+  std::atomic<std::uint64_t> health_coasted_{0};
+  std::atomic<std::uint64_t> health_blind_{0};
+  std::atomic<std::uint64_t> health_detector_faults_{0};
+  std::atomic<std::uint64_t> health_sanitized_{0};
+  std::atomic<std::uint64_t> health_batch_fallbacks_{0};
+  std::atomic<std::uint64_t> health_actuator_failures_{0};
+  std::atomic<std::uint64_t> health_retries_{0};
+  std::atomic<std::uint64_t> health_escalations_{0};
+  std::atomic<std::uint64_t> health_unrecoverable_{0};
   // Sequential-phase executions when no pool exists (see
   // schedule_run_count); pool-inline runs are counted by the pool itself.
   std::uint64_t inline_runs_ = 0;

@@ -1,0 +1,148 @@
+#include "fault/fault_plane.hpp"
+
+#include "util/rng.hpp"
+#include "util/serial.hpp"
+
+namespace valkyrie::fault {
+
+namespace {
+
+/// Domain-separation tags: each fault family hashes in its own stream so
+/// e.g. a sensor decision for (epoch, pid) never correlates with the
+/// actuator decision for the same pair.
+constexpr std::uint64_t kSensorTag = 0x53454e534f524654ull;    // "SENSORFT"
+constexpr std::uint64_t kDetectorTag = 0x4445544543544654ull;  // "DETECTFT"
+constexpr std::uint64_t kActuatorTag = 0x4143545541544654ull;  // "ACTUATFT"
+constexpr std::uint64_t kPermanentTag = 0x5045524d41544654ull; // "PERMATFT"
+
+[[nodiscard]] std::uint64_t mix(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t state = a ^ (b * 0x9e3779b97f4a7c15ull);
+  return util::splitmix64(state);
+}
+
+/// Uniform double in [0, 1) from a hashed key — the same 53-bit ladder
+/// util::Rng::uniform uses, minus the stream state.
+[[nodiscard]] double unit(std::uint64_t key) noexcept {
+  std::uint64_t state = key;
+  const std::uint64_t z = util::splitmix64(state);
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+[[nodiscard]] std::uint64_t feature_key(
+    std::span<const double> features) noexcept {
+  return util::fnv1a(features);
+}
+
+}  // namespace
+
+SensorFaultKind FaultPlane::sensor_fault(std::uint64_t epoch,
+                                         std::uint32_t pid) const noexcept {
+  if (!any_sensor()) return SensorFaultKind::kNone;
+  const double u = unit(mix(mix(seed_, kSensorTag), mix(epoch, pid)));
+  double edge = sensor.dropout_rate;
+  if (u < edge) return SensorFaultKind::kDropout;
+  edge += sensor.stuck_rate;
+  if (u < edge) return SensorFaultKind::kStuck;
+  edge += sensor.nan_rate;
+  if (u < edge) return SensorFaultKind::kNaN;
+  edge += sensor.saturate_rate;
+  if (u < edge) return SensorFaultKind::kSaturated;
+  return SensorFaultKind::kNone;
+}
+
+bool FaultPlane::detector_throws(
+    std::span<const double> features) const noexcept {
+  if (detector.throw_rate <= 0.0) return false;
+  const double u = unit(mix(mix(seed_, kDetectorTag), feature_key(features)));
+  return u < detector.throw_rate;
+}
+
+bool FaultPlane::detector_garbage(
+    std::span<const double> features) const noexcept {
+  if (detector.garbage_rate <= 0.0) return false;
+  const double u = unit(mix(mix(seed_, kDetectorTag), feature_key(features)));
+  return u >= detector.throw_rate &&
+         u < detector.throw_rate + detector.garbage_rate;
+}
+
+bool FaultPlane::actuator_fails(std::uint64_t epoch,
+                                std::uint32_t pid) const noexcept {
+  if (actuator.transient_rate <= 0.0) return false;
+  return unit(mix(mix(seed_, kActuatorTag), mix(epoch, pid))) <
+         actuator.transient_rate;
+}
+
+bool FaultPlane::actuator_dead(std::uint32_t pid) const noexcept {
+  if (actuator.permanent_rate <= 0.0) return false;
+  return unit(mix(mix(seed_, kPermanentTag), pid)) <
+         actuator.permanent_rate;
+}
+
+// --- FaultyDetector ----------------------------------------------------------
+
+namespace {
+
+/// Garbage enum bits a faulted window inference emits: deliberately outside
+/// {kBenign, kMalicious, kInvalid} so an engine that forgets to sanitize
+/// feeds visibly-broken bits into the threat index and the tests catch it.
+constexpr auto kGarbageInference = static_cast<ml::Inference>(0xee);
+
+}  // namespace
+
+ml::Inference FaultyDetector::infer(
+    std::span<const hpc::HpcSample> window) const {
+  if (!window.empty()) {
+    hpc::FeatureVec features;
+    hpc::to_features(window.back(), features);
+    if (plane_.detector_throws(features)) throw DetectorFault();
+    if (plane_.detector_garbage(features)) return kGarbageInference;
+  }
+  return inner_.infer(window);
+}
+
+ml::Inference FaultyDetector::infer(const ml::WindowSummary& summary) const {
+  if (summary.count > 0) {
+    if (plane_.detector_throws(summary.newest)) throw DetectorFault();
+    if (plane_.detector_garbage(summary.newest)) return kGarbageInference;
+  }
+  return inner_.infer(summary);
+}
+
+bool FaultyDetector::measurement_vote(std::span<const double> features) const {
+  // Votes are booleans — garbage bits have nowhere to hide, so the vote
+  // path only models the throw fault.
+  if (plane_.detector_throws(features) || plane_.detector_garbage(features)) {
+    throw DetectorFault();
+  }
+  return inner_.measurement_vote(features);
+}
+
+void FaultyDetector::measurement_votes(const ml::FeatureMatrixView& batch,
+                                       std::span<std::uint8_t> out) const {
+  hpc::FeatureVec features;
+  for (std::size_t c = 0; c < batch.count; ++c) {
+    batch.gather(c, features);
+    if (plane_.detector_throws(features) ||
+        plane_.detector_garbage(features)) {
+      throw DetectorFault();
+    }
+  }
+  inner_.measurement_votes(batch, out);
+}
+
+void FaultyDetector::infer_batch(const ml::SummaryMatrixView& batch,
+                                 std::span<ml::Inference> out) const {
+  hpc::FeatureVec features;
+  const ml::FeatureMatrixView newest = batch.newest_view();
+  for (std::size_t c = 0; c < batch.count; ++c) {
+    if (batch.counts[c] == 0) continue;
+    newest.gather(c, features);
+    if (plane_.detector_throws(features) ||
+        plane_.detector_garbage(features)) {
+      throw DetectorFault();
+    }
+  }
+  inner_.infer_batch(batch, out);
+}
+
+}  // namespace valkyrie::fault

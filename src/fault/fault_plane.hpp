@@ -1,0 +1,162 @@
+// Seeded, deterministic runtime fault plane (the chaos layer).
+//
+// PR 6's sim::FaultInjector kills the whole process and proves recovery;
+// this plane models the *partial* failures a production monitor actually
+// lives with — lossy or lying HPC sensors, a detector that throws or emits
+// garbage bits, an actuator whose control channel drops commands — and
+// does it deterministically: every fault decision is a pure splitmix64
+// hash over a stable identity (seed x epoch x pid, or seed x feature
+// bits), never a stateful RNG draw. That is what keeps chaos runs
+// bit-reproducible across StepModes and worker counts: shards may consult
+// the plane in any order, any number of times, and always get the same
+// answer. Fault schedules therefore "commit" at epoch boundaries by
+// construction — the decision for (epoch E, pid P) is fixed the moment
+// the seed is chosen.
+//
+// The plane is code, not data: like detectors and scenario scripts it is
+// never serialized into snapshots — a restored run re-arms the same plane
+// and replays the same faults.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+
+#include "hpc/hpc.hpp"
+#include "ml/detector.hpp"
+
+namespace valkyrie::fault {
+
+/// What the sensor path did to this (epoch, pid)'s HPC sample.
+enum class SensorFaultKind : std::uint8_t {
+  kNone,
+  kDropout,    // the sample is lost entirely
+  kStuck,      // the counters repeat the previous epoch's values bit-exactly
+  kNaN,        // non-finite counter values
+  kSaturated,  // counters pinned at the transport's saturation value
+};
+
+struct SensorFaultConfig {
+  double dropout_rate = 0.0;
+  double stuck_rate = 0.0;
+  double nan_rate = 0.0;
+  double saturate_rate = 0.0;
+};
+
+struct DetectorFaultConfig {
+  double throw_rate = 0.0;    // infer / measurement_vote throws
+  double garbage_rate = 0.0;  // infer returns out-of-range enum bits
+};
+
+struct ActuatorFaultConfig {
+  /// Per-(epoch, pid) transient command failure: the apply/reset/kill
+  /// issued at that boundary is dropped; a retry at a later epoch draws
+  /// fresh.
+  double transient_rate = 0.0;
+  /// Per-pid permanent failure of the *throttle* channel (apply/reset
+  /// never land for that pid). Kills use the process-termination channel
+  /// and stay subject only to transient faults — that is what gives the
+  /// engine's escalation ladder a way out.
+  double permanent_rate = 0.0;
+};
+
+/// Counter value the saturated-sensor fault pins every event at, and the
+/// threshold above which the validator rejects a sample as saturated. Real
+/// HPC counts in this simulation top out around 1e9; anything at 1e15+ is
+/// transport garbage.
+inline constexpr double kSaturationValue = 1e18;
+inline constexpr double kSaturationThreshold = 1e15;
+
+class FaultPlane {
+ public:
+  explicit FaultPlane(std::uint64_t seed) : seed_(seed) {}
+
+  SensorFaultConfig sensor;
+  DetectorFaultConfig detector;
+  ActuatorFaultConfig actuator;
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// True when any rate is non-zero (armed-but-idle planes keep the
+  /// fault-free paths byte-for-byte on their fast paths).
+  [[nodiscard]] bool any_sensor() const noexcept {
+    return sensor.dropout_rate > 0.0 || sensor.stuck_rate > 0.0 ||
+           sensor.nan_rate > 0.0 || sensor.saturate_rate > 0.0;
+  }
+  [[nodiscard]] bool any_actuator() const noexcept {
+    return actuator.transient_rate > 0.0 || actuator.permanent_rate > 0.0;
+  }
+
+  /// One uniform draw keyed on (seed, epoch, pid), partitioned across the
+  /// four sensor fault kinds.
+  [[nodiscard]] SensorFaultKind sensor_fault(std::uint64_t epoch,
+                                             std::uint32_t pid) const noexcept;
+
+  /// Detector faults key on the *feature bits* being scored, so the
+  /// decision is identical wherever the score happens — the scalar fused
+  /// path, the split schedule and the batched plane sweep all present the
+  /// same bits for the same measurement. One draw, partitioned:
+  /// throw first, then garbage.
+  [[nodiscard]] bool detector_throws(
+      std::span<const double> features) const noexcept;
+  [[nodiscard]] bool detector_garbage(
+      std::span<const double> features) const noexcept;
+
+  [[nodiscard]] bool actuator_fails(std::uint64_t epoch,
+                                    std::uint32_t pid) const noexcept;
+  [[nodiscard]] bool actuator_dead(std::uint32_t pid) const noexcept;
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Thrown by FaultyDetector on an injected detector fault. A distinct type
+/// so tests can tell an injected fault from a genuine detector bug; the
+/// engine's containment is type-agnostic (catch (...)).
+class DetectorFault : public std::runtime_error {
+ public:
+  DetectorFault() : std::runtime_error("injected detector fault") {}
+};
+
+/// Wraps any detector with the plane's detector-fault schedule: scoring a
+/// faulted measurement throws DetectorFault (or, for whole-window
+/// inference, may instead return garbage enum bits the engine must
+/// sanitize). Batch kernels throw when ANY column in the batch is faulted
+/// — the engine then falls back to the per-slot scalar path, which
+/// re-applies the per-column decisions deterministically, so batched runs
+/// stay bit-identical to fused ones. Name and state hash forward to the
+/// wrapped detector: snapshots of faulted runs interoperate with the
+/// fault-free engine.
+class FaultyDetector final : public ml::Detector {
+ public:
+  FaultyDetector(const ml::Detector& inner, const FaultPlane& plane)
+      : inner_(inner), plane_(plane) {}
+
+  [[nodiscard]] std::string_view name() const override { return inner_.name(); }
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    return inner_.state_hash();
+  }
+  [[nodiscard]] std::optional<double> vote_fraction() const override {
+    return inner_.vote_fraction();
+  }
+  [[nodiscard]] PlaneSections plane_sections() const override {
+    return inner_.plane_sections();
+  }
+
+  [[nodiscard]] ml::Inference infer(
+      std::span<const hpc::HpcSample> window) const override;
+  [[nodiscard]] ml::Inference infer(
+      const ml::WindowSummary& summary) const override;
+  [[nodiscard]] bool measurement_vote(
+      std::span<const double> features) const override;
+  void measurement_votes(const ml::FeatureMatrixView& batch,
+                         std::span<std::uint8_t> out) const override;
+  void infer_batch(const ml::SummaryMatrixView& batch,
+                   std::span<ml::Inference> out) const override;
+
+ private:
+  const ml::Detector& inner_;
+  const FaultPlane& plane_;
+};
+
+}  // namespace valkyrie::fault

@@ -34,7 +34,13 @@
 
 namespace valkyrie::ml {
 
-enum class Inference : std::uint8_t { kBenign, kMalicious };
+/// kInvalid is the sanitized form of a *failed* inference — a detector that
+/// threw, returned garbage bits, or was skipped because the slot's telemetry
+/// exhausted its staleness budget. It never comes out of a healthy detector:
+/// the engine manufactures it so downstream consumers (threat index, monitor
+/// plan) can treat "no usable verdict this epoch" as an explicit state
+/// instead of silently counting it as benign evidence.
+enum class Inference : std::uint8_t { kBenign, kMalicious, kInvalid };
 
 /// Feature-major matrix view over a batch of measurement feature vectors:
 /// row f holds feature f of every batch item, consecutive items sit in
@@ -237,6 +243,16 @@ class StreamingInference {
   void reset() noexcept {
     malicious_ = 0;
     counted_ = 0;
+  }
+
+  /// Marks `count` measurements as observed WITHOUT folding any votes —
+  /// the containment hook for a detector that threw mid-scoring. The
+  /// faulted measurement(s) enter the vote denominator as non-malicious,
+  /// and, crucially, the next epoch's fast path no longer re-walks them:
+  /// a deterministic per-measurement fault would otherwise re-throw on the
+  /// same feature bits every epoch forever. No-op when already caught up.
+  void mark_observed(std::size_t count) noexcept {
+    if (count > counted_) counted_ = count;
   }
 
   /// Running vote counts, for snapshot/restore.

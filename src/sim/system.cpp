@@ -1,9 +1,13 @@
 #include "sim/system.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
 #include <stdexcept>
 #include <type_traits>
 
+#include "fault/fault_plane.hpp"
 #include "snapshot/image.hpp"
 #include "snapshot/registry.hpp"
 #include "util/serial.hpp"
@@ -73,6 +77,7 @@ void SimSystem::admit_slot(ProcessId pid) {
   last_progress_s_.push_back(0.0);
   epochs_run_s_.push_back(0);
   exit_s_.push_back(ExitReason::kRunning);
+  invalid_streak_s_.push_back(0);
 
   if (plane_enabled_) {
     plane_count_.push_back(0);
@@ -96,6 +101,7 @@ void SimSystem::reserve(std::size_t max_processes) {
   last_progress_s_.reserve(max_processes);
   epochs_run_s_.reserve(max_processes);
   exit_s_.reserve(max_processes);
+  invalid_streak_s_.reserve(max_processes);
   pending_admit_.reserve(max_processes);
   pending_kill_.reserve(max_processes);
   lifecycle_scratch_.reserve(max_processes);
@@ -209,10 +215,25 @@ bool SimSystem::step_slot(std::size_t slot) {
   ctx.rng = &rng_s_[slot];
 
   ColdProc& cold = cold_[pid];
-  const StepResult step = cold.workload->run_epoch(eff, ctx);
-  last_sample_s_[slot] = step.hpc;
-  cold.history.push_back(step.hpc);
-  accum_s_[slot].add(step.hpc);
+  StepResult step = cold.workload->run_epoch(eff, ctx);
+  // Sensor fault plane (armed only): inject this (epoch, pid)'s scheduled
+  // fault into the captured sample, then validate it. A quarantined sample
+  // commits NOTHING to the window state — no last_sample update, no
+  // history append, no accumulator fold — so garbage never reaches a
+  // detector or a snapshot; the slot coasts on its last-known statistics
+  // and the streak below tells the engine how stale they are. Execution
+  // state (progress, epochs_run, the per-slot RNG) advances regardless:
+  // the process ran, only its telemetry was lost.
+  const bool quarantined =
+      sensor_faults_ != nullptr && inject_and_validate(slot, step.hpc);
+  if (quarantined) {
+    ++invalid_streak_s_[slot];
+  } else {
+    invalid_streak_s_[slot] = 0;
+    last_sample_s_[slot] = step.hpc;
+    cold.history.push_back(step.hpc);
+    accum_s_[slot].add(step.hpc);
+  }
   last_progress_s_[slot] = step.progress;
   ++epochs_run_s_[slot];
   if (plane_enabled_) {
@@ -243,6 +264,50 @@ bool SimSystem::step_slot(std::size_t slot) {
   return false;
 }
 
+bool SimSystem::inject_and_validate(std::size_t slot, hpc::HpcSample& sample) {
+  const auto pid = static_cast<std::uint32_t>(slot_pid_[slot]);
+  switch (sensor_faults_->sensor_fault(epoch_, pid)) {
+    case fault::SensorFaultKind::kNone:
+      break;
+    case fault::SensorFaultKind::kDropout:
+      return true;  // the sample never arrived
+    case fault::SensorFaultKind::kStuck:
+      // A counter stuck before the first sample ever landed has nothing to
+      // repeat — it reads as a dropout.
+      if (epochs_run_s_[slot] == 0) return true;
+      sample = last_sample_s_[slot];
+      break;
+    case fault::SensorFaultKind::kNaN:
+      sample.counts.fill(std::numeric_limits<double>::quiet_NaN());
+      break;
+    case fault::SensorFaultKind::kSaturated:
+      sample.counts.fill(fault::kSaturationValue);
+      break;
+  }
+  // Validation (the honest half of the pipeline): non-finite or saturated
+  // values are transport garbage, and a bit-exact repeat of the previous
+  // sample is a stuck counter bank — continuous measurement noise makes a
+  // genuine repeat vanishingly unlikely, and this check only runs while a
+  // fault plane is armed.
+  for (const double c : sample.counts) {
+    if (!std::isfinite(c) || c >= fault::kSaturationThreshold) return true;
+  }
+  return epochs_run_s_[slot] > 0 &&
+         std::memcmp(&sample, &last_sample_s_[slot], sizeof(sample)) == 0;
+}
+
+void SimSystem::arm_sensor_faults(const fault::FaultPlane* plane) {
+  if (epoch_open_) {
+    throw std::logic_error("SimSystem::arm_sensor_faults: epoch open");
+  }
+  sensor_faults_ = plane;
+}
+
+std::uint64_t SimSystem::invalid_streak(ProcessId pid) const {
+  const std::uint32_t slot = slot_checked(pid);
+  return is_hot_slot(slot) ? invalid_streak_s_[slot] : 0;
+}
+
 void SimSystem::end_epoch() {
   if (!epoch_open_) {
     throw std::logic_error("SimSystem::end_epoch: no open epoch");
@@ -256,7 +321,11 @@ void SimSystem::abort_epoch() {
   // The epoch did not complete (epoch_ stays), but shards may have marked
   // completions and callers may have queued lifecycle deltas — both must
   // still commit, or a retry would re-execute finished workloads or lose
-  // an admission.
+  // an admission. Idempotent: layered drivers (engine catch blocks, a
+  // supervisor unwinding through them) may each try to abort the same
+  // failed epoch, and only the first may commit — a second commit at a
+  // closed boundary would double-apply queued deltas.
+  if (!epoch_open_) return;
   epoch_open_ = false;
   commit_lifecycle();
 }
@@ -357,6 +426,7 @@ void SimSystem::retire_dead_slots() {
         last_progress_s_[w] = last_progress_s_[s];
         epochs_run_s_[w] = epochs_run_s_[s];
         exit_s_[w] = exit_s_[s];
+        invalid_streak_s_[w] = invalid_streak_s_[s];
         if (plane_enabled_) {
           // The plane follows the same stable remap as every hot array, so
           // column i always belongs to live_processes()[i].
@@ -396,6 +466,7 @@ void SimSystem::retire_dead_slots() {
   last_progress_s_.resize(w);
   epochs_run_s_.resize(w);
   exit_s_.resize(w);
+  invalid_streak_s_.resize(w);
   if (plane_enabled_) {
     plane_count_.resize(w);
     plane_window_.resize(w);
@@ -573,6 +644,7 @@ snapshot::SystemImage SimSystem::snapshot_state() const {
     slot.last_progress = last_progress_s_[s];
     slot.epochs_run = epochs_run_s_[s];
     slot.exit = static_cast<std::uint8_t>(exit_s_[s]);
+    slot.invalid_streak = invalid_streak_s_[s];
     image.slots.push_back(std::move(slot));
   }
 
@@ -701,6 +773,7 @@ void SimSystem::restore_from(const snapshot::SystemImage& image,
   last_progress_s_.resize(live);
   epochs_run_s_.resize(live);
   exit_s_.resize(live);
+  invalid_streak_s_.resize(live);
   for (std::size_t s = 0; s < live; ++s) {
     const snapshot::SlotImage& slot = image.slots[s];
     slot_pid_[s] = slot.pid;
@@ -712,6 +785,7 @@ void SimSystem::restore_from(const snapshot::SystemImage& image,
     last_progress_s_[s] = slot.last_progress;
     epochs_run_s_[s] = slot.epochs_run;
     exit_s_[s] = static_cast<ExitReason>(slot.exit);
+    invalid_streak_s_[s] = slot.invalid_streak;
   }
 
   scheduler_.restore_factor_table(

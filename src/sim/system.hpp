@@ -59,6 +59,10 @@ struct SystemImage;
 class WorkloadRegistry;
 }  // namespace valkyrie::snapshot
 
+namespace valkyrie::fault {
+class FaultPlane;
+}
+
 namespace valkyrie::sim {
 
 /// Why a process is no longer runnable.
@@ -205,6 +209,31 @@ class SimSystem {
       std::size_t slot) const noexcept {
     return accum_s_[slot];
   }
+
+  // --- Sensor fault plane ----------------------------------------------------
+  //
+  // When armed, step_slot injects the plane's seeded per-(epoch, pid)
+  // sensor faults into the captured HPC sample and then VALIDATES every
+  // sample before committing it to the window state: a dropped, stuck,
+  // non-finite or saturated sample commits NOTHING — no history append, no
+  // accumulator fold, no plane-column store, no last_sample update — so
+  // garbage never enters the telemetry the detectors (or a snapshot) see.
+  // The slot's invalid streak counts consecutive quarantined epochs and
+  // resets to zero on the first valid sample; engines use it to coast and
+  // eventually blind the detector for that slot. Execution itself is
+  // unaffected: the workload still runs, progress and epochs_run still
+  // advance, and the per-slot RNG stream is untouched — which is what
+  // keeps faulted runs bit-reproducible across StepModes and worker
+  // counts.
+
+  /// Arms (plane != nullptr) or disarms sensor-fault injection. The plane
+  /// is borrowed, not owned, and must outlive the system. Must not be
+  /// called while an epoch is open.
+  void arm_sensor_faults(const fault::FaultPlane* plane);
+
+  /// Consecutive epochs this live process's telemetry has been quarantined
+  /// (0 = the latest sample was valid). Always 0 for retired pids.
+  [[nodiscard]] std::uint64_t invalid_streak(ProcessId pid) const;
 
   // --- Actuator-facing controls -------------------------------------------
 
@@ -386,6 +415,13 @@ class SimSystem {
   /// count; never shrinks capacity. No-op when the plane is disabled.
   void reserve_plane();
 
+  /// Applies the armed fault plane's scheduled sensor fault for
+  /// (current epoch, slot's pid) to `sample` in place, then validates the
+  /// result. Returns true when the sample must be quarantined (dropped,
+  /// non-finite, saturated, or a bit-exact stuck repeat). Only called
+  /// while sensor_faults_ is armed.
+  bool inject_and_validate(std::size_t slot, hpc::HpcSample& sample);
+
   PlatformProfile platform_;
   util::Rng rng_;
   CfsScheduler scheduler_;
@@ -402,6 +438,10 @@ class SimSystem {
   std::vector<double> last_progress_s_;
   std::vector<std::uint64_t> epochs_run_s_;
   std::vector<ExitReason> exit_s_;
+  // Consecutive quarantined-telemetry epochs per slot (0 = healthy).
+  // Maintained unconditionally (one store per slot per epoch) and carried
+  // by snapshots, so a restored run coasts exactly like the original.
+  std::vector<std::uint64_t> invalid_streak_s_;
 
   std::vector<ColdProc> cold_;  // pid-indexed
 
@@ -448,6 +488,8 @@ class SimSystem {
   // Floor for hot-array/plane capacity set by reserve(), so plane growth
   // under churn never reallocates once reserved.
   std::size_t reserved_capacity_ = 0;
+  // Borrowed sensor-fault schedule; nullptr = injection and validation off.
+  const fault::FaultPlane* sensor_faults_ = nullptr;
 };
 
 }  // namespace valkyrie::sim

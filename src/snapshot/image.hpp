@@ -47,6 +47,10 @@ struct SlotImage {
   double last_progress = 0.0;
   std::uint64_t epochs_run = 0;
   std::uint8_t exit = 0;  // sim::ExitReason
+  /// Consecutive epochs this slot's telemetry was quarantined (sensor
+  /// fault / validation failure). Drives the engine's coast-vs-blind
+  /// policy, so it must survive restore bit-exactly. v2 field.
+  std::uint64_t invalid_streak = 0;
 };
 
 /// One pid's cold row: the workload object, the accumulated sample history,
@@ -137,10 +141,23 @@ struct AttachmentImage {
 /// detector hashes differently. The step mode and worker count are run
 /// configuration, not state (bit-identity holds across all of them), so
 /// the restored engine keeps its own.
+/// One pending actuator-command retry (v2). The engine's retry table is
+/// real state — a restored run must resume the same backoff schedule — and
+/// is kept pid-sorted so snapshots of bit-identical runs are byte-identical
+/// regardless of the StepMode that produced the failures.
+struct RetryImage {
+  sim::ProcessId pid = 0;
+  std::uint8_t kind = 0;      // core::ActuatorCommand::Kind
+  double delta = 0.0;         // accumulated throttle delta (kApply only)
+  std::uint32_t failures = 0; // consecutive failed attempts
+  std::uint64_t next_epoch = 0;  // backoff: earliest epoch to retry at
+};
+
 struct EngineImage {
   std::uint64_t detector_hash = 0;
   std::uint64_t step_tag = 0;
   std::vector<AttachmentImage> attachments;
+  std::vector<RetryImage> retries;  // pid-sorted, v2
 };
 
 /// ScenarioDriver state: RNG, stats, scheduled departures, campaign
@@ -173,7 +190,7 @@ struct DriverImage {
 
 /// A complete decoded snapshot.
 struct SnapshotImage {
-  std::uint32_t version = 1;
+  std::uint32_t version = 2;
   SystemImage system;
   EngineImage engine;
   bool has_driver = false;

@@ -18,7 +18,11 @@ using util::SerialError;
 // Framing: magic, format version, then fourcc/length/payload/CRC sections.
 constexpr std::array<std::uint8_t, 8> kMagic = {'V', 'L', 'K', 'Y',
                                                 'S', 'N', 'P', '1'};
-constexpr std::uint32_t kVersion = 1;
+// v2 appends SlotImage.invalid_streak (telemetry quarantine) and the
+// engine's actuator-retry table. Older snapshots are refused rather than
+// defaulted: the restore contract is bit-replay, and a v1 capture cannot
+// promise the fault-era fields were all zero at capture time.
+constexpr std::uint32_t kVersion = 2;
 
 constexpr std::uint32_t fourcc(char a, char b, char c, char d) noexcept {
   return static_cast<std::uint32_t>(static_cast<unsigned char>(a)) |
@@ -137,6 +141,7 @@ void encode_system(ByteWriter& out, const SystemImage& sys) {
     out.f64(slot.last_progress);
     out.u64(slot.epochs_run);
     out.u8(slot.exit);
+    out.u64(slot.invalid_streak);
   }
 
   out.u64(sys.procs.size());
@@ -186,6 +191,7 @@ SystemImage decode_system(ByteReader& in) {
     slot.last_progress = in.f64();
     slot.epochs_run = in.u64();
     slot.exit = in.u8();
+    slot.invalid_streak = in.u64();
     sys.slots.push_back(slot);
   }
 
@@ -242,6 +248,14 @@ void encode_engine(ByteWriter& out, const EngineImage& engine) {
     out.u8(att.last_action);
     out.u64(att.last_action_step);
   }
+  out.u64(engine.retries.size());
+  for (const RetryImage& r : engine.retries) {
+    out.u32(r.pid);
+    out.u8(r.kind);
+    out.f64(r.delta);
+    out.u32(r.failures);
+    out.u64(r.next_epoch);
+  }
 }
 
 EngineImage decode_engine(ByteReader& in) {
@@ -272,6 +286,17 @@ EngineImage decode_engine(ByteReader& in) {
     att.last_action = in.u8();
     att.last_action_step = in.u64();
     engine.attachments.push_back(std::move(att));
+  }
+  const std::size_t retries = in.length(sizeof(std::uint32_t));
+  engine.retries.reserve(retries);
+  for (std::size_t i = 0; i < retries; ++i) {
+    RetryImage r;
+    r.pid = in.u32();
+    r.kind = in.u8();
+    r.delta = in.f64();
+    r.failures = in.u32();
+    r.next_epoch = in.u64();
+    engine.retries.push_back(r);
   }
   return engine;
 }
@@ -630,6 +655,7 @@ std::vector<FieldDiff> diff(const SnapshotImage& a, const SnapshotImage& b) {
     d.f64(path + ".last_progress", la.last_progress, lb.last_progress);
     d.u64(path + ".epochs_run", la.epochs_run, lb.epochs_run);
     d.u64(path + ".exit", la.exit, lb.exit);
+    d.u64(path + ".invalid_streak", la.invalid_streak, lb.invalid_streak);
   }
 
   d.u64("system.procs.size", sa.procs.size(), sb.procs.size());
@@ -694,6 +720,18 @@ std::vector<FieldDiff> diff(const SnapshotImage& a, const SnapshotImage& b) {
     d.u64(path + ".last_action", aa.last_action, ab.last_action);
     d.u64(path + ".last_action_step", aa.last_action_step,
           ab.last_action_step);
+  }
+  d.u64("engine.retries.size", ea.retries.size(), eb.retries.size());
+  const std::size_t retries = std::min(ea.retries.size(), eb.retries.size());
+  for (std::size_t i = 0; i < retries; ++i) {
+    const std::string path = "engine.retries[" + std::to_string(i) + "]";
+    const RetryImage& ra = ea.retries[i];
+    const RetryImage& rb = eb.retries[i];
+    d.u64(path + ".pid", ra.pid, rb.pid);
+    d.u64(path + ".kind", ra.kind, rb.kind);
+    d.f64(path + ".delta", ra.delta, rb.delta);
+    d.u64(path + ".failures", ra.failures, rb.failures);
+    d.u64(path + ".next_epoch", ra.next_epoch, rb.next_epoch);
   }
 
   d.u64("has_driver", a.has_driver, b.has_driver);

@@ -1,10 +1,16 @@
 #include "snapshot/snapshotter.hpp"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <stdexcept>
 #include <utility>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include "sim/scenario.hpp"
+#include "util/serial.hpp"
 
 namespace valkyrie::snapshot {
 
@@ -37,6 +43,12 @@ void Snapshotter::enqueue(SnapshotImage image) {
   space_cv_.wait(lock, [this] {
     return queue_.size() + (encoding_ ? 1 : 0) < kMaxInFlight;
   });
+  if (error_ != nullptr) {
+    // A previous snapshot failed to encode or persist: surface it to the
+    // producer rather than silently dropping snapshots on the floor.
+    std::exception_ptr error = std::exchange(error_, nullptr);
+    std::rethrow_exception(error);
+  }
   queue_.push_back(std::move(image));
   work_cv_.notify_one();
 }
@@ -44,6 +56,10 @@ void Snapshotter::enqueue(SnapshotImage image) {
 void Snapshotter::flush() {
   std::unique_lock<std::mutex> lock(mutex_);
   space_cv_.wait(lock, [this] { return queue_.empty() && !encoding_; });
+  if (error_ != nullptr) {
+    std::exception_ptr error = std::exchange(error_, nullptr);
+    std::rethrow_exception(error);
+  }
 }
 
 std::uint64_t Snapshotter::completed() const {
@@ -65,30 +81,78 @@ void Snapshotter::worker_loop() {
       // a producer blocked on the queue bound may now hold the other slot.
       space_cv_.notify_all();
     }
-    std::vector<std::uint8_t> bytes = encode(image);
-    sink_(std::move(bytes));
+    std::exception_ptr failure;
+    try {
+      std::vector<std::uint8_t> bytes = encode(image);
+      sink_(std::move(bytes));
+    } catch (...) {
+      // Uncaught, this would std::terminate the process from the worker
+      // thread. Park it for the next producer call instead (latest failure
+      // wins; a stale earlier one has already been superseded).
+      failure = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       encoding_ = false;
-      ++completed_;
+      if (failure != nullptr) {
+        error_ = std::move(failure);
+      } else {
+        ++completed_;
+      }
     }
     space_cv_.notify_all();
   }
 }
 
+namespace {
+
+[[noreturn]] void throw_io(const std::string& op, const std::string& target,
+                           int err) {
+  throw util::SerialError(util::SerialError::Code::kIo,
+                          "file_sink: " + op + " failed for " + target +
+                              ": " + std::strerror(err));
+}
+
+}  // namespace
+
 Snapshotter::Sink file_sink(std::string path) {
+  // Durability order matters: the data must be ON DISK before the rename
+  // makes it the current snapshot, or a crash between rename and writeback
+  // leaves `path` pointing at a hole — worse than the previous snapshot it
+  // replaced. So: write tmp, fsync tmp, close, rename. (Directory-entry
+  // durability of the rename itself is the filesystem's journal problem;
+  // the guarantee this sink needs is "path never names a torn file".)
   return [path = std::move(path)](std::vector<std::uint8_t> bytes) {
     const std::string tmp = path + ".tmp";
-    std::FILE* f = std::fopen(tmp.c_str(), "wb");
-    if (f == nullptr) {
-      throw std::runtime_error("file_sink: cannot open " + tmp);
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) throw_io("open", tmp, errno);
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ::ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const int err = errno;
+        ::close(fd);
+        std::remove(tmp.c_str());
+        throw_io("write", tmp, err);
+      }
+      off += static_cast<std::size_t>(n);
     }
-    const std::size_t written =
-        bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
-    const bool ok = (std::fclose(f) == 0) && written == bytes.size();
-    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (::fsync(fd) != 0) {
+      const int err = errno;
+      ::close(fd);
       std::remove(tmp.c_str());
-      throw std::runtime_error("file_sink: write failed for " + path);
+      throw_io("fsync", tmp, err);
+    }
+    if (::close(fd) != 0) {
+      const int err = errno;
+      std::remove(tmp.c_str());
+      throw_io("close", tmp, err);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      const int err = errno;
+      std::remove(tmp.c_str());
+      throw_io("rename", path, err);
     }
   };
 }

@@ -15,6 +15,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <string>
@@ -48,6 +49,10 @@ class Snapshotter {
   void request(const sim::ScenarioDriver& driver);
 
   /// Blocks until every queued image has been encoded and delivered.
+  /// Rethrows here (or at the next request()) anything the sink threw on
+  /// the worker thread — e.g. file_sink's typed SerialError(kIo) — so disk
+  /// failures surface on the engine thread instead of terminating the
+  /// process.
   void flush();
 
   /// Snapshots delivered to the sink so far.
@@ -62,6 +67,7 @@ class Snapshotter {
   std::condition_variable work_cv_;   // signals the worker: queue non-empty
   std::condition_variable space_cv_;  // signals producers: slot free / idle
   std::deque<SnapshotImage> queue_;   // bounded at kMaxInFlight
+  std::exception_ptr error_;          // sink/encode failure awaiting rethrow
   std::uint64_t completed_ = 0;
   bool encoding_ = false;  // worker is between pop and sink delivery
   bool stop_ = false;

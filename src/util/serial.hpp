@@ -43,6 +43,7 @@ class SerialError : public std::runtime_error {
     kIncompatible,        // decodes fine but does not match the target
                           // engine (detector hash, platform, script)
     kUnsupportedWorkload, // a live workload has no snapshot support
+    kIo,                  // filesystem write/fsync/rename failure in a sink
   };
 
   SerialError(Code code, const std::string& what)

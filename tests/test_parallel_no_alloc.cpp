@@ -16,6 +16,7 @@
 
 #include "core/actuator.hpp"
 #include "core/valkyrie.hpp"
+#include "fault/fault_plane.hpp"
 #include "ml/detector.hpp"
 #include "sim/system.hpp"
 #include "sim/workload.hpp"
@@ -98,10 +99,12 @@ class FlappingDetector final : public ml::Detector {
 
 void expect_steady_state_step_does_not_allocate(
     std::size_t worker_threads,
-    ValkyrieEngine::StepMode mode = ValkyrieEngine::StepMode::kFused) {
+    ValkyrieEngine::StepMode mode = ValkyrieEngine::StepMode::kFused,
+    const fault::FaultPlane* plane = nullptr) {
   const FlappingDetector detector;
   sim::SimSystem sys;
   ValkyrieEngine engine(sys, detector, worker_threads, mode);
+  if (plane != nullptr) engine.arm_faults(plane);
 
   constexpr std::size_t kProcs = 32;
   constexpr std::size_t kWarmup = 32;
@@ -172,6 +175,29 @@ TEST(ParallelNoAlloc, SequentialBatchedStepIsAllocationFreeAfterWarmup) {
 TEST(ParallelNoAlloc, ShardedBatchedStepIsAllocationFreeAfterWarmup) {
   expect_steady_state_step_does_not_allocate(
       4, ValkyrieEngine::StepMode::kBatched);
+}
+
+// An armed-but-idle fault plane (all rates zero) routes every epoch through
+// the hardened paths — per-(epoch, pid) sensor draws + sample validation,
+// guarded inference with streak checks, the retry-aware command commit —
+// and none of that may allocate either: fault tolerance is free until a
+// fault actually fires.
+TEST(ParallelNoAlloc, FaultArmedIdleFusedStepIsAllocationFree) {
+  const fault::FaultPlane plane(0x1d1e);
+  expect_steady_state_step_does_not_allocate(
+      1, ValkyrieEngine::StepMode::kFused, &plane);
+}
+
+TEST(ParallelNoAlloc, FaultArmedIdleShardedFusedStepIsAllocationFree) {
+  const fault::FaultPlane plane(0x1d1e);
+  expect_steady_state_step_does_not_allocate(
+      4, ValkyrieEngine::StepMode::kFused, &plane);
+}
+
+TEST(ParallelNoAlloc, FaultArmedIdleBatchedStepIsAllocationFree) {
+  const fault::FaultPlane plane(0x1d1e);
+  expect_steady_state_step_does_not_allocate(
+      4, ValkyrieEngine::StepMode::kBatched, &plane);
 }
 
 // Steady-state CHURN: with SimSystem::reserve + ValkyrieEngine::reserve +
