@@ -565,6 +565,107 @@ RecoveryPoint run_recovery_point(const ml::Detector& detector,
   return {processes, supervisor.health().epochs_replayed, step_us, recovery_us};
 }
 
+// --- The priced MTTR model ---------------------------------------------------
+//
+// Recovery cost is replay distance, and replay distance is bought down by
+// checkpoint cadence: a short interval pays encode/confirm overhead every
+// few epochs so that a crash replays almost nothing; a long interval is
+// nearly free until the crash, which then replays up to a full interval
+// (or two, if the latest generation is torn). This sweep prices both
+// sides of that trade across checkpoint_interval x domain-burst severity,
+// over a fixed deterministic crash schedule, so the committed JSON holds
+// the actual curve instead of the folklore version of it.
+
+struct MttrPoint {
+  std::uint64_t interval;
+  std::uint64_t checkpoints;      // sink-confirmed
+  std::uint64_t recoveries;
+  std::uint64_t worst_replay;     // epochs
+  double mean_replay;             // epochs
+  double campaign_ms;             // whole campaign incl. checkpoint cost
+  double mean_recovery_us;        // mean wall time of the crash steps
+};
+
+MttrPoint run_mttr_point(const ml::Detector& detector,
+                         const fault::FaultPlane& plane,
+                         std::uint64_t interval, bool smoke) {
+  const std::size_t processes = smoke ? 128 : 512;
+  const std::uint64_t epochs = smoke ? 120 : 400;
+  const std::vector<std::uint64_t> crashes =
+      smoke ? std::vector<std::uint64_t>{40, 80}
+            : std::vector<std::uint64_t>{97, 210, 340};
+
+  const auto factory =
+      [&detector, &plane,
+       processes](const snapshot::SnapshotImage* image) -> core::SupervisedWorld {
+    core::SupervisedWorld world;
+    world.system = std::make_unique<sim::SimSystem>();
+    world.engine =
+        std::make_unique<core::ValkyrieEngine>(*world.system, detector);
+    world.engine->arm_faults(&plane);
+    if (image == nullptr) {
+      // Snapshot-capable population (SignatureWorkload has no snapshot
+      // hooks), pinned live: the monitors stay out of the terminable
+      // phase so every replay re-runs the full population.
+      const std::vector<workloads::BenchmarkSpec> palette =
+          workloads::spec2006();
+      core::ValkyrieConfig monitor_config;
+      monitor_config.required_measurements = 1'000'000'000;
+      for (std::size_t p = 0; p < processes; ++p) {
+        workloads::BenchmarkSpec spec = palette[p % palette.size()];
+        spec.epochs_of_work = 1e12;
+        const sim::ProcessId pid = world.system->spawn(
+            std::make_unique<workloads::BenchmarkWorkload>(spec));
+        world.engine->attach(pid, monitor_config,
+                             std::make_unique<core::SchedulerWeightActuator>());
+      }
+    } else {
+      snapshot::restore(*image, *world.engine, snapshot::RestoreContext{});
+    }
+    return world;
+  };
+
+  core::SupervisedEngine::Config config;
+  config.checkpoint_interval = interval;
+  config.crash_epochs = crashes;
+  core::SupervisedEngine supervisor(factory, config);
+
+  double recovery_ns = 0.0;
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 1; i <= epochs; ++i) {
+    const bool crash_step =
+        std::find(crashes.begin(), crashes.end(), i) != crashes.end();
+    const auto t1 = crash_step ? Clock::now() : Clock::time_point{};
+    supervisor.step();
+    if (crash_step) {
+      recovery_ns += static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               t1)
+              .count());
+    }
+  }
+  const double campaign_ms =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              Clock::now() - t0)
+                              .count()) /
+      1e6;
+
+  (void)supervisor.latest_checkpoint();  // settle the confirmed count
+  const core::SupervisedEngine::Health health = supervisor.health();
+  const double mean_replay =
+      health.recoveries > 0
+          ? static_cast<double>(health.epochs_replayed) /
+                static_cast<double>(health.recoveries)
+          : 0.0;
+  const double mean_recovery_us =
+      health.recoveries > 0
+          ? recovery_ns / 1e3 / static_cast<double>(health.recoveries)
+          : 0.0;
+  return {interval,     health.checkpoints, health.recoveries,
+          health.worst_replay, mean_replay,  campaign_ms,
+          mean_recovery_us};
+}
+
 // --- Minimal JSON well-formedness check --------------------------------------
 //
 // Not a full validator — just enough structure awareness (objects, arrays,
@@ -1025,6 +1126,67 @@ int main(int argc, char** argv) {
         "recovery %.1f us\n",
         rp.processes, static_cast<unsigned long long>(rp.replay_epochs),
         rp.step_us, rp.recovery_us);
+  }
+  json += "\n  ],\n  \"mttr\": [\n";
+
+  // The priced MTTR curve: checkpoint cadence x domain-burst severity over
+  // a fixed crash schedule. Severity stresses the degraded-inference load
+  // the replays run under; the interval buys replay distance down.
+  {
+    fault::FaultPlane mild(0xbe9c);
+    mild.sensor = {.dropout_rate = 0.004,
+                   .stuck_rate = 0.002,
+                   .nan_rate = 0.002,
+                   .saturate_rate = 0.002};
+    mild.sensor.feature_fraction = 0.4;
+    mild.domains = {.domain_count = 4,
+                    .node_width = 8,
+                    .sensor_outage_rate = 0.01,
+                    .actuator_outage_rate = 0.005,
+                    .mean_outage_epochs = 4.0};
+    fault::FaultPlane harsh(0xbe9c);
+    harsh.sensor = mild.sensor;
+    harsh.domains = {.domain_count = 4,
+                     .node_width = 8,
+                     .sensor_outage_rate = 0.05,
+                     .actuator_outage_rate = 0.02,
+                     .mean_outage_epochs = 8.0};
+    struct SeverityRow {
+      const char* name;
+      const fault::FaultPlane* plane;
+    };
+    const SeverityRow severities[] = {{"mild", &mild}, {"harsh", &harsh}};
+    const std::uint64_t intervals[] = {4, 16, 64, 256};
+    bool first_mttr = true;
+    for (const SeverityRow& severity : severities) {
+      for (const std::uint64_t interval : intervals) {
+        const MttrPoint mp =
+            run_mttr_point(detector, *severity.plane, interval, smoke);
+        if (!first_mttr) json += ",\n";
+        first_mttr = false;
+        char buf[384];
+        std::snprintf(
+            buf, sizeof(buf),
+            "    {\"interval\": %llu, \"severity\": \"%s\", "
+            "\"checkpoints\": %llu, \"recoveries\": %llu, "
+            "\"mean_replay_epochs\": %.1f, \"worst_replay_epochs\": %llu, "
+            "\"campaign_ms\": %.1f, \"mean_recovery_us\": %.1f}",
+            static_cast<unsigned long long>(mp.interval), severity.name,
+            static_cast<unsigned long long>(mp.checkpoints),
+            static_cast<unsigned long long>(mp.recoveries), mp.mean_replay,
+            static_cast<unsigned long long>(mp.worst_replay), mp.campaign_ms,
+            mp.mean_recovery_us);
+        json += buf;
+        std::printf(
+            "mttr interval=%-3llu %-5s: checkpoints %llu  "
+            "mean replay %.1f  worst %llu  campaign %.1f ms  "
+            "recovery %.1f us\n",
+            static_cast<unsigned long long>(mp.interval), severity.name,
+            static_cast<unsigned long long>(mp.checkpoints), mp.mean_replay,
+            static_cast<unsigned long long>(mp.worst_replay), mp.campaign_ms,
+            mp.mean_recovery_us);
+      }
+    }
   }
   json += "\n  ]\n}\n";
 

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/serial.hpp"
+
 namespace valkyrie::core {
 
 SupervisedEngine::SupervisedEngine(WorldFactory factory, Config config)
@@ -11,7 +13,24 @@ SupervisedEngine::SupervisedEngine(WorldFactory factory, Config config)
       config_(std::move(config)),
       snapshotter_([this](std::vector<std::uint8_t> bytes) {
         std::lock_guard<std::mutex> lock(latest_mutex_);
+        // Deliveries arrive in request order, so the front of the pending
+        // queue is the step count these bytes were captured at. Pop it
+        // unconditionally — even if confirmation fails below, the next
+        // delivery must not inherit this checkpoint's step count.
+        const std::uint64_t steps = pending_steps_.front();
+        pending_steps_.pop_front();
+        if (config_.durability_sink != nullptr) {
+          // May throw (e.g. file_sink on a full disk). The Snapshotter
+          // parks the exception and poll_checkpoint_errors() surfaces it;
+          // the generations below keep their previous contents, because a
+          // checkpoint that did not persist never happened.
+          config_.durability_sink(bytes);
+        }
+        prev_ = std::move(latest_);
+        prev_steps_ = latest_steps_;
         latest_ = std::move(bytes);
+        latest_steps_ = steps;
+        confirmed_.fetch_add(1, std::memory_order_relaxed);
       }) {
   if (factory_ == nullptr) {
     throw std::invalid_argument("SupervisedEngine: null world factory");
@@ -20,6 +39,21 @@ SupervisedEngine::SupervisedEngine(WorldFactory factory, Config config)
     throw std::invalid_argument(
         "SupervisedEngine: checkpoint_interval must be positive");
   }
+  if (config_.adaptive_interval) {
+    if (config_.min_checkpoint_interval == 0 ||
+        config_.min_checkpoint_interval > config_.max_checkpoint_interval) {
+      throw std::invalid_argument(
+          "SupervisedEngine: adaptive interval bounds must satisfy "
+          "0 < min <= max");
+    }
+    if (config_.checkpoint_interval < config_.min_checkpoint_interval ||
+        config_.checkpoint_interval > config_.max_checkpoint_interval) {
+      throw std::invalid_argument(
+          "SupervisedEngine: checkpoint_interval must start within "
+          "[min, max] when adaptive");
+    }
+  }
+  interval_ = config_.checkpoint_interval;
   world_ = factory_(nullptr);
   if (world_.system == nullptr || world_.engine == nullptr) {
     throw std::invalid_argument(
@@ -35,7 +69,19 @@ std::size_t SupervisedEngine::step_world() {
                                   : world_.engine->step();
 }
 
+void SupervisedEngine::poll_checkpoint_errors() {
+  if (snapshotter_.take_error() != nullptr) {
+    ++health_.checkpoint_failures;
+  }
+}
+
 std::size_t SupervisedEngine::step() {
+  // Surface any checkpoint that failed to encode or persist since the
+  // last step. Counting it here (instead of throwing from a later flush)
+  // keeps the run alive on degraded durability — the in-memory
+  // generations still cover recovery.
+  poll_checkpoint_errors();
+
   std::size_t recoveries_this_step = 0;
   for (;;) {
     try {
@@ -68,8 +114,32 @@ std::size_t SupervisedEngine::step() {
     // world bit-identical to the one we lost.
     ++health_.injected_crashes;
     recover();
-  } else if (completed_steps_ % config_.checkpoint_interval == 0) {
-    take_checkpoint();
+  } else {
+    ++clean_streak_;
+    if (config_.adaptive_interval &&
+        interval_ < config_.max_checkpoint_interval &&
+        clean_streak_ >= 4 * interval_) {
+      // The weather has been calm for four full intervals: stretch the
+      // cadence and stop paying for protection the run is not using.
+      interval_ = std::min(interval_ * 2, config_.max_checkpoint_interval);
+      clean_streak_ = 0;
+    }
+    if (completed_steps_ - request_steps_ >= interval_) {
+      take_checkpoint();
+      if (std::find(config_.corrupt_checkpoint_epochs.begin(),
+                    config_.corrupt_checkpoint_epochs.end(),
+                    completed_steps_) !=
+          config_.corrupt_checkpoint_epochs.end()) {
+        // Injected torn write: wait for the checkpoint to land, then
+        // damage it. The flipped byte fails the section CRC at the next
+        // recovery's parse, forcing the previous-generation fallback.
+        snapshotter_.flush();
+        std::lock_guard<std::mutex> lock(latest_mutex_);
+        if (!latest_.empty()) {
+          latest_.back() ^= 0x5a;
+        }
+      }
+    }
   }
   return last_live_;
 }
@@ -80,28 +150,72 @@ void SupervisedEngine::run(std::size_t epochs) {
   }
 }
 
+SupervisedEngine::Health SupervisedEngine::health() const {
+  Health h = health_;
+  h.checkpoints = confirmed_.load(std::memory_order_relaxed);
+  return h;
+}
+
 void SupervisedEngine::take_checkpoint() {
-  if (world_.driver != nullptr) {
-    snapshotter_.request(*world_.driver);
-  } else {
-    snapshotter_.request(*world_.engine);
+  // Clear any stale parked failure first so request() cannot rethrow a
+  // PREVIOUS checkpoint's error at us — that failure is priced, not fatal.
+  poll_checkpoint_errors();
+  {
+    std::lock_guard<std::mutex> lock(latest_mutex_);
+    pending_steps_.push_back(completed_steps_);
   }
-  checkpoint_steps_ = completed_steps_;
-  ++health_.checkpoints;
+  try {
+    if (world_.driver != nullptr) {
+      snapshotter_.request(*world_.driver);
+    } else {
+      snapshotter_.request(*world_.engine);
+    }
+  } catch (...) {
+    // capture() threw (or a failure parked in the tiny window since the
+    // poll above was rethrown): nothing was queued, so retract the
+    // pending entry before propagating.
+    std::lock_guard<std::mutex> lock(latest_mutex_);
+    pending_steps_.pop_back();
+    throw;
+  }
+  request_steps_ = completed_steps_;
 }
 
 void SupervisedEngine::recover() {
   // The checkpoint may still be in the encoder; recovery is the moment we
-  // need it delivered. flush() also surfaces any parked sink failure — a
-  // supervisor whose checkpoints were silently failing must not pretend to
-  // recover from them.
-  snapshotter_.flush();
+  // need it delivered. A parked sink failure must not abort the recovery —
+  // the in-memory generations are still valid — so it is priced into
+  // Health instead of rethrown.
+  try {
+    snapshotter_.flush();
+  } catch (...) {
+    ++health_.checkpoint_failures;
+  }
   std::vector<std::uint8_t> bytes;
+  std::uint64_t restored_steps = 0;
+  bool fallback = false;
   {
     std::lock_guard<std::mutex> lock(latest_mutex_);
     bytes = latest_;
+    restored_steps = latest_steps_;
   }
-  const snapshot::SnapshotImage image = snapshot::parse(bytes);
+  snapshot::SnapshotImage image;
+  try {
+    image = snapshot::parse(bytes);
+  } catch (const util::SerialError&) {
+    // The latest checkpoint is torn or corrupted. That is exactly what
+    // the previous generation is kept for: restore it and pay the longer
+    // replay instead of losing the run.
+    std::lock_guard<std::mutex> lock(latest_mutex_);
+    if (prev_.empty()) {
+      throw;  // nothing older to fall back to — the loss is real
+    }
+    bytes = prev_;
+    restored_steps = prev_steps_;
+    image = snapshot::parse(bytes);
+    fallback = true;
+    ++health_.fallback_recoveries;
+  }
 
   // Tear the dead world down before building its replacement: the driver
   // holds references into the engine, the engine into the system.
@@ -116,10 +230,19 @@ void SupervisedEngine::recover() {
   // Replay to the present. Checkpoints are suppressed: the checkpoint
   // cadence (and therefore the bytes any later recovery restores from)
   // must match the crash-free run's.
-  const std::uint64_t replay = completed_steps_ - checkpoint_steps_;
+  const std::uint64_t replay = completed_steps_ - restored_steps;
   for (std::uint64_t i = 0; i < replay; ++i) {
     last_live_ = step_world();
     ++health_.epochs_replayed;
+  }
+  health_.worst_replay = std::max(health_.worst_replay, replay);
+  recovery_log_.push_back(RecoveryRecord{completed_steps_, replay, fallback});
+
+  clean_streak_ = 0;
+  if (config_.adaptive_interval &&
+      interval_ > config_.min_checkpoint_interval) {
+    // Crashes cluster; halve the cadence so the NEXT one replays less.
+    interval_ = std::max(interval_ / 2, config_.min_checkpoint_interval);
   }
 }
 

@@ -6,9 +6,18 @@
 // exception that aborted the epoch, an unrecoverable command backlog. It
 // owns the world (system + engine + optional scenario driver) through a
 // caller-supplied factory, checkpoints it periodically through PR 6's
-// off-thread Snapshotter into an in-memory latest-bytes slot, and on any
-// step failure or injected crash destroys the world, rebuilds it from the
-// last checkpoint and replays forward to the present epoch.
+// off-thread Snapshotter into an in-memory last-known-good slot, and on
+// any step failure or injected crash destroys the world, rebuilds it from
+// the last checkpoint and replays forward to the present epoch.
+//
+// This revision prices that loop. Recovery is not free — its cost is the
+// replay distance, and the replay distance is bought down by checkpoint
+// cadence. The supervisor therefore keeps TWO checkpoint generations
+// (latest + previous: a checkpoint that parses as garbage must not be a
+// total loss), counts a checkpoint only once the sink confirmed it,
+// records every recovery's replay cost, and can optionally adapt its
+// cadence to observed crash pressure — all without perturbing the world's
+// own deterministic timeline.
 //
 // Because every run in this codebase is bit-deterministic — including
 // chaos runs, whose fault schedules are pure hashes — replay reproduces
@@ -17,7 +26,9 @@
 // the supervisor tests pin down.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -54,7 +65,8 @@ class SupervisedEngine {
 
   struct Config {
     /// Checkpoint every N completed steps (a baseline checkpoint is always
-    /// taken at construction). Must be positive.
+    /// taken at construction). Must be positive. With adaptive_interval
+    /// this is only the STARTING cadence.
     std::uint64_t checkpoint_interval = 16;
     /// Injected crash schedule, in completed-step counts: after the world
     /// completes its crash_epochs[i]-th supervised step, the in-memory
@@ -65,14 +77,53 @@ class SupervisedEngine {
     /// exception is rethrown to the caller: a deterministic fault replays
     /// identically, and retrying it forever would hang the run.
     std::size_t max_recoveries_per_step = 3;
+    /// Optional durability hook, invoked on the Snapshotter worker with a
+    /// copy of each confirmed checkpoint's bytes (e.g. snapshot::file_sink
+    /// for disk persistence). If it throws, the checkpoint does NOT
+    /// confirm: the in-memory generations keep their previous contents and
+    /// the failure surfaces as Health::checkpoint_failures at the next
+    /// step — a checkpoint that did not persist must not be trusted.
+    snapshot::Snapshotter::Sink durability_sink;
+    /// Deterministic corrupted-checkpoint injection: after the checkpoint
+    /// requested at each of these completed-step counts is confirmed, a
+    /// byte of the latest generation is flipped in place. The next
+    /// recovery's parse fails its CRC and falls back to the previous
+    /// generation — the torn-write path, exercised on purpose.
+    std::vector<std::uint64_t> corrupt_checkpoint_epochs;
+    /// Adaptive cadence (off by default so existing runs keep their exact
+    /// checkpoint schedules). When on, the live interval halves (floored
+    /// at min_checkpoint_interval) after every recovery — crashes are
+    /// bursty here, so buy shorter replays while the weather is bad — and
+    /// doubles (capped at max_checkpoint_interval) after a clean streak of
+    /// 4x the current interval. Adaptation inputs are the run's own
+    /// deterministic events, so the adapted schedule is itself
+    /// deterministic — and since checkpoints never mutate the world, the
+    /// final world state is identical under ANY cadence.
+    bool adaptive_interval = false;
+    std::uint64_t min_checkpoint_interval = 4;
+    std::uint64_t max_checkpoint_interval = 256;
   };
 
   struct Health {
     std::uint64_t steps = 0;             // supervised steps completed
-    std::uint64_t checkpoints = 0;       // checkpoints taken (incl. baseline)
+    std::uint64_t checkpoints = 0;       // sink-CONFIRMED checkpoints
+    std::uint64_t checkpoint_failures = 0;  // encode/sink failures surfaced
     std::uint64_t recoveries = 0;        // worlds rebuilt from checkpoint
+    std::uint64_t fallback_recoveries = 0;  // ... restored from the
+                                            // previous generation because
+                                            // the latest failed to parse
     std::uint64_t injected_crashes = 0;  // ... of which from crash_epochs
     std::uint64_t epochs_replayed = 0;   // steps re-run during recoveries
+    std::uint64_t worst_replay = 0;      // max single-recovery replay cost
+  };
+
+  /// One priced recovery: where the world died, how many epochs the
+  /// rebuild had to replay, and whether it had to reach past a corrupted
+  /// latest checkpoint to the previous generation.
+  struct RecoveryRecord {
+    std::uint64_t at_step = 0;
+    std::uint64_t replay_epochs = 0;
+    bool fallback = false;
   };
 
   /// Builds the initial world and takes the baseline checkpoint. Throws
@@ -91,8 +142,24 @@ class SupervisedEngine {
   /// Runs `epochs` supervised steps.
   void run(std::size_t epochs);
 
-  [[nodiscard]] const Health& health() const noexcept { return health_; }
+  /// By value: `checkpoints` is confirmed asynchronously on the
+  /// Snapshotter worker, so a snapshot of the counters is the only
+  /// coherent read.
+  [[nodiscard]] Health health() const;
   [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  /// Every recovery so far, in order — the raw data behind the MTTR
+  /// model: mean/worst replay cost as a function of checkpoint cadence.
+  [[nodiscard]] const std::vector<RecoveryRecord>& recovery_log()
+      const noexcept {
+    return recovery_log_;
+  }
+
+  /// The live checkpoint cadence (== config checkpoint_interval unless
+  /// adaptive_interval has moved it).
+  [[nodiscard]] std::uint64_t current_interval() const noexcept {
+    return interval_;
+  }
 
   /// The live world (replaced wholesale by recoveries — do not cache the
   /// pointers across step() calls).
@@ -102,32 +169,47 @@ class SupervisedEngine {
     return world_.driver.get();
   }
 
-  /// A copy of the most recent checkpoint's encoded bytes (flushes the
-  /// encoder first, so the copy reflects every checkpoint requested).
+  /// A copy of the most recent confirmed checkpoint's encoded bytes
+  /// (flushes the encoder first, so the copy reflects every checkpoint
+  /// requested).
   [[nodiscard]] std::vector<std::uint8_t> latest_checkpoint();
 
  private:
   std::size_t step_world();
   void take_checkpoint();
-  /// Destroys the world, rebuilds it from the latest checkpoint and
-  /// replays forward to `completed_steps_` (checkpoints suppressed during
-  /// replay — the run's checkpoint cadence must not depend on whether a
-  /// crash happened).
+  /// Destroys the world, rebuilds it from the latest parseable checkpoint
+  /// generation and replays forward to `completed_steps_` (checkpoints
+  /// suppressed during replay — the run's checkpoint cadence must not
+  /// depend on whether a crash happened).
   void recover();
+  /// Drains any parked Snapshotter failure into checkpoint_failures.
+  void poll_checkpoint_errors();
 
   WorldFactory factory_;
   Config config_;
   SupervisedWorld world_;
-  // latest_mutex_/latest_ must outlive snapshotter_: its worker thread
-  // writes latest_ through the sink until the Snapshotter destructor joins
-  // it, so they are declared first (destroyed last).
+  // latest_mutex_ and everything it guards must outlive snapshotter_: its
+  // worker thread writes the generations through the sink until the
+  // Snapshotter destructor joins it, so they are declared first
+  // (destroyed last).
   std::mutex latest_mutex_;
-  std::vector<std::uint8_t> latest_;  // last checkpoint's encoded bytes
+  std::vector<std::uint8_t> latest_;  // newest confirmed checkpoint bytes
+  std::vector<std::uint8_t> prev_;    // the generation before it
+  std::uint64_t latest_steps_ = 0;    // completed_steps_ latest_ captured
+  std::uint64_t prev_steps_ = 0;      // ... and prev_
+  // Step counts of checkpoints requested but not yet confirmed, in
+  // request order: the Snapshotter delivers sink calls in request order,
+  // so the worker pops the front to learn which step its bytes belong to.
+  std::deque<std::uint64_t> pending_steps_;
+  std::atomic<std::uint64_t> confirmed_{0};  // sink-confirmed checkpoints
   snapshot::Snapshotter snapshotter_;  // encodes into latest_ off-thread
   std::uint64_t completed_steps_ = 0;
-  std::uint64_t checkpoint_steps_ = 0;  // completed_steps_ at last checkpoint
+  std::uint64_t request_steps_ = 0;  // completed_steps_ at last request
+  std::uint64_t interval_ = 0;       // live cadence (adapted or fixed)
+  std::uint64_t clean_streak_ = 0;   // steps since the last recovery
   std::size_t last_live_ = 0;
   Health health_;
+  std::vector<RecoveryRecord> recovery_log_;
 };
 
 }  // namespace valkyrie::core

@@ -233,6 +233,12 @@ ml::Inference ValkyrieEngine::guarded_infer(Attached& a,
     // nothing new and compare thresholds, O(1)).
     health_coasted_.fetch_add(1, std::memory_order_relaxed);
   }
+  if (summary.stale_mask != 0) {
+    // Partial-plane epoch: the newest sample committed with quarantined
+    // columns substituted by their running means (zero z-scores). The
+    // inference proceeds on the degraded plane — counted, not skipped.
+    health_masked_.fetch_add(1, std::memory_order_relaxed);
+  }
   try {
     return sanitize(a.stream.infer(detector_, summary));
   } catch (...) {
@@ -460,14 +466,17 @@ void ValkyrieEngine::process_retries(std::uint64_t epoch) {
 }
 
 void ValkyrieEngine::arm_faults(const fault::FaultPlane* plane) {
-  fault_plane_ = plane;
+  // The system validates the plane's rates (and throws) before anything is
+  // armed, so a degenerate config leaves the engine untouched.
   sys_.arm_sensor_faults(plane);
+  fault_plane_ = plane;
 }
 
 ValkyrieEngine::FaultHealth ValkyrieEngine::fault_health() const noexcept {
   FaultHealth h;
   h.coasted = health_coasted_.load(std::memory_order_relaxed);
   h.blind = health_blind_.load(std::memory_order_relaxed);
+  h.masked = health_masked_.load(std::memory_order_relaxed);
   h.detector_faults =
       health_detector_faults_.load(std::memory_order_relaxed);
   h.sanitized = health_sanitized_.load(std::memory_order_relaxed);
@@ -661,6 +670,12 @@ std::size_t ValkyrieEngine::step_batched() {
           health_blind_.fetch_add(1, std::memory_order_relaxed);
           inference = ml::Inference::kInvalid;
         } else if (a.stream.can_fold(count)) {
+          if (fault_plane_ != nullptr &&
+              sys_.slot_accumulator(slot).newest_mask() != 0) {
+            // Mirror guarded_infer's partial-plane accounting: the folded
+            // vote was computed over a column with substituted features.
+            health_masked_.fetch_add(1, std::memory_order_relaxed);
+          }
           inference =
               a.stream.fold_vote(batch_votes_[slot] != 0, count, *fraction);
         } else if (fault_plane_ != nullptr) {
@@ -683,6 +698,9 @@ std::size_t ValkyrieEngine::step_batched() {
           } else {
             if (streak > 0) {
               health_coasted_.fetch_add(1, std::memory_order_relaxed);
+            }
+            if (sys_.slot_accumulator(slot).newest_mask() != 0) {
+              health_masked_.fetch_add(1, std::memory_order_relaxed);
             }
             inference = sanitize(inference);
           }

@@ -202,6 +202,7 @@ class ValkyrieEngine {
   struct FaultHealth {
     std::uint64_t coasted = 0;         // inferences served from stale state
     std::uint64_t blind = 0;           // epochs skipped past the budget
+    std::uint64_t masked = 0;          // inferences on a partial feature plane
     std::uint64_t detector_faults = 0; // detector throws contained
     std::uint64_t sanitized = 0;       // garbage inference bits scrubbed
     std::uint64_t batch_fallbacks = 0; // batch kernels dropped to scalar
@@ -481,6 +482,7 @@ class ValkyrieEngine {
   // statistics, never serialized.
   std::atomic<std::uint64_t> health_coasted_{0};
   std::atomic<std::uint64_t> health_blind_{0};
+  std::atomic<std::uint64_t> health_masked_{0};
   std::atomic<std::uint64_t> health_detector_faults_{0};
   std::atomic<std::uint64_t> health_sanitized_{0};
   std::atomic<std::uint64_t> health_batch_fallbacks_{0};

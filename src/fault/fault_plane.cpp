@@ -1,5 +1,8 @@
 #include "fault/fault_plane.hpp"
 
+#include <cmath>
+#include <string>
+
 #include "util/rng.hpp"
 #include "util/serial.hpp"
 
@@ -14,6 +17,9 @@ constexpr std::uint64_t kSensorTag = 0x53454e534f524654ull;    // "SENSORFT"
 constexpr std::uint64_t kDetectorTag = 0x4445544543544654ull;  // "DETECTFT"
 constexpr std::uint64_t kActuatorTag = 0x4143545541544654ull;  // "ACTUATFT"
 constexpr std::uint64_t kPermanentTag = 0x5045524d41544654ull; // "PERMATFT"
+constexpr std::uint64_t kFeatureTag = 0x4645415455524654ull;   // "FEATURFT"
+constexpr std::uint64_t kSensorBurstTag = 0x53454e4255525354ull;   // "SENBURST"
+constexpr std::uint64_t kActuatorBurstTag = 0x4143544255525354ull; // "ACTBURST"
 
 [[nodiscard]] std::uint64_t mix(std::uint64_t a, std::uint64_t b) noexcept {
   std::uint64_t state = a ^ (b * 0x9e3779b97f4a7c15ull);
@@ -33,11 +39,61 @@ constexpr std::uint64_t kPermanentTag = 0x5045524d41544654ull; // "PERMATFT"
   return util::fnv1a(features);
 }
 
+/// One hash-drawn renewal interval (>= 1 epoch) with the given mean: the
+/// inverse-CDF exponential draw, floored and shifted so a dwell always
+/// advances the walk. Pure in (key, mean).
+[[nodiscard]] std::uint64_t dwell(std::uint64_t key, double mean) noexcept {
+  const double u = unit(key);
+  // -log1p(-u) is Exp(1); u < 1 guarantees a finite draw.
+  const double len = -mean * std::log1p(-u);
+  return 1 + static_cast<std::uint64_t>(len);
+}
+
+/// Gilbert-Elliott membership as a pure function: walk the domain's
+/// alternating healthy/dark dwells from epoch 0 until the interval holding
+/// `epoch` is found. Every dwell length is a hash of (seed-stream, domain,
+/// interval index), so the schedule is identical no matter who asks, when,
+/// or how many times — the property that keeps burst chaos bit-reproducible
+/// across StepModes and worker counts.
+[[nodiscard]] bool in_burst(std::uint64_t stream, std::uint64_t domain,
+                            std::uint64_t epoch, double rate,
+                            double mean_dark) noexcept {
+  // Healthy dwells sized so the long-run dark fraction matches `rate`:
+  // rate = mean_dark / (mean_dark + mean_healthy).
+  const double mean_healthy = mean_dark * (1.0 - rate) / rate;
+  const std::uint64_t domain_key = mix(stream, domain);
+  std::uint64_t t = 0;
+  for (std::uint64_t i = 0;; ++i) {
+    t += dwell(mix(domain_key, 2 * i), mean_healthy);
+    if (epoch < t) return false;  // inside the healthy dwell
+    t += dwell(mix(domain_key, 2 * i + 1), mean_dark);
+    if (epoch < t) return true;  // inside the dark dwell
+  }
+}
+
 }  // namespace
+
+bool FaultPlane::sensor_outage(std::uint64_t epoch,
+                               std::uint32_t pid) const noexcept {
+  if (!burst_sensor()) return false;
+  return in_burst(mix(seed_, kSensorBurstTag), domain_of(pid), epoch,
+                  domains.sensor_outage_rate, domains.mean_outage_epochs);
+}
+
+bool FaultPlane::actuator_outage(std::uint64_t epoch,
+                                 std::uint32_t pid) const noexcept {
+  if (!burst_actuator()) return false;
+  return in_burst(mix(seed_, kActuatorBurstTag), domain_of(pid), epoch,
+                  domains.actuator_outage_rate, domains.mean_outage_epochs);
+}
 
 SensorFaultKind FaultPlane::sensor_fault(std::uint64_t epoch,
                                          std::uint32_t pid) const noexcept {
   if (!any_sensor()) return SensorFaultKind::kNone;
+  // A domain burst is the node's whole sensor plane going dark: every
+  // co-located sample is lost outright for the burst's k epochs,
+  // regardless of what the iid schedule would have said.
+  if (sensor_outage(epoch, pid)) return SensorFaultKind::kDropout;
   const double u = unit(mix(mix(seed_, kSensorTag), mix(epoch, pid)));
   double edge = sensor.dropout_rate;
   if (u < edge) return SensorFaultKind::kDropout;
@@ -48,6 +104,81 @@ SensorFaultKind FaultPlane::sensor_fault(std::uint64_t epoch,
   edge += sensor.saturate_rate;
   if (u < edge) return SensorFaultKind::kSaturated;
   return SensorFaultKind::kNone;
+}
+
+std::uint32_t FaultPlane::sensor_feature_mask(
+    std::uint64_t epoch, std::uint32_t pid) const noexcept {
+  const std::uint64_t key = mix(mix(seed_, kFeatureTag), mix(epoch, pid));
+  std::uint32_t mask = 0;
+  for (std::uint32_t f = 0; f < hpc::kNumEvents; ++f) {
+    if (unit(mix(key, f)) < sensor.feature_fraction) mask |= 1u << f;
+  }
+  if (mask == 0) {
+    // A scheduled fault that selected no column would silently vanish;
+    // pin one hash-chosen counter instead.
+    mask = 1u << (key % hpc::kNumEvents);
+  }
+  return mask;
+}
+
+namespace {
+
+void check_rate(double value, const char* field) {
+  if (!std::isfinite(value) || value < 0.0 || value > 1.0) {
+    throw std::invalid_argument(std::string("FaultPlane: ") + field +
+                                " must be a finite rate in [0, 1], got " +
+                                std::to_string(value));
+  }
+}
+
+}  // namespace
+
+void FaultPlane::validate() const {
+  check_rate(sensor.dropout_rate, "sensor.dropout_rate");
+  check_rate(sensor.stuck_rate, "sensor.stuck_rate");
+  check_rate(sensor.nan_rate, "sensor.nan_rate");
+  check_rate(sensor.saturate_rate, "sensor.saturate_rate");
+  const double sensor_sum = sensor.dropout_rate + sensor.stuck_rate +
+                            sensor.nan_rate + sensor.saturate_rate;
+  if (sensor_sum > 1.0) {
+    throw std::invalid_argument(
+        "FaultPlane: sensor kind rates sum to " + std::to_string(sensor_sum) +
+        " > 1 (the partition of one uniform draw would overlap)");
+  }
+  if (!std::isfinite(sensor.feature_fraction) ||
+      sensor.feature_fraction <= 0.0 || sensor.feature_fraction > 1.0) {
+    throw std::invalid_argument(
+        "FaultPlane: sensor.feature_fraction must be a finite fraction in "
+        "(0, 1], got " +
+        std::to_string(sensor.feature_fraction));
+  }
+  check_rate(detector.throw_rate, "detector.throw_rate");
+  check_rate(detector.garbage_rate, "detector.garbage_rate");
+  if (detector.throw_rate + detector.garbage_rate > 1.0) {
+    throw std::invalid_argument(
+        "FaultPlane: detector throw_rate + garbage_rate exceed 1");
+  }
+  check_rate(actuator.transient_rate, "actuator.transient_rate");
+  check_rate(actuator.permanent_rate, "actuator.permanent_rate");
+  // Outage rates must stay strictly below 1: the healthy-dwell mean is
+  // mean_dark * (1 - rate) / rate, and a rate of 1 (never healthy) would
+  // collapse the renewal walk.
+  check_rate(domains.sensor_outage_rate, "domains.sensor_outage_rate");
+  check_rate(domains.actuator_outage_rate, "domains.actuator_outage_rate");
+  if (domains.sensor_outage_rate >= 1.0 ||
+      domains.actuator_outage_rate >= 1.0) {
+    throw std::invalid_argument(
+        "FaultPlane: domain outage rates must be < 1 (a domain must "
+        "eventually come back)");
+  }
+  if ((burst_sensor() || burst_actuator()) &&
+      (!std::isfinite(domains.mean_outage_epochs) ||
+       domains.mean_outage_epochs < 1.0)) {
+    throw std::invalid_argument(
+        "FaultPlane: domains.mean_outage_epochs must be finite and >= 1, "
+        "got " +
+        std::to_string(domains.mean_outage_epochs));
+  }
 }
 
 bool FaultPlane::detector_throws(
@@ -67,6 +198,10 @@ bool FaultPlane::detector_garbage(
 
 bool FaultPlane::actuator_fails(std::uint64_t epoch,
                                 std::uint32_t pid) const noexcept {
+  // A domain burst drops the whole control channel: every command issued
+  // at this boundary for a co-located pid is lost, independent of the iid
+  // transient schedule.
+  if (actuator_outage(epoch, pid)) return true;
   if (actuator.transient_rate <= 0.0) return false;
   return unit(mix(mix(seed_, kActuatorTag), mix(epoch, pid))) <
          actuator.transient_rate;

@@ -18,6 +18,7 @@
 // and replays the same faults.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <stdexcept>
@@ -41,6 +42,17 @@ struct SensorFaultConfig {
   double stuck_rate = 0.0;
   double nan_rate = 0.0;
   double saturate_rate = 0.0;
+  /// Per-feature degradation: a non-dropout sensor fault corrupts each HPC
+  /// counter independently with this probability (at least one counter is
+  /// always hit) instead of the whole counter bank. 1.0 (default) keeps the
+  /// whole-sample faults of PR 7; anything below arms the partial-plane
+  /// path — validation then quarantines only the offending feature columns
+  /// and the window fold keeps the healthy ones.
+  double feature_fraction = 1.0;
+
+  [[nodiscard]] bool per_feature() const noexcept {
+    return feature_fraction < 1.0;
+  }
 };
 
 struct DetectorFaultConfig {
@@ -60,6 +72,37 @@ struct ActuatorFaultConfig {
   double permanent_rate = 0.0;
 };
 
+/// Correlated fault domains: processes map deterministically onto
+/// nodes/racks (`node_width` consecutive pids per node, nodes striped over
+/// `domain_count` domains), and each domain runs a Gilbert-Elliott-style
+/// burst schedule — alternating healthy and dark dwells whose lengths are
+/// hash-drawn renewal intervals. A dark dwell takes out the whole domain's
+/// sensor plane (every co-located sample reads as a dropout) and/or its
+/// actuator channel (every command at that boundary is dropped) for k
+/// consecutive epochs, modelling a node losing its PMU or its control
+/// path rather than iid per-process noise.
+///
+/// The schedule is a pure function of (seed, domain, epoch): membership in
+/// a burst is answered by walking the domain's renewal intervals from
+/// epoch 0, each interval length drawn from a hash of (seed, domain,
+/// interval index). No state, no draws consumed — shards may ask in any
+/// order and chaos runs stay bit-reproducible across StepModes × worker
+/// counts exactly like the iid draws.
+struct DomainFaultConfig {
+  /// Number of fault domains; 0 disables the burst layer entirely.
+  std::size_t domain_count = 0;
+  /// Consecutive pids co-located on one node (node = pid / node_width);
+  /// nodes stripe across domains (domain = node % domain_count).
+  std::size_t node_width = 8;
+  /// Long-run fraction of epochs a domain's *sensor plane* spends dark.
+  double sensor_outage_rate = 0.0;
+  /// Long-run fraction of epochs a domain's *actuator channel* spends dark.
+  double actuator_outage_rate = 0.0;
+  /// Mean dark-dwell length in epochs (the burst length k); healthy dwells
+  /// are sized so the long-run dark fraction matches the outage rate.
+  double mean_outage_epochs = 4.0;
+};
+
 /// Counter value the saturated-sensor fault pins every event at, and the
 /// threshold above which the validator rejects a sample as saturated. Real
 /// HPC counts in this simulation top out around 1e9; anything at 1e15+ is
@@ -74,23 +117,68 @@ class FaultPlane {
   SensorFaultConfig sensor;
   DetectorFaultConfig detector;
   ActuatorFaultConfig actuator;
+  DomainFaultConfig domains;
 
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
+  /// Validates every configured rate (finite, in [0, 1]; the four sensor
+  /// kind rates must also sum to at most 1, feature_fraction must lie in
+  /// (0, 1], mean_outage_epochs must be >= 1). Throws std::invalid_argument
+  /// naming the offending field. Called by the engine/system at arm time so
+  /// a degenerate rate (NaN, 1e9, -0.2) fails loudly instead of silently
+  /// producing a hash threshold that never or always fires.
+  void validate() const;
+
   /// True when any rate is non-zero (armed-but-idle planes keep the
   /// fault-free paths byte-for-byte on their fast paths).
+  [[nodiscard]] bool burst_sensor() const noexcept {
+    return domains.domain_count > 0 && domains.sensor_outage_rate > 0.0;
+  }
+  [[nodiscard]] bool burst_actuator() const noexcept {
+    return domains.domain_count > 0 && domains.actuator_outage_rate > 0.0;
+  }
   [[nodiscard]] bool any_sensor() const noexcept {
     return sensor.dropout_rate > 0.0 || sensor.stuck_rate > 0.0 ||
-           sensor.nan_rate > 0.0 || sensor.saturate_rate > 0.0;
+           sensor.nan_rate > 0.0 || sensor.saturate_rate > 0.0 ||
+           burst_sensor();
   }
   [[nodiscard]] bool any_actuator() const noexcept {
-    return actuator.transient_rate > 0.0 || actuator.permanent_rate > 0.0;
+    return actuator.transient_rate > 0.0 || actuator.permanent_rate > 0.0 ||
+           burst_actuator();
   }
 
+  /// The fault domain a pid belongs to. Pre: domain_count > 0.
+  [[nodiscard]] std::size_t domain_of(std::uint32_t pid) const noexcept {
+    const std::size_t width = domains.node_width > 0 ? domains.node_width : 1;
+    return (static_cast<std::size_t>(pid) / width) % domains.domain_count;
+  }
+
+  /// True when the pid's domain is inside a sensor-plane outage burst at
+  /// `epoch` — sensor_fault() then reports kDropout for every co-located
+  /// process regardless of the iid schedule.
+  [[nodiscard]] bool sensor_outage(std::uint64_t epoch,
+                                   std::uint32_t pid) const noexcept;
+
+  /// True when the pid's domain is inside an actuator-channel outage burst
+  /// at `epoch` — actuator_fails() then reports true for the whole domain.
+  [[nodiscard]] bool actuator_outage(std::uint64_t epoch,
+                                     std::uint32_t pid) const noexcept;
+
   /// One uniform draw keyed on (seed, epoch, pid), partitioned across the
-  /// four sensor fault kinds.
+  /// four sensor fault kinds. A domain sensor outage dominates the iid
+  /// schedule: inside a burst every co-located sample is a dropout (the
+  /// node's whole PMU plane is gone, not one counter).
   [[nodiscard]] SensorFaultKind sensor_fault(std::uint64_t epoch,
                                              std::uint32_t pid) const noexcept;
+
+  /// Which feature columns a per-feature sensor fault hits for
+  /// (epoch, pid): bit f set = counter f corrupted. Each feature draws
+  /// independently at sensor.feature_fraction from its own hash; a draw
+  /// that selects nothing falls back to one hash-chosen column, so a
+  /// scheduled fault never degenerates into a no-op. Only meaningful for
+  /// non-dropout kinds with sensor.per_feature() armed.
+  [[nodiscard]] std::uint32_t sensor_feature_mask(
+      std::uint64_t epoch, std::uint32_t pid) const noexcept;
 
   /// Detector faults key on the *feature bits* being scored, so the
   /// decision is identical wherever the score happens — the scalar fused

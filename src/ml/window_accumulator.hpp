@@ -14,6 +14,7 @@
 #include <array>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <type_traits>
 
@@ -36,8 +37,14 @@ struct WindowSummary {
   hpc::FeatureVec mean{};
   /// Per-feature population standard deviation over the window.
   hpc::FeatureVec stddev{};
-  /// Features of the newest measurement (the one added this epoch).
+  /// Features of the newest measurement (the one added this epoch). Columns
+  /// flagged in stale_mask carry the last-known running mean instead of a
+  /// fresh measurement (masked standardization: a substituted column
+  /// standardizes to a zero z-score, a neutral vote).
   hpc::FeatureVec newest{};
+  /// Bit f set = feature f of `newest` is a last-known-stat substitution
+  /// (the counter was quarantined this epoch), not a live measurement.
+  std::uint32_t stale_mask = 0;
   /// The raw accumulated window, oldest first. May be empty for callers
   /// that only stream; the default Detector adapter needs it.
   std::span<const hpc::HpcSample> window{};
@@ -71,14 +78,44 @@ class WindowAccumulator {
     add_features(newest_);
   }
 
+  /// Folds a partially-quarantined sample: columns flagged in stale_mask
+  /// are excluded from the statistics and substituted in newest (see
+  /// add_features_masked).
+  void add_masked(const hpc::HpcSample& sample,
+                  std::uint32_t stale_mask) noexcept {
+    hpc::to_features(sample, newest_);
+    add_features_masked(newest_, stale_mask);
+  }
+
   /// Folds an already-computed feature vector (callers that have one).
   void add_features(std::span<const double> features) noexcept {
+    add_features_masked(features, 0);
+  }
+
+  /// Partial-plane fold: features whose bit is set in stale_mask were
+  /// quarantined by validation and contribute nothing to the statistics —
+  /// their per-feature counts, means and m2 freeze, and the "newest" value
+  /// exposed downstream becomes the last-known running mean
+  /// (last-known-stat substitution — the column standardizes to a zero
+  /// z-score instead of poisoning the score). Healthy columns fold exactly
+  /// as add_features does: while a feature has never been masked its count
+  /// equals the sample count, so an all-zero mask history is bit-identical
+  /// to the unmasked fold.
+  void add_features_masked(std::span<const double> features,
+                           std::uint32_t stale_mask) noexcept {
     ++count_;
-    const double inv_n = 1.0 / static_cast<double>(count_);
+    newest_mask_ = stale_mask;
     for (std::size_t i = 0; i < hpc::kFeatureDim; ++i) {
+      if (stale_mask & (1u << i)) {
+        newest_[i] = mean_[i];
+        continue;
+      }
+      ++fcount_[i];
+      const double inv_n = 1.0 / static_cast<double>(fcount_[i]);
       const double delta = features[i] - mean_[i];
       mean_[i] += delta * inv_n;
       m2_[i] += delta * (features[i] - mean_[i]);
+      newest_[i] = features[i];
     }
   }
 
@@ -88,11 +125,27 @@ class WindowAccumulator {
     mean_.fill(0.0);
     m2_.fill(0.0);
     newest_.fill(0.0);
+    fcount_.fill(0);
+    newest_mask_ = 0;
   }
 
   [[nodiscard]] std::size_t count() const noexcept { return count_; }
 
-  /// Features of the most recently added sample.
+  /// Per-feature fold count: how many of the count() samples contributed a
+  /// live (unquarantined) value for feature f. Equals count() for features
+  /// never masked.
+  [[nodiscard]] std::size_t feature_count(std::size_t f) const noexcept {
+    return fcount_[f];
+  }
+
+  /// The stale mask of the most recently folded sample (0 when it was
+  /// fully live).
+  [[nodiscard]] std::uint32_t newest_mask() const noexcept {
+    return newest_mask_;
+  }
+
+  /// Features of the most recently added sample (masked columns carry the
+  /// last-known-stat substitution).
   [[nodiscard]] const hpc::FeatureVec& newest_features() const noexcept {
     return newest_;
   }
@@ -112,10 +165,15 @@ class WindowAccumulator {
   /// a freshly assembled WindowSummary would. Pre: count() > 0.
   void store_stats_columns(double* mean_col, double* stddev_col,
                            std::size_t stride) const noexcept {
-    const double inv_n = 1.0 / static_cast<double>(count_);
     for (std::size_t i = 0; i < hpc::kFeatureDim; ++i) {
       mean_col[i * stride] = mean_[i];
-      const double var = m2_[i] * inv_n;
+      if (fcount_[i] == 0) {
+        stddev_col[i * stride] = 0.0;
+        continue;
+      }
+      // Multiply by the reciprocal (not divide) to carry the exact bits the
+      // pre-mask single-inv_n formula produced when fcount == count.
+      const double var = m2_[i] * (1.0 / static_cast<double>(fcount_[i]));
       stddev_col[i * stride] = var > 0.0 ? std::sqrt(var) : 0.0;
     }
   }
@@ -135,10 +193,12 @@ class WindowAccumulator {
     hpc::FeatureVec mean{};
     hpc::FeatureVec m2{};
     hpc::FeatureVec newest{};
+    std::array<std::size_t, hpc::kFeatureDim> fcount{};
+    std::uint32_t newest_mask = 0;
   };
 
   [[nodiscard]] State state() const noexcept {
-    return {count_, mean_, m2_, newest_};
+    return {count_, mean_, m2_, newest_, fcount_, newest_mask_};
   }
 
   void restore(const State& s) noexcept {
@@ -146,6 +206,8 @@ class WindowAccumulator {
     mean_ = s.mean;
     m2_ = s.m2;
     newest_ = s.newest;
+    fcount_ = s.fcount;
+    newest_mask_ = s.newest_mask;
   }
 
   /// Assembles the streaming summary; `window` is attached verbatim for
@@ -155,12 +217,13 @@ class WindowAccumulator {
     WindowSummary out;
     out.count = count_;
     out.newest = newest_;
+    out.stale_mask = newest_mask_;
     out.window = window;
     if (count_ == 0) return out;
-    const double inv_n = 1.0 / static_cast<double>(count_);
     for (std::size_t i = 0; i < hpc::kFeatureDim; ++i) {
       out.mean[i] = mean_[i];
-      const double var = m2_[i] * inv_n;
+      if (fcount_[i] == 0) continue;  // stddev stays 0 (never folded live)
+      const double var = m2_[i] * (1.0 / static_cast<double>(fcount_[i]));
       out.stddev[i] = var > 0.0 ? std::sqrt(var) : 0.0;
     }
     return out;
@@ -171,6 +234,8 @@ class WindowAccumulator {
   hpc::FeatureVec mean_{};
   hpc::FeatureVec m2_{};
   hpc::FeatureVec newest_{};
+  std::array<std::size_t, hpc::kFeatureDim> fcount_{};
+  std::uint32_t newest_mask_ = 0;
 };
 
 static_assert(std::is_trivially_copyable_v<WindowAccumulator>,

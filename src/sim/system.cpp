@@ -78,6 +78,7 @@ void SimSystem::admit_slot(ProcessId pid) {
   epochs_run_s_.push_back(0);
   exit_s_.push_back(ExitReason::kRunning);
   invalid_streak_s_.push_back(0);
+  feature_streak_s_.push_back({});
 
   if (plane_enabled_) {
     plane_count_.push_back(0);
@@ -102,6 +103,7 @@ void SimSystem::reserve(std::size_t max_processes) {
   epochs_run_s_.reserve(max_processes);
   exit_s_.reserve(max_processes);
   invalid_streak_s_.reserve(max_processes);
+  feature_streak_s_.reserve(max_processes);
   pending_admit_.reserve(max_processes);
   pending_kill_.reserve(max_processes);
   lifecycle_scratch_.reserve(max_processes);
@@ -224,15 +226,34 @@ bool SimSystem::step_slot(std::size_t slot) {
   // and the streak below tells the engine how stale they are. Execution
   // state (progress, epochs_run, the per-slot RNG) advances regardless:
   // the process ran, only its telemetry was lost.
+  std::uint32_t stale_mask = 0;
   const bool quarantined =
-      sensor_faults_ != nullptr && inject_and_validate(slot, step.hpc);
+      sensor_faults_ != nullptr &&
+      inject_and_validate(slot, step.hpc, stale_mask);
   if (quarantined) {
     ++invalid_streak_s_[slot];
+    for (std::uint32_t& fs : feature_streak_s_[slot]) ++fs;
   } else {
     invalid_streak_s_[slot] = 0;
     last_sample_s_[slot] = step.hpc;
     cold.history.push_back(step.hpc);
-    accum_s_[slot].add(step.hpc);
+    if (stale_mask != 0) {
+      // Partial quarantine: the sample was repaired in place (bad columns
+      // held at their last committed values) — commit it, but exclude the
+      // repaired columns from the window statistics.
+      accum_s_[slot].add_masked(step.hpc, stale_mask);
+      std::array<std::uint32_t, hpc::kFeatureDim>& fs = feature_streak_s_[slot];
+      for (std::size_t f = 0; f < hpc::kFeatureDim; ++f) {
+        if (stale_mask & (1u << f)) {
+          ++fs[f];
+        } else {
+          fs[f] = 0;
+        }
+      }
+    } else {
+      accum_s_[slot].add(step.hpc);
+      if (sensor_faults_ != nullptr) feature_streak_s_[slot].fill(0);
+    }
   }
   last_progress_s_[slot] = step.progress;
   ++epochs_run_s_[slot];
@@ -264,48 +285,127 @@ bool SimSystem::step_slot(std::size_t slot) {
   return false;
 }
 
-bool SimSystem::inject_and_validate(std::size_t slot, hpc::HpcSample& sample) {
+bool SimSystem::inject_and_validate(std::size_t slot, hpc::HpcSample& sample,
+                                    std::uint32_t& stale_mask) {
+  stale_mask = 0;
   const auto pid = static_cast<std::uint32_t>(slot_pid_[slot]);
-  switch (sensor_faults_->sensor_fault(epoch_, pid)) {
-    case fault::SensorFaultKind::kNone:
-      break;
-    case fault::SensorFaultKind::kDropout:
-      return true;  // the sample never arrived
-    case fault::SensorFaultKind::kStuck:
-      // A counter stuck before the first sample ever landed has nothing to
-      // repeat — it reads as a dropout.
-      if (epochs_run_s_[slot] == 0) return true;
-      sample = last_sample_s_[slot];
-      break;
-    case fault::SensorFaultKind::kNaN:
-      sample.counts.fill(std::numeric_limits<double>::quiet_NaN());
-      break;
-    case fault::SensorFaultKind::kSaturated:
-      sample.counts.fill(fault::kSaturationValue);
-      break;
+  const fault::FaultPlane& plane = *sensor_faults_;
+  const fault::SensorFaultKind kind = plane.sensor_fault(epoch_, pid);
+
+  if (!plane.sensor.per_feature()) {
+    // Whole-sample path (feature_fraction == 1), byte-identical to the
+    // pre-partial pipeline.
+    switch (kind) {
+      case fault::SensorFaultKind::kNone:
+        break;
+      case fault::SensorFaultKind::kDropout:
+        return true;  // the sample never arrived
+      case fault::SensorFaultKind::kStuck:
+        // A counter stuck before the first sample ever landed has nothing
+        // to repeat — it reads as a dropout.
+        if (epochs_run_s_[slot] == 0) return true;
+        sample = last_sample_s_[slot];
+        break;
+      case fault::SensorFaultKind::kNaN:
+        sample.counts.fill(std::numeric_limits<double>::quiet_NaN());
+        break;
+      case fault::SensorFaultKind::kSaturated:
+        sample.counts.fill(fault::kSaturationValue);
+        break;
+    }
+    // Validation (the honest half of the pipeline): non-finite or
+    // saturated values are transport garbage, and a bit-exact repeat of
+    // the previous sample is a stuck counter bank — continuous measurement
+    // noise makes a genuine repeat vanishingly unlikely, and this check
+    // only runs while a fault plane is armed.
+    for (const double c : sample.counts) {
+      if (!std::isfinite(c) || c >= fault::kSaturationThreshold) return true;
+    }
+    return epochs_run_s_[slot] > 0 &&
+           std::memcmp(&sample, &last_sample_s_[slot], sizeof(sample)) == 0;
   }
-  // Validation (the honest half of the pipeline): non-finite or saturated
-  // values are transport garbage, and a bit-exact repeat of the previous
-  // sample is a stuck counter bank — continuous measurement noise makes a
-  // genuine repeat vanishingly unlikely, and this check only runs while a
-  // fault plane is armed.
-  for (const double c : sample.counts) {
-    if (!std::isfinite(c) || c >= fault::kSaturationThreshold) return true;
+
+  // Per-feature path: the fault hits the columns sensor_feature_mask
+  // selects, validation re-derives the bad set per column (it never trusts
+  // the injector), and a partially-bad sample is repaired instead of
+  // dropped. A dropout is still the whole sample — the transport lost it,
+  // there are no columns to save.
+  if (kind == fault::SensorFaultKind::kDropout) return true;
+  const bool first = epochs_run_s_[slot] == 0;
+  const hpc::HpcSample& held = last_sample_s_[slot];
+  if (kind != fault::SensorFaultKind::kNone) {
+    // A first-epoch fault has no committed value to hold or repair from:
+    // the whole sample quarantines, exactly like the whole-sample path's
+    // stuck-before-first rule.
+    if (first) return true;
+    const std::uint32_t inject = plane.sensor_feature_mask(epoch_, pid);
+    for (std::size_t f = 0; f < hpc::kNumEvents; ++f) {
+      if (!(inject & (1u << f))) continue;
+      switch (kind) {
+        case fault::SensorFaultKind::kStuck:
+          sample.counts[f] = held.counts[f];
+          break;
+        case fault::SensorFaultKind::kNaN:
+          sample.counts[f] = std::numeric_limits<double>::quiet_NaN();
+          break;
+        case fault::SensorFaultKind::kSaturated:
+          sample.counts[f] = fault::kSaturationValue;
+          break;
+        case fault::SensorFaultKind::kNone:
+        case fault::SensorFaultKind::kDropout:
+          break;  // unreachable
+      }
+    }
   }
-  return epochs_run_s_[slot] > 0 &&
-         std::memcmp(&sample, &last_sample_s_[slot], sizeof(sample)) == 0;
+  // Per-column validation: non-finite / saturated transport garbage, plus
+  // a bit-exact repeat of the column's last committed value (a stuck
+  // counter; continuous measurement noise makes a genuine single-column
+  // repeat vanishingly unlikely).
+  std::uint32_t bad = 0;
+  for (std::size_t f = 0; f < hpc::kNumEvents; ++f) {
+    const double c = sample.counts[f];
+    if (!std::isfinite(c) || c >= fault::kSaturationThreshold) {
+      bad |= 1u << f;
+      continue;
+    }
+    if (!first &&
+        std::memcmp(&sample.counts[f], &held.counts[f], sizeof(double)) == 0) {
+      bad |= 1u << f;
+    }
+  }
+  if (bad == 0) return false;
+  constexpr std::uint32_t kAll = (1u << hpc::kNumEvents) - 1;
+  if (first || bad == kAll) return true;  // nothing healthy left to commit
+  // Repair: hold each bad column at its last committed value so the sample
+  // entering history/last_sample carries no garbage; the caller's masked
+  // fold keeps the repaired columns out of the statistics.
+  for (std::size_t f = 0; f < hpc::kNumEvents; ++f) {
+    if (bad & (1u << f)) sample.counts[f] = held.counts[f];
+  }
+  stale_mask = bad;
+  return false;
 }
 
 void SimSystem::arm_sensor_faults(const fault::FaultPlane* plane) {
   if (epoch_open_) {
     throw std::logic_error("SimSystem::arm_sensor_faults: epoch open");
   }
+  // Fail loudly at arm time: a degenerate rate (NaN, negative, > 1) would
+  // otherwise just skew a hash threshold into never/always firing.
+  if (plane != nullptr) plane->validate();
   sensor_faults_ = plane;
 }
 
 std::uint64_t SimSystem::invalid_streak(ProcessId pid) const {
   const std::uint32_t slot = slot_checked(pid);
   return is_hot_slot(slot) ? invalid_streak_s_[slot] : 0;
+}
+
+std::array<std::uint32_t, hpc::kFeatureDim> SimSystem::feature_streaks(
+    ProcessId pid) const {
+  const std::uint32_t slot = slot_checked(pid);
+  return is_hot_slot(slot) ? feature_streak_s_[slot]
+                           : std::array<std::uint32_t, hpc::kFeatureDim>{};
 }
 
 void SimSystem::end_epoch() {
@@ -427,6 +527,7 @@ void SimSystem::retire_dead_slots() {
         epochs_run_s_[w] = epochs_run_s_[s];
         exit_s_[w] = exit_s_[s];
         invalid_streak_s_[w] = invalid_streak_s_[s];
+        feature_streak_s_[w] = feature_streak_s_[s];
         if (plane_enabled_) {
           // The plane follows the same stable remap as every hot array, so
           // column i always belongs to live_processes()[i].
@@ -467,6 +568,7 @@ void SimSystem::retire_dead_slots() {
   epochs_run_s_.resize(w);
   exit_s_.resize(w);
   invalid_streak_s_.resize(w);
+  feature_streak_s_.resize(w);
   if (plane_enabled_) {
     plane_count_.resize(w);
     plane_window_.resize(w);
@@ -645,6 +747,7 @@ snapshot::SystemImage SimSystem::snapshot_state() const {
     slot.epochs_run = epochs_run_s_[s];
     slot.exit = static_cast<std::uint8_t>(exit_s_[s]);
     slot.invalid_streak = invalid_streak_s_[s];
+    slot.feature_streak = feature_streak_s_[s];
     image.slots.push_back(std::move(slot));
   }
 
@@ -774,6 +877,7 @@ void SimSystem::restore_from(const snapshot::SystemImage& image,
   epochs_run_s_.resize(live);
   exit_s_.resize(live);
   invalid_streak_s_.resize(live);
+  feature_streak_s_.resize(live);
   for (std::size_t s = 0; s < live; ++s) {
     const snapshot::SlotImage& slot = image.slots[s];
     slot_pid_[s] = slot.pid;
@@ -786,6 +890,7 @@ void SimSystem::restore_from(const snapshot::SystemImage& image,
     epochs_run_s_[s] = slot.epochs_run;
     exit_s_[s] = static_cast<ExitReason>(slot.exit);
     invalid_streak_s_[s] = slot.invalid_streak;
+    feature_streak_s_[s] = slot.feature_streak;
   }
 
   scheduler_.restore_factor_table(

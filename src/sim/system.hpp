@@ -34,6 +34,7 @@
 // (spawn + retire every epoch) performs no heap allocation at all.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -225,15 +226,37 @@ class SimSystem {
   // advance, and the per-slot RNG stream is untouched — which is what
   // keeps faulted runs bit-reproducible across StepModes and worker
   // counts.
+  //
+  // With a per-feature plane (sensor.feature_fraction < 1), a non-dropout
+  // fault corrupts individual counters and validation quarantines only the
+  // offending columns: the bad counters are REPAIRED to their last
+  // committed values, the repaired sample commits to history/last_sample,
+  // and the window fold excludes the repaired columns from the statistics
+  // (WindowAccumulator::add_masked — the column's "newest" becomes the
+  // last-known running mean, a zero z-score). A one-counter fault
+  // therefore costs one column's freshness, not the whole process's
+  // telemetry; only a fully-corrupted bank (or a first-epoch fault, which
+  // has nothing to hold) still quarantines the whole sample.
 
-  /// Arms (plane != nullptr) or disarms sensor-fault injection. The plane
-  /// is borrowed, not owned, and must outlive the system. Must not be
-  /// called while an epoch is open.
+  /// Arms (plane != nullptr) or disarms sensor-fault injection. Validates
+  /// the plane's configured rates first (FaultPlane::validate — throws
+  /// std::invalid_argument on a degenerate rate). The plane is borrowed,
+  /// not owned, and must outlive the system. Must not be called while an
+  /// epoch is open.
   void arm_sensor_faults(const fault::FaultPlane* plane);
 
   /// Consecutive epochs this live process's telemetry has been quarantined
-  /// (0 = the latest sample was valid). Always 0 for retired pids.
+  /// (0 = the latest sample was valid). Always 0 for retired pids. Partial
+  /// (per-feature) quarantines COMMIT a repaired sample and reset this
+  /// streak — the per-column staleness lives in feature_streaks().
   [[nodiscard]] std::uint64_t invalid_streak(ProcessId pid) const;
+
+  /// Per-feature staleness: consecutive epochs feature f's telemetry has
+  /// been quarantined for this process (whole-sample quarantines count
+  /// against every feature; a live fold of feature f resets entry f). All
+  /// zeros for retired pids and while no fault plane is armed.
+  [[nodiscard]] std::array<std::uint32_t, hpc::kFeatureDim> feature_streaks(
+      ProcessId pid) const;
 
   // --- Actuator-facing controls -------------------------------------------
 
@@ -417,10 +440,15 @@ class SimSystem {
 
   /// Applies the armed fault plane's scheduled sensor fault for
   /// (current epoch, slot's pid) to `sample` in place, then validates the
-  /// result. Returns true when the sample must be quarantined (dropped,
-  /// non-finite, saturated, or a bit-exact stuck repeat). Only called
-  /// while sensor_faults_ is armed.
-  bool inject_and_validate(std::size_t slot, hpc::HpcSample& sample);
+  /// result. Returns true when the whole sample must be quarantined
+  /// (dropped, non-finite, saturated, or a bit-exact stuck repeat). In
+  /// per-feature mode a partially-bad sample is instead REPAIRED in place
+  /// (bad columns held at their last committed values), `stale_mask` gets
+  /// the repaired columns' bits, and the return is false — the caller
+  /// commits the repaired sample with a masked fold. Only called while
+  /// sensor_faults_ is armed.
+  bool inject_and_validate(std::size_t slot, hpc::HpcSample& sample,
+                           std::uint32_t& stale_mask);
 
   PlatformProfile platform_;
   util::Rng rng_;
@@ -442,6 +470,10 @@ class SimSystem {
   // Maintained unconditionally (one store per slot per epoch) and carried
   // by snapshots, so a restored run coasts exactly like the original.
   std::vector<std::uint64_t> invalid_streak_s_;
+  // Per-slot per-feature quarantine streaks (see feature_streaks()). Only
+  // written while a fault plane is armed — all zeros otherwise — and
+  // carried by snapshots like invalid_streak_s_.
+  std::vector<std::array<std::uint32_t, hpc::kFeatureDim>> feature_streak_s_;
 
   std::vector<ColdProc> cold_;  // pid-indexed
 

@@ -51,6 +51,10 @@ struct SlotImage {
   /// fault / validation failure). Drives the engine's coast-vs-blind
   /// policy, so it must survive restore bit-exactly. v2 field.
   std::uint64_t invalid_streak = 0;
+  /// Per-feature quarantine streaks (consecutive epochs each counter's
+  /// column was quarantined — the per-column analogue of invalid_streak
+  /// for the partial-plane degradation path). v3 field.
+  std::array<std::uint32_t, hpc::kFeatureDim> feature_streak{};
 };
 
 /// One pid's cold row: the workload object, the accumulated sample history,
@@ -190,7 +194,7 @@ struct DriverImage {
 
 /// A complete decoded snapshot.
 struct SnapshotImage {
-  std::uint32_t version = 2;
+  std::uint32_t version = 3;
   SystemImage system;
   EngineImage engine;
   bool has_driver = false;

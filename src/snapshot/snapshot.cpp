@@ -19,10 +19,12 @@ using util::SerialError;
 constexpr std::array<std::uint8_t, 8> kMagic = {'V', 'L', 'K', 'Y',
                                                 'S', 'N', 'P', '1'};
 // v2 appends SlotImage.invalid_streak (telemetry quarantine) and the
-// engine's actuator-retry table. Older snapshots are refused rather than
-// defaulted: the restore contract is bit-replay, and a v1 capture cannot
-// promise the fault-era fields were all zero at capture time.
-constexpr std::uint32_t kVersion = 2;
+// engine's actuator-retry table. v3 appends the per-feature degradation
+// state: SlotImage.feature_streak and the accumulator's per-feature fold
+// counts + newest-sample stale mask. Older snapshots are refused rather
+// than defaulted: the restore contract is bit-replay, and an older capture
+// cannot promise the newer fields were all zero at capture time.
+constexpr std::uint32_t kVersion = 3;
 
 constexpr std::uint32_t fourcc(char a, char b, char c, char d) noexcept {
   return static_cast<std::uint32_t>(static_cast<unsigned char>(a)) |
@@ -88,6 +90,8 @@ void put_accum(ByteWriter& out, const ml::WindowAccumulator::State& s) {
   put_features(out, s.mean);
   put_features(out, s.m2);
   put_features(out, s.newest);
+  for (const std::size_t c : s.fcount) out.u64(c);  // v3
+  out.u32(s.newest_mask);                           // v3
 }
 
 ml::WindowAccumulator::State get_accum(ByteReader& in) {
@@ -96,6 +100,8 @@ ml::WindowAccumulator::State get_accum(ByteReader& in) {
   s.mean = get_features(in);
   s.m2 = get_features(in);
   s.newest = get_features(in);
+  for (std::size_t& c : s.fcount) c = static_cast<std::size_t>(in.u64());
+  s.newest_mask = in.u32();
   return s;
 }
 
@@ -142,6 +148,7 @@ void encode_system(ByteWriter& out, const SystemImage& sys) {
     out.u64(slot.epochs_run);
     out.u8(slot.exit);
     out.u64(slot.invalid_streak);
+    for (const std::uint32_t fs : slot.feature_streak) out.u32(fs);  // v3
   }
 
   out.u64(sys.procs.size());
@@ -192,6 +199,7 @@ SystemImage decode_system(ByteReader& in) {
     slot.epochs_run = in.u64();
     slot.exit = in.u8();
     slot.invalid_streak = in.u64();
+    for (std::uint32_t& fs : slot.feature_streak) fs = in.u32();
     sys.slots.push_back(slot);
   }
 
@@ -446,6 +454,11 @@ struct DiffSink {
     features(path + ".mean", a.mean, b.mean);
     features(path + ".m2", a.m2, b.m2);
     features(path + ".newest", a.newest, b.newest);
+    for (std::size_t f = 0; f < hpc::kFeatureDim; ++f) {
+      u64(path + ".fcount[" + std::to_string(f) + "]", a.fcount[f],
+          b.fcount[f]);
+    }
+    u64(path + ".newest_mask", a.newest_mask, b.newest_mask);
   }
   void rng(const std::string& path, const std::array<std::uint64_t, 4>& a,
            const std::array<std::uint64_t, 4>& b) {
@@ -656,6 +669,10 @@ std::vector<FieldDiff> diff(const SnapshotImage& a, const SnapshotImage& b) {
     d.u64(path + ".epochs_run", la.epochs_run, lb.epochs_run);
     d.u64(path + ".exit", la.exit, lb.exit);
     d.u64(path + ".invalid_streak", la.invalid_streak, lb.invalid_streak);
+    for (std::size_t f = 0; f < hpc::kFeatureDim; ++f) {
+      d.u64(path + ".feature_streak[" + std::to_string(f) + "]",
+            la.feature_streak[f], lb.feature_streak[f]);
+    }
   }
 
   d.u64("system.procs.size", sa.procs.size(), sb.procs.size());

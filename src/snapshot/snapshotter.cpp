@@ -67,6 +67,11 @@ std::uint64_t Snapshotter::completed() const {
   return completed_;
 }
 
+std::exception_ptr Snapshotter::take_error() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::exchange(error_, nullptr);
+}
+
 void Snapshotter::worker_loop() {
   for (;;) {
     SnapshotImage image;

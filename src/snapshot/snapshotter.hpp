@@ -58,6 +58,12 @@ class Snapshotter {
   /// Snapshots delivered to the sink so far.
   [[nodiscard]] std::uint64_t completed() const;
 
+  /// Non-blocking poll: returns (and clears) any parked encode/sink
+  /// failure without waiting for the queue to drain. Lets a supervisor
+  /// surface checkpoint failures at its next step instead of only at the
+  /// next flush()/request() — nullptr when nothing is parked.
+  [[nodiscard]] std::exception_ptr take_error();
+
  private:
   void enqueue(SnapshotImage image);
   void worker_loop();

@@ -79,16 +79,25 @@ sim::ScenarioScript churn_script() {
 }
 
 /// All three planes armed at production-plausible rates: ~1.2% of samples
-/// lost or lying, ~2% of scored measurements faulting the detector, a
-/// flaky actuator channel with some pids' throttle permanently dead.
+/// lost or lying (single columns, mostly — feature_fraction 0.4 turns most
+/// corruption into partial-plane repairs), ~2% of scored measurements
+/// faulting the detector, a flaky actuator channel with some pids'
+/// throttle permanently dead, and four correlated fault domains whose
+/// burst outages take whole pid groups dark for ~5 epochs at a time.
 FaultPlane chaos_plane() {
   FaultPlane plane(0xc4a05);
   plane.sensor = {.dropout_rate = 0.005,
                   .stuck_rate = 0.003,
                   .nan_rate = 0.002,
                   .saturate_rate = 0.002};
+  plane.sensor.feature_fraction = 0.4;
   plane.detector = {.throw_rate = 0.01, .garbage_rate = 0.01};
   plane.actuator = {.transient_rate = 0.05, .permanent_rate = 0.02};
+  plane.domains = {.domain_count = 4,
+                   .node_width = 8,
+                   .sensor_outage_rate = 0.015,
+                   .actuator_outage_rate = 0.01,
+                   .mean_outage_epochs = 5.0};
   return plane;
 }
 
@@ -135,6 +144,8 @@ TEST(FaultChaos, FiveHundredEpochCampaignSurvivesAllThreePlanesAndCrashes) {
 
     const ValkyrieEngine::FaultHealth health = world.engine->fault_health();
     EXPECT_GT(health.coasted, 0u) << "sensor faults never quarantined a slot";
+    EXPECT_GT(health.masked, 0u)
+        << "per-feature faults never degraded an inference";
     EXPECT_GT(health.detector_faults, 0u) << "detector faults never fired";
     EXPECT_GT(health.actuator_failures, 0u) << "actuator faults never fired";
     EXPECT_GT(health.retries, 0u) << "no failed command was ever retried";
@@ -143,25 +154,45 @@ TEST(FaultChaos, FiveHundredEpochCampaignSurvivesAllThreePlanesAndCrashes) {
     EXPECT_GT(stats.policy_kills + stats.driver_kills, 0u);
   }
 
-  // Chaos + crashes, across the mode x worker grid: the supervisor loses
-  // the world twice mid-campaign and must still finish on the same bytes.
-  constexpr std::pair<StepMode, std::size_t> kGrid[] = {
-      {StepMode::kFused, 2}, {StepMode::kSplit, 8}, {StepMode::kBatched, 8}};
-  for (const auto& [mode, threads] : kGrid) {
-    SupervisedEngine::Config config;
-    config.checkpoint_interval = 32;
-    config.crash_epochs = {123, 377};
-    SupervisedEngine supervisor(chaos_factory(detector, plane, threads, mode),
-                                config);
-    ASSERT_NO_THROW(supervisor.run(kEpochs))
-        << "mode " << static_cast<int>(mode) << ", " << threads << " workers";
-    EXPECT_EQ(supervisor.health().injected_crashes, 2u);
-    EXPECT_EQ(supervisor.health().recoveries, 2u)
-        << "only the injected crashes may trigger recovery — a step "
-           "exception here means containment failed";
-    EXPECT_EQ(snapshot::encode(snapshot::capture(*supervisor.driver())),
-              golden)
-        << "mode " << static_cast<int>(mode) << ", " << threads << " workers";
+  // Chaos + crashes, across the full mode x worker grid: the supervisor
+  // loses the world twice mid-campaign — and in one grid cell the second
+  // crash additionally finds its latest checkpoint corrupted, forcing the
+  // previous-generation fallback — and must still finish on the same
+  // bytes every time.
+  constexpr StepMode kModes[] = {StepMode::kSplit, StepMode::kFused,
+                                 StepMode::kBatched};
+  constexpr std::size_t kWorkers[] = {1, 2, 8};
+  for (const StepMode mode : kModes) {
+    for (const std::size_t threads : kWorkers) {
+      const bool corrupt = mode == StepMode::kFused && threads == 2;
+      SupervisedEngine::Config config;
+      config.checkpoint_interval = 32;
+      config.crash_epochs = {123, 377};
+      if (corrupt) {
+        // Damage the step-352 checkpoint: the crash at 377 must reach
+        // past it to the step-320 generation (57 epochs of replay).
+        config.corrupt_checkpoint_epochs = {352};
+      }
+      SupervisedEngine supervisor(
+          chaos_factory(detector, plane, threads, mode), config);
+      ASSERT_NO_THROW(supervisor.run(kEpochs))
+          << "mode " << static_cast<int>(mode) << ", " << threads
+          << " workers";
+      const SupervisedEngine::Health health = supervisor.health();
+      EXPECT_EQ(health.injected_crashes, 2u);
+      EXPECT_EQ(health.recoveries, 2u)
+          << "only the injected crashes may trigger recovery — a step "
+             "exception here means containment failed";
+      EXPECT_EQ(health.fallback_recoveries, corrupt ? 1u : 0u);
+      if (corrupt) {
+        EXPECT_EQ(health.worst_replay, 57u)
+            << "the fallback must restore step 320, not the torn 352";
+      }
+      EXPECT_EQ(snapshot::encode(snapshot::capture(*supervisor.driver())),
+                golden)
+          << "mode " << static_cast<int>(mode) << ", " << threads
+          << " workers";
+    }
   }
 }
 

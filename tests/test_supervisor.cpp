@@ -118,16 +118,29 @@ TEST(Supervisor, InjectedCrashesRecoverToTheGoldenState) {
 
   EXPECT_EQ(snapshot::encode(snapshot::capture(*supervisor.driver())), golden)
       << "supervised run with 2 crashes diverged from the crash-free run";
-  const SupervisedEngine::Health& health = supervisor.health();
+  // latest_checkpoint() flushes the encoder, so every requested checkpoint
+  // has been sink-confirmed by the time health is read.
+  EXPECT_FALSE(supervisor.latest_checkpoint().empty());
+  const SupervisedEngine::Health health = supervisor.health();
   EXPECT_EQ(health.steps, kEpochs);
   EXPECT_EQ(health.injected_crashes, 2u);
   EXPECT_EQ(health.recoveries, 2u);
   // Crash at 57 restores the step-48 checkpoint (9 epochs replayed); crash
   // at 130 restores step 128 (2 replayed).
   EXPECT_EQ(health.epochs_replayed, 11u);
+  EXPECT_EQ(health.worst_replay, 9u);
+  EXPECT_EQ(health.checkpoint_failures, 0u);
+  EXPECT_EQ(health.fallback_recoveries, 0u);
   // Baseline + every 16th of 200 steps; replay never double-checkpoints.
   EXPECT_EQ(health.checkpoints, 1u + kEpochs / 16);
-  EXPECT_FALSE(supervisor.latest_checkpoint().empty());
+  // The recovery log prices each rebuild individually.
+  ASSERT_EQ(supervisor.recovery_log().size(), 2u);
+  EXPECT_EQ(supervisor.recovery_log()[0].at_step, 57u);
+  EXPECT_EQ(supervisor.recovery_log()[0].replay_epochs, 9u);
+  EXPECT_FALSE(supervisor.recovery_log()[0].fallback);
+  EXPECT_EQ(supervisor.recovery_log()[1].at_step, 130u);
+  EXPECT_EQ(supervisor.recovery_log()[1].replay_epochs, 2u);
+  EXPECT_FALSE(supervisor.recovery_log()[1].fallback);
 }
 
 TEST(Supervisor, RecoveryWorksAcrossStepModesAndWorkerCounts) {
@@ -251,6 +264,114 @@ TEST(Supervisor, DeterministicFaultExhaustsTheRecoveryCap) {
   *fuse = 0;
   supervisor.run(10);
   EXPECT_EQ(supervisor.health().steps, 50u);
+}
+
+// --- Checkpoint generations, priced durability, adaptive cadence ------------
+
+TEST(Supervisor, CorruptedLatestCheckpointFallsBackToThePreviousGeneration) {
+  const ml::SvmDetector detector = ml::SvmDetector::make(training_corpus(), 3);
+  const std::vector<std::uint8_t> golden = golden_run(detector);
+
+  SupervisedEngine::Config config;
+  config.checkpoint_interval = 16;
+  config.crash_epochs = {100};
+  // Damage exactly the checkpoint the crash wants to restore from.
+  config.corrupt_checkpoint_epochs = {96};
+  SupervisedEngine supervisor(scenario_factory(detector, 2, StepMode::kFused),
+                              config);
+  supervisor.run(kEpochs);
+
+  EXPECT_EQ(snapshot::encode(snapshot::capture(*supervisor.driver())), golden)
+      << "fallback recovery must still converge to the crash-free bytes";
+  EXPECT_FALSE(supervisor.latest_checkpoint().empty());  // also flushes
+  const SupervisedEngine::Health health = supervisor.health();
+  EXPECT_EQ(health.recoveries, 1u);
+  EXPECT_EQ(health.fallback_recoveries, 1u)
+      << "the torn step-96 checkpoint must force the previous generation";
+  // The fallback reaches past step 96 to the step-80 generation: 20 epochs.
+  EXPECT_EQ(health.epochs_replayed, 20u);
+  EXPECT_EQ(health.worst_replay, 20u);
+  ASSERT_EQ(supervisor.recovery_log().size(), 1u);
+  EXPECT_EQ(supervisor.recovery_log()[0].at_step, 100u);
+  EXPECT_EQ(supervisor.recovery_log()[0].replay_epochs, 20u);
+  EXPECT_TRUE(supervisor.recovery_log()[0].fallback);
+}
+
+TEST(Supervisor, DurabilityFailuresArePricedNotFatal) {
+  const ml::SvmDetector detector = ml::SvmDetector::make(training_corpus(), 3);
+  const std::vector<std::uint8_t> golden = golden_run(detector);
+
+  auto fail = std::make_shared<bool>(false);
+  SupervisedEngine::Config config;
+  config.checkpoint_interval = 16;
+  config.crash_epochs = {100};
+  config.durability_sink = [fail](std::vector<std::uint8_t>) {
+    if (*fail) throw std::runtime_error("disk full");
+  };
+  SupervisedEngine supervisor(scenario_factory(detector, 2, StepMode::kFused),
+                              config);
+  for (std::size_t i = 0; i < kEpochs; ++i) {
+    if (i == 90) *fail = true;    // the step-96 checkpoint fails to persist
+    if (i == 108) *fail = false;  // the disk comes back before step 112's
+    supervisor.step();
+  }
+
+  EXPECT_EQ(snapshot::encode(snapshot::capture(*supervisor.driver())), golden)
+      << "a failed checkpoint must not perturb the world's timeline";
+  EXPECT_FALSE(supervisor.latest_checkpoint().empty());  // also flushes
+  const SupervisedEngine::Health health = supervisor.health();
+  EXPECT_EQ(health.checkpoint_failures, 1u)
+      << "exactly the step-96 checkpoint failed";
+  // An unconfirmed checkpoint never enters the generations, so the crash at
+  // 100 restores step 80 and pays 20 epochs of replay instead of 4.
+  EXPECT_EQ(health.recoveries, 1u);
+  EXPECT_EQ(health.fallback_recoveries, 0u);
+  EXPECT_EQ(health.epochs_replayed, 20u);
+  // Baseline + 12 interval checkpoints, minus the one that failed.
+  EXPECT_EQ(health.checkpoints, 12u);
+}
+
+TEST(Supervisor, AdaptiveCadenceIsDeterministicAndConvergesToTheGoldenState) {
+  const ml::SvmDetector detector = ml::SvmDetector::make(training_corpus(), 3);
+  const std::vector<std::uint8_t> golden = golden_run(detector);
+
+  SupervisedEngine::Config config;
+  config.checkpoint_interval = 64;
+  config.adaptive_interval = true;
+  config.min_checkpoint_interval = 8;
+  config.max_checkpoint_interval = 64;
+  config.crash_epochs = {100, 105};
+  SupervisedEngine supervisor(scenario_factory(detector, 2, StepMode::kFused),
+                              config);
+  supervisor.run(kEpochs);
+
+  // Checkpoints never mutate the world, so the adapted schedule lands on
+  // the same bytes as ANY other cadence — including the crash-free run's.
+  EXPECT_EQ(snapshot::encode(snapshot::capture(*supervisor.driver())), golden);
+  // The trajectory is a pure function of the deterministic crash schedule:
+  // 64 → 32 (crash at 100) → 16 (crash at 105) → 32 (64-step clean streak
+  // ending at 169; the second doubling needs 128 clean steps and never
+  // arrives before step 200).
+  EXPECT_EQ(supervisor.current_interval(), 32u);
+  EXPECT_FALSE(supervisor.latest_checkpoint().empty());  // also flushes
+  const SupervisedEngine::Health health = supervisor.health();
+  EXPECT_EQ(health.recoveries, 2u);
+  // Crash at 100 restores the step-64 checkpoint (36 replayed); the halved
+  // interval then checkpoints at 101, so the crash at 105 replays only 4.
+  EXPECT_EQ(health.worst_replay, 36u);
+  EXPECT_EQ(health.epochs_replayed, 40u);
+}
+
+TEST(Supervisor, AdaptiveBoundsAreValidated) {
+  const ml::SvmDetector detector = ml::SvmDetector::make(training_corpus(), 3);
+  SupervisedEngine::Config config;
+  config.adaptive_interval = true;
+  config.checkpoint_interval = 2;  // below the floor
+  config.min_checkpoint_interval = 4;
+  config.max_checkpoint_interval = 64;
+  EXPECT_THROW(SupervisedEngine(scenario_factory(detector, 1, StepMode::kFused),
+                                config),
+               std::invalid_argument);
 }
 
 // --- Hardened file sink ------------------------------------------------------
