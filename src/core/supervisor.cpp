@@ -11,14 +11,13 @@ namespace valkyrie::core {
 SupervisedEngine::SupervisedEngine(WorldFactory factory, Config config)
     : factory_(std::move(factory)),
       config_(std::move(config)),
-      snapshotter_([this](std::vector<std::uint8_t> bytes) {
+      snapshotter_([this](std::vector<std::uint8_t> bytes,
+                          std::uint64_t steps) {
+        // `steps` is the tag take_checkpoint() attached to this request —
+        // it travelled WITH the image, so a request that died in the
+        // encoder (parked failure, image dropped) cannot shift these bytes
+        // onto another checkpoint's step count.
         std::lock_guard<std::mutex> lock(latest_mutex_);
-        // Deliveries arrive in request order, so the front of the pending
-        // queue is the step count these bytes were captured at. Pop it
-        // unconditionally — even if confirmation fails below, the next
-        // delivery must not inherit this checkpoint's step count.
-        const std::uint64_t steps = pending_steps_.front();
-        pending_steps_.pop_front();
         if (config_.durability_sink != nullptr) {
           // May throw (e.g. file_sink on a full disk). The Snapshotter
           // parks the exception and poll_checkpoint_errors() surfaces it;
@@ -132,8 +131,14 @@ std::size_t SupervisedEngine::step() {
           config_.corrupt_checkpoint_epochs.end()) {
         // Injected torn write: wait for the checkpoint to land, then
         // damage it. The flipped byte fails the section CRC at the next
-        // recovery's parse, forcing the previous-generation fallback.
-        snapshotter_.flush();
+        // recovery's parse, forcing the previous-generation fallback. A
+        // parked durability failure surfacing here is priced, not fatal —
+        // the same contract recover()'s flush honours.
+        try {
+          snapshotter_.flush();
+        } catch (...) {
+          ++health_.checkpoint_failures;
+        }
         std::lock_guard<std::mutex> lock(latest_mutex_);
         if (!latest_.empty()) {
           latest_.back() ^= 0x5a;
@@ -160,23 +165,10 @@ void SupervisedEngine::take_checkpoint() {
   // Clear any stale parked failure first so request() cannot rethrow a
   // PREVIOUS checkpoint's error at us — that failure is priced, not fatal.
   poll_checkpoint_errors();
-  {
-    std::lock_guard<std::mutex> lock(latest_mutex_);
-    pending_steps_.push_back(completed_steps_);
-  }
-  try {
-    if (world_.driver != nullptr) {
-      snapshotter_.request(*world_.driver);
-    } else {
-      snapshotter_.request(*world_.engine);
-    }
-  } catch (...) {
-    // capture() threw (or a failure parked in the tiny window since the
-    // poll above was rethrown): nothing was queued, so retract the
-    // pending entry before propagating.
-    std::lock_guard<std::mutex> lock(latest_mutex_);
-    pending_steps_.pop_back();
-    throw;
+  if (world_.driver != nullptr) {
+    snapshotter_.request(*world_.driver, completed_steps_);
+  } else {
+    snapshotter_.request(*world_.engine, completed_steps_);
   }
   request_steps_ = completed_steps_;
 }

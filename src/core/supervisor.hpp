@@ -28,7 +28,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -197,10 +196,6 @@ class SupervisedEngine {
   std::vector<std::uint8_t> prev_;    // the generation before it
   std::uint64_t latest_steps_ = 0;    // completed_steps_ latest_ captured
   std::uint64_t prev_steps_ = 0;      // ... and prev_
-  // Step counts of checkpoints requested but not yet confirmed, in
-  // request order: the Snapshotter delivers sink calls in request order,
-  // so the worker pops the front to learn which step its bytes belong to.
-  std::deque<std::uint64_t> pending_steps_;
   std::atomic<std::uint64_t> confirmed_{0};  // sink-confirmed checkpoints
   snapshot::Snapshotter snapshotter_;  // encodes into latest_ off-thread
   std::uint64_t completed_steps_ = 0;

@@ -1,5 +1,8 @@
 #include "fault/fault_plane.hpp"
 
+#include <algorithm>
+#include <array>
+#include <bit>
 #include <cmath>
 #include <string>
 
@@ -44,8 +47,12 @@ constexpr std::uint64_t kActuatorBurstTag = 0x4143544255525354ull; // "ACTBURST"
 /// advances the walk. Pure in (key, mean).
 [[nodiscard]] std::uint64_t dwell(std::uint64_t key, double mean) noexcept {
   const double u = unit(key);
-  // -log1p(-u) is Exp(1); u < 1 guarantees a finite draw.
-  const double len = -mean * std::log1p(-u);
+  // -log1p(-u) is Exp(1); u < 1 guarantees a finite draw. Clamp before
+  // the cast: a vanishing outage rate makes the derived healthy mean
+  // astronomically large, and double->uint64 conversion of a value >= 2^64
+  // is UB. 2^62 epochs is beyond any reachable run length, so the clamp
+  // never alters an observable schedule.
+  const double len = std::min(-mean * std::log1p(-u), 0x1.0p62);
   return 1 + static_cast<std::uint64_t>(len);
 }
 
@@ -55,6 +62,16 @@ constexpr std::uint64_t kActuatorBurstTag = 0x4143544255525354ull; // "ACTBURST"
 /// interval index), so the schedule is identical no matter who asks, when,
 /// or how many times — the property that keeps burst chaos bit-reproducible
 /// across StepModes and worker counts.
+/// Resume point for one domain's renewal walk: interval pair `i` starts at
+/// epoch `t`. Purely an accelerator — every dwell is a pure hash of
+/// (domain_key, interval index), so resuming mid-chain yields bit-identical
+/// answers to walking from 0.
+struct BurstCursor {
+  std::uint64_t key = 0;  // cursor_key this cursor belongs to
+  std::uint64_t i = 0;    // next interval-pair index
+  std::uint64_t t = 0;    // epoch where pair i begins (<= queried epoch)
+};
+
 [[nodiscard]] bool in_burst(std::uint64_t stream, std::uint64_t domain,
                             std::uint64_t epoch, double rate,
                             double mean_dark) noexcept {
@@ -62,8 +79,27 @@ constexpr std::uint64_t kActuatorBurstTag = 0x4143544255525354ull; // "ACTBURST"
   // rate = mean_dark / (mean_dark + mean_healthy).
   const double mean_healthy = mean_dark * (1.0 - rate) / rate;
   const std::uint64_t domain_key = mix(stream, domain);
-  std::uint64_t t = 0;
-  for (std::uint64_t i = 0;; ++i) {
+  // Epochs are queried near-monotonically (per epoch, per pid), so walking
+  // the chain from epoch 0 on every query would cost O(epoch / mean cycle)
+  // per call — quadratic over a run. A thread-local direct-mapped cursor
+  // cache resumes each walk where the last query left it; thread-local
+  // keeps the plane lock-free under sharded stepping, and a cold, evicted
+  // or backward cursor just falls back to the full walk. The cursor
+  // identity must cover the dwell PARAMETERS too, not just the domain:
+  // two planes sharing a seed but swept over different burst severities
+  // (the bench's mttr grid) walk different chains from the same domain_key.
+  const std::uint64_t cursor_key =
+      mix(mix(domain_key, std::bit_cast<std::uint64_t>(rate)),
+          std::bit_cast<std::uint64_t>(mean_dark));
+  thread_local std::array<BurstCursor, 64> cursors;
+  BurstCursor& cur = cursors[cursor_key & 63];
+  if (cur.key != cursor_key || cur.t > epoch) {
+    cur = BurstCursor{cursor_key, 0, 0};
+  }
+  std::uint64_t t = cur.t;
+  for (std::uint64_t i = cur.i;; ++i) {
+    cur.i = i;  // pair i starts at t <= epoch: a valid resume point
+    cur.t = t;
     t += dwell(mix(domain_key, 2 * i), mean_healthy);
     if (epoch < t) return false;  // inside the healthy dwell
     t += dwell(mix(domain_key, 2 * i + 1), mean_dark);

@@ -376,6 +376,14 @@ bool SimSystem::inject_and_validate(std::size_t slot, hpc::HpcSample& sample,
   if (bad == 0) return false;
   constexpr std::uint32_t kAll = (1u << hpc::kNumEvents) - 1;
   if (first || bad == kAll) return true;  // nothing healthy left to commit
+  // Cycles is the shared denominator of every rate feature to_features
+  // derives: holding it at a stale value would skew ALL columns while
+  // stale_mask flagged only the cycles bit (itself a no-op — the cycles
+  // feature is pinned to 0). No column is repairable through a lying
+  // denominator, so the whole sample quarantines.
+  constexpr std::uint32_t kCyclesBit =
+      1u << static_cast<std::uint32_t>(hpc::Event::kCycles);
+  if (bad & kCyclesBit) return true;
   // Repair: hold each bad column at its last committed value so the sample
   // entering history/last_sample carries no garbage; the caller's masked
   // fold keeps the repaired columns out of the statistics.

@@ -445,7 +445,9 @@ class SimSystem {
   /// per-feature mode a partially-bad sample is instead REPAIRED in place
   /// (bad columns held at their last committed values), `stale_mask` gets
   /// the repaired columns' bits, and the return is false — the caller
-  /// commits the repaired sample with a masked fold. Only called while
+  /// commits the repaired sample with a masked fold. A bad cycles column
+  /// still quarantines the whole sample: it is the denominator every rate
+  /// feature divides by, so no other column survives it. Only called while
   /// sensor_faults_ is armed.
   bool inject_and_validate(std::size_t slot, hpc::HpcSample& sample,
                            std::uint32_t& stale_mask);

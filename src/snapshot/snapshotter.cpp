@@ -14,7 +14,15 @@
 
 namespace valkyrie::snapshot {
 
-Snapshotter::Snapshotter(Sink sink) : sink_(std::move(sink)) {
+Snapshotter::Snapshotter(Sink sink)
+    : Snapshotter(sink == nullptr ? TaggedSink{}
+                                  : TaggedSink([sink = std::move(sink)](
+                                                   std::vector<std::uint8_t> b,
+                                                   std::uint64_t) {
+                                      sink(std::move(b));
+                                    })) {}
+
+Snapshotter::Snapshotter(TaggedSink sink) : sink_(std::move(sink)) {
   if (sink_ == nullptr) {
     throw std::invalid_argument("Snapshotter: null sink");
   }
@@ -30,15 +38,17 @@ Snapshotter::~Snapshotter() {
   worker_.join();
 }
 
-void Snapshotter::request(const core::ValkyrieEngine& engine) {
-  enqueue(capture(engine));
+void Snapshotter::request(const core::ValkyrieEngine& engine,
+                          std::uint64_t tag) {
+  enqueue(capture(engine), tag);
 }
 
-void Snapshotter::request(const sim::ScenarioDriver& driver) {
-  enqueue(capture(driver));
+void Snapshotter::request(const sim::ScenarioDriver& driver,
+                          std::uint64_t tag) {
+  enqueue(capture(driver), tag);
 }
 
-void Snapshotter::enqueue(SnapshotImage image) {
+void Snapshotter::enqueue(SnapshotImage image, std::uint64_t tag) {
   std::unique_lock<std::mutex> lock(mutex_);
   space_cv_.wait(lock, [this] {
     return queue_.size() + (encoding_ ? 1 : 0) < kMaxInFlight;
@@ -49,7 +59,7 @@ void Snapshotter::enqueue(SnapshotImage image) {
     std::exception_ptr error = std::exchange(error_, nullptr);
     std::rethrow_exception(error);
   }
-  queue_.push_back(std::move(image));
+  queue_.push_back(Pending{std::move(image), tag});
   work_cv_.notify_one();
 }
 
@@ -74,12 +84,12 @@ std::exception_ptr Snapshotter::take_error() {
 
 void Snapshotter::worker_loop() {
   for (;;) {
-    SnapshotImage image;
+    Pending pending;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop requested and drained
-      image = std::move(queue_.front());
+      pending = std::move(queue_.front());
       queue_.pop_front();
       encoding_ = true;
       // The popped slot is not free yet (the image is being encoded), but
@@ -88,8 +98,8 @@ void Snapshotter::worker_loop() {
     }
     std::exception_ptr failure;
     try {
-      std::vector<std::uint8_t> bytes = encode(image);
-      sink_(std::move(bytes));
+      std::vector<std::uint8_t> bytes = encode(pending.image);
+      sink_(std::move(bytes), pending.tag);
     } catch (...) {
       // Uncaught, this would std::terminate the process from the worker
       // thread. Park it for the next producer call instead (latest failure

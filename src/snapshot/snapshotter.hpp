@@ -33,7 +33,16 @@ class Snapshotter {
   /// serializes its own invocations (one at a time, request order).
   using Sink = std::function<void(std::vector<std::uint8_t>)>;
 
+  /// As Sink, plus the tag the producer passed to request(). The tag rides
+  /// WITH the image through the queue, so a request that dies before
+  /// reaching the sink (encode failure, parked and dropped) can never
+  /// shift a later delivery onto the wrong tag — which a producer-side
+  /// "pop the front on delivery" queue cannot guarantee.
+  using TaggedSink =
+      std::function<void(std::vector<std::uint8_t>, std::uint64_t)>;
+
   explicit Snapshotter(Sink sink);
+  explicit Snapshotter(TaggedSink sink);
   ~Snapshotter();
 
   Snapshotter(const Snapshotter&) = delete;
@@ -42,11 +51,12 @@ class Snapshotter {
   /// Captures the engine (epoch-consistent, synchronous) and queues the
   /// image for background encoding. Blocks while two images are already
   /// in flight. Throws what capture() throws (open epoch, unsupported
-  /// workload) — nothing is queued on failure.
-  void request(const core::ValkyrieEngine& engine);
+  /// workload) — nothing is queued on failure. `tag` is delivered to a
+  /// TaggedSink alongside this image's bytes (ignored by a plain Sink).
+  void request(const core::ValkyrieEngine& engine, std::uint64_t tag = 0);
 
   /// As above, with the scenario driver's section included.
-  void request(const sim::ScenarioDriver& driver);
+  void request(const sim::ScenarioDriver& driver, std::uint64_t tag = 0);
 
   /// Blocks until every queued image has been encoded and delivered.
   /// Rethrows here (or at the next request()) anything the sink threw on
@@ -65,14 +75,19 @@ class Snapshotter {
   [[nodiscard]] std::exception_ptr take_error();
 
  private:
-  void enqueue(SnapshotImage image);
+  struct Pending {
+    SnapshotImage image;
+    std::uint64_t tag = 0;
+  };
+
+  void enqueue(SnapshotImage image, std::uint64_t tag);
   void worker_loop();
 
-  Sink sink_;
+  TaggedSink sink_;
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;   // signals the worker: queue non-empty
   std::condition_variable space_cv_;  // signals producers: slot free / idle
-  std::deque<SnapshotImage> queue_;   // bounded at kMaxInFlight
+  std::deque<Pending> queue_;         // bounded at kMaxInFlight
   std::exception_ptr error_;          // sink/encode failure awaiting rethrow
   std::uint64_t completed_ = 0;
   bool encoding_ = false;  // worker is between pop and sink delivery

@@ -142,6 +142,23 @@ TEST(FaultDomains, OutagesAreCorrelatedAcrossADomainAndDeterministic) {
   EXPECT_LT(both, either) << "streams must not be the same schedule";
 }
 
+TEST(FaultDomains, VanishingOutageRateStaysHealthyWithoutOverflow) {
+  // rate = 1e-300 passes validation ([0, 1)) but makes the derived healthy
+  // dwell ~1e300 epochs; the draw must clamp before the uint64 cast (a
+  // double >= 2^64 converted to uint64 is UB) and simply never go dark.
+  FaultPlane plane(0xd0f);
+  plane.domains = {.domain_count = 4,
+                   .node_width = 8,
+                   .sensor_outage_rate = 1e-300,
+                   .actuator_outage_rate = 1e-300,
+                   .mean_outage_epochs = 6.0};
+  plane.validate();
+  for (std::uint64_t epoch = 0; epoch < 500; ++epoch) {
+    ASSERT_FALSE(plane.sensor_outage(epoch, 0));
+    ASSERT_FALSE(plane.actuator_outage(epoch, 0));
+  }
+}
+
 TEST(FaultDomains, ZeroRatesKeepTheBurstPathDisarmed) {
   FaultPlane plane(0xd0f);
   plane.domains = {.domain_count = 4,
@@ -301,8 +318,11 @@ TEST(FaultDomains, ScriptedScheduleLandsOnExactCounters) {
   EXPECT_EQ(run.health.blind, again.health.blind);
 
   // Pinned literals for this (seed, script) pair — a determinism tripwire.
-  EXPECT_EQ(run.health.masked, 537u);
-  EXPECT_EQ(run.health.coasted, 8u);
+  // Faults whose drawn mask includes the cycles column quarantine the whole
+  // sample (cycles is every rate feature's denominator), so they land in
+  // coasted rather than masked.
+  EXPECT_EQ(run.health.masked, 474u);
+  EXPECT_EQ(run.health.coasted, 83u);
   EXPECT_EQ(run.health.blind, 0u);
   EXPECT_EQ(run.health.detector_faults, 0u);
   EXPECT_EQ(run.health.actuator_failures, 0u);
@@ -315,17 +335,21 @@ TEST(FaultDomains, PerFeatureQuarantineBuysStrictlyFewerBlindEpochs) {
   // single-column faults are repaired instead of quarantining the sample.
   const ml::SvmDetector detector = ml::SvmDetector::make(training_corpus(), 3);
 
+  // Rates harsh enough that whole-sample quarantine builds streaks past the
+  // staleness budget; feature_fraction low enough that most drawn masks
+  // miss the cycles column (a cycles hit quarantines the whole sample in
+  // BOTH modes, eroding the margin this test exists to pin).
   FaultPlane whole(0xb11d);
-  whole.sensor = {.stuck_rate = 0.06, .nan_rate = 0.04, .saturate_rate = 0.02};
+  whole.sensor = {.stuck_rate = 0.14, .nan_rate = 0.08, .saturate_rate = 0.04};
 
   FaultPlane partial(0xb11d);
   partial.sensor = whole.sensor;
-  partial.sensor.feature_fraction = 0.35;
+  partial.sensor.feature_fraction = 0.25;
 
   const RunResult whole_run =
-      run_campaign(detector, whole, 1, StepMode::kFused, 300);
+      run_campaign(detector, whole, 1, StepMode::kFused, 400);
   const RunResult partial_run =
-      run_campaign(detector, partial, 1, StepMode::kFused, 300);
+      run_campaign(detector, partial, 1, StepMode::kFused, 400);
 
   EXPECT_EQ(whole_run.health.masked, 0u)
       << "whole-sample mode must never report a partial plane";
