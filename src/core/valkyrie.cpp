@@ -534,12 +534,44 @@ std::size_t ValkyrieEngine::step_fused() {
         std::min(shard_quota(live.size()), attached_.size()));
   }
 
+  // With the plane-major fold armed, step_slot only STAGES each slot's
+  // feature vector into the plane — the shard must step its whole range,
+  // fold it in one cross-slot Welford pass, and only then read summaries.
+  // The per-slot finished flags live in the batched schedule's scratch.
+  const bool fold = sys_.plane_major_fold_enabled();
+  if (fold && batch_finished_.size() < live.size()) {
+    batch_finished_.resize(live.size());
+  }
+
   // One fused shard dispatch: simulate the process, then consume its fresh
   // HPC sample for inference + the monitor decision while it is still hot,
   // emitting side effects as commands into the shard's buffer.
   const auto fused_range = [&](std::size_t shard, std::size_t begin,
                                std::size_t end) {
     std::vector<ActuatorCommand>& commands = shard_commands_[shard];
+    if (fold) {
+      // Step-all / fold / infer-all. The sample is no longer L1-hot when
+      // the inference pass re-reads it, but the fold kernel's cross-slot
+      // vectorization repays the refetch. Bit-identical to the interleaved
+      // loop: per-slot work is independent and the fold preserves the
+      // scalar accumulation order.
+      for (std::size_t slot = begin; slot < end; ++slot) {
+        batch_finished_[slot] = sys_.step_slot(slot) ? 1 : 0;
+      }
+      sys_.fold_plane_range(begin, end);
+      for (std::size_t slot = begin; slot < end; ++slot) {
+        const sim::ProcessId pid = live[slot];
+        if (pid >= attached_index_.size()) continue;
+        const std::int32_t idx = attached_index_[pid];
+        if (idx < 0) continue;
+        Attached& a = attached_[static_cast<std::size_t>(idx)];
+        a.last_action = ValkyrieMonitor::Action::kNone;
+        a.last_action_step = step_tag_;
+        if (batch_finished_[slot] != 0) continue;
+        infer_attachment(a, commands);
+      }
+      return;
+    }
     for (std::size_t slot = begin; slot < end; ++slot) {
       const sim::ProcessId pid = live[slot];
       const bool finished = sys_.step_slot(slot);
@@ -618,6 +650,11 @@ std::size_t ValkyrieEngine::step_batched() {
     for (std::size_t slot = begin; slot < end; ++slot) {
       batch_finished_[slot] = sys_.step_slot(slot) ? 1 : 0;
     }
+    // With the plane-major fold armed, step_slot only STAGED each slot's
+    // feature vector; fold the shard's whole range in one cross-slot
+    // Welford pass before the batch kernel (or any summary) reads the
+    // plane's stats rows. A no-op when the fold is off.
+    sys_.fold_plane_range(begin, end);
 
     const std::size_t width = end - begin;
     const ml::SummaryMatrixView plane = sys_.feature_plane();
@@ -671,7 +708,7 @@ std::size_t ValkyrieEngine::step_batched() {
           inference = ml::Inference::kInvalid;
         } else if (a.stream.can_fold(count)) {
           if (fault_plane_ != nullptr &&
-              sys_.slot_accumulator(slot).newest_mask() != 0) {
+              sys_.newest_stale_mask(slot) != 0) {
             // Mirror guarded_infer's partial-plane accounting: the folded
             // vote was computed over a column with substituted features.
             health_masked_.fetch_add(1, std::memory_order_relaxed);
@@ -699,7 +736,7 @@ std::size_t ValkyrieEngine::step_batched() {
             if (streak > 0) {
               health_coasted_.fetch_add(1, std::memory_order_relaxed);
             }
-            if (sys_.slot_accumulator(slot).newest_mask() != 0) {
+            if (sys_.newest_stale_mask(slot) != 0) {
               health_masked_.fetch_add(1, std::memory_order_relaxed);
             }
             inference = sanitize(inference);

@@ -67,10 +67,26 @@ constexpr double interference_exponent(Event e) noexcept {
 HpcSample HpcSignature::sample(util::Rng& rng, double activity,
                                double noise_scale) const noexcept {
   HpcSample out;
+  // Counter-mode streams batch every normal the sample will need in one
+  // vectorized draw. The count is predictable up front (an event draws
+  // iff its mean is positive and the process is active), so the batch
+  // consumes exactly the indices the scalar loop would have — same
+  // draws, same order, just evaluated through the batch kernel. Xoshiro
+  // streams keep the serial per-event draws (their state is history).
+  const bool batched = rng.counter_mode();
+  double normals[kNumEvents + 1];
+  std::size_t next = 1;
+  if (batched) {
+    std::size_t needed = 1;
+    if (activity > 0.0) {
+      for (std::size_t i = 0; i < kNumEvents; ++i) needed += mean[i] > 0.0;
+    }
+    rng.normal_batch(normals, needed);
+  }
   // One common interference draw per epoch, applied per event with the
   // exponents above (misses up, IPC down, wall-clock untouched).
   const double log_interference =
-      correlated_noise * noise_scale * rng.normal();
+      correlated_noise * noise_scale * (batched ? normals[0] : rng.normal());
   // exp(1.0 * x) == exp(x) and exp(0.0 * x) == 1.0 hold bit-exactly, so
   // the six miss-type events share one exp and the untouched events skip
   // it entirely — sample() sits on the per-process epoch hot path, and
@@ -90,7 +106,8 @@ HpcSample HpcSignature::sample(util::Rng& rng, double activity,
       continue;
     }
     const double noisy =
-        base * (1.0 + rel_stddev * noise_scale * rng.normal());
+        base * (1.0 + rel_stddev * noise_scale *
+                          (batched ? normals[next++] : rng.normal()));
     out.counts[i] = noisy < 0.0 ? 0.0 : noisy;
   }
   return out;

@@ -60,7 +60,17 @@ WindowSummary SummaryMatrixView::gather(std::size_t c) const noexcept {
     out.stddev[f] = stddev[f * stride + c];
   }
   if (windows != nullptr) out.window = windows[c];
+  if (windows_wrap != nullptr) out.window_wrap = windows_wrap[c];
   return out;
+}
+
+Inference Detector::infer_wrapped(const WindowSummary& summary) const {
+  std::vector<hpc::HpcSample> linear;
+  linear.reserve(summary.window_total());
+  linear.insert(linear.end(), summary.window.begin(), summary.window.end());
+  linear.insert(linear.end(), summary.window_wrap.begin(),
+                summary.window_wrap.end());
+  return infer(std::span<const hpc::HpcSample>(linear));
 }
 
 // Default batch adapters: column-by-column loops over the scalar paths.
@@ -97,12 +107,14 @@ Inference StreamingInference::infer(const Detector& detector,
   } else if (counted_ < summary.count) {
     // Attached mid-run (or several epochs elapsed between calls): fold the
     // not-yet-counted measurements from the raw window. One-time cost.
-    if (summary.window.size() < summary.count) {
+    // window_total()/window_at() read through the span pair, so a wrapped
+    // bounded-history ring catches up the same way an unbounded one does.
+    if (summary.window_total() < summary.count) {
       return detector.infer(summary);  // raw window unavailable; fall back
     }
     hpc::FeatureVec f;
     for (std::size_t i = counted_; i < summary.count; ++i) {
-      hpc::to_features(summary.window[i], f);
+      hpc::to_features(summary.window_at(i), f);
       if (detector.measurement_vote(f)) ++malicious_;
     }
     counted_ = summary.count;

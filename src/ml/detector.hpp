@@ -42,6 +42,19 @@ namespace valkyrie::ml {
 /// instead of silently counting it as benign evidence.
 enum class Inference : std::uint8_t { kBenign, kMalicious, kInvalid };
 
+/// Numeric tier a detector's kernels run at. kBitExact (the default,
+/// always) calls libm and keeps the repository-wide bit-reproducibility
+/// contract: batch == scalar == every previous release, across StepModes
+/// and worker counts. kFast swaps the transcendentals for the fast_math
+/// approximations (and division for precomputed-reciprocal multiplies where
+/// a kernel is divide-bound): still deterministic — the same build produces
+/// the same bits on every run, and fast-scalar == fast-batch by the same
+/// operation-sequence argument as the exact tier — but NOT bit-identical to
+/// the exact tier, so detection decisions may differ near a model's
+/// threshold. The accuracy cost is measured, not assumed: BENCH_engine.json
+/// A/Bs both tiers including detection-efficacy deltas.
+enum class InferenceTier : std::uint8_t { kBitExact, kFast };
+
 /// Feature-major matrix view over a batch of measurement feature vectors:
 /// row f holds feature f of every batch item, consecutive items sit in
 /// consecutive doubles (unit stride), and consecutive feature rows are
@@ -87,6 +100,10 @@ struct SummaryMatrixView {
   /// (the default adapter then hands detectors an empty window, exactly as
   /// WindowAccumulator::summary() with no window argument does).
   const std::span<const hpc::HpcSample>* windows = nullptr;
+  /// Wrapped ring tails matching `windows` column for column (see
+  /// WindowSummary::window_wrap); null when the producer's histories are
+  /// unbounded (every wrap is then empty).
+  const std::span<const hpc::HpcSample>* windows_wrap = nullptr;
   std::size_t count = 0;   ///< batch items (columns)
   std::size_t stride = 0;  ///< doubles between feature rows
 
@@ -107,6 +124,7 @@ struct SummaryMatrixView {
             stddev + begin,
             counts + begin,
             windows != nullptr ? windows + begin : nullptr,
+            windows_wrap != nullptr ? windows_wrap + begin : nullptr,
             end - begin,
             stride};
   }
@@ -125,10 +143,12 @@ class Detector {
 
   /// Incremental entry point: classifies from the streaming summary of the
   /// accumulated window. The default adapter forwards to the whole-window
-  /// overload via summary.window; summary-capable detectors override this
-  /// and never touch the raw measurements.
+  /// overload via summary.window (linearizing the span pair first when the
+  /// producer's bounded ring has wrapped — see infer_wrapped); summary-
+  /// capable detectors override this and never touch the raw measurements.
   [[nodiscard]] virtual Inference infer(const WindowSummary& summary) const {
-    return infer(summary.window);
+    if (summary.window_wrap.empty()) return infer(summary.window);
+    return infer_wrapped(summary);
   }
 
   /// For vote-based detectors: the fraction of per-measurement malicious
@@ -196,6 +216,13 @@ class Detector {
   /// with mutable or trained parameters (e.g. the LSTM) override it to
   /// fold in their parameter bits.
   [[nodiscard]] virtual std::uint64_t state_hash() const;
+
+ protected:
+  /// Bridge for raw-window detectors handed a wrapped ring window: copies
+  /// the span pair into one oldest-first buffer and classifies that. Costs
+  /// an allocation, paid only by legacy whole-window detectors under the
+  /// (opt-in) bounded-history mode; streaming detectors never get here.
+  [[nodiscard]] Inference infer_wrapped(const WindowSummary& summary) const;
 };
 
 /// Per-(process, detector) incremental inference state. Routes each epoch's

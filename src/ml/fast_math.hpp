@@ -1,0 +1,77 @@
+// Approximate transcendentals for the opt-in FastInference tier.
+//
+// The bit-exact batch kernels spend most of their time in libm tanh /
+// sigmoid(exp) calls that the compiler cannot vectorize (they carry errno /
+// global-state semantics and are opaque calls). These replacements are
+// plain straight-line arithmetic — range reduction + a short polynomial +
+// an exponent-bit splice — so GCC auto-vectorizes them across feature-plane
+// columns inside the VALKYRIE_TARGET_CLONES kernels, and a scalar call and
+// a batch lane execute the identical operation sequence (fast-scalar ==
+// fast-batch stays bit-identical, the same argument as the exact tier).
+//
+// Accuracy contract (pinned by test_fast_math): relative error of
+// fast_exp < 1e-9 over [-700, 700]; absolute error of fast_tanh and
+// fast_sigmoid < 1e-9 over the reals. Outputs are always finite for finite
+// inputs (the exponent clamp saturates instead of overflowing), so the
+// functions are sanitizer-clean — no UB, no FP exceptions relied upon.
+//
+// These are used ONLY when a detector is switched to InferenceTier::kFast;
+// the default tier keeps calling libm and stays bit-exact.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace valkyrie::ml {
+
+/// exp(x) via exponent/fraction split: x = n*ln2 + r with |r| <= ln2/2,
+/// exp(r) from a degree-7 Taylor polynomial (max rel. error ~5e-11 on the
+/// reduced range), 2^n spliced into the exponent bits. Inputs outside
+/// [-708, 708] clamp, so the result is finite (possibly 0 / ~1.7e308)
+/// rather than overflowing to inf.
+[[nodiscard]] inline double fast_exp(double x) noexcept {
+  constexpr double kLog2e = 1.4426950408889634073599246810019;
+  constexpr double kLn2Hi = 6.93147180369123816490e-01;  // split ln2: high
+  constexpr double kLn2Lo = 1.90821492927058770002e-10;  // + low part
+  constexpr double kClamp = 708.0;
+  x = x > kClamp ? kClamp : (x < -kClamp ? -kClamp : x);
+  // Round-to-nearest n = round(x / ln2) without touching the FP environment.
+  const double fn = x * kLog2e;
+  const double n = fn >= 0.0 ? static_cast<double>(
+                                   static_cast<std::int64_t>(fn + 0.5))
+                             : static_cast<double>(
+                                   static_cast<std::int64_t>(fn - 0.5));
+  const double r = (x - n * kLn2Hi) - n * kLn2Lo;
+  // Degree-8 Taylor in Horner form: exp(r) for |r| <= 0.3466 (remainder
+  // ~2e-10 relative at the range edge).
+  double p = 1.0 / 40320.0;
+  p = p * r + 1.0 / 5040.0;
+  p = p * r + 1.0 / 720.0;
+  p = p * r + 1.0 / 120.0;
+  p = p * r + 1.0 / 24.0;
+  p = p * r + 1.0 / 6.0;
+  p = p * r + 0.5;
+  p = p * r + 1.0;
+  p = p * r + 1.0;
+  // 2^n via the exponent field. n is in [-1022, 1023] after the clamp
+  // (|x| <= 708 => |n| <= 1022), so the biased exponent never wraps.
+  const auto biased = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(n) + 1023);
+  const double scale = std::bit_cast<double>(biased << 52);
+  return p * scale;
+}
+
+/// Logistic sigmoid 1 / (1 + exp(-x)) on fast_exp. Saturates cleanly: the
+/// clamped exp keeps the denominator finite, so the result is always in
+/// (0, 1) for finite inputs.
+[[nodiscard]] inline double fast_sigmoid(double x) noexcept {
+  return 1.0 / (1.0 + fast_exp(-x));
+}
+
+/// tanh(x) = 2*sigmoid(2x) - 1, inheriting fast_exp's accuracy (absolute
+/// error < 1e-9 everywhere; exact saturation to +/-1 for |x| > ~19).
+[[nodiscard]] inline double fast_tanh(double x) noexcept {
+  return 2.0 / (1.0 + fast_exp(-2.0 * x)) - 1.0;
+}
+
+}  // namespace valkyrie::ml

@@ -2,13 +2,52 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
+
+#include "util/simd.hpp"
 
 namespace valkyrie::ml {
 namespace {
 
 double sigmoid(double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// A depth<=2 tree fully hoisted for one column block: the root row, the
+/// two possible level-1 rows, their thresholds, and the four reachable
+/// leaf values. Shallower shapes degenerate correctly through the leaf
+/// self-loop (-inf threshold forces the right/self branch), so this one
+/// struct covers depth 0, 1 and 2.
+struct Depth2Tree {
+  const double* row0;
+  const double* rowl;
+  const double* rowr;
+  double t0, tl, tr;
+  double vll, vlr, vrl, vrr;
+};
+
+/// Branch-free depth<=2 accumulation: two unit-stride row loads and three
+/// compare/selects per column, no per-column node cursor and no indirect
+/// node loads — everything data-dependent was hoisted into `t`. The
+/// comparisons, selected leaf values and the per-tree `out += lr * v`
+/// accumulation are exactly the scalar walk's, so bit-identity holds (the
+/// clone list excludes FMA, see util/simd.hpp).
+VALKYRIE_TARGET_CLONES
+void accumulate_depth2(const Depth2Tree& t, std::size_t bw,
+                       double learning_rate, double* out) {
+  for (std::size_t c = 0; c < bw; ++c) {
+    const bool c0 = t.row0[c] < t.t0;
+    // Load both candidate rows unconditionally so the selects lower to
+    // blends (a speculated conditional load would block vectorization).
+    const double xl = t.rowl[c];
+    const double xr = t.rowr[c];
+    const double x1 = c0 ? xl : xr;
+    const double t1 = c0 ? t.tl : t.tr;
+    const bool c1 = x1 < t1;
+    const double v = c0 ? (c1 ? t.vll : t.vlr) : (c1 ? t.vrl : t.vrr);
+    out[c] += learning_rate * v;
+  }
+}
 
 }  // namespace
 
@@ -57,6 +96,45 @@ void GradientBoostedTrees::train(const std::vector<Example>& examples) {
     for (const Node& node : tree) {
       plane_tile_ok_ &= node.feature < static_cast<int>(hpc::kFeatureDim);
     }
+  }
+  build_flat();
+}
+
+void GradientBoostedTrees::build_flat() {
+  flat_.clear();
+  flat_.reserve(trees_.size());
+  for (const Tree& tree : trees_) {
+    FlatTree ft;
+    const std::size_t n = tree.size();
+    ft.feature.resize(n);
+    ft.threshold.resize(n);
+    ft.left.resize(n);
+    ft.right.resize(n);
+    ft.value.resize(n);
+    std::vector<int> depth(n, 0);
+    // build_node pushes parents before children, so a reverse walk sees
+    // both children's depths before the parent needs them.
+    for (std::size_t i = n; i-- > 0;) {
+      const Node& node = tree[i];
+      const auto self = static_cast<std::int32_t>(i);
+      if (node.feature < 0) {
+        ft.feature[i] = 0;
+        ft.threshold[i] = -std::numeric_limits<double>::infinity();
+        ft.left[i] = self;
+        ft.right[i] = self;
+        ft.value[i] = node.leaf_value;
+      } else {
+        ft.feature[i] = node.feature;
+        ft.threshold[i] = node.threshold;
+        ft.left[i] = node.left;
+        ft.right[i] = node.right;
+        ft.value[i] = 0.0;
+        depth[i] = 1 + std::max(depth[static_cast<std::size_t>(node.left)],
+                                depth[static_cast<std::size_t>(node.right)]);
+      }
+    }
+    ft.depth = depth[0];
+    flat_.push_back(std::move(ft));
   }
 }
 
@@ -203,32 +281,54 @@ void GradientBoostedTrees::predict_logit_plane(const double* features,
     }
     return;
   }
-  // Column blocks: one unit-stride gather per feature row pulls the block
-  // into a dense L1-resident tile, then the tree loop (outermost, so each
-  // tree's nodes stay hot across the block) traverses against the tile —
-  // without this, every tree would re-walk the strided plane rows and the
-  // sweep turns memory-bound once the plane outgrows L2.
+  // Column blocks with the tree loop outermost, so each tree's flat node
+  // tables stay hot across the block. Traversal is LAYERED over the
+  // flat-SoA tables: every column holds a node cursor and each of the
+  // tree's `depth` passes advances all cursors one level with a select
+  // (leaves self-loop, see FlatTree). The inner loop has no data-dependent
+  // branch — a mixed benign/attack batch costs the same as a uniform one —
+  // and every pass reads the plane rows at unit stride in the column
+  // index, so no gather tile is needed. Comparisons, leaf values and
+  // accumulation order are exactly the scalar walk's, so the output stays
+  // bit-identical.
   constexpr std::size_t kCols = 128;
-  double tile[hpc::kFeatureDim * kCols];
+  std::int32_t nodes[kCols];
   for (std::size_t base = 0; base < n; base += kCols) {
     const std::size_t bw = std::min(kCols, n - base);
-    for (std::size_t f = 0; f < hpc::kFeatureDim; ++f) {
-      const double* row = features + f * stride + base;
-      double* tile_row = tile + f * kCols;
-      for (std::size_t c = 0; c < bw; ++c) tile_row[c] = row[c];
-    }
+    const double* block = features + base;
     double* out_block = out + base;
     for (std::size_t c = 0; c < bw; ++c) out_block[c] = base_score_;
-    for (const Tree& tree : trees_) {
-      for (std::size_t c = 0; c < bw; ++c) {
-        std::size_t node = 0;
-        while (tree[node].feature >= 0) {
-          const std::size_t f = static_cast<std::size_t>(tree[node].feature);
-          node = static_cast<std::size_t>(
-              tile[f * kCols + c] < tree[node].threshold ? tree[node].left
-                                                         : tree[node].right);
+    for (const FlatTree& ft : flat_) {
+      if (ft.depth <= 2) {
+        const auto l = static_cast<std::size_t>(ft.left[0]);
+        const auto r = static_cast<std::size_t>(ft.right[0]);
+        Depth2Tree t;
+        t.row0 = block + static_cast<std::size_t>(ft.feature[0]) * stride;
+        t.rowl = block + static_cast<std::size_t>(ft.feature[l]) * stride;
+        t.rowr = block + static_cast<std::size_t>(ft.feature[r]) * stride;
+        t.t0 = ft.threshold[0];
+        t.tl = ft.threshold[l];
+        t.tr = ft.threshold[r];
+        t.vll = ft.value[static_cast<std::size_t>(ft.left[l])];
+        t.vlr = ft.value[static_cast<std::size_t>(ft.right[l])];
+        t.vrl = ft.value[static_cast<std::size_t>(ft.left[r])];
+        t.vrr = ft.value[static_cast<std::size_t>(ft.right[r])];
+        accumulate_depth2(t, bw, config_.learning_rate, out_block);
+        continue;
+      }
+      for (std::size_t c = 0; c < bw; ++c) nodes[c] = 0;
+      for (int d = 0; d < ft.depth; ++d) {
+        for (std::size_t c = 0; c < bw; ++c) {
+          const auto node = static_cast<std::size_t>(nodes[c]);
+          const auto f = static_cast<std::size_t>(ft.feature[node]);
+          nodes[c] = block[f * stride + c] < ft.threshold[node]
+                         ? ft.left[node]
+                         : ft.right[node];
         }
-        out_block[c] += config_.learning_rate * tree[node].leaf_value;
+      }
+      for (std::size_t c = 0; c < bw; ++c) {
+        out_block[c] += config_.learning_rate *
+                        ft.value[static_cast<std::size_t>(nodes[c])];
       }
     }
   }

@@ -44,8 +44,11 @@ class GradientBoostedTrees {
   /// features[f * stride + c]): out[c] = predict_logit(column c),
   /// bit-identically (per-column tree sums run in the same tree order).
   /// The tree loop runs outermost so each tree's node array stays L1-hot
-  /// across the whole batch; the shipped ensembles are shallow (depth <=
-  /// 2), so per-column traversal inside that loop is branch-cheap.
+  /// across the whole batch, and traversal inside it is LAYERED: every
+  /// column advances one level per pass through a flat-SoA node table
+  /// whose leaves self-loop, so the per-column walk is a fixed-depth
+  /// select chain (no data-dependent branches to mispredict on mixed
+  /// benign/attack batches) with identical comparisons to the scalar walk.
   void predict_logit_plane(const double* features, std::size_t stride,
                            std::size_t n, double* out) const;
 
@@ -69,15 +72,32 @@ class GradientBoostedTrees {
   };
   using Tree = std::vector<Node>;
 
+  /// Layered flat-SoA projection of one tree, built once at train() time
+  /// for the plane kernel: parallel node arrays traversed a fixed `depth`
+  /// steps with a branch-free select. Leaves self-loop — threshold is
+  /// -inf, so `x < threshold` is false for every finite feature and the
+  /// select always takes `right`, which points back at the leaf itself —
+  /// letting shallow paths park on their leaf while deeper paths descend.
+  struct FlatTree {
+    std::vector<std::int32_t> feature;  // 0 for leaves (the read is benign)
+    std::vector<double> threshold;      // -inf for leaves
+    std::vector<std::int32_t> left;
+    std::vector<std::int32_t> right;    // == self for leaves
+    std::vector<double> value;          // leaf value (0.0 for split nodes)
+    int depth = 0;                      // select steps to settle any column
+  };
+
   int build_node(Tree& tree, const std::vector<Example>& examples,
                  std::vector<std::uint32_t>& indices, std::size_t begin,
                  std::size_t end, const std::vector<double>& grad,
                  const std::vector<double>& hess, int depth);
   [[nodiscard]] static double tree_output(const Tree& tree,
                                           std::span<const double> features);
+  void build_flat();
 
   GbtConfig config_;
   std::vector<Tree> trees_;
+  std::vector<FlatTree> flat_;  // one per tree, same order
   double base_score_ = 0.0;
   /// True when every split feature fits the per-measurement feature
   /// vector, i.e. predict_logit_plane may use its gather tile. Fixed at

@@ -58,6 +58,16 @@ class Mlp {
   /// imbalanced trace mix still trains both classes.
   void train(std::vector<Example> examples, const MlpTrainOptions& options);
 
+  /// Selects the inference tier for predict()/predict_batch(): kBitExact
+  /// (default) calls libm tanh/sigmoid; kFast uses the fast_math
+  /// approximations, whose straight-line form lets the batch kernel
+  /// vectorize the activations across columns. Scalar and batch stay
+  /// bit-identical to each other WITHIN a tier (the fast functions execute
+  /// the same operation sequence per lane); training always runs bit-exact
+  /// regardless of the tier.
+  void set_tier(InferenceTier tier) noexcept { tier_ = tier; }
+  [[nodiscard]] InferenceTier tier() const noexcept { return tier_; }
+
   [[nodiscard]] const std::vector<std::size_t>& layer_sizes() const noexcept {
     return sizes_;
   }
@@ -78,6 +88,7 @@ class Mlp {
 
   std::vector<std::size_t> sizes_;
   std::vector<Layer> layers_;
+  InferenceTier tier_ = InferenceTier::kBitExact;
 };
 
 /// Detector adapter: window aggregate features -> standardise -> MLP ->
@@ -114,6 +125,11 @@ class MlpDetector final : public Detector {
   }
 
   [[nodiscard]] const Mlp& model() const noexcept { return mlp_; }
+
+  /// Forwards the inference-tier switch to the model (see Mlp::set_tier and
+  /// InferenceTier for the accuracy contract).
+  void set_tier(InferenceTier tier) noexcept { mlp_.set_tier(tier); }
+  [[nodiscard]] InferenceTier tier() const noexcept { return mlp_.tier(); }
 
   /// Builds and trains the paper's small ANN (one hidden layer, 4 nodes)
   /// on whole-window aggregates of the given traces.

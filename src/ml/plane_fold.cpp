@@ -1,0 +1,60 @@
+#include "ml/plane_fold.hpp"
+
+#include <cmath>
+
+#include "hpc/hpc.hpp"
+#include "util/simd.hpp"
+
+namespace valkyrie::ml {
+
+VALKYRIE_TARGET_CLONES
+void fold_plane_columns(const PlaneFoldRows& rows, const std::uint8_t* pending,
+                        const std::uint32_t* stale_masks, std::size_t begin,
+                        std::size_t end) noexcept {
+  const std::size_t stride = rows.stride;
+  // Welford pass, feature-outer: each iteration streams one feature's
+  // newest/mean/m2/fcount rows at unit stride across the staged slots. The
+  // per-lane operation sequence is exactly add_features_masked's (see the
+  // header contract); lanes are independent, so slot order cannot matter.
+  for (std::size_t f = 0; f < hpc::kFeatureDim; ++f) {
+    double* nw = rows.newest + f * stride;
+    double* mu = rows.mean + f * stride;
+    double* m2 = rows.m2 + f * stride;
+    double* fc = rows.fcount + f * stride;
+    const std::uint32_t bit = 1u << f;
+    for (std::size_t s = begin; s < end; ++s) {
+      if (pending[s] == 0) continue;
+      if (stale_masks[s] & bit) {
+        // Quarantined column: last-known-stat substitution, stats frozen.
+        nw[s] = mu[s];
+        continue;
+      }
+      const double n = fc[s] + 1.0;
+      fc[s] = n;
+      const double inv_n = 1.0 / n;
+      const double x = nw[s];
+      const double delta = x - mu[s];
+      mu[s] += delta * inv_n;
+      m2[s] += delta * (x - mu[s]);
+    }
+  }
+  // Stddev pass: rewrite the derived row for every folded slot with the
+  // store_stats_columns formula (reciprocal multiply, sqrt only when the
+  // variance is positive; a never-folded feature reads 0).
+  for (std::size_t f = 0; f < hpc::kFeatureDim; ++f) {
+    const double* m2r = rows.m2 + f * stride;
+    const double* fc = rows.fcount + f * stride;
+    double* sd = rows.stddev + f * stride;
+    for (std::size_t s = begin; s < end; ++s) {
+      if (pending[s] == 0) continue;
+      if (fc[s] == 0.0) {
+        sd[s] = 0.0;
+        continue;
+      }
+      const double var = m2r[s] * (1.0 / fc[s]);
+      sd[s] = var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+  }
+}
+
+}  // namespace valkyrie::ml

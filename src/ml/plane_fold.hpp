@@ -1,0 +1,55 @@
+// Plane-major (cross-slot, feature-major) Welford window fold — the batch
+// counterpart of WindowAccumulator::add_features_masked.
+//
+// The scalar fold is slot-major: each slot walks its 12 features, so one
+// epoch's window-statistics update is P tiny dependent chains touching P
+// scattered accumulator structs. The plane-major fold flips the loop nest:
+// feature f's running mean / m2 / fold-count live as rows of the feature
+// plane (unit-stride across slots), and one kernel call folds every staged
+// slot's feature f in a single sweep — the inner loop is independent across
+// slots, streams six rows at unit stride, and vectorizes (AVX2 via
+// VALKYRIE_TARGET_CLONES).
+//
+// Bit-exactness contract: for every (slot, feature) lane the kernel executes
+// exactly the operation sequence of WindowAccumulator::add_features_masked —
+//   n = fcount + 1;  inv_n = 1/n;  delta = x - mean;
+//   mean += delta * inv_n;  m2 += delta * (x - mean');   // mean' updated
+// with the per-feature fold count carried as a double (increments of 1.0 are
+// exact well past any feasible epoch count, and 1.0/double(n) is the same
+// division the scalar path performs), followed by the stddev formula of
+// store_stats_columns (m2 * (1/fcount), sqrt when positive). Masked lanes
+// substitute the frozen running mean into the newest row and touch nothing
+// else. No FMA contraction: VALKYRIE_TARGET_CLONES deliberately excludes the
+// "fma" target, so both clones round delta * inv_n separately — the same
+// arithmetic the scalar accumulator compiles to. test_plane_fold pins all of
+// this bit-for-bit against the scalar accumulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace valkyrie::ml {
+
+/// Row-base pointers into a fold-mode feature plane. Each member is the
+/// first row of a kFeatureDim-row group; rows are `stride` doubles apart
+/// and slot s is column s of every row.
+struct PlaneFoldRows {
+  double* newest = nullptr;  ///< staged features in; newest-measurement out
+  double* mean = nullptr;    ///< running window mean
+  double* stddev = nullptr;  ///< derived stddev (rewritten for folded slots)
+  double* m2 = nullptr;      ///< Welford sum of squared deviations
+  double* fcount = nullptr;  ///< per-feature fold counts, stored as doubles
+  std::size_t stride = 0;    ///< doubles between consecutive feature rows
+};
+
+/// Folds every staged column in [begin, end): slot s participates iff
+/// pending[s] != 0, and its features flagged in stale_masks[s] are
+/// substituted (frozen stats) instead of folded. Updates the newest / mean /
+/// m2 / fcount rows and rewrites the stddev row for folded slots. Does NOT
+/// touch pending[] or any per-slot measurement count — the caller owns that
+/// bookkeeping. Safe to call concurrently for disjoint [begin, end) ranges.
+void fold_plane_columns(const PlaneFoldRows& rows, const std::uint8_t* pending,
+                        const std::uint32_t* stale_masks, std::size_t begin,
+                        std::size_t end) noexcept;
+
+}  // namespace valkyrie::ml

@@ -115,6 +115,14 @@ class StatisticalDetector final : public Detector {
   [[nodiscard]] const StatDetectorConfig& config() const noexcept {
     return config_;
   }
+
+  /// Inference tier (see InferenceTier). This detector has no
+  /// transcendentals in its hot path; its kFast lever is replacing the
+  /// per-element z-score divide with a multiply by the Gaussian's
+  /// precomputed reciprocal spread — the same trade (deterministic, not
+  /// bit-identical to the exact tier, scalar == batch within the tier).
+  void set_tier(InferenceTier tier) noexcept { tier_ = tier; }
+  [[nodiscard]] InferenceTier tier() const noexcept { return tier_; }
   void set_threshold(double threshold) noexcept { config_.threshold = threshold; }
   void set_vote_window(std::size_t window) noexcept {
     config_.vote_window = window;
@@ -134,6 +142,9 @@ class StatisticalDetector final : public Detector {
   struct Gaussian {
     std::vector<double> mean;
     std::vector<double> stddev;
+    /// 1/stddev, precomputed at fit time for the kFast tier's
+    /// multiply-instead-of-divide z-scores.
+    std::vector<double> inv_stddev;
   };
 
   /// k-means + per-cluster diagonal Gaussians over one class's examples.
@@ -143,8 +154,10 @@ class StatisticalDetector final : public Detector {
   StatDetectorConfig config_;
   std::vector<double> mean_;    // pooled benign model (anomaly fallback)
   std::vector<double> stddev_;
+  std::vector<double> inv_stddev_;  // kFast tier (see set_tier)
   std::vector<Gaussian> benign_models_;
   std::vector<Gaussian> attack_models_;
+  InferenceTier tier_ = InferenceTier::kBitExact;
 };
 
 }  // namespace valkyrie::ml

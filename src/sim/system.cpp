@@ -8,6 +8,7 @@
 #include <type_traits>
 
 #include "fault/fault_plane.hpp"
+#include "ml/plane_fold.hpp"
 #include "snapshot/image.hpp"
 #include "snapshot/registry.hpp"
 #include "util/serial.hpp"
@@ -83,7 +84,21 @@ void SimSystem::admit_slot(ProcessId pid) {
   if (plane_enabled_) {
     plane_count_.push_back(0);
     plane_window_.push_back({});
+    plane_window_wrap_.push_back({});
+    if (fold_enabled_) {
+      fold_mask_.push_back(0);
+      fold_pending_.push_back(0);
+    }
     reserve_plane();
+    if (fold_enabled_) {
+      // The column may carry a retired process's Welford rows (capacity is
+      // never released); in fold mode the plane is authoritative window
+      // state, so a fresh admission must start from zeroed statistics.
+      double* col = plane_.data() + slot;
+      for (std::size_t r = 0; r < plane_rows_used(); ++r) {
+        col[r * plane_stride_] = 0.0;
+      }
+    }
   }
 }
 
@@ -114,6 +129,11 @@ void SimSystem::reserve(std::size_t max_processes) {
     if (plane_enabled_) {
       plane_count_.reserve(max_processes);
       plane_window_.reserve(max_processes);
+      plane_window_wrap_.reserve(max_processes);
+      if (fold_enabled_) {
+        fold_mask_.reserve(max_processes);
+        fold_pending_.reserve(max_processes);
+      }
       reserve_plane();
     }
   }
@@ -132,9 +152,33 @@ void SimSystem::enable_feature_plane(ml::Detector::PlaneSections sections) {
   plane_enabled_ = true;
   plane_count_.reserve(reserved_capacity_);
   plane_window_.reserve(reserved_capacity_);
+  plane_window_wrap_.reserve(reserved_capacity_);
   plane_count_.assign(slot_pid_.size(), 0);
   plane_window_.assign(slot_pid_.size(), {});
+  plane_window_wrap_.assign(slot_pid_.size(), {});
   reserve_plane();
+}
+
+void SimSystem::enable_plane_major_fold() {
+  if (epoch_open_) {
+    throw std::logic_error("SimSystem::enable_plane_major_fold: epoch open");
+  }
+  if (fold_enabled_) return;
+  // The fold both stages into the newest rows and maintains the stats
+  // rows, so the plane must carry them regardless of what any driver's
+  // detector declared; widening-only, like enable_feature_plane.
+  enable_feature_plane(ml::Detector::PlaneSections::kNewestOnly);
+  enable_feature_plane(ml::Detector::PlaneSections::kStatsOnly);
+  fold_enabled_ = true;
+  fold_mask_.reserve(reserved_capacity_);
+  fold_pending_.reserve(reserved_capacity_);
+  fold_mask_.assign(slot_pid_.size(), 0);
+  fold_pending_.assign(slot_pid_.size(), 0);
+  // Grow the plane to carry the m2/fold-count row groups, then hand the
+  // authoritative Welford state over from the slot accumulators.
+  reserve_plane();
+  plane_.resize(plane_rows_used() * plane_stride_, 0.0);
+  scatter_accums_to_plane();
 }
 
 void SimSystem::reserve_plane() {
@@ -147,12 +191,24 @@ void SimSystem::reserve_plane() {
   constexpr std::size_t kPad = 8;
   const std::size_t want = std::max(slot_pid_.size(), reserved_capacity_);
   const std::size_t stride = (want + kPad - 1) / kPad * kPad;
-  if (stride > plane_stride_) {
-    plane_stride_ = stride;
+  if (stride <= plane_stride_) return;
+  const std::size_t rows = plane_rows_used();
+  if (fold_enabled_ && plane_stride_ != 0) {
+    // Fold mode: the plane IS the window state — migrate every existing
+    // column into the wider buffer instead of wiping.
+    std::vector<double> grown(rows * stride, 0.0);
+    const std::size_t cols = std::min(plane_stride_, slot_pid_.size());
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::copy_n(plane_.data() + r * plane_stride_, cols,
+                  grown.data() + r * stride);
+    }
+    plane_ = std::move(grown);
+  } else {
     // Old columns need no migration: every live column is rewritten by the
     // next epoch's per-slot phase before any batch kernel reads it.
-    plane_.assign(kPlaneRows * stride, 0.0);
+    plane_.assign(rows * stride, 0.0);
   }
+  plane_stride_ = stride;
 }
 
 ml::SummaryMatrixView SimSystem::feature_plane() const noexcept {
@@ -164,8 +220,124 @@ ml::SummaryMatrixView SimSystem::feature_plane() const noexcept {
   // Absent spans read as empty windows; a detector that declared a
   // narrower section set promised not to need them.
   view.windows = plane_windows_ ? plane_window_.data() : nullptr;
+  view.windows_wrap = plane_windows_ ? plane_window_wrap_.data() : nullptr;
   view.count = slot_pid_.size();
   view.stride = plane_stride_;
+  return view;
+}
+
+void SimSystem::fold_plane_range(std::size_t begin, std::size_t end) {
+  if (!fold_enabled_) return;
+  end = std::min(end, fold_pending_.size());
+  // Narrow to the staged sub-range so an idempotent safety-net call over
+  // an already-folded epoch touches nothing.
+  while (begin < end && fold_pending_[begin] == 0) ++begin;
+  while (end > begin && fold_pending_[end - 1] == 0) --end;
+  if (begin == end) return;
+  ml::PlaneFoldRows rows;
+  double* base = plane_.data();
+  rows.newest = base;
+  rows.mean = base + hpc::kFeatureDim * plane_stride_;
+  rows.stddev = base + 2 * hpc::kFeatureDim * plane_stride_;
+  rows.m2 = base + kPlaneRows * plane_stride_;
+  rows.fcount = base + (kPlaneRows + hpc::kFeatureDim) * plane_stride_;
+  rows.stride = plane_stride_;
+  ml::fold_plane_columns(rows, fold_pending_.data(), fold_mask_.data(), begin,
+                         end);
+  for (std::size_t s = begin; s < end; ++s) {
+    if (fold_pending_[s] != 0) {
+      ++plane_count_[s];
+      fold_pending_[s] = 0;
+    }
+  }
+}
+
+ml::WindowAccumulator::State SimSystem::fold_state(std::size_t slot) const {
+  ml::WindowAccumulator::State st;
+  st.count = plane_count_[slot];
+  st.newest_mask = fold_mask_[slot];
+  const double* col = plane_.data() + slot;
+  for (std::size_t f = 0; f < hpc::kFeatureDim; ++f) {
+    st.newest[f] = col[f * plane_stride_];
+    st.mean[f] = col[(hpc::kFeatureDim + f) * plane_stride_];
+    st.m2[f] = col[(kPlaneRows + f) * plane_stride_];
+    // Fold counts are whole numbers carried as doubles (exact <= 2^53).
+    st.fcount[f] = static_cast<std::size_t>(
+        col[(kPlaneRows + hpc::kFeatureDim + f) * plane_stride_]);
+  }
+  return st;
+}
+
+void SimSystem::scatter_accums_to_plane() {
+  const std::size_t stride = plane_stride_;
+  for (std::size_t s = 0; s < slot_pid_.size(); ++s) {
+    const ml::WindowAccumulator& acc = accum_s_[s];
+    const ml::WindowAccumulator::State st = acc.state();
+    double* col = plane_.data() + s;
+    acc.store_newest_column(col, stride);
+    acc.store_stats_columns(col + hpc::kFeatureDim * stride,
+                            col + 2 * hpc::kFeatureDim * stride, stride);
+    for (std::size_t f = 0; f < hpc::kFeatureDim; ++f) {
+      col[(kPlaneRows + f) * stride] = st.m2[f];
+      col[(kPlaneRows + hpc::kFeatureDim + f) * stride] =
+          static_cast<double>(st.fcount[f]);
+    }
+    plane_count_[s] = st.count;
+    fold_mask_[s] = st.newest_mask;
+    fold_pending_[s] = 0;
+  }
+}
+
+void SimSystem::enable_counter_rng() {
+  if (epoch_open_) {
+    throw std::logic_error("SimSystem::enable_counter_rng: epoch open");
+  }
+  if (counter_rng_) return;
+  counter_rng_ = true;
+  // Each stream's counter seed derives from one draw of its current state,
+  // so the switch is deterministic and fork() from the converted master
+  // hands counter-mode children to every later admission.
+  rng_ = util::Rng::counter_stream(rng_());
+  for (util::Rng& r : rng_s_) r = util::Rng::counter_stream(r());
+}
+
+void SimSystem::enable_bounded_history(std::size_t capacity) {
+  if (epoch_open_) {
+    throw std::logic_error("SimSystem::enable_bounded_history: epoch open");
+  }
+  if (capacity == 0) {
+    throw std::invalid_argument(
+        "SimSystem::enable_bounded_history: zero capacity");
+  }
+  for (const ColdProc& cold : cold_) {
+    if (cold.history.size() > capacity) {
+      throw std::logic_error(
+          "SimSystem::enable_bounded_history: an existing history already "
+          "exceeds the capacity");
+    }
+  }
+  // Every history is a straight oldest-first buffer here (heads are 0), so
+  // an exactly-full one starts overwriting at index 0 — its oldest sample.
+  history_cap_ = capacity;
+}
+
+void SimSystem::history_spans(const ColdProc& cold,
+                              std::span<const hpc::HpcSample>& older,
+                              std::span<const hpc::HpcSample>& wrap) const {
+  if (history_cap_ != 0 && cold.history.size() == history_cap_ &&
+      cold.head != 0) {
+    older = {cold.history.data() + cold.head, history_cap_ - cold.head};
+    wrap = {cold.history.data(), cold.head};
+  } else {
+    older = {cold.history.data(), cold.history.size()};
+    wrap = {};
+  }
+}
+
+SimSystem::HistoryView SimSystem::history_view(ProcessId pid) const {
+  (void)slot_checked(pid);
+  HistoryView view;
+  history_spans(cold_[pid], view.older, view.newer);
   return view;
 }
 
@@ -210,6 +382,11 @@ bool SimSystem::step_slot(std::size_t slot) {
   eff.fs = cg.fs;
   effective_s_[slot] = eff;
 
+  // Counter-mode streams rebase to (stream seed, epoch, draw 0) here, so a
+  // slot's epoch draws are a pure function of its seed and the epoch —
+  // independent of every other slot and of any draws a previous epoch made.
+  if (counter_rng_) rng_s_[slot].set_epoch(epoch_);
+
   EpochContext ctx;
   ctx.epoch = epoch_;
   ctx.epoch_ms = platform_.epoch_ms;
@@ -236,12 +413,29 @@ bool SimSystem::step_slot(std::size_t slot) {
   } else {
     invalid_streak_s_[slot] = 0;
     last_sample_s_[slot] = step.hpc;
-    cold.history.push_back(step.hpc);
-    if (stale_mask != 0) {
+    if (history_cap_ != 0 && cold.history.size() == history_cap_) {
+      // Bounded ring: overwrite the oldest retained sample in place.
+      cold.history[cold.head] = step.hpc;
+      cold.head = cold.head + 1 == history_cap_ ? 0 : cold.head + 1;
+    } else {
+      cold.history.push_back(step.hpc);
+    }
+    if (fold_enabled_) {
+      // Plane-major fold: STAGE the sample's features into the slot's
+      // newest-row column and flag it; the cross-slot kernel folds every
+      // staged column after the range's step loop (fold_plane_range).
+      hpc::to_features(step.hpc, plane_.data() + slot, plane_stride_);
+      fold_mask_[slot] = stale_mask;
+      fold_pending_[slot] = 1;
+    } else if (stale_mask != 0) {
       // Partial quarantine: the sample was repaired in place (bad columns
       // held at their last committed values) — commit it, but exclude the
       // repaired columns from the window statistics.
       accum_s_[slot].add_masked(step.hpc, stale_mask);
+    } else {
+      accum_s_[slot].add(step.hpc);
+    }
+    if (stale_mask != 0) {
       std::array<std::uint32_t, hpc::kFeatureDim>& fs = feature_streak_s_[slot];
       for (std::size_t f = 0; f < hpc::kFeatureDim; ++f) {
         if (stale_mask & (1u << f)) {
@@ -250,31 +444,34 @@ bool SimSystem::step_slot(std::size_t slot) {
           fs[f] = 0;
         }
       }
-    } else {
-      accum_s_[slot].add(step.hpc);
-      if (sensor_faults_ != nullptr) feature_streak_s_[slot].fill(0);
+    } else if (sensor_faults_ != nullptr) {
+      feature_streak_s_[slot].fill(0);
     }
   }
   last_progress_s_[slot] = step.progress;
   ++epochs_run_s_[slot];
   if (plane_enabled_) {
-    // The slot's plane column — the same bits window_summary() would
-    // assemble, written while the accumulator state is register/L1-hot,
-    // and only the sections the batch driver's detector actually reads
-    // (a vote detector skips the mean/stddev stores and their stddev
-    // square roots entirely). Distinct slots write distinct columns, so
-    // the plane fill shards with the rest of the per-slot phase.
-    double* col = plane_.data() + slot;
-    const ml::WindowAccumulator& acc = accum_s_[slot];
-    if (plane_newest_) acc.store_newest_column(col, plane_stride_);
-    if (plane_stats_) {
-      acc.store_stats_columns(col + hpc::kFeatureDim * plane_stride_,
-                              col + 2 * hpc::kFeatureDim * plane_stride_,
-                              plane_stride_);
+    if (!fold_enabled_) {
+      // The slot's plane column — the same bits window_summary() would
+      // assemble, written while the accumulator state is register/L1-hot,
+      // and only the sections the batch driver's detector actually reads
+      // (a vote detector skips the mean/stddev stores and their stddev
+      // square roots entirely). Distinct slots write distinct columns, so
+      // the plane fill shards with the rest of the per-slot phase.
+      double* col = plane_.data() + slot;
+      const ml::WindowAccumulator& acc = accum_s_[slot];
+      if (plane_newest_) acc.store_newest_column(col, plane_stride_);
+      if (plane_stats_) {
+        acc.store_stats_columns(col + hpc::kFeatureDim * plane_stride_,
+                                col + 2 * hpc::kFeatureDim * plane_stride_,
+                                plane_stride_);
+      }
+      plane_count_[slot] = acc.count();
     }
-    plane_count_[slot] = acc.count();
+    // Fold mode leaves the count to fold_plane_range (a quarantined epoch
+    // stages nothing, so the count correctly stands still).
     if (plane_windows_) {
-      plane_window_[slot] = {cold.history.data(), cold.history.size()};
+      history_spans(cold, plane_window_[slot], plane_window_wrap_[slot]);
     }
   }
   if (step.finished) {
@@ -420,6 +617,10 @@ void SimSystem::end_epoch() {
   if (!epoch_open_) {
     throw std::logic_error("SimSystem::end_epoch: no open epoch");
   }
+  // Fold safety net: a driver that stepped slots without folding its
+  // ranges still closes the epoch with consistent plane statistics. The
+  // staging flags make this idempotent — already-folded ranges are no-ops.
+  if (fold_enabled_) fold_plane_range(0, slot_pid_.size());
   epoch_open_ = false;
   ++epoch_;
   commit_lifecycle();
@@ -434,6 +635,10 @@ void SimSystem::abort_epoch() {
   // failed epoch, and only the first may commit — a second commit at a
   // closed boundary would double-apply queued deltas.
   if (!epoch_open_) return;
+  // Slots that staged before the dispatch failed did commit their samples
+  // (history append happens with staging), so their statistics must fold
+  // before the lifecycle commit snapshots any retiring slot.
+  if (fold_enabled_) fold_plane_range(0, slot_pid_.size());
   epoch_open_ = false;
   commit_lifecycle();
 }
@@ -467,6 +672,9 @@ void SimSystem::run_epoch(util::ThreadPool* pool) {
   const std::size_t live = slot_pid_.size();
   const auto run_range = [this](std::size_t begin, std::size_t end) {
     for (std::size_t slot = begin; slot < end; ++slot) (void)step_slot(slot);
+    // Plane-major fold of the range just stepped (no-op unless armed):
+    // per-slot independent, so shard boundaries cannot change the bits.
+    fold_plane_range(begin, end);
   };
 
   // Per-slot phase: every slot touches only its own hot-array entries and
@@ -495,7 +703,10 @@ void SimSystem::run_epochs(std::size_t n, util::ThreadPool* pool) {
 void SimSystem::reserve_history(std::size_t epochs) {
   for (const ProcessId pid : slot_pid_) {
     std::vector<hpc::HpcSample>& history = cold_[pid].history;
-    history.reserve(history.size() + epochs);
+    std::size_t want = history.size() + epochs;
+    // A bounded ring never grows past its capacity.
+    if (history_cap_ != 0) want = std::min(want, history_cap_);
+    history.reserve(want);
   }
 }
 
@@ -512,6 +723,7 @@ void SimSystem::reclaim_cold(ProcessId pid) {
     history_pool_.push_back(std::move(cold.history));
     cold.history = {};
   }
+  cold.head = 0;
   cold.workload.reset();
 }
 
@@ -539,11 +751,16 @@ void SimSystem::retire_dead_slots() {
         if (plane_enabled_) {
           // The plane follows the same stable remap as every hot array, so
           // column i always belongs to live_processes()[i].
-          for (std::size_t r = 0; r < kPlaneRows; ++r) {
+          for (std::size_t r = 0; r < plane_rows_used(); ++r) {
             plane_[r * plane_stride_ + w] = plane_[r * plane_stride_ + s];
           }
           plane_count_[w] = plane_count_[s];
           plane_window_[w] = plane_window_[s];
+          plane_window_wrap_[w] = plane_window_wrap_[s];
+          if (fold_enabled_) {
+            fold_mask_[w] = fold_mask_[s];
+            fold_pending_[w] = fold_pending_[s];
+          }
         }
       }
       ++w;
@@ -552,6 +769,10 @@ void SimSystem::retire_dead_slots() {
       retired.cgroup = cgroup_s_[s];
       retired.effective = effective_s_[s];
       retired.last_sample = last_sample_s_[s];
+      // Fold mode keeps the authoritative Welford state in the plane; the
+      // retirement snapshot gathers it back into accumulator form so the
+      // pid-addressed observers answer from the same bits as ever.
+      if (fold_enabled_) accum_s_[s].restore(fold_state(s));
       retired.accumulator = accum_s_[s];
       retired.last_progress = last_progress_s_[s];
       retired.epochs_run = epochs_run_s_[s];
@@ -580,6 +801,11 @@ void SimSystem::retire_dead_slots() {
   if (plane_enabled_) {
     plane_count_.resize(w);
     plane_window_.resize(w);
+    plane_window_wrap_.resize(w);
+    if (fold_enabled_) {
+      fold_mask_.resize(w);
+      fold_pending_.resize(w);
+    }
   }
 }
 
@@ -690,15 +916,48 @@ const std::vector<hpc::HpcSample>& SimSystem::sample_history(
 }
 
 ml::WindowSummary SimSystem::window_summary(ProcessId pid) const {
-  const ml::WindowAccumulator& acc = window_accumulator(pid);
-  const std::vector<hpc::HpcSample>& history = cold_[pid].history;
-  return acc.summary({history.data(), history.size()});
+  const std::uint32_t slot = slot_checked(pid);
+  std::span<const hpc::HpcSample> older;
+  std::span<const hpc::HpcSample> wrap;
+  history_spans(cold_[pid], older, wrap);
+  if (fold_enabled_ && is_hot_slot(slot)) {
+    // Fold mode assembles BY VALUE straight off the plane rows: no shared
+    // accumulator refresh, so parallel fused shards can query their own
+    // (already-folded) slots concurrently.
+    ml::WindowSummary out;
+    out.count = plane_count_[slot];
+    out.stale_mask = fold_mask_[slot];
+    const double* col = plane_.data() + slot;
+    for (std::size_t f = 0; f < hpc::kFeatureDim; ++f) {
+      out.newest[f] = col[f * plane_stride_];
+    }
+    if (out.count != 0) {
+      for (std::size_t f = 0; f < hpc::kFeatureDim; ++f) {
+        out.mean[f] = col[(hpc::kFeatureDim + f) * plane_stride_];
+        out.stddev[f] = col[(2 * hpc::kFeatureDim + f) * plane_stride_];
+      }
+    }
+    out.window = older;
+    out.window_wrap = wrap;
+    return out;
+  }
+  ml::WindowSummary out = window_accumulator(pid).summary(older);
+  out.window_wrap = wrap;
+  return out;
 }
 
 const ml::WindowAccumulator& SimSystem::window_accumulator(
     ProcessId pid) const {
   const std::uint32_t slot = slot_checked(pid);
-  return is_hot_slot(slot) ? accum_s_[slot] : cold_[pid].retired.accumulator;
+  if (!is_hot_slot(slot)) return cold_[pid].retired.accumulator;
+  if (fold_enabled_) {
+    // The authoritative state lives in the plane rows; refresh the slot's
+    // (otherwise stale) accumulator from them before handing it out.
+    // Logically const, like live_processes()'s compaction — and serial-
+    // phase only: parallel shards must use window_summary() instead.
+    const_cast<SimSystem*>(this)->accum_s_[slot].restore(fold_state(slot));
+  }
+  return accum_s_[slot];
 }
 
 double SimSystem::last_progress(ProcessId pid) const {
@@ -741,6 +1000,8 @@ snapshot::SystemImage SimSystem::snapshot_state() const {
   image.epoch = epoch_;
   image.retire_pending = retire_pending_;
   image.recycle_histories = recycle_histories_;
+  image.counter_rng = counter_rng_;
+  image.history_capacity = history_cap_;
 
   image.slots.reserve(slot_pid_.size());
   for (std::size_t s = 0; s < slot_pid_.size(); ++s) {
@@ -750,7 +1011,10 @@ snapshot::SystemImage SimSystem::snapshot_state() const {
     slot.cgroup = cgroup_s_[s];
     slot.effective = effective_s_[s];
     slot.last_sample = last_sample_s_[s];
-    slot.accum = accum_s_[s].state();
+    // Fold mode: gather the authoritative plane rows back into
+    // accumulator form (bit-exact round trip), so the image format is
+    // identical either way.
+    slot.accum = fold_enabled_ ? fold_state(s) : accum_s_[s].state();
     slot.last_progress = last_progress_s_[s];
     slot.epochs_run = epochs_run_s_[s];
     slot.exit = static_cast<std::uint8_t>(exit_s_[s]);
@@ -767,7 +1031,22 @@ snapshot::SystemImage SimSystem::snapshot_state() const {
     if (cold.workload != nullptr) {
       proc.workload = snapshot::poly_image(*cold.workload);
     }
-    proc.history = cold.history;
+    if (history_cap_ != 0 && cold.history.size() == history_cap_ &&
+        cold.head != 0) {
+      // Linearize a wrapped ring oldest-first, so the image is layout-
+      // independent and a restored ring restarts with head 0 pointing at
+      // its (then-oldest) first element.
+      proc.history.reserve(history_cap_);
+      proc.history.insert(proc.history.end(),
+                          cold.history.begin() +
+                              static_cast<std::ptrdiff_t>(cold.head),
+                          cold.history.end());
+      proc.history.insert(proc.history.end(), cold.history.begin(),
+                          cold.history.begin() +
+                              static_cast<std::ptrdiff_t>(cold.head));
+    } else {
+      proc.history = cold.history;
+    }
     proc.retired_cgroup = cold.retired.cgroup;
     proc.retired_effective = cold.retired.effective;
     proc.retired_last_sample = cold.retired.last_sample;
@@ -811,6 +1090,14 @@ void SimSystem::restore_from(const snapshot::SystemImage& image,
     throw SerialError(SerialError::Code::kMalformed,
                       "restore: scheduler factor table size mismatch");
   }
+  if (image.history_capacity != 0) {
+    for (const snapshot::ProcImage& proc : image.procs) {
+      if (proc.history.size() > image.history_capacity) {
+        throw SerialError(SerialError::Code::kMalformed,
+                          "restore: history exceeds its bounded capacity");
+      }
+    }
+  }
   ProcessId prev_pid = 0;
   for (std::size_t s = 0; s < image.slots.size(); ++s) {
     const snapshot::SlotImage& slot = image.slots[s];
@@ -848,6 +1135,12 @@ void SimSystem::restore_from(const snapshot::SystemImage& image,
 
   // Commit.
   rng_.set_state(image.rng);
+  // The RNG kind is run state the image carries (set_state only restores
+  // the counters/words): adopt it both ways, so restoring a xoshiro image
+  // into a counter-mode system — or vice versa — replays faithfully.
+  counter_rng_ = image.counter_rng;
+  rng_.set_counter_mode(counter_rng_);
+  history_cap_ = image.history_capacity;
   epoch_ = image.epoch;
   retire_pending_ = image.retire_pending;
   recycle_histories_ = image.recycle_histories;
@@ -864,6 +1157,9 @@ void SimSystem::restore_from(const snapshot::SystemImage& image,
     ColdProc& cold = cold_[pid];
     cold.workload = std::move(staged[pid]);
     cold.history = proc.history;
+    // Image histories are linearized oldest-first, so a full ring resumes
+    // with head 0 = its oldest sample (exactly where the overwrite goes).
+    cold.head = 0;
     cold.retired.cgroup = proc.retired_cgroup;
     cold.retired.effective = proc.retired_effective;
     cold.retired.last_sample = proc.retired_last_sample;
@@ -890,6 +1186,7 @@ void SimSystem::restore_from(const snapshot::SystemImage& image,
     const snapshot::SlotImage& slot = image.slots[s];
     slot_pid_[s] = slot.pid;
     rng_s_[s].set_state(slot.rng);
+    rng_s_[s].set_counter_mode(counter_rng_);
     cgroup_s_[s] = slot.cgroup;
     effective_s_[s] = slot.effective;
     last_sample_s_[s] = slot.last_sample;
@@ -906,13 +1203,22 @@ void SimSystem::restore_from(const snapshot::SystemImage& image,
 
   // The feature-plane arming flags are run config, not snapshot state
   // (the image carries none): the target keeps whatever sections its own
-  // engine armed at construction. Plane CONTENTS are derived — step_slot
-  // rewrites every live column before the next batch kernel reads it, so
-  // size (not bits) is all restore must provide.
+  // engine armed at construction. Without fold mode the plane CONTENTS are
+  // derived — step_slot rewrites every live column before the next batch
+  // kernel reads it, so size (not bits) is all restore must provide. Fold
+  // mode instead re-seeds the authoritative Welford rows from the restored
+  // accumulators (the exact bits the image's capture gathered out).
   if (plane_enabled_) {
     plane_count_.assign(live, 0);
     plane_window_.assign(live, {});
+    plane_window_wrap_.assign(live, {});
     reserve_plane();
+    if (fold_enabled_) {
+      fold_mask_.assign(live, 0);
+      fold_pending_.assign(live, 0);
+      plane_.assign(plane_rows_used() * plane_stride_, 0.0);
+      scatter_accums_to_plane();
+    }
   }
 }
 

@@ -206,10 +206,106 @@ class SimSystem {
 
   /// A live slot's window accumulator (batch drivers that already hold the
   /// slot index; the pid-addressed window_accumulator() re-derives it).
+  /// In plane-major fold mode the authoritative Welford state lives in the
+  /// plane rows — use newest_stale_mask()/window_accumulator() instead,
+  /// which route through the fold state.
   [[nodiscard]] const ml::WindowAccumulator& slot_accumulator(
       std::size_t slot) const noexcept {
     return accum_s_[slot];
   }
+
+  /// The stale mask of the slot's most recently committed sample,
+  /// regardless of fold mode (batch drivers' phase-C replacement for
+  /// slot_accumulator(slot).newest_mask()).
+  [[nodiscard]] std::uint32_t newest_stale_mask(
+      std::size_t slot) const noexcept {
+    return fold_enabled_ ? fold_mask_[slot] : accum_s_[slot].newest_mask();
+  }
+
+  // --- Plane-major window fold ----------------------------------------------
+  //
+  // Opt-in restructuring of the per-epoch window-statistics update: instead
+  // of each step_slot folding its sample into its slot's WindowAccumulator
+  // (slot-major: P scattered 12-feature dependent chains), step_slot only
+  // STAGES the sample's features into the slot's newest-row plane column,
+  // and a cross-slot kernel (ml::fold_plane_columns) later folds every
+  // staged column feature-major — unit-stride across slots, vectorized.
+  // The plane grows two extra row groups (Welford m2 and per-feature fold
+  // counts) and becomes the authoritative window state; accum_s_ entries
+  // are STALE while the mode is armed, and every accumulator read
+  // (window_summary, window_accumulator, retirement snapshots, snapshots)
+  // routes through a plane gather instead. Results are bit-identical to
+  // the scalar fold — same per-lane operation sequence (test-pinned) — for
+  // every StepMode and worker count, because the fold is per-slot
+  // independent and runs inside the same shard that stepped the slot.
+
+  /// Arms plane-major folding (forces the feature plane on with newest +
+  /// stats rows, seeds the fold rows from the current accumulators). Must
+  /// not be called while an epoch is open.
+  void enable_plane_major_fold();
+
+  [[nodiscard]] bool plane_major_fold_enabled() const noexcept {
+    return fold_enabled_;
+  }
+
+  /// Folds every staged slot in [begin, end) into the plane's Welford rows
+  /// (no-op when the mode is off or nothing in range is staged). Drivers
+  /// call it per shard right after the range's step_slot loop; distinct
+  /// ranges may fold concurrently. end_epoch/abort_epoch run a full-range
+  /// safety net, so a driver that forgets still closes the epoch with
+  /// consistent statistics (staging flags make the fold idempotent).
+  void fold_plane_range(std::size_t begin, std::size_t end);
+
+  // --- Counter-based per-slot RNG -------------------------------------------
+
+  /// Switches the master RNG and every per-slot stream to counter mode
+  /// (util::Rng::counter_stream): each draw is a pure hash of (stream seed,
+  /// epoch, draw index), so a slot's epoch draws are position-independent —
+  /// no serial state walk — and cheaper per normal() than xoshiro +
+  /// Box-Muller (inverse-CDF on a single draw). The switch CHANGES the
+  /// simulated randomness (opt-in, off by default: the xoshiro streams
+  /// stay the repo-wide reproducibility baseline); within counter mode,
+  /// runs are deterministic across StepModes and worker counts and
+  /// snapshot/restore replays bit-identically (the mode is carried by the
+  /// image). Must not be called while an epoch is open; idempotent.
+  void enable_counter_rng();
+
+  [[nodiscard]] bool counter_rng_enabled() const noexcept {
+    return counter_rng_;
+  }
+
+  // --- Bounded ring histories -----------------------------------------------
+
+  /// Caps every process's sample history at `capacity` samples, kept in a
+  /// fixed-size ring: once full, the oldest sample is overwritten in place,
+  /// so multi-thousand-epoch runs stop growing memory linearly. Consumers
+  /// see the logical window as a span pair (WindowSummary::window /
+  /// window_wrap, oldest first); sample_history() keeps returning the raw
+  /// buffer, whose order is the ring's once wrapped. Streaming statistics
+  /// are unaffected (the accumulator folds every sample regardless of what
+  /// the ring retains). Throws if an epoch is open, capacity is zero, or a
+  /// process's history already exceeds the capacity.
+  void enable_bounded_history(std::size_t capacity);
+
+  [[nodiscard]] std::size_t history_capacity() const noexcept {
+    return history_cap_;
+  }
+
+  /// Ordered view of one process's retained samples: `older` then `newer`
+  /// is oldest-first (`newer` is empty until the ring wraps, so unbounded
+  /// histories read as a single span).
+  struct HistoryView {
+    std::span<const hpc::HpcSample> older{};
+    std::span<const hpc::HpcSample> newer{};
+    [[nodiscard]] std::size_t size() const noexcept {
+      return older.size() + newer.size();
+    }
+    [[nodiscard]] const hpc::HpcSample& operator[](
+        std::size_t i) const noexcept {
+      return i < older.size() ? older[i] : newer[i - older.size()];
+    }
+  };
+  [[nodiscard]] HistoryView history_view(ProcessId pid) const;
 
   // --- Sensor fault plane ----------------------------------------------------
   //
@@ -405,6 +501,10 @@ class SimSystem {
   struct ColdProc {
     std::unique_ptr<Workload> workload;
     std::vector<hpc::HpcSample> history;
+    /// Ring write position under bounded histories: once the buffer holds
+    /// history_cap_ samples, the next sample overwrites history[head] (the
+    /// oldest). Always 0 while unbounded or still filling.
+    std::size_t head = 0;
     RetiredState retired{};
   };
 
@@ -435,8 +535,31 @@ class SimSystem {
   void retire_dead_slots();
 
   /// Grows the plane (and its per-slot side arrays) to the current slot
-  /// count; never shrinks capacity. No-op when the plane is disabled.
+  /// count; never shrinks capacity. No-op when the plane is disabled. In
+  /// fold mode a stride growth MIGRATES the existing columns (the plane is
+  /// authoritative window state there, not a derived cache).
   void reserve_plane();
+
+  /// Rows the plane currently carries: the three summary groups, plus the
+  /// Welford m2 + fold-count groups in fold mode.
+  [[nodiscard]] std::size_t plane_rows_used() const noexcept {
+    return kPlaneRows + (fold_enabled_ ? 2 * hpc::kFeatureDim : 0);
+  }
+
+  /// Gathers one slot's fold-mode plane column back into accumulator form
+  /// (bit-exact round trip; see scatter_accums_to_plane for the inverse).
+  [[nodiscard]] ml::WindowAccumulator::State fold_state(std::size_t slot) const;
+
+  /// Seeds every live slot's fold-mode plane column (all five row groups,
+  /// count and mask side arrays) from its accumulator — the enable/restore
+  /// handoff from scalar state to the plane-authoritative representation.
+  void scatter_accums_to_plane();
+
+  /// The process's retained window as the oldest-first span pair (wrap
+  /// empty until a bounded ring actually wraps).
+  void history_spans(const ColdProc& cold,
+                     std::span<const hpc::HpcSample>& older,
+                     std::span<const hpc::HpcSample>& wrap) const;
 
   /// Applies the armed fault plane's scheduled sensor fault for
   /// (current epoch, slot's pid) to `sample` in place, then validates the
@@ -488,9 +611,25 @@ class SimSystem {
   bool plane_windows_ = false;  // maintain the raw-window spans
   std::size_t plane_stride_ = 0;  // slot capacity padded to 8 doubles,
                                   // floored at the reserve() capacity
-  std::vector<double> plane_;     // kPlaneRows x plane_stride_, feature-major
+  std::vector<double> plane_;  // plane_rows_used() x plane_stride_,
+                               // feature-major
   std::vector<std::size_t> plane_count_;  // per-slot measurement count
   std::vector<std::span<const hpc::HpcSample>> plane_window_;  // raw windows
+  // Wrapped ring tails matching plane_window_ column for column (empty
+  // spans while histories are unbounded or still filling).
+  std::vector<std::span<const hpc::HpcSample>> plane_window_wrap_;
+
+  // --- Plane-major fold state (see enable_plane_major_fold) ----------------
+  bool fold_enabled_ = false;
+  // Stale mask of each slot's most recently staged/committed sample (the
+  // fold-mode twin of WindowAccumulator::newest_mask()).
+  std::vector<std::uint32_t> fold_mask_;
+  // 1 = the slot staged a sample this epoch and awaits the cross-slot fold.
+  std::vector<std::uint8_t> fold_pending_;
+
+  // --- Counter RNG / bounded history (see the enable_* docs) ---------------
+  bool counter_rng_ = false;
+  std::size_t history_cap_ = 0;  // 0 = unbounded
 
   // --- Open-epoch state -----------------------------------------------------
   double epoch_total_weight_ = 0.0;

@@ -95,6 +95,14 @@ struct SystemImage {
   /// batch kernel reads it. Restore sizes the target's own plane instead.
   bool retire_pending = false;  // dead-marked slots awaiting compaction
   bool recycle_histories = false;
+  /// Counter-mode RNG armed (v4). The RNG word arrays above/below carry
+  /// only state; the KIND must travel too, or a restored counter-mode run
+  /// would replay through xoshiro scrambles and diverge.
+  bool counter_rng = false;
+  /// Bounded-history ring capacity, 0 = unbounded (v4). Histories are
+  /// always serialized linearized oldest-first, so this is the only ring
+  /// state the image needs (restored heads start at 0).
+  std::uint64_t history_capacity = 0;
 
   std::vector<SlotImage> slots;  // hot arrays, slot order (ascending pid)
   std::vector<ProcImage> procs;  // cold table, pid order
@@ -194,7 +202,7 @@ struct DriverImage {
 
 /// A complete decoded snapshot.
 struct SnapshotImage {
-  std::uint32_t version = 3;
+  std::uint32_t version = 4;
   SystemImage system;
   EngineImage engine;
   bool has_driver = false;

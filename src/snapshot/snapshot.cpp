@@ -21,10 +21,13 @@ constexpr std::array<std::uint8_t, 8> kMagic = {'V', 'L', 'K', 'Y',
 // v2 appends SlotImage.invalid_streak (telemetry quarantine) and the
 // engine's actuator-retry table. v3 appends the per-feature degradation
 // state: SlotImage.feature_streak and the accumulator's per-feature fold
-// counts + newest-sample stale mask. Older snapshots are refused rather
-// than defaulted: the restore contract is bit-replay, and an older capture
-// cannot promise the newer fields were all zero at capture time.
-constexpr std::uint32_t kVersion = 3;
+// counts + newest-sample stale mask. v4 appends the system's RNG kind
+// (counter-mode armed) and the bounded-history ring capacity — both change
+// how restored state evolves, so they must travel with the state words.
+// Older snapshots are refused rather than defaulted: the restore contract
+// is bit-replay, and an older capture cannot promise the newer fields were
+// all zero at capture time.
+constexpr std::uint32_t kVersion = 4;
 
 constexpr std::uint32_t fourcc(char a, char b, char c, char d) noexcept {
   return static_cast<std::uint32_t>(static_cast<unsigned char>(a)) |
@@ -135,6 +138,8 @@ void encode_system(ByteWriter& out, const SystemImage& sys) {
   out.u64(sys.epoch);
   out.boolean(sys.retire_pending);
   out.boolean(sys.recycle_histories);
+  out.boolean(sys.counter_rng);     // v4
+  out.u64(sys.history_capacity);    // v4
 
   out.u64(sys.slots.size());
   for (const SlotImage& slot : sys.slots) {
@@ -184,6 +189,8 @@ SystemImage decode_system(ByteReader& in) {
   sys.epoch = in.u64();
   sys.retire_pending = in.boolean();
   sys.recycle_histories = in.boolean();
+  sys.counter_rng = in.boolean();
+  sys.history_capacity = in.u64();
 
   const std::size_t slot_count = in.length(sizeof(std::uint32_t));
   sys.slots.reserve(slot_count);
@@ -652,6 +659,8 @@ std::vector<FieldDiff> diff(const SnapshotImage& a, const SnapshotImage& b) {
   d.u64("system.retire_pending", sa.retire_pending, sb.retire_pending);
   d.u64("system.recycle_histories", sa.recycle_histories,
         sb.recycle_histories);
+  d.u64("system.counter_rng", sa.counter_rng, sb.counter_rng);
+  d.u64("system.history_capacity", sa.history_capacity, sb.history_capacity);
 
   d.u64("system.slots.size", sa.slots.size(), sb.slots.size());
   const std::size_t slots = std::min(sa.slots.size(), sb.slots.size());

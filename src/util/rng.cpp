@@ -1,0 +1,81 @@
+#include "util/rng.hpp"
+
+#include <cstddef>
+
+#include "util/simd.hpp"
+
+namespace valkyrie::util {
+
+namespace {
+
+/// One chunk of the batch: big enough to amortize the vector loops, small
+/// enough to live on the stack.
+constexpr std::size_t kChunk = 64;
+
+/// Counter-mode normals for draw indices [index, index + n). Bit-identical
+/// to n scalar normal() calls on the same stream position: the uniform is
+/// the same hash, the central path is the same Horner chain (target_clones
+/// never enables FMA, so no contraction can re-round it), and tail draws
+/// are redone through the exact scalar inverse_normal_cdf.
+VALKYRIE_TARGET_CLONES
+void counter_normal_chunk(std::uint64_t seed, std::uint64_t epoch,
+                          std::uint64_t index, double* out,
+                          std::size_t n) noexcept {
+  double p[kChunk];
+  // Pass 1: pure-hash uniforms in (0, 1). Integer ops, vectorizes.
+  const std::uint64_t base =
+      seed + epoch * 0x9e3779b97f4a7c15ULL + index * 0xd1b54a32d192ed03ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t z = base + i * 0xd1b54a32d192ed03ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    p[i] = (static_cast<double>(z >> 11) + 0.5) * 0x1.0p-53;
+  }
+  // Pass 2: the central Acklam rational polynomial for every lane —
+  // multiply/add/divide chains over independent elements, vectorizes.
+  // Tail lanes compute garbage here (finite: the denominator never hits
+  // an exact zero on (0,1) inputs) and are overwritten in pass 3.
+  constexpr double a1 = -3.969683028665376e+01;
+  constexpr double a2 = 2.209460984245205e+02;
+  constexpr double a3 = -2.759285104469687e+02;
+  constexpr double a4 = 1.383577518672690e+02;
+  constexpr double a5 = -3.066479806614716e+01;
+  constexpr double a6 = 2.506628277459239e+00;
+  constexpr double b1 = -5.447609879822406e+01;
+  constexpr double b2 = 1.615858368580409e+02;
+  constexpr double b3 = -1.556989798598866e+02;
+  constexpr double b4 = 6.680131188771972e+01;
+  constexpr double b5 = -1.328068155288572e+01;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double q = p[i] - 0.5;
+    const double r = q * q;
+    out[i] = (((((a1 * r + a2) * r + a3) * r + a4) * r + a5) * r + a6) * q /
+             (((((b1 * r + b2) * r + b3) * r + b4) * r + b5) * r + 1.0);
+  }
+  // Pass 3: scalar fixup for the ~4.9% tail draws.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (p[i] < Rng::kCentralLow || p[i] > 1.0 - Rng::kCentralLow) {
+      out[i] = Rng::inverse_normal_cdf(p[i]);
+    }
+  }
+}
+
+}  // namespace
+
+void Rng::normal_batch(double* out, std::size_t n) noexcept {
+  if (kind_ != Kind::kCounter) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = normal();
+    return;
+  }
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t take = n - done < kChunk ? n - done : kChunk;
+    counter_normal_chunk(state_[0], state_[1], state_[2] + done, out + done,
+                         take);
+    done += take;
+  }
+  state_[2] += n;
+}
+
+}  // namespace valkyrie::util

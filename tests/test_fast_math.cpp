@@ -1,0 +1,227 @@
+// FastInference tier accuracy contract (PR 9). The fast transcendental
+// replacements (ml/fast_math.hpp) carry pinned error bounds — relative
+// error of fast_exp < 1e-9 over the clamp range, absolute error of
+// fast_sigmoid / fast_tanh < 1e-9 everywhere — and the tier switch on the
+// detectors must keep scalar and batch paths bit-identical WITHIN the fast
+// tier, exactly as the exact tier does. The default stays bit-exact: a
+// freshly built detector must not take the fast path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "ml/fast_math.hpp"
+#include "ml/mlp.hpp"
+#include "ml/stat_detector.hpp"
+#include "ml/window_accumulator.hpp"
+#include "util/rng.hpp"
+
+namespace valkyrie::ml {
+namespace {
+
+// --- Error bounds ------------------------------------------------------------
+
+TEST(FastMath, ExpRelativeErrorUnderBoundAcrossTheClampRange) {
+  double worst = 0.0;
+  // Dense deterministic sweep plus randomized fill-in; the interesting
+  // regions are the reduction boundaries (multiples of ln2/2).
+  for (double x = -700.0; x <= 700.0; x += 0.037) {
+    const double want = std::exp(x);
+    const double got = fast_exp(x);
+    const double rel = std::abs(got - want) / want;  // want > 0 always
+    worst = std::max(worst, rel);
+  }
+  util::Rng rng(0xfa57);
+  for (int i = 0; i < 200000; ++i) {
+    const double x = rng.uniform(-700.0, 700.0);
+    const double want = std::exp(x);
+    const double rel = std::abs(fast_exp(x) - want) / want;
+    worst = std::max(worst, rel);
+  }
+  EXPECT_LT(worst, 1e-9) << "documented bound in ml/fast_math.hpp";
+}
+
+TEST(FastMath, SigmoidAndTanhAbsoluteErrorUnderBound) {
+  double worst_sig = 0.0;
+  double worst_tanh = 0.0;
+  for (double x = -60.0; x <= 60.0; x += 0.0013) {
+    worst_sig =
+        std::max(worst_sig, std::abs(fast_sigmoid(x) - 1.0 / (1.0 + std::exp(-x))));
+    worst_tanh = std::max(worst_tanh, std::abs(fast_tanh(x) - std::tanh(x)));
+  }
+  EXPECT_LT(worst_sig, 1e-9);
+  EXPECT_LT(worst_tanh, 1e-9);
+}
+
+TEST(FastMath, SaturatesFinitelyAtExtremeInputs) {
+  // No infs, no NaNs, correct saturation targets — detectors feed these
+  // functions unbounded logits.
+  for (const double x : {1e4, 1e6, 1e300}) {
+    EXPECT_TRUE(std::isfinite(fast_exp(x))) << x;
+    // Inputs below the clamp land on exp(-708) ~ 3e-308: vanishing but
+    // finite and positive, never denormal-underflow surprises.
+    EXPECT_GT(fast_exp(-x), 0.0) << x;
+    EXPECT_LT(fast_exp(-x), 1e-300) << x;
+    EXPECT_EQ(fast_sigmoid(x), 1.0) << x;
+    EXPECT_LT(fast_sigmoid(-x), 1e-300) << x;
+    EXPECT_EQ(fast_tanh(x), 1.0) << x;
+    EXPECT_EQ(fast_tanh(-x), -1.0) << x;
+  }
+  EXPECT_NEAR(fast_exp(0.0), 1.0, 0.0);
+  EXPECT_NEAR(fast_sigmoid(0.0), 0.5, 1e-12);
+}
+
+// --- Tier contract on the detectors ------------------------------------------
+
+hpc::HpcSignature benign_signature() {
+  hpc::HpcSignature sig;
+  sig.at(hpc::Event::kInstructions) = 3e8;
+  sig.at(hpc::Event::kCycles) = 3.5e8;
+  sig.at(hpc::Event::kL1dMisses) = 2e6;
+  sig.at(hpc::Event::kLlcMisses) = 4e5;
+  sig.at(hpc::Event::kMemBandwidth) = 5e7;
+  return sig;
+}
+
+hpc::HpcSignature attack_signature() {
+  hpc::HpcSignature sig;
+  sig.at(hpc::Event::kInstructions) = 4e7;
+  sig.at(hpc::Event::kCycles) = 3.5e8;
+  sig.at(hpc::Event::kLlcMisses) = 4e7;
+  sig.at(hpc::Event::kMemBandwidth) = 2e9;
+  return sig;
+}
+
+TraceSet training_corpus() {
+  util::Rng rng(0xc0ffee);
+  TraceSet set;
+  for (int label = 0; label < 2; ++label) {
+    const hpc::HpcSignature sig =
+        label == 1 ? attack_signature() : benign_signature();
+    for (int t = 0; t < 8; ++t) {
+      LabeledTrace trace;
+      trace.malicious = label == 1;
+      trace.name =
+          (trace.malicious ? "attack-" : "benign-") + std::to_string(t);
+      for (int i = 0; i < 25; ++i) trace.samples.push_back(sig.sample(rng));
+      set.traces.push_back(std::move(trace));
+    }
+  }
+  return set;
+}
+
+/// A feature-major summary batch of mixed benign/attack windows.
+struct Batch {
+  std::size_t count = 0;
+  std::vector<double> newest;
+  std::vector<double> mean;
+  std::vector<double> stddev;
+  std::vector<std::size_t> counts;
+  [[nodiscard]] SummaryMatrixView view() const {
+    SummaryMatrixView v;
+    v.newest = newest.data();
+    v.mean = mean.data();
+    v.stddev = stddev.data();
+    v.counts = counts.data();
+    v.count = count;
+    v.stride = count;
+    return v;
+  }
+};
+
+Batch make_batch(std::size_t n) {
+  util::Rng rng(0xbeef);
+  Batch batch;
+  batch.count = n;
+  batch.newest.resize(hpc::kFeatureDim * n);
+  batch.mean.resize(hpc::kFeatureDim * n);
+  batch.stddev.resize(hpc::kFeatureDim * n);
+  batch.counts.resize(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    WindowAccumulator acc;
+    const hpc::HpcSignature sig =
+        c % 3 == 1 ? attack_signature() : benign_signature();
+    const int len = 4 + static_cast<int>(rng.below(24));
+    for (int i = 0; i < len; ++i) acc.add(sig.sample(rng));
+    const WindowSummary summary = acc.summary();
+    batch.counts[c] = summary.count;
+    for (std::size_t f = 0; f < hpc::kFeatureDim; ++f) {
+      batch.newest[f * n + c] = summary.newest[f];
+      batch.mean[f * n + c] = summary.mean[f];
+      batch.stddev[f * n + c] = summary.stddev[f];
+    }
+  }
+  return batch;
+}
+
+TEST(FastMath, DefaultTierIsBitExact) {
+  const MlpDetector mlp = MlpDetector::make_small_ann(training_corpus(), 0x5eed);
+  EXPECT_EQ(mlp.tier(), InferenceTier::kBitExact);
+  StatisticalDetector stat{StatDetectorConfig{}};
+  EXPECT_EQ(stat.tier(), InferenceTier::kBitExact);
+}
+
+TEST(FastMath, MlpFastTierScalarEqualsFastTierBatch) {
+  MlpDetector fast = MlpDetector::make_small_ann(training_corpus(), 0x5eed);
+  fast.set_tier(InferenceTier::kFast);
+  const Batch batch = make_batch(61);  // odd: ragged vector tail
+  const SummaryMatrixView view = batch.view();
+  std::vector<Inference> batched(batch.count, Inference::kInvalid);
+  fast.infer_batch(view, batched);
+  for (std::size_t c = 0; c < batch.count; ++c) {
+    EXPECT_EQ(batched[c], fast.infer(view.gather(c))) << "column " << c;
+  }
+}
+
+TEST(FastMath, FastTierAgreesWithExactAwayFromTheBoundary) {
+  // 1e-9-scale logit perturbations can only flip a decision within 1e-9 of
+  // the threshold; on separated corpus-like windows the tiers must agree.
+  MlpDetector exact = MlpDetector::make_small_ann(training_corpus(), 0x5eed);
+  MlpDetector fast = MlpDetector::make_small_ann(training_corpus(), 0x5eed);
+  fast.set_tier(InferenceTier::kFast);
+  const Batch batch = make_batch(96);
+  const SummaryMatrixView view = batch.view();
+  std::vector<Inference> from_exact(batch.count, Inference::kInvalid);
+  std::vector<Inference> from_fast(batch.count, Inference::kInvalid);
+  exact.infer_batch(view, from_exact);
+  fast.infer_batch(view, from_fast);
+  EXPECT_EQ(from_exact, from_fast);
+}
+
+TEST(FastMath, StatFastTierScalarEqualsFastTierBatch) {
+  StatDetectorConfig config;
+  config.vote_window = StatisticalDetector::kWholeWindow;
+  StatisticalDetector fast(config);
+  fast.fit(flatten(training_corpus()));
+  fast.set_tier(InferenceTier::kFast);
+  const Batch batch = make_batch(45);
+  const SummaryMatrixView view = batch.view();
+  std::vector<Inference> batched(batch.count, Inference::kInvalid);
+  fast.infer_batch(view, batched);
+  for (std::size_t c = 0; c < batch.count; ++c) {
+    EXPECT_EQ(batched[c], fast.infer(view.gather(c))) << "column " << c;
+  }
+}
+
+TEST(FastMath, StatFastTierAgreesWithExactOnSeparatedWindows) {
+  StatDetectorConfig config;
+  config.vote_window = StatisticalDetector::kWholeWindow;
+  StatisticalDetector exact(config);
+  exact.fit(flatten(training_corpus()));
+  StatisticalDetector fast(config);
+  fast.fit(flatten(training_corpus()));
+  fast.set_tier(InferenceTier::kFast);
+  const Batch batch = make_batch(96);
+  const SummaryMatrixView view = batch.view();
+  std::vector<Inference> from_exact(batch.count, Inference::kInvalid);
+  std::vector<Inference> from_fast(batch.count, Inference::kInvalid);
+  exact.infer_batch(view, from_exact);
+  fast.infer_batch(view, from_fast);
+  EXPECT_EQ(from_exact, from_fast);
+}
+
+}  // namespace
+}  // namespace valkyrie::ml
