@@ -142,13 +142,10 @@ void ValkyrieEngine::reserve(std::size_t max_processes) {
 void ValkyrieEngine::attach(sim::ProcessId pid, ValkyrieConfig config,
                             std::unique_ptr<Actuator> actuator,
                             const ml::Detector* terminal_detector) {
-  if (pid < attached_index_.size() && attached_index_[pid] >= 0) {
+  if (attached_index_.contains(pid)) {
     throw std::invalid_argument("ValkyrieEngine: process already attached");
   }
-  if (pid >= attached_index_.size()) {
-    attached_index_.resize(static_cast<std::size_t>(pid) + 1, -1);
-  }
-  attached_index_[pid] = static_cast<std::int32_t>(attached_.size());
+  attached_index_.insert(pid, static_cast<std::uint32_t>(attached_.size()));
   Attached a{pid,
              ValkyrieMonitor(config, std::move(actuator)),
              terminal_detector,
@@ -165,7 +162,8 @@ void ValkyrieEngine::attach(sim::ProcessId pid, ValkyrieConfig config,
 }
 
 void ValkyrieEngine::detach(sim::ProcessId pid) {
-  if (pid >= attached_index_.size() || attached_index_[pid] < 0) {
+  const std::uint32_t* idx_entry = attached_index_.find(pid);
+  if (idx_entry == nullptr) {
     throw std::out_of_range("ValkyrieEngine: process not attached");
   }
   // Tombstone, don't erase: k detaches between steps cost one stable
@@ -173,8 +171,8 @@ void ValkyrieEngine::detach(sim::ProcessId pid) {
   // same mark-then-compact pattern SimSystem uses for slot retirement.
   // Stability keeps attachment order, so runs that mix detaches stay
   // bit-comparable across schedules by construction.
-  const auto idx = static_cast<std::size_t>(attached_index_[pid]);
-  attached_index_[pid] = -1;
+  const auto idx = static_cast<std::size_t>(*idx_entry);
+  attached_index_.erase(pid);
   attached_[idx].detached = true;
   ++detached_count_;
 }
@@ -186,7 +184,7 @@ void ValkyrieEngine::prune_detached() {
     if (attached_[i].detached) continue;
     if (w != i) {
       attached_[w] = std::move(attached_[i]);
-      attached_index_[attached_[w].pid] = static_cast<std::int32_t>(w);
+      attached_index_.at(attached_[w].pid) = static_cast<std::uint32_t>(w);
     }
     ++w;
   }
@@ -351,7 +349,7 @@ bool ValkyrieEngine::attempt_command(ActuatorCommand::Kind kind,
     // entries never hold pointers, so a snapshot-restored table re-binds
     // to the restored actuator objects automatically.
     Actuator* const act =
-        attached_[static_cast<std::size_t>(attached_index_[pid])]
+        attached_[static_cast<std::size_t>(attached_index_.at(pid))]
             .monitor.actuator();
     if (kind == ActuatorCommand::Kind::kApply) {
       act->apply(sys_, pid, delta);
@@ -561,10 +559,9 @@ std::size_t ValkyrieEngine::step_fused() {
       sys_.fold_plane_range(begin, end);
       for (std::size_t slot = begin; slot < end; ++slot) {
         const sim::ProcessId pid = live[slot];
-        if (pid >= attached_index_.size()) continue;
-        const std::int32_t idx = attached_index_[pid];
-        if (idx < 0) continue;
-        Attached& a = attached_[static_cast<std::size_t>(idx)];
+        const std::uint32_t* idx = attached_index_.find(pid);
+        if (idx == nullptr) continue;
+        Attached& a = attached_[*idx];
         a.last_action = ValkyrieMonitor::Action::kNone;
         a.last_action_step = step_tag_;
         if (batch_finished_[slot] != 0) continue;
@@ -575,10 +572,9 @@ std::size_t ValkyrieEngine::step_fused() {
     for (std::size_t slot = begin; slot < end; ++slot) {
       const sim::ProcessId pid = live[slot];
       const bool finished = sys_.step_slot(slot);
-      if (pid >= attached_index_.size()) continue;
-      const std::int32_t idx = attached_index_[pid];
-      if (idx < 0) continue;
-      Attached& a = attached_[static_cast<std::size_t>(idx)];
+      const std::uint32_t* idx = attached_index_.find(pid);
+      if (idx == nullptr) continue;
+      Attached& a = attached_[*idx];
       a.last_action = ValkyrieMonitor::Action::kNone;
       a.last_action_step = step_tag_;
       // A process that completed this epoch gets no inference — exactly as
@@ -683,10 +679,9 @@ std::size_t ValkyrieEngine::step_batched() {
 
     for (std::size_t slot = begin; slot < end; ++slot) {
       const sim::ProcessId pid = live[slot];
-      if (pid >= attached_index_.size()) continue;
-      const std::int32_t idx = attached_index_[pid];
-      if (idx < 0) continue;
-      Attached& a = attached_[static_cast<std::size_t>(idx)];
+      const std::uint32_t* idx = attached_index_.find(pid);
+      if (idx == nullptr) continue;
+      Attached& a = attached_[*idx];
       a.last_action = ValkyrieMonitor::Action::kNone;
       a.last_action_step = step_tag_;
       // A process that completed this epoch gets no inference — exactly as
@@ -812,10 +807,11 @@ void ValkyrieEngine::run(std::size_t epochs) {
 
 const ValkyrieEngine::Attached& ValkyrieEngine::attachment(
     sim::ProcessId pid) const {
-  if (pid >= attached_index_.size() || attached_index_[pid] < 0) {
+  const std::uint32_t* idx = attached_index_.find(pid);
+  if (idx == nullptr) {
     throw std::out_of_range("ValkyrieEngine: process not attached");
   }
-  return attached_[static_cast<std::size_t>(attached_index_[pid])];
+  return attached_[*idx];
 }
 
 const ValkyrieMonitor& ValkyrieEngine::monitor(sim::ProcessId pid) const {
@@ -921,7 +917,6 @@ void ValkyrieEngine::restore_from(const snapshot::EngineImage& image,
   // actuators and can throw) before committing anything.
   std::vector<Attached> staged;
   staged.reserve(image.attachments.size());
-  sim::ProcessId max_pid = 0;
   for (const snapshot::AttachmentImage& att : image.attachments) {
     if (att.monitor.state >
             static_cast<std::uint8_t>(ProcessState::kTerminated) ||
@@ -956,16 +951,14 @@ void ValkyrieEngine::restore_from(const snapshot::EngineImage& image,
         static_cast<std::size_t>(att.terminal_malicious),
         static_cast<std::size_t>(att.terminal_counted));
     staged.push_back(std::move(a));
-    max_pid = std::max(max_pid, att.pid);
   }
-  std::vector<std::int32_t> index(
-      staged.empty() ? 0 : static_cast<std::size_t>(max_pid) + 1, -1);
+  util::PidMap<std::uint32_t> index;
+  index.reserve(staged.size());
   for (std::size_t i = 0; i < staged.size(); ++i) {
-    if (index[staged[i].pid] >= 0) {
+    if (!index.insert(staged[i].pid, static_cast<std::uint32_t>(i)).second) {
       throw SerialError(SerialError::Code::kMalformed,
                         "restore: duplicate attachment pid");
     }
-    index[staged[i].pid] = static_cast<std::int32_t>(i);
   }
 
   std::vector<PendingRetry> staged_retries;

@@ -14,6 +14,7 @@
 #include "core/threat.hpp"
 #include "ml/detector.hpp"
 #include "sim/system.hpp"
+#include "util/pid_map.hpp"
 #include "util/thread_pool.hpp"
 
 namespace valkyrie::snapshot {
@@ -293,7 +294,7 @@ class ValkyrieEngine {
   [[nodiscard]] const ValkyrieMonitor& monitor(sim::ProcessId pid) const;
 
   [[nodiscard]] bool is_attached(sim::ProcessId pid) const noexcept {
-    return pid < attached_index_.size() && attached_index_[pid] >= 0;
+    return attached_index_.find(pid) != nullptr;
   }
 
   /// The action the process's monitor took in the most recent step()
@@ -458,9 +459,12 @@ class ValkyrieEngine {
   const ml::Detector& detector_;
   StepMode mode_;
   std::vector<Attached> attached_;
-  // pid -> index into attached_ (-1 = not attached): O(1) monitor lookup
-  // for callers and for the shards.
-  std::vector<std::int32_t> attached_index_;
+  // pid -> index into attached_ (absent = not attached): O(1) monitor
+  // lookup for callers and for the shards. Robin-hood hashed, so the table
+  // is O(attached), not O(largest pid ever) — million-pid churn runs keep
+  // it flat. Mutated only in the serial phases (attach / detach / prune /
+  // restore); the parallel shards perform const lookups only.
+  util::PidMap<std::uint32_t> attached_index_;
   std::unique_ptr<util::ThreadPool> pool_;  // null when sequential
   // One pre-reserved command buffer per shard, reused every epoch.
   std::vector<std::vector<ActuatorCommand>> shard_commands_;

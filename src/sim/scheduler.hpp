@@ -16,6 +16,8 @@
 #include <span>
 #include <vector>
 
+#include "util/pid_map.hpp"
+
 namespace valkyrie::sim {
 
 using ProcessId = std::uint32_t;
@@ -41,23 +43,41 @@ struct SchedulerConfig {
   double min_share_fraction = 0.01;
 };
 
+/// One keyed row of the factor table, the snapshot-capture form. The factor
+/// keeps the table's sign encoding: positive = runnable, negative = parked
+/// retired weight (magnitude = last factor held). Zero never appears — a
+/// pid with no weight simply has no entry.
+struct SchedFactorEntry {
+  ProcessId pid = 0;
+  double factor = 0.0;
+};
+
 class CfsScheduler {
  public:
   explicit CfsScheduler(const SchedulerConfig& config = {});
 
-  /// Pre-sizes the dense weight table for pids < max_pids, so admissions
-  /// and retirements under steady-state churn never reallocate it.
+  /// Pre-sizes the weight table for `max_pids` simultaneously tracked
+  /// processes (runnable + parked), so admissions and retirements under
+  /// steady-state churn never reallocate it. Unlike the dense-table era
+  /// this bounds the PEAK TRACKED population, not the largest pid value —
+  /// pids can grow without bound while the table stays this size.
   void reserve(std::size_t max_pids);
 
   void add_process(ProcessId pid);
   void remove_process(ProcessId pid);
 
-  /// Batch admission/retirement: one capacity check for the whole delta
-  /// instead of a per-call resize probe. SimSystem retires through the
-  /// batch form (one compaction pass removes the epoch's dead pids
-  /// together); the single-pid calls above are wrappers over these.
+  /// Batch admission/retirement. SimSystem retires through the batch form
+  /// (one compaction pass removes the epoch's dead pids together); the
+  /// single-pid calls above are wrappers over these.
   void add_processes(std::span<const ProcessId> pids);
   void remove_processes(std::span<const ProcessId> pids);
+
+  /// Drops a PARKED (removed) pid's weight from the table entirely — the
+  /// retention window closing on a retired process. No-op if the pid is
+  /// unknown; throws std::logic_error if the pid is still runnable (a
+  /// caller must remove before it forgets). After this, weight_factor(pid)
+  /// throws: the retired-observability contract ends with the window.
+  void forget_process(ProcessId pid);
 
   [[nodiscard]] bool has_process(ProcessId pid) const;
 
@@ -65,7 +85,7 @@ class CfsScheduler {
   /// (0, 1]: 1 = untouched, lower = demoted by the actuator. For a removed
   /// (retired) process this keeps answering with the last weight it held —
   /// the same retired-observability contract SimSystem's pid-addressed
-  /// accessors keep — while the weight itself no longer competes for CPU.
+  /// accessors keep — until forget_process reclaims the entry.
   [[nodiscard]] double weight_factor(ProcessId pid) const;
 
   /// Applies Eq. 8 with the configured gamma for a threat-index change of
@@ -90,19 +110,32 @@ class CfsScheduler {
   /// above as long as `total` is this scheduler's current total_weight().
   [[nodiscard]] double normalized_share(ProcessId pid, double total) const;
 
+  /// The share math of normalized_share from an already-fetched raw factor
+  /// (sign ignored) — the hash-free hot path: SimSystem batch-gathers the
+  /// live factors once per epoch (gather_factors) and computes each slot's
+  /// share from the cached value. Bit-identical to
+  /// normalized_share(pid, total) for the factor stored under `pid`.
+  [[nodiscard]] static double share_from_factor(double raw_factor,
+                                                double total);
+
   /// Sum of every runnable process's weight factor plus the background
-  /// weight. One pass over the whole pid-indexed table; pair with the
-  /// normalized_share overload above.
+  /// weight. Gathers and sums in ascending-pid order (bit-deterministic
+  /// regardless of hash-table layout); O(tracked) with an allocation —
+  /// epoch loops use the span overload or gather_factors instead.
   [[nodiscard]] double total_weight() const;
 
   /// Churn-proof variant: sums the factors of exactly the given live pids
-  /// (plus background). The pid-indexed table grows with every process
-  /// ever spawned, so under sustained churn the all-pids pass above is
-  /// O(total spawned) per epoch while this one stays O(live). Bit-identical
-  /// to total_weight() whenever `live` is every runnable pid in ascending
-  /// order — which SimSystem's slot list guarantees (stable compaction
-  /// keeps slot order ascending-pid, the same order the table pass visits).
+  /// (plus background), in span order. Bit-identical to total_weight()
+  /// whenever `live` is every runnable pid in ascending order — which
+  /// SimSystem's slot list guarantees (stable compaction keeps slot order
+  /// ascending-pid). Uses the batched prefetching lookup.
   [[nodiscard]] double total_weight(std::span<const ProcessId> live) const;
+
+  /// Batched raw-factor gather: out[i] = the signed stored factor for
+  /// pids[i], or 0.0 when the pid has no entry. One prefetching pass; the
+  /// per-epoch share loop runs off this cache instead of hashing per slot.
+  void gather_factors(std::span<const ProcessId> pids,
+                      std::span<double> out) const;
 
   /// Absolute share of machine CPU (Eq. 7's s_t), before normalisation.
   [[nodiscard]] double absolute_share(ProcessId pid) const;
@@ -114,32 +147,40 @@ class CfsScheduler {
     return config_;
   }
 
-  /// The raw pid-indexed factor table (including 0 never-added markers and
-  /// negative parked weights), for snapshot capture.
-  [[nodiscard]] std::span<const double> factor_table() const noexcept {
-    return factor_;
-  }
+  /// The factor table as keyed entries sorted by ascending pid — the
+  /// canonical snapshot form (hash-layout-independent, so capture bytes
+  /// are identical across capacity histories). Sign encoding preserved.
+  [[nodiscard]] std::vector<SchedFactorEntry> factor_entries() const;
 
-  /// Replaces the whole factor table from a snapshot. The encoding
-  /// (0 / positive / negative) is restored verbatim, so parked retired
-  /// weights stay observable exactly as at capture time.
-  void restore_factor_table(std::vector<double> table) {
-    factor_ = std::move(table);
+  /// Replaces the whole factor table from snapshot entries. The encoding
+  /// (positive / negative) is restored verbatim, so parked retired weights
+  /// stay observable exactly as at capture time.
+  void restore_factor_entries(std::span<const SchedFactorEntry> entries);
+
+  /// Entry count (runnable + parked), for the bounded-capacity tests.
+  [[nodiscard]] std::size_t table_size() const noexcept {
+    return factor_.size();
+  }
+  /// Hash-table bucket count — the leak regression tests pin that this
+  /// stays bounded under churn once retirement reclamation runs.
+  [[nodiscard]] std::size_t table_capacity() const noexcept {
+    return factor_.capacity();
   }
 
  private:
   SchedulerConfig config_;
-  // pid -> weight factor, dense. SimSystem allocates pids densely from 0, so
-  // the per-epoch share lookups (one weight_factor per live process) are
-  // plain vector reads instead of hash probes. Three states share the one
-  // array: 0.0 marks a pid never added; a positive value is a runnable
-  // process's factor; a NEGATIVE value parks a removed (retired) process —
-  // the magnitude is the last factor it held, kept readable for
-  // post-mortem observers while total_weight() no longer counts it. The
+  // pid -> weight factor, robin-hood hashed (util::PidMap). Two states
+  // share the one value: a positive value is a runnable process's factor; a
+  // NEGATIVE value parks a removed (retired) process — the magnitude is the
+  // last factor it held, kept readable for post-mortem observers while
+  // total_weight() no longer counts it. A pid with no entry was never
+  // added, or had its parked weight reclaimed by forget_process. The sign
   // encoding is airtight because a runnable factor is clamped to
-  // [min_share_fraction, 1] with min_share_fraction > 0, so neither 0 nor
-  // a negative ever collides with a live weight.
-  std::vector<double> factor_;
+  // [min_share_fraction, 1] with min_share_fraction > 0, so a negative
+  // never collides with a live weight. Unlike the dense pid-indexed table
+  // this used to be, memory is O(tracked processes), not O(largest pid):
+  // under churn with reclamation the table stays flat forever.
+  util::PidMap<double> factor_;
 };
 
 }  // namespace valkyrie::sim

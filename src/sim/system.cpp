@@ -31,9 +31,10 @@ ProcessId SimSystem::spawn(std::unique_ptr<Workload> workload) {
   if (workload == nullptr) {
     throw std::invalid_argument("SimSystem::spawn: null workload");
   }
-  const auto pid = static_cast<ProcessId>(cold_.size());
+  const auto pid = static_cast<ProcessId>(next_pid_++);
 
-  ColdProc cold;
+  const std::uint32_t row = alloc_row();
+  ColdProc& cold = cold_[row];
   cold.workload = std::move(workload);
   if (!history_pool_.empty()) {
     // Retirement pool: inherit a retired process's history buffer,
@@ -41,7 +42,6 @@ ProcessId SimSystem::spawn(std::unique_ptr<Workload> workload) {
     cold.history = std::move(history_pool_.back());
     history_pool_.pop_back();
   }
-  cold_.push_back(std::move(cold));
 
   // The scheduler weight registers at spawn either way: totals are
   // live-list sums, so a pending pid's factor competes for nothing until
@@ -51,27 +51,39 @@ ProcessId SimSystem::spawn(std::unique_ptr<Workload> workload) {
   if (epoch_open_) {
     // The hot arrays are frozen under the running dispatch: queue the
     // admission; it commits at the epoch boundary, in spawn order.
-    pid_slot_.push_back(kPendingSlot);
+    pid_map_.insert(pid, {kPendingSlot, row});
     pending_admit_.push_back(pid);
     return pid;
   }
-  pid_slot_.push_back(kNoSlot);  // admit_slot writes the real slot
+  pid_map_.insert(pid, {kNoSlot, row});  // admit_slot writes the real slot
   admit_slot(pid);
   return pid;
+}
+
+std::uint32_t SimSystem::alloc_row() {
+  if (!free_rows_.empty()) {
+    const std::uint32_t row = free_rows_.back();
+    free_rows_.pop_back();
+    return row;
+  }
+  cold_.emplace_back();
+  return static_cast<std::uint32_t>(cold_.size() - 1);
 }
 
 void SimSystem::admit_slot(ProcessId pid) {
   // New pids are maximal, so appending keeps the slot order ascending in
   // pid — the invariant the stable compaction preserves.
   const auto slot = static_cast<std::uint32_t>(slot_pid_.size());
-  pid_slot_[pid] = slot;
+  PidRec& rec = pid_map_.at(pid);
+  rec.slot = slot;
   slot_pid_.push_back(pid);
+  row_s_.push_back(rec.row);
   rng_s_.push_back(rng_.fork());
   // Seeded from the retired snapshot, not default-constructed: caps set
   // while the admission was pending were routed there, and must apply
   // from the process's first epoch. A fresh pid's snapshot is all
   // defaults, so the common path is unchanged.
-  cgroup_s_.push_back(cold_[pid].retired.cgroup);
+  cgroup_s_.push_back(cold_[rec.row].retired.cgroup);
   effective_s_.emplace_back();
   last_sample_s_.emplace_back();
   accum_s_.emplace_back();
@@ -107,8 +119,17 @@ void SimSystem::reserve(std::size_t max_processes) {
     throw std::logic_error("SimSystem::reserve: epoch in progress");
   }
   cold_.reserve(max_processes);
-  pid_slot_.reserve(max_processes);
+  free_rows_.reserve(max_processes);
+  pid_map_.reserve(max_processes);
+  // The retire queue's lazy prefix compaction lets up to kRetireCompactMin
+  // drained entries sit ahead of the pending ones before the erase fires,
+  // so the vector's length peaks at pending + max(kRetireCompactMin,
+  // pending) — reserve that, or the first compaction cycle of a
+  // steady-state churn run would reallocate once.
+  retire_queue_.reserve(2 * max_processes + kRetireCompactMin);
   slot_pid_.reserve(max_processes);
+  row_s_.reserve(max_processes);
+  factor_s_.reserve(max_processes);
   rng_s_.reserve(max_processes);
   cgroup_s_.reserve(max_processes);
   effective_s_.reserve(max_processes);
@@ -335,17 +356,18 @@ void SimSystem::history_spans(const ColdProc& cold,
 }
 
 SimSystem::HistoryView SimSystem::history_view(ProcessId pid) const {
-  (void)slot_checked(pid);
+  const PidRec rec = rec_checked(pid);
   HistoryView view;
-  history_spans(cold_[pid], view.older, view.newer);
+  history_spans(cold_[rec.row], view.older, view.newer);
   return view;
 }
 
-std::uint32_t SimSystem::slot_checked(ProcessId pid) const {
-  if (pid >= pid_slot_.size()) {
+SimSystem::PidRec SimSystem::rec_checked(ProcessId pid) const {
+  const PidRec* rec = pid_map_.find(pid);
+  if (rec == nullptr) {
     throw std::out_of_range("SimSystem: unknown process id");
   }
-  return pid_slot_[pid];
+  return *rec;
 }
 
 void SimSystem::begin_epoch() {
@@ -355,12 +377,18 @@ void SimSystem::begin_epoch() {
   // Slots killed since the last epoch retire now, in one pass — a
   // step_slot on a stale slot would re-execute a dead process.
   if (retire_pending_) retire_dead_slots();
-  // Serial global phase: one pass over the live list's weights. Every
-  // per-slot share below is then O(1), where re-summing inside
-  // normalized_share(pid) would make the epoch O(P^2). The live-list
-  // overload (not the whole-table pass) keeps this O(live) when churn has
-  // grown the pid space far past the live population.
-  epoch_total_weight_ = scheduler_.total_weight(slot_pid_);
+  // Serial global phase: ONE batched prefetching gather of the live list's
+  // raw factors into the slot-indexed cache, then a slot-order sum. Every
+  // per-slot share below is then a pure function of factor_s_[slot] — the
+  // epoch loop never probes the hash table. The sum visits the same
+  // factors in the same (ascending-pid) order as the dense era's live-list
+  // pass, so the total is bit-identical.
+  const std::size_t live = slot_pid_.size();
+  factor_s_.resize(live);
+  scheduler_.gather_factors(slot_pid_, factor_s_);
+  double total = scheduler_.config().background_weight_units;
+  for (const double factor : factor_s_) total += std::max(factor, 0.0);
+  epoch_total_weight_ = total;
   epoch_any_exited_.store(false, std::memory_order_relaxed);
   epoch_open_ = true;
 }
@@ -369,14 +397,15 @@ bool SimSystem::step_slot(std::size_t slot) {
   if (!epoch_open_ || slot >= slot_pid_.size()) {
     throw std::logic_error("SimSystem::step_slot: no open epoch / bad slot");
   }
-  const ProcessId pid = slot_pid_[slot];
-
   // Effective CPU share: the scheduler's (possibly demoted) share capped
   // by any cgroup CPU quota. Other resources come from cgroup caps alone.
+  // The share comes from the factor cache begin_epoch gathered — same bits
+  // as normalized_share(pid, total), no hash probe on the hot path.
   const ResourceShares& cg = cgroup_s_[slot];
   ResourceShares eff;
-  eff.cpu = std::min(scheduler_.normalized_share(pid, epoch_total_weight_),
-                     cg.cpu);
+  eff.cpu = std::min(
+      CfsScheduler::share_from_factor(factor_s_[slot], epoch_total_weight_),
+      cg.cpu);
   eff.mem = cg.mem;
   eff.net = cg.net;
   eff.fs = cg.fs;
@@ -393,7 +422,7 @@ bool SimSystem::step_slot(std::size_t slot) {
   ctx.hpc_noise = platform_.hpc_noise;
   ctx.rng = &rng_s_[slot];
 
-  ColdProc& cold = cold_[pid];
+  ColdProc& cold = cold_[row_s_[slot]];
   StepResult step = cold.workload->run_epoch(eff, ctx);
   // Sensor fault plane (armed only): inject this (epoch, pid)'s scheduled
   // fault into the captured sample, then validate it. A quarantined sample
@@ -602,13 +631,13 @@ void SimSystem::arm_sensor_faults(const fault::FaultPlane* plane) {
 }
 
 std::uint64_t SimSystem::invalid_streak(ProcessId pid) const {
-  const std::uint32_t slot = slot_checked(pid);
+  const std::uint32_t slot = rec_checked(pid).slot;
   return is_hot_slot(slot) ? invalid_streak_s_[slot] : 0;
 }
 
 std::array<std::uint32_t, hpc::kFeatureDim> SimSystem::feature_streaks(
     ProcessId pid) const {
-  const std::uint32_t slot = slot_checked(pid);
+  const std::uint32_t slot = rec_checked(pid).slot;
   return is_hot_slot(slot) ? feature_streak_s_[slot]
                            : std::array<std::uint32_t, hpc::kFeatureDim>{};
 }
@@ -648,7 +677,7 @@ void SimSystem::commit_lifecycle() {
   // during the epoch keeps kCompleted: the process finished before the
   // kill could land.
   for (const ProcessId pid : pending_kill_) {
-    const std::uint32_t slot = pid_slot_[pid];
+    const std::uint32_t slot = pid_map_.at(pid).slot;
     if (is_hot_slot(slot) && exit_s_[slot] == ExitReason::kRunning) {
       exit_s_[slot] = ExitReason::kKilled;
       epoch_any_exited_.store(true, std::memory_order_relaxed);
@@ -659,12 +688,16 @@ void SimSystem::commit_lifecycle() {
   if (epoch_any_exited_.load(std::memory_order_relaxed)) retire_dead_slots();
   // (3) Admissions append in spawn order, after compaction, so the slot
   // order stays ascending-pid. Cancelled admissions (killed while
-  // pending) were already diverted to the retired table by kill().
+  // pending) were already diverted to the retired state by kill().
   for (const ProcessId pid : pending_admit_) {
-    if (pid_slot_[pid] != kPendingSlot) continue;  // cancelled
+    if (pid_map_.at(pid).slot != kPendingSlot) continue;  // cancelled
     admit_slot(pid);
   }
   pending_admit_.clear();
+  // (4) Retention-window reclamation, LAST: a cancelled admission queued
+  // for reclaim must still be visible to step (3)'s cancellation check at
+  // this boundary before its map entry can ever be dropped.
+  drain_retired();
 }
 
 void SimSystem::run_epoch(util::ThreadPool* pool) {
@@ -701,8 +734,8 @@ void SimSystem::run_epochs(std::size_t n, util::ThreadPool* pool) {
 }
 
 void SimSystem::reserve_history(std::size_t epochs) {
-  for (const ProcessId pid : slot_pid_) {
-    std::vector<hpc::HpcSample>& history = cold_[pid].history;
+  for (const std::uint32_t row : row_s_) {
+    std::vector<hpc::HpcSample>& history = cold_[row].history;
     std::size_t want = history.size() + epochs;
     // A bounded ring never grows past its capacity.
     if (history_cap_ != 0) want = std::min(want, history_cap_);
@@ -710,11 +743,10 @@ void SimSystem::reserve_history(std::size_t epochs) {
   }
 }
 
-void SimSystem::reclaim_cold(ProcessId pid) {
+void SimSystem::reclaim_cold(ColdProc& cold) {
   // Retirement pool: the history buffer (capacity intact) feeds the next
   // admission; the workload is destroyed. The scalar retirement snapshot
   // stays, so the cheap post-mortem observers keep answering.
-  ColdProc& cold = cold_[pid];
   // A capacity-less buffer (a cancelled admission that never inherited
   // one) is not worth pooling: popping it later would hand a fresh
   // process an empty buffer in place of a real donation.
@@ -727,6 +759,60 @@ void SimSystem::reclaim_cold(ProcessId pid) {
   cold.workload.reset();
 }
 
+void SimSystem::release_row(std::uint32_t row) {
+  // Full reclaim: everything reclaim_cold leaves behind goes too — the
+  // retirement snapshot resets and the row returns to the free pool for
+  // the next spawn. The history buffer is donated even without recycling
+  // armed (spawn consumes the pool unconditionally), so a retention-bound
+  // run recycles buffers at reclaim granularity.
+  ColdProc& cold = cold_[row];
+  reclaim_cold(cold);
+  cold.retired = RetiredState{};
+  free_rows_.push_back(row);
+}
+
+void SimSystem::enable_retirement_retention(std::uint64_t window_epochs) {
+  if (epoch_open_) {
+    throw std::logic_error(
+        "SimSystem::enable_retirement_retention: epoch open");
+  }
+  if (window_epochs == 0) {
+    // Drivers read exit state at the boundary that retires a process; a
+    // zero window would reclaim it out from under them mid-commit.
+    throw std::invalid_argument(
+        "SimSystem::enable_retirement_retention: zero window");
+  }
+  retention_enabled_ = true;
+  retention_epochs_ = window_epochs;
+}
+
+void SimSystem::drain_retired() {
+  if (!retention_enabled_) return;
+  while (retire_head_ < retire_queue_.size()) {
+    const RetiredPid entry = retire_queue_[retire_head_];
+    // Entries carry non-decreasing epochs (epoch_ is monotone), so the
+    // first unexpired entry ends the drain.
+    if (epoch_ < entry.epoch + retention_epochs_) break;
+    ++retire_head_;
+    const PidRec rec = pid_map_.at(entry.pid);
+    release_row(rec.row);
+    pid_map_.erase(entry.pid);
+    scheduler_.forget_process(entry.pid);
+  }
+  if (retire_head_ == retire_queue_.size()) {
+    retire_queue_.clear();
+    retire_head_ = 0;
+  } else if (retire_head_ >= kRetireCompactMin &&
+             retire_head_ >= retire_queue_.size() / 2) {
+    // Compact the consumed prefix in place (no allocation) so steady-state
+    // churn keeps the queue's footprint at O(window), not O(total spawns).
+    retire_queue_.erase(
+        retire_queue_.begin(),
+        retire_queue_.begin() + static_cast<std::ptrdiff_t>(retire_head_));
+    retire_head_ = 0;
+  }
+}
+
 void SimSystem::retire_dead_slots() {
   retire_pending_ = false;
   lifecycle_scratch_.clear();
@@ -737,7 +823,8 @@ void SimSystem::retire_dead_slots() {
     if (exit_s_[s] == ExitReason::kRunning) {
       if (w != s) {
         slot_pid_[w] = pid;
-        pid_slot_[pid] = static_cast<std::uint32_t>(w);
+        pid_map_.at(pid).slot = static_cast<std::uint32_t>(w);
+        row_s_[w] = row_s_[s];
         rng_s_[w] = rng_s_[s];
         cgroup_s_[w] = cgroup_s_[s];
         effective_s_[w] = effective_s_[s];
@@ -765,7 +852,9 @@ void SimSystem::retire_dead_slots() {
       }
       ++w;
     } else {
-      RetiredState& retired = cold_[pid].retired;
+      PidRec& rec = pid_map_.at(pid);
+      ColdProc& cold = cold_[rec.row];
+      RetiredState& retired = cold.retired;
       retired.cgroup = cgroup_s_[s];
       retired.effective = effective_s_[s];
       retired.last_sample = last_sample_s_[s];
@@ -777,9 +866,13 @@ void SimSystem::retire_dead_slots() {
       retired.last_progress = last_progress_s_[s];
       retired.epochs_run = epochs_run_s_[s];
       retired.exit = exit_s_[s];
-      pid_slot_[pid] = kNoSlot;
+      rec.slot = kNoSlot;
       lifecycle_scratch_.push_back(pid);
-      if (recycle_histories_) reclaim_cold(pid);
+      if (recycle_histories_) reclaim_cold(cold);
+      // Retention: schedule the full reclaim for when the window closes.
+      // epoch_ is monotone, so queue epochs are non-decreasing (FIFO drain
+      // can stop at the first unexpired entry).
+      if (retention_enabled_) retire_queue_.push_back({pid, epoch_});
     }
   }
   // One batch call takes the retired pids' weights out of the CFS pool —
@@ -788,6 +881,7 @@ void SimSystem::retire_dead_slots() {
   lifecycle_scratch_.clear();
   // Shrinking never releases capacity, so later spawns reuse it.
   slot_pid_.resize(w);
+  row_s_.resize(w);
   rng_s_.resize(w);
   cgroup_s_.resize(w);
   effective_s_.resize(w);
@@ -813,9 +907,9 @@ void SimSystem::set_cgroup_caps(ProcessId pid, std::optional<double> cpu,
                                 std::optional<double> mem,
                                 std::optional<double> net,
                                 std::optional<double> fs) {
-  const std::uint32_t slot = slot_checked(pid);
-  ResourceShares& cg =
-      is_hot_slot(slot) ? cgroup_s_[slot] : cold_[pid].retired.cgroup;
+  const PidRec rec = rec_checked(pid);
+  ResourceShares& cg = is_hot_slot(rec.slot) ? cgroup_s_[rec.slot]
+                                             : cold_[rec.row].retired.cgroup;
   const auto clamp01 = [](double v) { return std::clamp(v, 0.0, 1.0); };
   if (cpu) cg.cpu = clamp01(*cpu);
   if (mem) cg.mem = clamp01(*mem);
@@ -824,31 +918,36 @@ void SimSystem::set_cgroup_caps(ProcessId pid, std::optional<double> cpu,
 }
 
 void SimSystem::clear_cgroup_caps(ProcessId pid) {
-  const std::uint32_t slot = slot_checked(pid);
-  (is_hot_slot(slot) ? cgroup_s_[slot] : cold_[pid].retired.cgroup) =
-      ResourceShares{};
+  const PidRec rec = rec_checked(pid);
+  (is_hot_slot(rec.slot) ? cgroup_s_[rec.slot]
+                         : cold_[rec.row].retired.cgroup) = ResourceShares{};
 }
 
 void SimSystem::apply_sched_threat_delta(ProcessId pid, double delta_threat) {
-  (void)slot_checked(pid);  // validate pid
+  (void)rec_checked(pid);  // validate pid
   scheduler_.apply_threat_delta(pid, delta_threat);
 }
 
 void SimSystem::reset_sched_weight(ProcessId pid) {
-  (void)slot_checked(pid);  // validate pid
+  (void)rec_checked(pid);  // validate pid
   scheduler_.reset_weight(pid);
 }
 
 void SimSystem::kill(ProcessId pid) {
-  const std::uint32_t slot = slot_checked(pid);
+  const PidRec rec = rec_checked(pid);
+  const std::uint32_t slot = rec.slot;
   if (slot == kPendingSlot) {
     // Killed before its admission committed: cancel the admission. The
-    // process never runs; it exits straight into the retired table, and
+    // process never runs; it exits straight into the retired state, and
     // its spawn-registered scheduler weight parks like any retirement's.
-    pid_slot_[pid] = kNoSlot;
-    cold_[pid].retired.exit = ExitReason::kKilled;
+    ColdProc& cold = cold_[rec.row];
+    pid_map_.at(pid).slot = kNoSlot;
+    cold.retired.exit = ExitReason::kKilled;
     scheduler_.remove_process(pid);
-    if (recycle_histories_) reclaim_cold(pid);
+    if (recycle_histories_) reclaim_cold(cold);
+    // Cancelled admissions retire here, not in a compaction pass, so this
+    // is their entry into the retention queue.
+    if (retention_enabled_) retire_queue_.push_back({pid, epoch_});
     return;
   }
   if (slot == kNoSlot || exit_s_[slot] != ExitReason::kRunning) return;
@@ -868,58 +967,62 @@ void SimSystem::kill(ProcessId pid) {
 }
 
 bool SimSystem::is_live(ProcessId pid) const {
-  const std::uint32_t slot = slot_checked(pid);
+  const std::uint32_t slot = rec_checked(pid).slot;
   return is_hot_slot(slot) && exit_s_[slot] == ExitReason::kRunning;
 }
 
 ExitReason SimSystem::exit_reason(ProcessId pid) const {
-  const std::uint32_t slot = slot_checked(pid);
-  return is_hot_slot(slot) ? exit_s_[slot] : cold_[pid].retired.exit;
+  const PidRec rec = rec_checked(pid);
+  return is_hot_slot(rec.slot) ? exit_s_[rec.slot]
+                               : cold_[rec.row].retired.exit;
 }
 
 const Workload& SimSystem::workload(ProcessId pid) const {
-  (void)slot_checked(pid);
-  if (cold_[pid].workload == nullptr) {
+  const PidRec rec = rec_checked(pid);
+  if (cold_[rec.row].workload == nullptr) {
     throw std::logic_error("SimSystem::workload: reclaimed by retirement pool");
   }
-  return *cold_[pid].workload;
+  return *cold_[rec.row].workload;
 }
 
 Workload& SimSystem::workload(ProcessId pid) {
-  (void)slot_checked(pid);
-  if (cold_[pid].workload == nullptr) {
+  const PidRec rec = rec_checked(pid);
+  if (cold_[rec.row].workload == nullptr) {
     throw std::logic_error("SimSystem::workload: reclaimed by retirement pool");
   }
-  return *cold_[pid].workload;
+  return *cold_[rec.row].workload;
 }
 
 const ResourceShares& SimSystem::effective_shares(ProcessId pid) const {
-  const std::uint32_t slot = slot_checked(pid);
-  return is_hot_slot(slot) ? effective_s_[slot] : cold_[pid].retired.effective;
+  const PidRec rec = rec_checked(pid);
+  return is_hot_slot(rec.slot) ? effective_s_[rec.slot]
+                               : cold_[rec.row].retired.effective;
 }
 
 const ResourceShares& SimSystem::cgroup_caps(ProcessId pid) const {
-  const std::uint32_t slot = slot_checked(pid);
-  return is_hot_slot(slot) ? cgroup_s_[slot] : cold_[pid].retired.cgroup;
+  const PidRec rec = rec_checked(pid);
+  return is_hot_slot(rec.slot) ? cgroup_s_[rec.slot]
+                               : cold_[rec.row].retired.cgroup;
 }
 
 const hpc::HpcSample& SimSystem::last_sample(ProcessId pid) const {
-  const std::uint32_t slot = slot_checked(pid);
-  return is_hot_slot(slot) ? last_sample_s_[slot]
-                           : cold_[pid].retired.last_sample;
+  const PidRec rec = rec_checked(pid);
+  return is_hot_slot(rec.slot) ? last_sample_s_[rec.slot]
+                               : cold_[rec.row].retired.last_sample;
 }
 
 const std::vector<hpc::HpcSample>& SimSystem::sample_history(
     ProcessId pid) const {
-  (void)slot_checked(pid);
-  return cold_[pid].history;
+  const PidRec rec = rec_checked(pid);
+  return cold_[rec.row].history;
 }
 
 ml::WindowSummary SimSystem::window_summary(ProcessId pid) const {
-  const std::uint32_t slot = slot_checked(pid);
+  const PidRec rec = rec_checked(pid);
+  const std::uint32_t slot = rec.slot;
   std::span<const hpc::HpcSample> older;
   std::span<const hpc::HpcSample> wrap;
-  history_spans(cold_[pid], older, wrap);
+  history_spans(cold_[rec.row], older, wrap);
   if (fold_enabled_ && is_hot_slot(slot)) {
     // Fold mode assembles BY VALUE straight off the plane rows: no shared
     // accumulator refresh, so parallel fused shards can query their own
@@ -948,8 +1051,9 @@ ml::WindowSummary SimSystem::window_summary(ProcessId pid) const {
 
 const ml::WindowAccumulator& SimSystem::window_accumulator(
     ProcessId pid) const {
-  const std::uint32_t slot = slot_checked(pid);
-  if (!is_hot_slot(slot)) return cold_[pid].retired.accumulator;
+  const PidRec rec = rec_checked(pid);
+  const std::uint32_t slot = rec.slot;
+  if (!is_hot_slot(slot)) return cold_[rec.row].retired.accumulator;
   if (fold_enabled_) {
     // The authoritative state lives in the plane rows; refresh the slot's
     // (otherwise stale) accumulator from them before handing it out.
@@ -961,15 +1065,15 @@ const ml::WindowAccumulator& SimSystem::window_accumulator(
 }
 
 double SimSystem::last_progress(ProcessId pid) const {
-  const std::uint32_t slot = slot_checked(pid);
-  return is_hot_slot(slot) ? last_progress_s_[slot]
-                           : cold_[pid].retired.last_progress;
+  const PidRec rec = rec_checked(pid);
+  return is_hot_slot(rec.slot) ? last_progress_s_[rec.slot]
+                               : cold_[rec.row].retired.last_progress;
 }
 
 std::uint64_t SimSystem::epochs_run(ProcessId pid) const {
-  const std::uint32_t slot = slot_checked(pid);
-  return is_hot_slot(slot) ? epochs_run_s_[slot]
-                           : cold_[pid].retired.epochs_run;
+  const PidRec rec = rec_checked(pid);
+  return is_hot_slot(rec.slot) ? epochs_run_s_[rec.slot]
+                               : cold_[rec.row].retired.epochs_run;
 }
 
 std::span<const ProcessId> SimSystem::live_processes() const {
@@ -1002,6 +1106,14 @@ snapshot::SystemImage SimSystem::snapshot_state() const {
   image.recycle_histories = recycle_histories_;
   image.counter_rng = counter_rng_;
   image.history_capacity = history_cap_;
+  image.total_spawned = next_pid_;
+  image.retention_enabled = retention_enabled_;
+  image.retention_epochs = retention_epochs_;
+  image.retire_queue.reserve(retire_queue_.size() - retire_head_);
+  for (std::size_t i = retire_head_; i < retire_queue_.size(); ++i) {
+    image.retire_queue.emplace_back(retire_queue_[i].pid,
+                                    retire_queue_[i].epoch);
+  }
 
   image.slots.reserve(slot_pid_.size());
   for (std::size_t s = 0; s < slot_pid_.size(); ++s) {
@@ -1023,11 +1135,23 @@ snapshot::SystemImage SimSystem::snapshot_state() const {
     image.slots.push_back(std::move(slot));
   }
 
-  image.procs.reserve(cold_.size());
-  for (std::size_t pid = 0; pid < cold_.size(); ++pid) {
-    const ColdProc& cold = cold_[pid];
+  // Keyed cold rows, canonicalized to ascending-pid order: the pid map's
+  // bucket order depends on its capacity history (which a restore does not
+  // reproduce), and capture bytes must not.
+  std::vector<std::pair<ProcessId, PidRec>> tracked;
+  tracked.reserve(pid_map_.size());
+  pid_map_.for_each([&](ProcessId pid, const PidRec& rec) {
+    tracked.emplace_back(pid, rec);
+  });
+  std::sort(tracked.begin(), tracked.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  image.procs.reserve(tracked.size());
+  for (const auto& [pid, rec] : tracked) {
+    const ColdProc& cold = cold_[rec.row];
     snapshot::ProcImage proc;
-    proc.slot = pid_slot_[pid];
+    proc.pid = pid;
+    proc.slot = rec.slot;
     if (cold.workload != nullptr) {
       proc.workload = snapshot::poly_image(*cold.workload);
     }
@@ -1057,8 +1181,9 @@ snapshot::SystemImage SimSystem::snapshot_state() const {
     image.procs.push_back(std::move(proc));
   }
 
-  const std::span<const double> factors = scheduler_.factor_table();
-  image.sched_factors.assign(factors.begin(), factors.end());
+  // Already ascending-pid (factor_entries canonicalizes), and exactly the
+  // tracked pid set: weights and cold rows are created/reclaimed together.
+  image.sched_entries = scheduler_.factor_entries();
   return image;
 }
 
@@ -1084,11 +1209,36 @@ void SimSystem::restore_from(const snapshot::SystemImage& image,
                       "restore: platform/scheduler configuration mismatch");
   }
 
-  // Structural validation — everything throws before any mutation.
+  // Structural validation — everything throws before any mutation. The v5
+  // keyed form: cold rows and scheduler entries are sparse, ascending-pid,
+  // and must key exactly the same pid set.
   const std::size_t procs = image.procs.size();
-  if (image.sched_factors.size() != procs) {
+  ProcessId prev_row_pid = 0;
+  for (std::size_t i = 0; i < procs; ++i) {
+    const snapshot::ProcImage& proc = image.procs[i];
+    if (proc.pid >= image.total_spawned ||
+        (i != 0 && proc.pid <= prev_row_pid)) {
+      throw SerialError(SerialError::Code::kMalformed,
+                        "restore: cold rows not ascending-pid / pid beyond "
+                        "total_spawned");
+    }
+    prev_row_pid = proc.pid;
+  }
+  if (image.sched_entries.size() != procs) {
     throw SerialError(SerialError::Code::kMalformed,
-                      "restore: scheduler factor table size mismatch");
+                      "restore: scheduler entries do not match cold rows");
+  }
+  for (std::size_t i = 0; i < procs; ++i) {
+    const sim::SchedFactorEntry& entry = image.sched_entries[i];
+    // Weights and rows are created/reclaimed together, so the keyed sets
+    // are element-wise equal; the sign must match liveness (hot slots —
+    // compacted or not — are runnable, retired rows are parked).
+    const bool hot = is_hot_slot(image.procs[i].slot);
+    if (entry.pid != image.procs[i].pid || entry.factor == 0.0 ||
+        (entry.factor > 0.0) != hot) {
+      throw SerialError(SerialError::Code::kMalformed,
+                        "restore: scheduler entry inconsistent with its row");
+    }
   }
   if (image.history_capacity != 0) {
     for (const snapshot::ProcImage& proc : image.procs) {
@@ -1098,22 +1248,33 @@ void SimSystem::restore_from(const snapshot::SystemImage& image,
       }
     }
   }
+  // Rows are ascending-pid (just checked), so pid -> row index resolves by
+  // binary search; -1 = untracked.
+  const auto proc_index = [&image](ProcessId pid) -> std::ptrdiff_t {
+    const auto it = std::lower_bound(
+        image.procs.begin(), image.procs.end(), pid,
+        [](const snapshot::ProcImage& p, ProcessId v) { return p.pid < v; });
+    if (it == image.procs.end() || it->pid != pid) return -1;
+    return it - image.procs.begin();
+  };
   ProcessId prev_pid = 0;
   for (std::size_t s = 0; s < image.slots.size(); ++s) {
     const snapshot::SlotImage& slot = image.slots[s];
-    if (slot.pid >= procs || (s != 0 && slot.pid <= prev_pid) ||
-        image.procs[slot.pid].slot != s || slot.exit > 2) {
+    const std::ptrdiff_t row = proc_index(slot.pid);
+    if (row < 0 || (s != 0 && slot.pid <= prev_pid) ||
+        image.procs[static_cast<std::size_t>(row)].slot != s ||
+        slot.exit > 2) {
       throw SerialError(SerialError::Code::kMalformed,
                         "restore: hot slot table inconsistent");
     }
     prev_pid = slot.pid;
   }
-  for (std::size_t pid = 0; pid < procs; ++pid) {
-    const snapshot::ProcImage& proc = image.procs[pid];
+  for (std::size_t i = 0; i < procs; ++i) {
+    const snapshot::ProcImage& proc = image.procs[i];
     const bool hot = is_hot_slot(proc.slot);
     if ((proc.slot != kNoSlot && !hot) ||
         (hot && (proc.slot >= image.slots.size() ||
-                 image.slots[proc.slot].pid != pid)) ||
+                 image.slots[proc.slot].pid != proc.pid)) ||
         proc.retired_exit > 2) {
       throw SerialError(SerialError::Code::kMalformed,
                         "restore: pid -> slot table inconsistent");
@@ -1121,6 +1282,43 @@ void SimSystem::restore_from(const snapshot::SystemImage& image,
     if (hot && !proc.workload.present()) {
       throw SerialError(SerialError::Code::kMalformed,
                         "restore: live slot without a workload");
+    }
+  }
+  // Retention state: queue entries must reference tracked, retired rows,
+  // with non-decreasing epochs no later than the capture epoch, no pid
+  // twice (a reclaim is one-shot), and no queue at all without the policy.
+  if (!image.retention_enabled &&
+      (!image.retire_queue.empty() || image.retention_epochs != 0)) {
+    throw SerialError(SerialError::Code::kMalformed,
+                      "restore: retirement queue without retention policy");
+  }
+  if (image.retention_enabled && image.retention_epochs == 0) {
+    throw SerialError(SerialError::Code::kMalformed,
+                      "restore: zero retention window");
+  }
+  std::uint64_t prev_epoch = 0;
+  for (std::size_t i = 0; i < image.retire_queue.size(); ++i) {
+    const auto& [pid, retired_at] = image.retire_queue[i];
+    const std::ptrdiff_t row = proc_index(pid);
+    if (row < 0 ||
+        is_hot_slot(image.procs[static_cast<std::size_t>(row)].slot) ||
+        (i != 0 && retired_at < prev_epoch) || retired_at > image.epoch) {
+      throw SerialError(SerialError::Code::kMalformed,
+                        "restore: retirement queue inconsistent");
+    }
+    prev_epoch = retired_at;
+  }
+  {
+    std::vector<ProcessId> queue_pids;
+    queue_pids.reserve(image.retire_queue.size());
+    for (const auto& [pid, retired_at] : image.retire_queue) {
+      queue_pids.push_back(pid);
+    }
+    std::sort(queue_pids.begin(), queue_pids.end());
+    if (std::adjacent_find(queue_pids.begin(), queue_pids.end()) !=
+        queue_pids.end()) {
+      throw SerialError(SerialError::Code::kMalformed,
+                        "restore: pid queued for reclamation twice");
     }
   }
 
@@ -1148,14 +1346,29 @@ void SimSystem::restore_from(const snapshot::SystemImage& image,
   pending_admit_.clear();
   pending_kill_.clear();
   history_pool_.clear();
+  next_pid_ = static_cast<std::size_t>(image.total_spawned);
+  retention_enabled_ = image.retention_enabled;
+  retention_epochs_ = image.retention_epochs;
+  retire_queue_.clear();
+  retire_head_ = 0;
+  for (const auto& [pid, retired_at] : image.retire_queue) {
+    retire_queue_.push_back({pid, retired_at});
+  }
 
+  // Cold rows pack densely in image (ascending-pid) order; the pid map is
+  // rebuilt from scratch, so its capacity — and therefore its bucket
+  // layout — is a pure function of the tracked count, never of the churn
+  // history that produced the image. No observable output iterates the
+  // map, so the layout difference is invisible.
   cold_.clear();
   cold_.resize(procs);
-  pid_slot_.resize(procs);
-  for (std::size_t pid = 0; pid < procs; ++pid) {
-    const snapshot::ProcImage& proc = image.procs[pid];
-    ColdProc& cold = cold_[pid];
-    cold.workload = std::move(staged[pid]);
+  free_rows_.clear();
+  pid_map_.clear();
+  pid_map_.reserve(procs);
+  for (std::size_t i = 0; i < procs; ++i) {
+    const snapshot::ProcImage& proc = image.procs[i];
+    ColdProc& cold = cold_[i];
+    cold.workload = std::move(staged[i]);
     cold.history = proc.history;
     // Image histories are linearized oldest-first, so a full ring resumes
     // with head 0 = its oldest sample (exactly where the overwrite goes).
@@ -1167,11 +1380,14 @@ void SimSystem::restore_from(const snapshot::SystemImage& image,
     cold.retired.last_progress = proc.retired_last_progress;
     cold.retired.epochs_run = proc.retired_epochs_run;
     cold.retired.exit = static_cast<ExitReason>(proc.retired_exit);
-    pid_slot_[pid] = proc.slot;
+    pid_map_.insert(proc.pid,
+                    PidRec{proc.slot, static_cast<std::uint32_t>(i)});
   }
 
   const std::size_t live = image.slots.size();
   slot_pid_.resize(live);
+  row_s_.resize(live);
+  factor_s_.assign(live, 0.0);
   rng_s_.resize(live);
   cgroup_s_.resize(live);
   effective_s_.resize(live);
@@ -1185,6 +1401,7 @@ void SimSystem::restore_from(const snapshot::SystemImage& image,
   for (std::size_t s = 0; s < live; ++s) {
     const snapshot::SlotImage& slot = image.slots[s];
     slot_pid_[s] = slot.pid;
+    row_s_[s] = pid_map_.at(slot.pid).row;
     rng_s_[s].set_state(slot.rng);
     rng_s_[s].set_counter_mode(counter_rng_);
     cgroup_s_[s] = slot.cgroup;
@@ -1198,8 +1415,7 @@ void SimSystem::restore_from(const snapshot::SystemImage& image,
     feature_streak_s_[s] = slot.feature_streak;
   }
 
-  scheduler_.restore_factor_table(
-      {image.sched_factors.begin(), image.sched_factors.end()});
+  scheduler_.restore_factor_entries(image.sched_entries);
 
   // The feature-plane arming flags are run config, not snapshot state
   // (the image carries none): the target keeps whatever sections its own

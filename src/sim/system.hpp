@@ -9,10 +9,14 @@
 // sample, window accumulator, last progress, epoch count, exit flag), kept
 // compact by a stable compaction pass whenever a process exits. Cold state
 // (the workload object, the growing sample history, and a snapshot of the
-// hot fields taken when the process retires) sits in a separate pid-indexed
-// table so it never pollutes the hot stride. A pid -> slot remap makes every
-// pid-addressed accessor O(1) while the epoch loop walks slots 0..live-1
-// with unit stride.
+// hot fields taken when the process retires) sits in separate pooled rows
+// so it never pollutes the hot stride. A robin-hood pid map
+// (util::PidMap<PidRec>: pid -> {slot, cold row}) makes every pid-addressed
+// accessor O(1) while the epoch loop walks slots 0..live-1 with unit
+// stride — and, unlike the dense pid-indexed remap it replaces, its memory
+// is O(tracked processes), not O(every pid ever spawned): under churn with
+// the retention policy armed (enable_retirement_retention) a 10M-spawn run
+// holding thousands live keeps a thousands-sized table forever.
 //
 // An epoch splits into a serial global phase (begin_epoch: one CFS
 // total-weight pass over the live list, so each share lookup is O(1)), a
@@ -49,6 +53,7 @@
 #include "sim/platform.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/workload.hpp"
+#include "util/pid_map.hpp"
 #include "util/rng.hpp"
 
 namespace valkyrie::util {
@@ -87,14 +92,18 @@ class SimSystem {
   /// phases only, never from inside a shard.
   ProcessId spawn(std::unique_ptr<Workload> workload);
 
-  /// Pre-grows every per-process table — the SoA hot arrays, the cold
-  /// table, the pid -> slot remap, the scheduler's weight table, the
-  /// lifecycle queues, the retirement pool and (when enabled) the feature
-  /// plane — for up to `max_processes` processes spawned over the system's
-  /// lifetime. After this, steady-state churn (spawn + exit every epoch)
-  /// allocates nothing until the reservation is exhausted; pair with
-  /// reserve_history() and enable_history_recycling() to make the whole
-  /// churn loop allocation-free. Must not be called while an epoch is open.
+  /// Pre-grows every per-process table — the SoA hot arrays, the cold-row
+  /// pool, the pid map, the scheduler's weight table, the lifecycle queues,
+  /// the retirement pool and (when enabled) the feature plane — for up to
+  /// `max_processes` processes TRACKED SIMULTANEOUSLY (live + retired rows
+  /// not yet reclaimed). Without the retention policy every process ever
+  /// spawned stays tracked, so this is the lifetime total, as before; with
+  /// enable_retirement_retention it is the peak population, and total
+  /// spawns are unbounded. After this, steady-state churn (spawn + exit
+  /// every epoch) allocates nothing until the reservation is exhausted;
+  /// pair with reserve_history() and enable_history_recycling() to make
+  /// the whole churn loop allocation-free. Must not be called while an
+  /// epoch is open.
   void reserve(std::size_t max_processes);
 
   /// Arms the retirement pool: when a process retires, its sample-history
@@ -108,6 +117,30 @@ class SimSystem {
   /// epochs run) keeps answering as before. Off by default so fixed-
   /// population drivers keep full post-mortem access.
   void enable_history_recycling() { recycle_histories_ = true; }
+
+  /// Arms TRUE cold-row reclamation: a retired process stays observable
+  /// (exit reason, last sample, window statistics, parked scheduler
+  /// weight — the full retired-observability contract) for `window_epochs`
+  /// epochs after its retirement, then its pid map entry, cold row and
+  /// scheduler entry are reclaimed entirely — after that every
+  /// pid-addressed accessor (and CfsScheduler::weight_factor) throws
+  /// std::out_of_range for the pid, exactly as for a pid never spawned.
+  /// This is what bounds a churning run's memory by its PEAK population
+  /// instead of its total spawn count (the 10M-process flat-RSS regime);
+  /// reclaimed rows and history buffers recycle into later admissions, so
+  /// steady-state churn stays allocation-free. Applies to retirements from
+  /// the call onward; processes already retired are never reclaimed.
+  /// Reclamation runs at epoch boundaries (the same serial commit point as
+  /// every other lifecycle mutation, so all StepModes and worker counts
+  /// reclaim identically). Throws std::invalid_argument on a zero window
+  /// (drivers read exit state at the boundary that retires a process, so
+  /// the state must survive at least one epoch) and std::logic_error while
+  /// an epoch is open. Calling again adjusts the window.
+  void enable_retirement_retention(std::uint64_t window_epochs);
+
+  [[nodiscard]] bool retirement_retention_enabled() const noexcept {
+    return retention_enabled_;
+  }
 
   /// Runs one measurement epoch for every live process. With a pool the
   /// per-slot phase is sharded across its workers; results are
@@ -388,8 +421,26 @@ class SimSystem {
 
   [[nodiscard]] std::uint64_t current_epoch() const noexcept { return epoch_; }
   /// Processes ever spawned; pids are dense in [0, total_spawned()), so
-  /// this bounds post-run censuses over live and retired processes alike.
+  /// this bounds post-run censuses over live and retired processes alike —
+  /// though under the retention policy a reclaimed pid inside that range
+  /// answers out_of_range like any unknown pid.
   [[nodiscard]] std::size_t total_spawned() const noexcept {
+    return next_pid_;
+  }
+  /// Processes currently tracked: live + retired-but-not-yet-reclaimed.
+  /// Without retention this equals total_spawned(); with it, the churn
+  /// soak tests pin that it stays bounded by peak population.
+  [[nodiscard]] std::size_t tracked_processes() const noexcept {
+    return pid_map_.size();
+  }
+  /// Bucket count of the pid map — the bounded-memory proof reads this:
+  /// it follows peak tracked population, never total spawns.
+  [[nodiscard]] std::size_t pid_table_capacity() const noexcept {
+    return pid_map_.capacity();
+  }
+  /// Cold rows allocated (live + retired + free pooled rows awaiting
+  /// reuse) — bounded by peak population under retention.
+  [[nodiscard]] std::size_t cold_rows_allocated() const noexcept {
     return cold_.size();
   }
   [[nodiscard]] double elapsed_ms() const noexcept {
@@ -450,9 +501,12 @@ class SimSystem {
 
   /// Captures the full simulator state at a closed epoch boundary: the SoA
   /// hot arrays exactly as they stand (including slots marked dead but not
-  /// yet compacted), the cold per-pid table with workloads serialized
-  /// through their snapshot hooks, the master RNG, and the scheduler's raw
-  /// factor table. Reads raw members — never live_processes(), whose
+  /// yet compacted), the tracked cold rows keyed by pid (sparse — reclaimed
+  /// pids simply have no row) with workloads serialized through their
+  /// snapshot hooks, the master RNG, the scheduler's keyed factor entries,
+  /// and the retention state. Everything keyed is emitted in ascending-pid
+  /// order, so capture bytes are independent of hash-table layout. Reads
+  /// raw members — never live_processes(), whose
   /// logically-const compaction would change the state being captured.
   /// Throws std::logic_error while an epoch is open (snapshots are
   /// epoch-consistent by construction) and
@@ -474,7 +528,7 @@ class SimSystem {
                     const snapshot::WorkloadRegistry& registry);
 
  private:
-  // pid_slot_ sentinels. Real slots are < kPendingSlot, so is_hot_slot()
+  // PidRec::slot sentinels. Real slots are < kPendingSlot, so is_hot_slot()
   // is a single compare.
   static constexpr std::uint32_t kNoSlot = 0xffffffffu;      // retired
   static constexpr std::uint32_t kPendingSlot = 0xfffffffeu; // admission queued
@@ -482,6 +536,16 @@ class SimSystem {
   [[nodiscard]] static constexpr bool is_hot_slot(std::uint32_t slot) noexcept {
     return slot < kPendingSlot;
   }
+
+  /// The pid map's payload: where a tracked pid's state lives. `slot`
+  /// indexes the SoA hot arrays (or a lifecycle sentinel above); `row`
+  /// indexes the cold-row pool and is stable for the pid's whole tracked
+  /// lifetime (rows never move — history spans stay valid across
+  /// compactions, exactly as the old pid-indexed cold table guaranteed).
+  struct PidRec {
+    std::uint32_t slot = kNoSlot;
+    std::uint32_t row = 0;
+  };
 
   /// Snapshot of the hot fields a process died with, so pid-addressed
   /// observers keep working after the slot is recycled.
@@ -508,9 +572,25 @@ class SimSystem {
     RetiredState retired{};
   };
 
-  /// pid -> slot, throwing on unknown pid; kNoSlot marks a retired
-  /// process, kPendingSlot one whose admission is queued.
-  [[nodiscard]] std::uint32_t slot_checked(ProcessId pid) const;
+  /// pid -> {slot, row}, throwing std::out_of_range on an unknown (never
+  /// spawned, or reclaimed) pid; rec.slot is kNoSlot for a retired
+  /// process, kPendingSlot for one whose admission is queued.
+  [[nodiscard]] PidRec rec_checked(ProcessId pid) const;
+
+  /// Pops a free cold row (or appends one) for a new spawn. The returned
+  /// row is fully reset (no workload, empty history, default retirement
+  /// snapshot).
+  [[nodiscard]] std::uint32_t alloc_row();
+
+  /// Returns a reclaimed pid's cold row to the free pool: history buffer
+  /// donated to the retirement pool (capacity intact), workload destroyed,
+  /// retirement snapshot cleared.
+  void release_row(std::uint32_t row);
+
+  /// Retention-window reclamation (boundary-serial, end of every lifecycle
+  /// commit): pops expired entries off the retirement FIFO and reclaims
+  /// their pid map entries, cold rows and scheduler weights.
+  void drain_retired();
 
   /// Appends the hot-array slot for an already-created cold row: forks the
   /// master RNG, hot fields (cgroup caps seeded from the retired snapshot,
@@ -523,9 +603,10 @@ class SimSystem {
   /// deferred kills -> retirement compaction -> admissions in spawn order.
   void commit_lifecycle();
 
-  /// Retirement-pool reclaim of one retired pid's cold row: donates the
-  /// history buffer (capacity intact), destroys the workload.
-  void reclaim_cold(ProcessId pid);
+  /// Retirement-pool reclaim of one retired cold row: donates the history
+  /// buffer (capacity intact), destroys the workload. The scalar retirement
+  /// snapshot stays (release_row is the full reclaim).
+  void reclaim_cold(ColdProc& cold);
 
   /// Stable compaction: retires every slot whose exit flag is set, shifting
   /// survivors down (preserving ascending pid order), snapshotting the
@@ -582,7 +663,11 @@ class SimSystem {
 
   // --- SoA hot core: parallel arrays indexed by live slot ------------------
   std::vector<ProcessId> slot_pid_;   // slot -> pid; doubles as the live list
-  std::vector<std::uint32_t> pid_slot_;  // pid -> slot, kNoSlot when retired
+  std::vector<std::uint32_t> row_s_;  // slot -> cold row (hash-free hot path)
+  // Raw signed CFS factors for the live slots, batch-gathered once per
+  // epoch in begin_epoch (one prefetching pass over the pid map) so
+  // step_slot's share math never probes the hash table.
+  std::vector<double> factor_s_;
   std::vector<util::Rng> rng_s_;
   std::vector<ResourceShares> cgroup_s_;
   std::vector<ResourceShares> effective_s_;
@@ -600,7 +685,15 @@ class SimSystem {
   // carried by snapshots like invalid_streak_s_.
   std::vector<std::array<std::uint32_t, hpc::kFeatureDim>> feature_streak_s_;
 
-  std::vector<ColdProc> cold_;  // pid-indexed
+  // pid -> {slot, row} for every tracked process. O(tracked), not
+  // O(total-pids-ever); iteration order is hash-layout-dependent and is
+  // never allowed to reach observable output (snapshot capture sorts).
+  util::PidMap<PidRec> pid_map_;
+  std::vector<ColdProc> cold_;            // row pool (indexed by PidRec::row)
+  std::vector<std::uint32_t> free_rows_;  // reclaimed rows awaiting reuse
+  // Pids allocated so far (pid = next_pid_ at spawn). Decoupled from
+  // cold_.size() now that rows recycle.
+  std::size_t next_pid_ = 0;
 
   // --- Feature plane (enabled on demand; see feature_plane()) --------------
   static constexpr std::size_t kPlaneRows =
@@ -645,8 +738,8 @@ class SimSystem {
 
   // --- Deferred lifecycle state ---------------------------------------------
   // Pids spawned while the epoch was open, in spawn order; their cold rows
-  // exist, their hot slots commit at the boundary. A pid whose pid_slot_
-  // entry is no longer kPendingSlot by then was cancelled by kill().
+  // exist, their hot slots commit at the boundary. A pid whose pid-map
+  // slot is no longer kPendingSlot by then was cancelled by kill().
   std::vector<ProcessId> pending_admit_;
   // Live pids killed while the epoch was open; marked at the boundary.
   std::vector<ProcessId> pending_kill_;
@@ -661,6 +754,24 @@ class SimSystem {
   // Floor for hot-array/plane capacity set by reserve(), so plane growth
   // under churn never reallocates once reserved.
   std::size_t reserved_capacity_ = 0;
+  // --- Retirement retention (see enable_retirement_retention) ---------------
+  bool retention_enabled_ = false;
+  std::uint64_t retention_epochs_ = 0;
+  /// One pending reclamation: the pid and the epoch counter at its
+  /// retirement. FIFO with a consumed-prefix cursor (epochs are
+  /// non-decreasing because epoch_ is monotone, so drain stops at the
+  /// first unexpired entry); the prefix is compacted in place, never
+  /// reallocating in steady state.
+  struct RetiredPid {
+    ProcessId pid = 0;
+    std::uint64_t epoch = 0;
+  };
+  /// Consumed-prefix length that triggers the in-place compaction above;
+  /// reserve() sizes the queue for this slack so the compaction cycle
+  /// never reallocates.
+  static constexpr std::size_t kRetireCompactMin = 64;
+  std::vector<RetiredPid> retire_queue_;
+  std::size_t retire_head_ = 0;
   // Borrowed sensor-fault schedule; nullptr = injection and validation off.
   const fault::FaultPlane* sensor_faults_ = nullptr;
 };

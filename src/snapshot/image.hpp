@@ -15,6 +15,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "hpc/hpc.hpp"
@@ -57,10 +58,15 @@ struct SlotImage {
   std::array<std::uint32_t, hpc::kFeatureDim> feature_streak{};
 };
 
-/// One pid's cold row: the workload object, the accumulated sample history,
-/// and the retirement snapshot the pid-addressed observers answer from
-/// after the slot is recycled.
+/// One TRACKED pid's cold row: the workload object, the accumulated sample
+/// history, and the retirement snapshot the pid-addressed observers answer
+/// from after the slot is recycled. v5: rows are KEYED by pid and emitted
+/// in ascending-pid order — sparse, so a churn run's reclaimed pids simply
+/// have no row, and the image is O(tracked), not O(total-pids-ever).
 struct ProcImage {
+  /// The pid this row belongs to (v5; pre-v5 images were pid-dense and
+  /// positional).
+  sim::ProcessId pid = 0;
   /// Raw pid -> slot entry, sentinels included (0xffffffff = retired;
   /// the pending sentinel never appears — snapshots are taken at closed
   /// epoch boundaries where the admission queues are provably empty).
@@ -104,11 +110,28 @@ struct SystemImage {
   /// state the image needs (restored heads start at 0).
   std::uint64_t history_capacity = 0;
 
+  /// Total pids ever allocated (v5): the restore target's next spawn gets
+  /// pid total_spawned. Decoupled from procs.size() now that reclaimed
+  /// rows leave the image entirely.
+  std::uint64_t total_spawned = 0;
+  /// Retirement-retention policy state (v5): whether true cold-row
+  /// reclamation is armed, its window, and the pending reclamation FIFO
+  /// ({pid, retirement epoch}, non-decreasing epochs). Run STATE, not
+  /// config: a restored run must reclaim the same pids at the same
+  /// boundaries as the uninterrupted one for bit-replay to hold.
+  bool retention_enabled = false;
+  std::uint64_t retention_epochs = 0;
+  std::vector<std::pair<sim::ProcessId, std::uint64_t>> retire_queue;
+
   std::vector<SlotImage> slots;  // hot arrays, slot order (ascending pid)
-  std::vector<ProcImage> procs;  // cold table, pid order
-  /// The scheduler's raw pid-indexed factor table: 0 = never added,
-  /// positive = runnable, negative = parked (retired) weight.
-  std::vector<double> sched_factors;
+  /// Cold rows for exactly the tracked pids, ascending-pid (v5: sparse
+  /// keyed form; see ProcImage::pid).
+  std::vector<ProcImage> procs;
+  /// The scheduler's factor table as keyed entries, ascending-pid (v5):
+  /// positive = runnable, negative = parked (retired) weight; zero never
+  /// appears. Tracks procs exactly — weights and cold rows are created and
+  /// reclaimed together, so entry i's pid equals procs[i].pid.
+  std::vector<sim::SchedFactorEntry> sched_entries;
 };
 
 /// One ValkyrieMonitor: scalar config (for validation + reconstruction),
@@ -202,7 +225,7 @@ struct DriverImage {
 
 /// A complete decoded snapshot.
 struct SnapshotImage {
-  std::uint32_t version = 4;
+  std::uint32_t version = 5;
   SystemImage system;
   EngineImage engine;
   bool has_driver = false;

@@ -24,10 +24,16 @@ constexpr std::array<std::uint8_t, 8> kMagic = {'V', 'L', 'K', 'Y',
 // counts + newest-sample stale mask. v4 appends the system's RNG kind
 // (counter-mode armed) and the bounded-history ring capacity — both change
 // how restored state evolves, so they must travel with the state words.
+// v5 re-keys the cold-row and scheduler tables by pid (rows sparse,
+// ascending-pid, each carrying its ProcessId; scheduler factors become
+// {pid, factor} entries) and adds total_spawned plus the retirement-
+// retention state (policy flags + pending reclamation queue) — a v4
+// image's dense positional tables cannot represent a run whose reclaimed
+// pids have no row at all.
 // Older snapshots are refused rather than defaulted: the restore contract
 // is bit-replay, and an older capture cannot promise the newer fields were
 // all zero at capture time.
-constexpr std::uint32_t kVersion = 4;
+constexpr std::uint32_t kVersion = 5;
 
 constexpr std::uint32_t fourcc(char a, char b, char c, char d) noexcept {
   return static_cast<std::uint32_t>(static_cast<unsigned char>(a)) |
@@ -140,6 +146,14 @@ void encode_system(ByteWriter& out, const SystemImage& sys) {
   out.boolean(sys.recycle_histories);
   out.boolean(sys.counter_rng);     // v4
   out.u64(sys.history_capacity);    // v4
+  out.u64(sys.total_spawned);       // v5
+  out.boolean(sys.retention_enabled);  // v5
+  out.u64(sys.retention_epochs);       // v5
+  out.u64(sys.retire_queue.size());    // v5
+  for (const auto& [pid, retired_at] : sys.retire_queue) {
+    out.u32(pid);
+    out.u64(retired_at);
+  }
 
   out.u64(sys.slots.size());
   for (const SlotImage& slot : sys.slots) {
@@ -158,6 +172,7 @@ void encode_system(ByteWriter& out, const SystemImage& sys) {
 
   out.u64(sys.procs.size());
   for (const ProcImage& proc : sys.procs) {
+    out.u32(proc.pid);  // v5: rows are keyed, not positional
     out.u32(proc.slot);
     put_poly(out, proc.workload);
     out.u64(proc.history.size());
@@ -171,8 +186,11 @@ void encode_system(ByteWriter& out, const SystemImage& sys) {
     out.u8(proc.retired_exit);
   }
 
-  out.u64(sys.sched_factors.size());
-  for (const double factor : sys.sched_factors) out.f64(factor);
+  out.u64(sys.sched_entries.size());  // v5: keyed {pid, factor} entries
+  for (const sim::SchedFactorEntry& entry : sys.sched_entries) {
+    out.u32(entry.pid);
+    out.f64(entry.factor);
+  }
 }
 
 SystemImage decode_system(ByteReader& in) {
@@ -191,6 +209,17 @@ SystemImage decode_system(ByteReader& in) {
   sys.recycle_histories = in.boolean();
   sys.counter_rng = in.boolean();
   sys.history_capacity = in.u64();
+  sys.total_spawned = in.u64();
+  sys.retention_enabled = in.boolean();
+  sys.retention_epochs = in.u64();
+  const std::size_t queue_count =
+      in.length(sizeof(std::uint32_t) + sizeof(std::uint64_t));
+  sys.retire_queue.reserve(queue_count);
+  for (std::size_t q = 0; q < queue_count; ++q) {
+    const sim::ProcessId pid = in.u32();
+    const std::uint64_t retired_at = in.u64();
+    sys.retire_queue.emplace_back(pid, retired_at);
+  }
 
   const std::size_t slot_count = in.length(sizeof(std::uint32_t));
   sys.slots.reserve(slot_count);
@@ -214,6 +243,7 @@ SystemImage decode_system(ByteReader& in) {
   sys.procs.reserve(proc_count);
   for (std::size_t p = 0; p < proc_count; ++p) {
     ProcImage proc;
+    proc.pid = in.u32();
     proc.slot = in.u32();
     proc.workload = get_poly(in);
     const std::size_t history =
@@ -232,7 +262,15 @@ SystemImage decode_system(ByteReader& in) {
     sys.procs.push_back(std::move(proc));
   }
 
-  sys.sched_factors = in.f64_vec();
+  const std::size_t entry_count =
+      in.length(sizeof(std::uint32_t) + sizeof(double));
+  sys.sched_entries.reserve(entry_count);
+  for (std::size_t e = 0; e < entry_count; ++e) {
+    sim::SchedFactorEntry entry;
+    entry.pid = in.u32();
+    entry.factor = in.f64();
+    sys.sched_entries.push_back(entry);
+  }
   return sys;
 }
 
@@ -661,6 +699,20 @@ std::vector<FieldDiff> diff(const SnapshotImage& a, const SnapshotImage& b) {
         sb.recycle_histories);
   d.u64("system.counter_rng", sa.counter_rng, sb.counter_rng);
   d.u64("system.history_capacity", sa.history_capacity, sb.history_capacity);
+  d.u64("system.total_spawned", sa.total_spawned, sb.total_spawned);
+  d.u64("system.retention_enabled", sa.retention_enabled,
+        sb.retention_enabled);
+  d.u64("system.retention_epochs", sa.retention_epochs, sb.retention_epochs);
+  d.u64("system.retire_queue.size", sa.retire_queue.size(),
+        sb.retire_queue.size());
+  const std::size_t queued =
+      std::min(sa.retire_queue.size(), sb.retire_queue.size());
+  for (std::size_t q = 0; q < queued; ++q) {
+    const std::string path = "system.retire_queue[" + std::to_string(q) + "]";
+    d.u64(path + ".pid", sa.retire_queue[q].first, sb.retire_queue[q].first);
+    d.u64(path + ".epoch", sa.retire_queue[q].second,
+          sb.retire_queue[q].second);
+  }
 
   d.u64("system.slots.size", sa.slots.size(), sb.slots.size());
   const std::size_t slots = std::min(sa.slots.size(), sb.slots.size());
@@ -690,6 +742,7 @@ std::vector<FieldDiff> diff(const SnapshotImage& a, const SnapshotImage& b) {
     const std::string path = "system.procs[" + std::to_string(p) + "]";
     const ProcImage& pa = sa.procs[p];
     const ProcImage& pb = sb.procs[p];
+    d.u64(path + ".pid", pa.pid, pb.pid);
     d.u64(path + ".slot", pa.slot, pb.slot);
     d.poly(path + ".workload", pa.workload, pb.workload);
     d.u64(path + ".history.size", pa.history.size(), pb.history.size());
@@ -711,13 +764,15 @@ std::vector<FieldDiff> diff(const SnapshotImage& a, const SnapshotImage& b) {
     d.u64(path + ".retired_exit", pa.retired_exit, pb.retired_exit);
   }
 
-  d.u64("system.sched_factors.size", sa.sched_factors.size(),
-        sb.sched_factors.size());
+  d.u64("system.sched_entries.size", sa.sched_entries.size(),
+        sb.sched_entries.size());
   const std::size_t factors =
-      std::min(sa.sched_factors.size(), sb.sched_factors.size());
+      std::min(sa.sched_entries.size(), sb.sched_entries.size());
   for (std::size_t f = 0; f < factors; ++f) {
-    d.f64("system.sched_factors[" + std::to_string(f) + "]",
-          sa.sched_factors[f], sb.sched_factors[f]);
+    const std::string path = "system.sched_entries[" + std::to_string(f) + "]";
+    d.u64(path + ".pid", sa.sched_entries[f].pid, sb.sched_entries[f].pid);
+    d.f64(path + ".factor", sa.sched_entries[f].factor,
+          sb.sched_entries[f].factor);
   }
 
   const EngineImage& ea = a.engine;

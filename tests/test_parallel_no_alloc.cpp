@@ -279,6 +279,94 @@ TEST(ParallelNoAlloc, SequentialChurnIsAllocationFreeUnderReserve) {
       1, ValkyrieEngine::StepMode::kFused);
 }
 
+// Retention-armed churn: same 1-in-1-out loop, but with TRUE cold-row
+// reclamation switched on — and the reservation sized to the PEAK TRACKED
+// population (live + retired-inside-window), NOT to the total number of
+// spawns. This is the allocation half of the million-pid contract: rows,
+// pid-map buckets, scheduler entries and history buffers all recycle
+// through the reclamation path, so unbounded spawning needs only a
+// bounded reservation and the steady-state epoch still never allocates.
+void expect_retention_churn_does_not_allocate(
+    std::size_t worker_threads, ValkyrieEngine::StepMode mode) {
+  const FlappingDetector detector;
+  sim::SimSystem sys;
+  ValkyrieEngine engine(sys, detector, worker_threads, mode);
+
+  constexpr std::size_t kProcs = 24;
+  constexpr std::uint64_t kWindow = 4;
+  constexpr std::size_t kWarmup = 32;
+  constexpr std::size_t kMeasured = 48;
+  // Peak tracked = live population + one in-flight admission + the dead
+  // cohort parked inside the retention window — a constant, unlike the
+  // spawn-total the non-retention variant must reserve for.
+  sys.reserve(kProcs + kWindow + 12);
+  engine.reserve(kProcs + 12);
+  sys.enable_history_recycling();
+  sys.enable_retirement_retention(kWindow);
+
+  std::vector<sim::ProcessId> fifo;
+  fifo.reserve(kProcs + kWarmup + kMeasured);
+  for (std::size_t i = 0; i < kProcs; ++i) {
+    const sim::ProcessId pid =
+        sys.spawn(std::make_unique<SigWorkload>(benign_signature()));
+    engine.attach(pid, ValkyrieConfig{},
+                  std::make_unique<SchedulerWeightActuator>());
+    fifo.push_back(pid);
+  }
+
+  std::vector<std::unique_ptr<sim::Workload>> workload_stash;
+  std::vector<std::unique_ptr<Actuator>> actuator_stash;
+  for (std::size_t i = 0; i < kWarmup + kMeasured; ++i) {
+    workload_stash.push_back(
+        std::make_unique<SigWorkload>(benign_signature()));
+    actuator_stash.push_back(std::make_unique<SchedulerWeightActuator>());
+  }
+
+  sys.reserve_history(kWarmup + kMeasured + 1);
+
+  std::size_t before = 0;
+  std::size_t tracked_at_measure_start = 0;
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < kWarmup + kMeasured; ++i) {
+    if (i == kWarmup) {
+      before = g_allocations.load(std::memory_order_relaxed);
+      tracked_at_measure_start = sys.tracked_processes();
+    }
+    sys.kill(fifo[next]);
+    const sim::ProcessId fresh = sys.spawn(std::move(workload_stash[next]));
+    engine.attach(fresh, ValkyrieConfig{}, std::move(actuator_stash[next]));
+    fifo.push_back(fresh);
+    engine.detach(fifo[next]);
+    ++next;
+    const std::size_t live = engine.step();
+    ASSERT_EQ(live, kProcs) << "churn must hold the live population";
+  }
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after, before)
+      << "retention churn epoch allocated with " << worker_threads
+      << " workers";
+  // Reclamation actually ran: the tracked census is pinned at its
+  // steady-state value instead of growing by one per epoch.
+  EXPECT_EQ(sys.tracked_processes(), tracked_at_measure_start);
+  EXPECT_LE(sys.tracked_processes(), kProcs + kWindow + 12);
+}
+
+TEST(ParallelNoAlloc, SequentialRetentionChurnIsAllocationFree) {
+  expect_retention_churn_does_not_allocate(
+      1, ValkyrieEngine::StepMode::kFused);
+}
+
+TEST(ParallelNoAlloc, ShardedRetentionChurnIsAllocationFree) {
+  expect_retention_churn_does_not_allocate(
+      4, ValkyrieEngine::StepMode::kFused);
+}
+
+TEST(ParallelNoAlloc, BatchedRetentionChurnIsAllocationFree) {
+  expect_retention_churn_does_not_allocate(
+      4, ValkyrieEngine::StepMode::kBatched);
+}
+
 TEST(ParallelNoAlloc, ShardedChurnIsAllocationFreeUnderReserve) {
   expect_steady_state_churn_does_not_allocate(
       4, ValkyrieEngine::StepMode::kFused);
